@@ -1,0 +1,98 @@
+// Appendix reproduction: the merge policy's two logarithmic bounds.
+//
+// The appendix proves that merging the first adjacent pair (t_i, t_{i+1})
+// with |t_i| <= 2|t_{i+1}| (plus any newer adjacent tablets) leaves
+// O(log T) tablets when no merge applies, and rewrites any one row at most
+// O(log T) times. This bench runs the real PickMerge policy over growing
+// flush streams and prints both measured quantities next to log2(T).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/merge_policy.h"
+
+namespace lt {
+namespace bench {
+namespace {
+
+struct SimResult {
+  size_t final_tablets;
+  int max_rewrites;
+};
+
+SimResult RunMergeSim(size_t n_flushes, Random* rng) {
+  Timestamp now = 2000 * kMicrosPerWeek;
+  Timestamp base = now - 100 * kMicrosPerWeek;  // One deep-past week bin.
+  MergePolicyOptions opts;
+  opts.min_tablet_age = 0;
+  opts.rollover_delay_frac = 0;
+  opts.max_merged_bytes = UINT64_MAX;
+
+  struct Sim {
+    uint64_t bytes;
+    int rewrites;
+  };
+  std::vector<TabletMeta> metas;
+  std::vector<Sim> sims;
+  int name = 0;
+  int max_rewrites = 0;
+  for (size_t i = 0; i < n_flushes; i++) {
+    TabletMeta meta;
+    meta.filename = std::to_string(name++);
+    meta.min_ts = base + static_cast<Timestamp>(i) * 100;
+    meta.max_ts = meta.min_ts + 50;
+    meta.file_bytes = 1 + (rng ? rng->Uniform(16) : 0);
+    meta.row_count = meta.file_bytes;
+    meta.flushed_at = now;
+    metas.push_back(meta);
+    sims.push_back(Sim{meta.file_bytes, 0});
+    while (true) {
+      MergePick pick = PickMerge(metas, now, "bench", opts);
+      if (!pick.valid()) break;
+      uint64_t total = 0;
+      int rewrites = 0;
+      for (size_t j = pick.begin; j < pick.end; j++) {
+        total += sims[j].bytes;
+        rewrites = std::max(rewrites, sims[j].rewrites);
+      }
+      TabletMeta merged;
+      merged.filename = std::to_string(name++);
+      merged.min_ts = metas[pick.begin].min_ts;
+      merged.max_ts = metas[pick.end - 1].max_ts;
+      merged.file_bytes = total;
+      merged.row_count = total;
+      merged.flushed_at = now;
+      metas.erase(metas.begin() + pick.begin, metas.begin() + pick.end);
+      sims.erase(sims.begin() + pick.begin, sims.begin() + pick.end);
+      metas.insert(metas.begin() + pick.begin, merged);
+      sims.insert(sims.begin() + pick.begin, Sim{total, rewrites + 1});
+      max_rewrites = std::max(max_rewrites, rewrites + 1);
+    }
+  }
+  return SimResult{metas.size(), max_rewrites};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lt
+
+int main() {
+  using namespace lt;
+  using namespace lt::bench;
+  PrintHeader("Appendix", "Merge policy: tablets and rewrites are O(log T)");
+  printf("%-12s %-10s %-16s %-14s %-14s\n", "flushes", "log2(T)",
+         "final tablets", "max rewrites", "sizes");
+
+  for (size_t n : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    SimResult uniform = RunMergeSim(n, nullptr);
+    Random rng(n);
+    SimResult random = RunMergeSim(n, &rng);
+    double log_t = std::log2(static_cast<double>(n));
+    printf("%-12zu %-10.1f %-16zu %-14d uniform\n", n, log_t,
+           uniform.final_tablets, uniform.max_rewrites);
+    printf("%-12s %-10s %-16zu %-14d random\n", "", "", random.final_tablets,
+           random.max_rewrites);
+  }
+  printf("\nboth columns should grow ~linearly in log2(T), never faster.\n");
+  return 0;
+}

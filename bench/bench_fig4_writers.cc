@@ -1,0 +1,92 @@
+// Figure 4 reproduction: aggregate insert throughput vs. number of writers.
+//
+// Paper (§5.1.4): LittleTable's insert path is CPU-bound at small batch
+// sizes, and the server shares almost no state between tables, so N
+// processes writing 32-row batches of 128-byte rows to N different tables
+// scale aggregate throughput from ~37 MB/s (one writer) to ~75% of the
+// disk's peak write rate at 32 writers.
+//
+// The paper's testbed has two 6-core Xeons; this benchmark machine may have
+// a single core, so CPU parallelism is modeled the same way the disk is:
+// each writer's CPU work is measured on its own table (run back to back for
+// determinism and zero contention), then combined as
+//
+//   elapsed = max(total_cpu / min(writers, 12 cores), total_disk_time)
+//
+// — CPU work spreads across the modeled cores while the single simulated
+// spindle serializes all flush I/O, which is exactly why the curve
+// saturates toward the disk-bound ceiling.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+
+int main(int argc, char** argv) {
+  using namespace lt;
+  using namespace lt::bench;
+  size_t bytes_per_writer = 8u << 20;  // Scaled from the paper's 500 MB.
+  int modeled_cores = 12;              // Two 6-core E5-2630 v2 (§5.1.1).
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--full") == 0) bytes_per_writer = 64u << 20;
+  }
+
+  PrintHeader("Figure 4", "Aggregate insert throughput vs. number of writers");
+  printf("(CPU parallelism modeled at %d cores; disk is one spindle)\n\n",
+         modeled_cores);
+  printf("%-10s %-18s %-16s\n", "writers", "aggregate MB/s", "% of disk peak");
+
+  for (int writers : {1, 2, 4, 8, 16, 32}) {
+    BenchEnv env;
+    LittleTableServer server(env.db(), 0);
+    if (!server.Start().ok()) abort();
+    TableOptions topts;
+    topts.merge.min_tablet_age = 90 * kMicrosPerSecond;
+    for (int w = 0; w < writers; w++) {
+      Status s = env.db()->CreateTable("t" + std::to_string(w), MicroSchema(),
+                                       &topts);
+      if (!s.ok()) abort();
+    }
+
+    int64_t disk_before = env.disk()->SimElapsedMicros();
+    int64_t cpu_total = 0;
+    for (int w = 0; w < writers; w++) {
+      std::unique_ptr<Client> client;
+      if (!Client::Connect("127.0.0.1", server.port(), &client).ok()) abort();
+      std::string tname = "t" + std::to_string(w);
+      Random rng(1000 + w);
+      const size_t rows_per_batch = 32;
+      const size_t row_bytes = 128;
+      auto cpu_start = std::chrono::steady_clock::now();
+      size_t sent = 0;
+      uint64_t key = 0;
+      while (sent < bytes_per_writer) {
+        std::vector<Row> batch;
+        Timestamp now = env.clock()->Now();
+        for (size_t i = 0; i < rows_per_batch; i++) {
+          batch.push_back(MicroRow(&rng, key, now + static_cast<Timestamp>(key),
+                                   row_bytes));
+          key++;
+        }
+        if (!client->Insert(tname, batch).ok()) abort();
+        sent += rows_per_batch * row_bytes;
+      }
+      if (!env.db()->GetTable(tname)->FlushAll().ok()) abort();
+      cpu_total += std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - cpu_start)
+                       .count();
+    }
+    int64_t disk_total = env.disk()->SimElapsedMicros() - disk_before;
+    server.Stop();
+
+    int cores_used = writers < modeled_cores ? writers : modeled_cores;
+    int64_t elapsed = std::max(cpu_total / cores_used, disk_total);
+    double total_mb = static_cast<double>(bytes_per_writer) * writers / 1e6;
+    double mbps = total_mb / (static_cast<double>(elapsed) / 1e6);
+    printf("%-10d %-18.1f %-16.1f\n", writers, mbps,
+           100.0 * mbps / (kDiskBytesPerSec / 1e6));
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 6 reproduction: first-row latency vs. number of tablets.
+//
+// Paper (§5.1.6): queries for random keys against a table of 128-byte rows
+// in 16 MB tablets, varying the number of tablets a query's timestamp range
+// overlaps from 1 to 32, caches dropped before each pair of queries. The
+// first query must read each tablet's footer — three seeks (inode, trailer
+// words, footer) — plus one block: slope ~30.3 ms/tablet (~4 seeks at 8 ms).
+// The second query hits the cached footers and pays only the block read:
+// slope ~8.3 ms/tablet (~1 seek).
+//
+// Here "first query" is measured as reopening the table (footers load on
+// demand at open, §3.5) plus one random-key query; the "second query" runs
+// against the warm reader with a different random key.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "util/histogram.h"
+
+int main(int argc, char** argv) {
+  using namespace lt;
+  using namespace lt::bench;
+  int trials = 8;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--full") == 0) trials = 26;  // Paper's 26 runs.
+  }
+
+  PrintHeader("Figure 6", "First-row latency vs. number of tablets");
+  printf("%-10s %-22s %-22s\n", "tablets", "first query (ms)",
+         "second query (ms)");
+
+  const size_t row_bytes = 128;
+  const size_t tablet_bytes = 4u << 20;  // Scaled from 16 MB.
+  const size_t rows_per_tablet = tablet_bytes / row_bytes;
+
+  Samples first_slope_x, first_slope_y;  // For the closing regression note.
+  double sum_x = 0, sum_xx = 0, sum_xy1 = 0, sum_xy2 = 0, sum_y1 = 0,
+         sum_y2 = 0;
+  int n_points = 0;
+
+  for (int tablets : {1, 2, 4, 8, 16, 32}) {
+    Samples first_ms, second_ms;
+    for (int trial = 0; trial < trials; trial++) {
+      BenchEnv env;
+      TableOptions topts;
+      topts.flush_bytes = 1ull << 40;
+      topts.merge.min_tablet_age = 1ull << 40;
+      if (!env.db()->CreateTable("t", MicroSchema(), &topts).ok()) abort();
+      {
+        auto table = env.db()->GetTable("t");
+        Random rng(500 + trial);
+        uint64_t key = 0;
+        for (int t = 0; t < tablets; t++) {
+          std::vector<Row> batch;
+          Timestamp now = env.clock()->Now();
+          for (size_t i = 0; i < rows_per_tablet; i++) {
+            uint64_t k = (static_cast<uint64_t>(i) * tablets + t) << 8;
+            batch.push_back(MicroRow(&rng, k,
+                                     now + static_cast<Timestamp>(key),
+                                     row_bytes));
+            key++;
+          }
+          if (!table->InsertBatch(batch).ok()) abort();
+          if (!table->FlushAll().ok()) abort();
+          env.AdvanceClock(kMicrosPerSecond);
+        }
+      }
+
+      Random qrng(900 + trial);
+      auto random_prefix = [&]() -> Key {
+        uint64_t k = qrng.Uniform(rows_per_tablet * tablets) << 8;
+        return {Value::Int64(static_cast<int64_t>(k >> 32)),
+                Value::Int64(static_cast<int64_t>((k >> 24) & 0xff)),
+                Value::Int64(static_cast<int64_t>((k >> 16) & 0xff))};
+      };
+
+      // Cold: drop every cache and reopen, so the first query pays the
+      // footer loads (3 seeks per tablet) plus its block read.
+      env.ClearCaches();
+      env.StartTimer();
+      if (!env.ReopenDb().ok()) abort();
+      auto table = env.db()->GetTable("t");
+      QueryBounds q1 = QueryBounds::ForPrefix(random_prefix());
+      q1.limit = 1;
+      QueryResult r1;
+      if (!table->Query(q1, &r1).ok()) abort();
+      first_ms.Add(static_cast<double>(env.StopTimerMicros()) / 1000.0);
+
+      QueryBounds q2 = QueryBounds::ForPrefix(random_prefix());
+      q2.limit = 1;
+      env.StartTimer();
+      QueryResult r2;
+      if (!table->Query(q2, &r2).ok()) abort();
+      second_ms.Add(static_cast<double>(env.StopTimerMicros()) / 1000.0);
+    }
+    printf("%-10d %-22.1f %-22.1f\n", tablets, first_ms.Mean(),
+           second_ms.Mean());
+    sum_x += tablets;
+    sum_xx += static_cast<double>(tablets) * tablets;
+    sum_xy1 += tablets * first_ms.Mean();
+    sum_xy2 += tablets * second_ms.Mean();
+    sum_y1 += first_ms.Mean();
+    sum_y2 += second_ms.Mean();
+    n_points++;
+  }
+
+  double denom = n_points * sum_xx - sum_x * sum_x;
+  double slope1 = (n_points * sum_xy1 - sum_x * sum_y1) / denom;
+  double slope2 = (n_points * sum_xy2 - sum_x * sum_y2) / denom;
+  printf("\nlinear regression: first query %.1f ms/tablet (paper: 30.3, ~4 "
+         "seeks), second query %.1f ms/tablet (paper: 8.3, ~1 seek)\n",
+         slope1, slope2);
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "core/row_codec.h"
+
+namespace lt {
+namespace bench {
+
+SimDiskOptions BenchEnv::DefaultDisk() {
+  SimDiskOptions opts;
+  opts.seek_micros = kDiskSeekMicros;
+  opts.read_bytes_per_sec = kDiskBytesPerSec;
+  opts.write_bytes_per_sec = kDiskBytesPerSec;
+  opts.readahead_bytes = 128 * 1024;
+  return opts;
+}
+
+DbOptions BenchEnv::DefaultDb() {
+  DbOptions opts;
+  // Benchmarks drive maintenance explicitly so results are deterministic.
+  opts.background_maintenance = false;
+  return opts;
+}
+
+BenchEnv::BenchEnv(SimDiskOptions disk_options, DbOptions db_options)
+    : sim_(&mem_, disk_options),
+      clock_(std::make_shared<SimClock>(2000 * kMicrosPerWeek)),
+      db_options_(db_options) {
+  Status s = DB::Open(&sim_, clock_, "/bench", db_options, &db_);
+  if (!s.ok()) {
+    fprintf(stderr, "BenchEnv: %s\n", s.ToString().c_str());
+    abort();
+  }
+}
+
+void BenchEnv::StartTimer() {
+  cpu_start_ = std::chrono::steady_clock::now();
+  disk_start_ = sim_.SimElapsedMicros();
+}
+
+int64_t BenchEnv::StopTimerMicros() {
+  int64_t cpu = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - cpu_start_)
+                    .count();
+  int64_t disk = sim_.SimElapsedMicros() - disk_start_;
+  int64_t total = cpu + disk;
+  clock_->Advance(total);
+  return total;
+}
+
+Status BenchEnv::ReopenDb() {
+  db_.reset();
+  return DB::Open(&sim_, clock_, "/bench", db_options_, &db_);
+}
+
+Schema MicroSchema() {
+  return Schema({Column("k1", ColumnType::kInt64),
+                 Column("k2", ColumnType::kInt64),
+                 Column("k3", ColumnType::kInt64),
+                 Column("k4", ColumnType::kInt64),
+                 Column("k5", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("payload", ColumnType::kBlob)},
+                /*num_key_columns=*/6);
+}
+
+Row MicroRow(Random* rng, uint64_t key, Timestamp ts, size_t row_bytes) {
+  // Spread the key across five dimensions so prefix queries and block-index
+  // comparisons do real work (the paper fixes six key columns to keep
+  // comparison cost constant, §5.1.2).
+  int64_t k1 = static_cast<int64_t>(key >> 32);
+  int64_t k2 = static_cast<int64_t>((key >> 24) & 0xff);
+  int64_t k3 = static_cast<int64_t>((key >> 16) & 0xff);
+  int64_t k4 = static_cast<int64_t>((key >> 8) & 0xff);
+  int64_t k5 = static_cast<int64_t>(key & 0xff);
+  // Encoded key+ts overhead is ~16-40 bytes; pad the rest with random
+  // (incompressible) payload.
+  size_t overhead = 40;
+  size_t payload = row_bytes > overhead ? row_bytes - overhead : 8;
+  return {Value::Int64(k1),    Value::Int64(k2), Value::Int64(k3),
+          Value::Int64(k4),    Value::Int64(k5), Value::Ts(ts),
+          Value::Blob(rng->Bytes(payload))};
+}
+
+size_t MicroRowBytes(const Schema& schema, const Row& row) {
+  std::string buf;
+  EncodeRow(&buf, schema, row);
+  return buf.size();
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  printf("==============================================================\n");
+  printf("%s\n", figure.c_str());
+  printf("%s\n", description.c_str());
+  printf("disk model: %d ms seek, %d MB/s sequential (see DESIGN.md)\n",
+         static_cast<int>(kDiskSeekMicros / 1000),
+         static_cast<int>(kDiskBytesPerSec / 1000000));
+  printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace lt

@@ -1,0 +1,99 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// The paper's microbenchmarks (§5.1.1) run on a single 7,200 RPM spindle:
+// ~120 MB/s sequential, ~8 ms seek, with caches dropped between runs, rows
+// of 32-bit integers padded to a target size with xorshift-random (and thus
+// incompressible) bytes, and six key columns.
+//
+// This harness reproduces the setup on any machine by running the engine on
+// a MemEnv wrapped in SimDiskEnv (see env/sim_disk_env.h). Reported times
+// combine the two serial components of our implementation:
+//
+//     elapsed = real CPU time + simulated disk time
+//
+// which is accurate because the engine performs its I/O synchronously on
+// the calling thread — time the disk model charges is time a real spindle
+// would have kept that thread waiting. The simulated clock is advanced in
+// step with elapsed time so age-based flushes, the 90-second merge delay,
+// and TTLs all run at the same *relative* cadence as the paper's runs.
+//
+// Absolute numbers will not match the paper's hardware; the shapes — who
+// wins, where curves level off, how costs scale with tablet count — are the
+// reproduction target (see EXPERIMENTS.md).
+#ifndef LITTLETABLE_BENCH_BENCH_UTIL_H_
+#define LITTLETABLE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "env/sim_disk_env.h"
+#include "util/random.h"
+
+namespace lt {
+namespace bench {
+
+/// The paper's disk parameters.
+constexpr int64_t kDiskSeekMicros = 8000;
+constexpr int64_t kDiskBytesPerSec = 120 * 1000 * 1000;
+
+/// One benchmark environment: engine + simulated spindle + virtual clock.
+class BenchEnv {
+ public:
+  explicit BenchEnv(SimDiskOptions disk_options = DefaultDisk(),
+                    DbOptions db_options = DefaultDb());
+
+  static SimDiskOptions DefaultDisk();
+  static DbOptions DefaultDb();
+
+  DB* db() { return db_.get(); }
+  SimDiskEnv* disk() { return &sim_; }
+  SimClock* clock() { return clock_.get(); }
+  const std::shared_ptr<SimClock>& clock_ptr() { return clock_; }
+
+  /// Starts (or restarts) the combined timer.
+  void StartTimer();
+  /// Stops the timer and returns combined elapsed microseconds
+  /// (CPU + simulated disk); also advances the virtual clock by that much.
+  int64_t StopTimerMicros();
+
+  /// Drops the simulated page/drive caches (the paper clears caches before
+  /// each run).
+  void ClearCaches() { sim_.ClearCaches(); }
+
+  /// Advances virtual time without charging benchmark time.
+  void AdvanceClock(Timestamp micros) { clock_->Advance(micros); }
+
+  /// Tears down and reopens the DB (for cold-cache/restart measurements).
+  Status ReopenDb();
+
+ private:
+  MemEnv mem_;
+  SimDiskEnv sim_;
+  std::shared_ptr<SimClock> clock_;
+  DbOptions db_options_;
+  std::unique_ptr<DB> db_;
+  std::chrono::steady_clock::time_point cpu_start_;
+  int64_t disk_start_ = 0;
+};
+
+/// The §5.1.1 microbenchmark schema: six key columns (five int64 dimensions
+/// + ts) and one blob payload column.
+Schema MicroSchema();
+
+/// A row for MicroSchema with incompressible payload sized so the encoded
+/// row is ~`row_bytes`. `key` spreads across the five key dimensions.
+Row MicroRow(Random* rng, uint64_t key, Timestamp ts, size_t row_bytes);
+
+/// Encoded size of a MicroRow (for MB/s accounting).
+size_t MicroRowBytes(const Schema& schema, const Row& row);
+
+/// Prints the standard benchmark banner.
+void PrintHeader(const std::string& figure, const std::string& description);
+
+}  // namespace bench
+}  // namespace lt
+
+#endif  // LITTLETABLE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Event logs end to end (§4.2): EventsGrabber pulls device logs (DHCP,
+// associations, authentications) with monotonically increasing ids, a
+// device goes dark and returns with out-of-order history, the grabber
+// restarts and recovers its cursor — including the deep
+// latest-row-for-prefix search (§3.4.5) — and Dashboard browses the logs
+// over SQL.
+//
+//   ./build/examples/event_logs
+#include <cstdio>
+
+#include "apps/events_grabber.h"
+#include "env/mem_env.h"
+#include "sql/executor.h"
+
+using namespace lt;
+using namespace lt::apps;
+
+int main() {
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(700 * kMicrosPerWeek);
+  DbOptions options;
+  options.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  if (!DB::Open(&env, clock, "/shard", options, &db).ok()) return 1;
+  sql::DbBackend backend(db.get());
+
+  ConfigStore config;
+  BuildShardConfig(/*seed=*/3, /*networks=*/2, /*devices_per_network=*/4,
+                   &config);
+  DeviceSimOptions sim_options;
+  sim_options.seed = 3;
+  sim_options.birth = clock->Now() - kMicrosPerHour;
+  DeviceFleet fleet(sim_options);
+  fleet.PopulateFromConfig(config);
+
+  EventsGrabberOptions grabber_options;
+  grabber_options.sentinel_period = 15 * kMicrosPerMinute;
+  EventsGrabber grabber(&backend, &fleet, &config, grabber_options);
+  if (!grabber.EnsureTable().ok()) return 1;
+
+  // Device 2 loses its uplink for most of the run.
+  fleet.Get(2)->SetOutage(clock->Now() + kMicrosPerMinute,
+                          clock->Now() + 50 * kMicrosPerMinute);
+
+  for (int m = 0; m < 40; m++) {
+    clock->Advance(kMicrosPerMinute);
+    if (!grabber.Poll(clock->Now()).ok()) return 1;
+    if (!db->MaintainNow().ok()) return 1;
+  }
+  printf("event rows inserted: %llu (device 2 offline since minute 1)\n",
+         static_cast<unsigned long long>(grabber.rows_inserted()));
+
+  sql::SqlSession session(&backend);
+  auto exec = [&](const char* title, const std::string& stmt) {
+    printf("\n-- %s\nlt> %s\n", title, stmt.c_str());
+    auto result = session.Execute(stmt);
+    if (!result.ok()) {
+      printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    printf("%s", result->ToString().c_str());
+  };
+
+  exec("recent events for device 1 (newest first)",
+       "SELECT ts, event_id, kind, detail FROM events "
+       "WHERE network = 1 AND device = 1 AND ts >= NOW() - 600000000 "
+       "ORDER BY KEY DESC LIMIT 6");
+  exec("event volume per device",
+       "SELECT network, device, COUNT(*), MAX(event_id) FROM events "
+       "GROUP BY network, device");
+
+  // The grabber process restarts. Most devices recover from one query over
+  // the recent window; device 2, long dark, comes back online and needs the
+  // deep search bounded by its oldest stored event.
+  printf("\n*** grabber restart ***\n");
+  grabber.ForgetCache();
+  clock->Advance(11 * kMicrosPerMinute);  // Outage ends at minute 50.
+  if (!grabber.RebuildCache(clock->Now()).ok()) return 1;
+  printf("cache rebuilt: %zu devices (%llu via deep latest-row search)\n",
+         grabber.cache_size(),
+         static_cast<unsigned long long>(grabber.deep_searches()));
+
+  // Device 2's backlog arrives with device-side timestamps — rows land in
+  // past time periods (§3.4.3) and the flush dependency graph keeps the
+  // crash guarantee intact.
+  uint64_t before = grabber.rows_inserted();
+  if (!grabber.Poll(clock->Now()).ok()) return 1;
+  printf("device 2 backlog drained: %llu rows with historical timestamps\n",
+         static_cast<unsigned long long>(grabber.rows_inserted() - before));
+
+  exec("device 2's log is gap-free after the outage",
+       "SELECT COUNT(*), MIN(event_id), MAX(event_id) FROM events "
+       "WHERE network = 1 AND device = 2");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Video motion search (§4.3): a camera encodes motion as 32-bit words
+// (coarse-cell row/col nibbles + 24 macroblock bits), MotionGrabber stores
+// them in LittleTable, and a user searches a rectangle of the frame
+// backwards in time — plus an ASCII heatmap of motion over the hour.
+//
+//   ./build/examples/motion_search
+#include <cstdio>
+
+#include "apps/motion_grabber.h"
+#include "env/mem_env.h"
+
+using namespace lt;
+using namespace lt::apps;
+
+int main() {
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(800 * kMicrosPerWeek);
+  DbOptions options;
+  options.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  if (!DB::Open(&env, clock, "/shard", options, &db).ok()) return 1;
+  sql::DbBackend backend(db.get());
+
+  // One camera with a busy scene.
+  ConfigStore config;
+  NetworkConfig net;
+  net.id = 1;
+  net.customer = 1;
+  net.name = "lobby";
+  config.AddNetwork(net);
+  DeviceConfig cam;
+  cam.id = 42;
+  cam.network = 1;
+  cam.type = DeviceType::kCamera;
+  config.AddDevice(cam);
+
+  DeviceSimOptions sim_options;
+  sim_options.seed = 42;
+  sim_options.birth = clock->Now() - kMicrosPerHour;
+  sim_options.motion_prob = 0.25;
+  DeviceFleet fleet(sim_options);
+  fleet.PopulateFromConfig(config);
+
+  MotionGrabber grabber(&backend, &fleet, &config, MotionGrabberOptions{});
+  if (!grabber.EnsureTable().ok()) return 1;
+  for (int m = 0; m < 60; m++) {
+    clock->Advance(kMicrosPerMinute);
+    if (!grabber.Poll(clock->Now()).ok()) return 1;
+  }
+  printf("camera 42: %llu coalesced motion events stored for the last hour\n",
+         static_cast<unsigned long long>(grabber.rows_inserted()));
+
+  // "A security incident occurred near the doorway": search the top-left
+  // 320x240 pixels of the 960x540 frame, backwards in time.
+  MotionRect doorway = MotionRect::FromPixels(0, 0, 320, 240);
+  std::vector<MotionHit> hits;
+  if (!grabber.SearchMotion(42, doorway, clock->Now() - kMicrosPerHour,
+                            clock->Now(), 5, &hits).ok()) {
+    return 1;
+  }
+  printf("\n5 most recent motion events in the doorway rectangle:\n");
+  for (const MotionHit& hit : hits) {
+    printf("  %-8.1fs ago  cell (row %d, col %d)  blocks=0x%06x  "
+           "duration %.0fs\n",
+           static_cast<double>(clock->Now() - hit.ts) / kMicrosPerSecond,
+           MotionCellRow(hit.word), MotionCellCol(hit.word),
+           MotionBlocks(hit.word),
+           static_cast<double>(hit.duration) / kMicrosPerSecond);
+  }
+
+  // Heatmap of the whole hour over the 60x34 macroblock grid.
+  MotionHeatmap heatmap;
+  if (!grabber.Heatmap(42, clock->Now() - kMicrosPerHour, clock->Now(),
+                       &heatmap).ok()) {
+    return 1;
+  }
+  uint32_t max_count = 1;
+  for (int r = 0; r < kMacroblockRows; r++) {
+    for (int c = 0; c < kMacroblockCols; c++) {
+      if (heatmap.counts[r][c] > max_count) max_count = heatmap.counts[r][c];
+    }
+  }
+  printf("\nmotion heatmap (%llu block-events; darker = more motion):\n",
+         static_cast<unsigned long long>(heatmap.Total()));
+  const char* shades = " .:-=+*#%@";
+  for (int r = 0; r < kMacroblockRows; r += 2) {  // Halve rows for terminal.
+    putchar(' ');
+    for (int c = 0; c < kMacroblockCols; c++) {
+      uint32_t v = heatmap.counts[r][c];
+      if (r + 1 < kMacroblockRows) v = std::max(v, heatmap.counts[r + 1][c]);
+      putchar(shades[std::min<uint32_t>(9, v * 9 / max_count)]);
+    }
+    putchar('\n');
+  }
+  printf("\nsearching a week of one camera at the paper's 500k rows/s costs "
+         "~100 ms (§4.3).\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Network usage end to end (§4.1): a simulated device fleet, UsageGrabber
+// polling byte counters into LittleTable, aggregator rollups (per network
+// and per tag), a LittleTable crash with recovery, and the Dashboard-style
+// graphs read back over SQL.
+//
+//   ./build/examples/network_usage
+#include <cstdio>
+
+#include "apps/aggregator.h"
+#include "apps/usage_grabber.h"
+#include "apps/events_grabber.h"
+#include "env/mem_env.h"
+#include "sql/executor.h"
+
+using namespace lt;
+using namespace lt::apps;
+
+int main() {
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(600 * kMicrosPerWeek);
+  DbOptions options;
+  options.background_maintenance = false;  // Driven explicitly below.
+  std::unique_ptr<DB> db;
+  if (!DB::Open(&env, clock, "/shard", options, &db).ok()) return 1;
+  sql::DbBackend backend(db.get());
+
+  // A small shard: 4 networks x 6 devices, some tagged (§4.1.2).
+  ConfigStore config;
+  BuildShardConfig(/*seed=*/11, /*networks=*/4, /*devices_per_network=*/6,
+                   &config);
+  DeviceSimOptions sim_options;
+  sim_options.seed = 11;
+  sim_options.birth = clock->Now() - kMicrosPerHour;
+  DeviceFleet fleet(sim_options);
+  fleet.PopulateFromConfig(config);
+
+  UsageGrabber usage(&backend, &fleet, &config, UsageGrabberOptions{});
+  EventsGrabber events(&backend, &fleet, &config, EventsGrabberOptions{});
+  AggregatorOptions agg_options;
+  agg_options.max_lookback = 2 * kMicrosPerHour;
+  Aggregator aggregator(&backend, &config, agg_options);
+  if (!usage.EnsureTable().ok() || !events.EnsureTable().ok() ||
+      !aggregator.EnsureTables().ok()) {
+    return 1;
+  }
+
+  // Poll every simulated minute for 45 minutes, aggregating as we go.
+  printf("polling %zu devices for 45 simulated minutes...\n", fleet.size());
+  for (int m = 0; m < 45; m++) {
+    clock->Advance(kMicrosPerMinute);
+    if (!usage.Poll(clock->Now()).ok()) return 1;
+    if (!events.Poll(clock->Now()).ok()) return 1;
+    if (!db->MaintainNow().ok()) return 1;
+  }
+  if (!aggregator.Run(clock->Now()).ok()) return 1;
+  printf("usage rows inserted: %llu; 10-minute periods aggregated: %llu\n",
+         static_cast<unsigned long long>(usage.rows_inserted()),
+         static_cast<unsigned long long>(aggregator.periods_aggregated()));
+
+  sql::SqlSession session(&backend);
+  auto exec = [&](const char* title, const std::string& stmt) {
+    printf("\n-- %s\nlt> %s\n", title, stmt.c_str());
+    auto result = session.Execute(stmt);
+    if (!result.ok()) {
+      printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    printf("%s", result->ToString().c_str());
+  };
+
+  exec("total transfer per device on network 1 (last 30 min)",
+       "SELECT network, device, SUM(bytes) FROM usage "
+       "WHERE network = 1 AND ts >= NOW() - 1800000000 "
+       "GROUP BY network, device");
+  exec("per-network rollups written by the aggregator",
+       "SELECT network, ts, bytes, samples FROM usage_by_network_10m "
+       "ORDER BY KEY ASC LIMIT 8");
+  exec("usage per user-defined tag (joined from the config store)",
+       "SELECT customer, tag, SUM(bytes) FROM usage_by_tag_10m "
+       "GROUP BY customer, tag");
+
+  // Crash the database: everything unflushed is lost (weak durability,
+  // §3.1), but UsageGrabber re-reads counters from the devices themselves.
+  printf("\n*** simulating a LittleTable crash ***\n");
+  db.reset();
+  env.DropUnsynced();
+  if (!DB::Open(&env, clock, "/shard", options, &db).ok()) return 1;
+  sql::DbBackend backend2(db.get());
+  UsageGrabber usage2(&backend2, &fleet, &config, UsageGrabberOptions{});
+  if (!usage2.RebuildCache(clock->Now()).ok()) return 1;
+  printf("grabber cache rebuilt from one query over the last hour: %zu "
+         "devices\n", usage2.cache_size());
+  for (int m = 0; m < 3; m++) {
+    clock->Advance(kMicrosPerMinute);
+    if (!usage2.Poll(clock->Now()).ok()) return 1;
+  }
+  printf("polling resumed; %llu new rows — to a Dashboard user the crash "
+         "looked like a brief device blip (§4.1.1)\n",
+         static_cast<unsigned long long>(usage2.rows_inserted()));
+  return 0;
+}

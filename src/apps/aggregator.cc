@@ -1,0 +1,247 @@
+#include "apps/aggregator.h"
+
+#include <map>
+
+namespace lt {
+namespace apps {
+namespace {
+
+Timestamp AlignDown(Timestamp t, Timestamp unit) {
+  Timestamp r = t % unit;
+  if (r < 0) r += unit;
+  return t - r;
+}
+
+}  // namespace
+
+Aggregator::Aggregator(sql::SqlBackend* backend, const ConfigStore* config,
+                       AggregatorOptions options)
+    : backend_(backend), config_(config), opts_(options) {}
+
+Status Aggregator::EnsureTables() {
+  auto create = [&](const std::string& name, Schema schema) -> Status {
+    Status s = backend_->CreateTable(name, schema, opts_.ttl);
+    if (s.IsAlreadyExists()) return Status::OK();
+    return s;
+  };
+  LT_RETURN_IF_ERROR(create(
+      opts_.network_dest,
+      Schema({Column("network", ColumnType::kInt64),
+              Column("ts", ColumnType::kTimestamp),
+              Column("bytes", ColumnType::kInt64),
+              Column("avg_rate", ColumnType::kDouble),
+              Column("samples", ColumnType::kInt64)},
+             2)));
+  LT_RETURN_IF_ERROR(create(
+      opts_.tag_dest,
+      Schema({Column("customer", ColumnType::kInt64),
+              Column("tag", ColumnType::kString),
+              Column("ts", ColumnType::kTimestamp),
+              Column("bytes", ColumnType::kInt64)},
+             3)));
+  LT_RETURN_IF_ERROR(create(
+      opts_.clients_dest,
+      Schema({Column("network", ColumnType::kInt64),
+              Column("ts", ColumnType::kTimestamp),
+              Column("sketch", ColumnType::kBlob),
+              Column("estimate", ColumnType::kDouble)},
+             2)));
+  return Status::OK();
+}
+
+Result<bool> Aggregator::AnyDestRowIn(Timestamp from, Timestamp to) {
+  QueryBounds bounds;
+  bounds.min_ts = from;
+  bounds.max_ts = to;
+  bounds.limit = 1;
+  std::vector<Row> rows;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(opts_.network_dest, bounds, &rows));
+  return !rows.empty();
+}
+
+Status Aggregator::RebuildProgress(Timestamp now) {
+  // Exponentially longer lookbacks until some destination row appears
+  // (§4.1.2): each probe is a cheap limit-1 query.
+  Timestamp lookback = opts_.period;
+  bool found = false;
+  while (lookback <= opts_.max_lookback) {
+    LT_ASSIGN_OR_RETURN(found, AnyDestRowIn(now - lookback, now));
+    if (found) break;
+    lookback *= 2;
+  }
+  if (!found) {
+    LT_ASSIGN_OR_RETURN(found, AnyDestRowIn(now - opts_.max_lookback, now));
+  }
+  if (!found) {
+    // Empty destination: start aggregating from one lookback ago.
+    next_period_start_ =
+        AlignDown(now - opts_.max_lookback, opts_.period);
+    return Status::OK();
+  }
+  // Binary search for the most recent row: maintain the invariant that
+  // [lo, now] contains a row, and shrink until lo is within one period of
+  // the newest row.
+  Timestamp lo = now - lookback;
+  Timestamp hi = now;
+  while (hi - lo > opts_.period) {
+    Timestamp mid = lo + (hi - lo) / 2;
+    LT_ASSIGN_OR_RETURN(bool upper, AnyDestRowIn(mid, now));
+    if (upper) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // The newest aggregated period starts at or after AlignDown(lo); re-run
+  // it and everything after (aggregation periods are idempotent to
+  // re-process only if the destination rows don't already exist, so resume
+  // from the period after lo's).
+  next_period_start_ = AlignDown(lo, opts_.period) + opts_.period;
+  return Status::OK();
+}
+
+Status Aggregator::Run(Timestamp now) {
+  if (!next_period_start_) {
+    LT_RETURN_IF_ERROR(RebuildProgress(now));
+  }
+  while (*next_period_start_ + opts_.period <= now) {
+    Timestamp start = *next_period_start_;
+    // Make sure the source rows for this period are on disk before deriving
+    // data from them (§4.1.2's proposed flush command).
+    LT_RETURN_IF_ERROR(
+        backend_->FlushThrough(opts_.usage_table, start + opts_.period));
+    LT_RETURN_IF_ERROR(AggregateUsagePeriod(start));
+    if (start % opts_.hll_period == 0 &&
+        start + opts_.hll_period <= now) {
+      LT_RETURN_IF_ERROR(
+          backend_->FlushThrough(opts_.events_table, start + opts_.hll_period));
+      LT_RETURN_IF_ERROR(AggregateClientsPeriod(start));
+    }
+    periods_aggregated_++;
+    next_period_start_ = start + opts_.period;
+  }
+  return Status::OK();
+}
+
+Status Aggregator::AggregateUsagePeriod(Timestamp start) {
+  QueryBounds bounds;
+  bounds.min_ts = start;
+  bounds.max_ts = start + opts_.period;
+  bounds.max_ts_inclusive = false;
+  std::vector<Row> rows;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(opts_.usage_table, bounds, &rows));
+
+  struct NetAgg {
+    int64_t bytes = 0;
+    double rate_sum = 0;
+    int64_t samples = 0;
+  };
+  std::map<NetworkId, NetAgg> by_network;
+  std::map<std::pair<CustomerId, std::string>, int64_t> by_tag;
+
+  for (const Row& row : rows) {
+    // Source row: (network, device, ts) -> (t1, counter, rate).
+    NetworkId network = row[0].i64();
+    DeviceId device = row[1].i64();
+    Timestamp t2 = row[2].AsInt();
+    Timestamp t1 = row[3].AsInt();
+    double rate = row[5].dbl();
+    int64_t bytes = static_cast<int64_t>(
+        rate * (static_cast<double>(t2 - t1) / kMicrosPerSecond));
+
+    NetAgg& agg = by_network[network];
+    agg.bytes += bytes;
+    agg.rate_sum += rate;
+    agg.samples++;
+
+    // Tag rollup joins the device's tags from the config store (§4.1.2).
+    const DeviceConfig* cfg = config_->GetDevice(device);
+    const NetworkConfig* net = config_->GetNetwork(network);
+    if (cfg != nullptr && net != nullptr) {
+      for (const std::string& tag : cfg->tags) {
+        by_tag[{net->customer, tag}] += bytes;
+      }
+    }
+  }
+
+  // Destination rows for one period are inserted in ascending key order,
+  // the pattern the §3.4.4 max-key uniqueness fast path is built for.
+  std::vector<Row> out;
+  for (const auto& [network, agg] : by_network) {
+    out.push_back({Value::Int64(network), Value::Ts(start),
+                   Value::Int64(agg.bytes),
+                   Value::Double(agg.samples ? agg.rate_sum / agg.samples : 0),
+                   Value::Int64(agg.samples)});
+  }
+  if (!out.empty()) {
+    Status s = backend_->Insert(opts_.network_dest, out);
+    // Re-processing a period after a crash re-creates existing rows.
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+
+  out.clear();
+  for (const auto& [key, bytes] : by_tag) {
+    out.push_back({Value::Int64(key.first), Value::String(key.second),
+                   Value::Ts(start), Value::Int64(bytes)});
+  }
+  if (!out.empty()) {
+    Status s = backend_->Insert(opts_.tag_dest, out);
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+  return Status::OK();
+}
+
+Status Aggregator::AggregateClientsPeriod(Timestamp start) {
+  QueryBounds bounds;
+  bounds.min_ts = start;
+  bounds.max_ts = start + opts_.hll_period;
+  bounds.max_ts_inclusive = false;
+  std::vector<Row> rows;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(opts_.events_table, bounds, &rows));
+
+  std::map<NetworkId, HyperLogLog> sketches;
+  for (const Row& row : rows) {
+    // Source row: (network, device, ts) -> (event_id, kind, detail); the
+    // detail of assoc/dhcp events identifies the client.
+    const std::string& kind = row[4].bytes();
+    if (kind != "assoc" && kind != "dhcp") continue;
+    NetworkId network = row[0].i64();
+    auto it = sketches.find(network);
+    if (it == sketches.end()) {
+      it = sketches.emplace(network, HyperLogLog(opts_.hll_precision)).first;
+    }
+    it->second.Add(row[5].bytes());
+  }
+
+  std::vector<Row> out;
+  for (auto& [network, sketch] : sketches) {
+    out.push_back({Value::Int64(network), Value::Ts(start),
+                   Value::Blob(sketch.Serialize()),
+                   Value::Double(sketch.Estimate())});
+  }
+  if (out.empty()) return Status::OK();
+  Status s = backend_->Insert(opts_.clients_dest, out);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  return Status::OK();
+}
+
+Result<double> Aggregator::DistinctClientsOverRange(NetworkId network,
+                                                    Timestamp from,
+                                                    Timestamp to) {
+  QueryBounds bounds = QueryBounds::ForPrefix({Value::Int64(network)});
+  bounds.min_ts = from;
+  bounds.max_ts = to;
+  bounds.max_ts_inclusive = false;
+  std::vector<Row> rows;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(opts_.clients_dest, bounds, &rows));
+  HyperLogLog merged(opts_.hll_precision);
+  for (const Row& row : rows) {
+    HyperLogLog sketch(opts_.hll_precision);
+    LT_RETURN_IF_ERROR(HyperLogLog::Deserialize(row[2].bytes(), &sketch));
+    LT_RETURN_IF_ERROR(merged.Merge(sketch));
+  }
+  return merged.Estimate();
+}
+
+}  // namespace apps
+}  // namespace lt

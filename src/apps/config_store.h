@@ -1,0 +1,84 @@
+// ConfigStore: the stand-in for the PostgreSQL configuration database the
+// shard runs alongside LittleTable (§2.1).
+//
+// Dashboard keeps device/network configuration — including user-defined
+// tags — in PostgreSQL, and aggregators join LittleTable source data against
+// those dimension tables (§4.1.2: "a school might tag its wireless access
+// points with 'classrooms', 'playing-fields'"). This reproduction only needs
+// the dimension-table role, so ConfigStore is a small in-memory relational
+// map: customers own networks, networks own devices, devices carry tags.
+#ifndef LITTLETABLE_APPS_CONFIG_STORE_H_
+#define LITTLETABLE_APPS_CONFIG_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lt {
+namespace apps {
+
+using CustomerId = int64_t;
+using NetworkId = int64_t;
+using DeviceId = int64_t;
+
+enum class DeviceType { kAccessPoint, kSwitch, kFirewall, kCamera };
+
+struct DeviceConfig {
+  DeviceId id = 0;
+  NetworkId network = 0;
+  DeviceType type = DeviceType::kAccessPoint;
+  std::vector<std::string> tags;
+};
+
+struct NetworkConfig {
+  NetworkId id = 0;
+  CustomerId customer = 0;
+  std::string name;
+};
+
+class ConfigStore {
+ public:
+  void AddNetwork(const NetworkConfig& network) {
+    networks_[network.id] = network;
+  }
+  void AddDevice(const DeviceConfig& device) {
+    devices_[device.id] = device;
+    by_network_[device.network].push_back(device.id);
+  }
+
+  const NetworkConfig* GetNetwork(NetworkId id) const {
+    auto it = networks_.find(id);
+    return it == networks_.end() ? nullptr : &it->second;
+  }
+  const DeviceConfig* GetDevice(DeviceId id) const {
+    auto it = devices_.find(id);
+    return it == devices_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<DeviceId> DevicesInNetwork(NetworkId id) const {
+    auto it = by_network_.find(id);
+    return it == by_network_.end() ? std::vector<DeviceId>{} : it->second;
+  }
+
+  std::vector<NetworkId> AllNetworks() const {
+    std::vector<NetworkId> ids;
+    for (const auto& [id, n] : networks_) ids.push_back(id);
+    return ids;
+  }
+  std::vector<DeviceId> AllDevices() const {
+    std::vector<DeviceId> ids;
+    for (const auto& [id, d] : devices_) ids.push_back(id);
+    return ids;
+  }
+
+ private:
+  std::map<NetworkId, NetworkConfig> networks_;
+  std::map<DeviceId, DeviceConfig> devices_;
+  std::map<NetworkId, std::vector<DeviceId>> by_network_;
+};
+
+}  // namespace apps
+}  // namespace lt
+
+#endif  // LITTLETABLE_APPS_CONFIG_STORE_H_

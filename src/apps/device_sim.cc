@@ -1,0 +1,213 @@
+#include "apps/device_sim.h"
+
+#include <algorithm>
+
+#include "apps/motion.h"
+#include "util/bloom.h"  // BloomHash as a mixing function.
+#include "util/random.h"
+
+namespace lt {
+namespace apps {
+namespace {
+
+const char* kEventKinds[] = {"assoc", "disassoc", "dhcp", "auth"};
+
+double UnitFloat(uint64_t h) {
+  return static_cast<double>(h % 1000000) / 1000000.0;
+}
+
+}  // namespace
+
+SimulatedDevice::SimulatedDevice(DeviceId id, const DeviceSimOptions& options)
+    : id_(id), opts_(options) {
+  // Per-device rate in [0.25, 1.75) of the mean.
+  double factor = 0.25 + 1.5 * UnitFloat(Mix(0xbeef));
+  rate_ = std::max<int64_t>(1, static_cast<int64_t>(opts_.mean_rate * factor));
+}
+
+uint64_t SimulatedDevice::Mix(uint64_t salt) const {
+  uint64_t h = opts_.seed * 0x9e3779b97f4a7c15ull +
+               static_cast<uint64_t>(id_) * 0xbf58476d1ce4e5b9ull + salt;
+  h ^= h >> 31;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 29;
+  return h;
+}
+
+bool SimulatedDevice::ReachableAt(Timestamp t) const {
+  for (const auto& [from, to] : outages_) {
+    if (t >= from && t < to) return false;
+  }
+  uint64_t hour = static_cast<uint64_t>(t / kMicrosPerHour);
+  return UnitFloat(Mix(hour * 2654435761u + 7)) >= opts_.unreachable_hour_prob;
+}
+
+int64_t SimulatedDevice::ByteCounterAt(Timestamp t) const {
+  if (t <= opts_.birth) return 0;
+  // Base linear growth plus a deterministic per-minute wiggle whose partial
+  // sums stay monotone (each minute contributes >= 0).
+  int64_t seconds = (t - opts_.birth) / kMicrosPerSecond;
+  int64_t base = rate_ * seconds;
+  // Wiggle: the current minute's extra bytes, bounded by one minute of
+  // rate so the counter cannot regress between samples.
+  uint64_t minute = static_cast<uint64_t>(t / kMicrosPerMinute);
+  int64_t wiggle = static_cast<int64_t>(Mix(minute) % (rate_ + 1));
+  return base + wiggle;
+}
+
+Timestamp SimulatedDevice::EventTime(int64_t index) const {
+  // Event i at birth + i*interval + jitter(i), jitter < interval/2 so times
+  // are strictly increasing with id.
+  Timestamp interval = opts_.event_interval_sec * kMicrosPerSecond;
+  Timestamp jitter = static_cast<Timestamp>(
+      Mix(static_cast<uint64_t>(index) * 31 + 5) % (interval / 2));
+  return opts_.birth + index * interval + jitter;
+}
+
+int64_t SimulatedDevice::EventCountAt(Timestamp now) const {
+  if (now < opts_.birth) return 0;
+  Timestamp interval = opts_.event_interval_sec * kMicrosPerSecond;
+  // EventTime(i) <= now for i <= n; probe around the linear estimate.
+  int64_t n = (now - opts_.birth) / interval + 1;
+  while (n > 0 && EventTime(n - 1) > now) n--;
+  while (EventTime(n) <= now) n++;
+  return n;
+}
+
+std::vector<SimEvent> SimulatedDevice::EventsAfter(int64_t after_id,
+                                                   Timestamp now,
+                                                   size_t max_events) const {
+  std::vector<SimEvent> events;
+  int64_t total = EventCountAt(now);
+  int64_t oldest = std::max<int64_t>(0, total - opts_.event_capacity);
+  int64_t first = std::max(after_id + 1, oldest);
+  for (int64_t i = first; i < total && events.size() < max_events; i++) {
+    SimEvent e;
+    e.id = i;
+    e.ts = EventTime(i);
+    e.kind = kEventKinds[Mix(static_cast<uint64_t>(i) * 13 + 1) % 4];
+    char detail[32];
+    snprintf(detail, sizeof(detail), "client-%02llx",
+             static_cast<unsigned long long>(Mix(i * 17 + 3) % 64));
+    e.detail = detail;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+bool SimulatedDevice::OldestStoredEvent(Timestamp now, SimEvent* event) const {
+  int64_t total = EventCountAt(now);
+  if (total == 0) return false;
+  int64_t oldest = std::max<int64_t>(0, total - opts_.event_capacity);
+  std::vector<SimEvent> events = EventsAfter(oldest - 1, now, 1);
+  if (events.empty()) return false;
+  *event = events[0];
+  return true;
+}
+
+std::vector<SimMotion> SimulatedDevice::MotionBetween(Timestamp from,
+                                                      Timestamp to) const {
+  // One candidate motion sample per second; consecutive seconds with motion
+  // in the same coarse cell coalesce into a single event with a duration
+  // (§4.3: "OR'ing together their bit vectors").
+  std::vector<SimMotion> out;
+  int64_t first_sec = from / kMicrosPerSecond;
+  int64_t last_sec = (to - 1) / kMicrosPerSecond;
+
+  bool active = false;
+  SimMotion current;
+  int active_row = 0, active_col = 0;
+  for (int64_t sec = first_sec; sec <= last_sec; sec++) {
+    uint64_t h = Mix(static_cast<uint64_t>(sec) * 2246822519u + 11);
+    bool motion = UnitFloat(h) < opts_.motion_prob ||
+                  (active && UnitFloat(Mix(sec * 7 + 2)) < 0.6);
+    if (!motion) {
+      if (active) {
+        out.push_back(current);
+        active = false;
+      }
+      continue;
+    }
+    int row = static_cast<int>((h >> 20) % kMotionCellRows);
+    int col = static_cast<int>((h >> 28) % kMotionCellCols);
+    uint32_t blocks =
+        static_cast<uint32_t>(Mix(sec * 3 + 1) & kMotionBlockMask);
+    if (blocks == 0) blocks = 1;
+    if (active && row == active_row && col == active_col) {
+      // Coalesce: same cell in successive seconds.
+      current.word |= EncodeMotionWord(row, col, blocks);
+      current.duration += kMicrosPerSecond;
+    } else {
+      if (active) out.push_back(current);
+      current.ts = sec * kMicrosPerSecond;
+      current.word = EncodeMotionWord(row, col, blocks);
+      current.duration = kMicrosPerSecond;
+      active_row = row;
+      active_col = col;
+      active = true;
+    }
+  }
+  if (active) out.push_back(current);
+  // Clip to [from, to).
+  std::vector<SimMotion> clipped;
+  for (const SimMotion& m : out) {
+    if (m.ts >= from && m.ts < to) clipped.push_back(m);
+  }
+  return clipped;
+}
+
+void DeviceFleet::PopulateFromConfig(const ConfigStore& config) {
+  for (DeviceId id : config.AllDevices()) AddDevice(id);
+}
+
+SimulatedDevice* DeviceFleet::AddDevice(DeviceId id) {
+  auto [it, inserted] = devices_.emplace(id, SimulatedDevice(id, opts_));
+  (void)inserted;
+  return &it->second;
+}
+
+SimulatedDevice* DeviceFleet::Get(DeviceId id) {
+  auto it = devices_.find(id);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+std::vector<DeviceId> DeviceFleet::DeviceIds() const {
+  std::vector<DeviceId> ids;
+  ids.reserve(devices_.size());
+  for (const auto& [id, d] : devices_) ids.push_back(id);
+  return ids;
+}
+
+void BuildShardConfig(uint64_t seed, int networks, int devices_per_network,
+                      ConfigStore* config) {
+  Random r(seed);
+  static const char* kTags[] = {"classrooms", "playing-fields", "offices",
+                                "guest", "warehouse"};
+  DeviceId next_device = 1;
+  for (int n = 1; n <= networks; n++) {
+    NetworkConfig net;
+    net.id = n;
+    net.customer = 1 + (n - 1) / 4;  // ~4 networks per customer.
+    net.name = "network-" + std::to_string(n);
+    config->AddNetwork(net);
+    for (int d = 0; d < devices_per_network; d++) {
+      DeviceConfig dev;
+      dev.id = next_device++;
+      dev.network = n;
+      // Every 8th device is a camera (§4.3); the rest are APs/switches.
+      if (d % 8 == 7) dev.type = DeviceType::kCamera;
+      else if (d % 5 == 4) dev.type = DeviceType::kSwitch;
+      int ntags = static_cast<int>(r.Uniform(3));
+      for (int t = 0; t < ntags; t++) {
+        dev.tags.push_back(kTags[r.Uniform(5)]);
+      }
+      std::sort(dev.tags.begin(), dev.tags.end());
+      dev.tags.erase(std::unique(dev.tags.begin(), dev.tags.end()),
+                     dev.tags.end());
+      config->AddDevice(dev);
+    }
+  }
+}
+
+}  // namespace apps
+}  // namespace lt

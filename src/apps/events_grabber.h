@@ -1,0 +1,81 @@
+// EventsGrabber (§4.2): pulls device event logs — DHCP leases, wireless
+// (dis-)associations, 802.1X authentications — into LittleTable.
+//
+// Devices assign each event a unique id from a monotonically increasing
+// counter. The grabber caches the most recent id fetched per device,
+// supplies it on each poll, and the device replies with newer events, which
+// are inserted keyed (network, device, ts) with the *device-side* event
+// timestamp — so a device reconnecting after a long outage inserts rows
+// arbitrarily far in the past (the §3.4.3 out-of-order case).
+//
+// Restart recovery is two-tier:
+//   1. one query over a fixed recent window rebuilds most of the cache;
+//   2. a device absent from that window is asked for its oldest stored
+//      event; that event's timestamp bounds how far back to search, and a
+//      latest-row-for-prefix query (§3.4.5) finds the device's last row.
+// Optional sentinel rows bound tier 2: every sentinel period the grabber
+// inserts a row carrying the device's latest event id, so restart never
+// looks back more than one sentinel period.
+#ifndef LITTLETABLE_APPS_EVENTS_GRABBER_H_
+#define LITTLETABLE_APPS_EVENTS_GRABBER_H_
+
+#include <map>
+#include <string>
+
+#include "apps/config_store.h"
+#include "apps/device_sim.h"
+#include "sql/backend.h"
+
+namespace lt {
+namespace apps {
+
+struct EventsGrabberOptions {
+  std::string table = "events";
+  Timestamp ttl = 0;
+  /// Recent window the restart path scans first.
+  Timestamp recent_window = kMicrosPerHour;
+  /// Max events fetched per device per poll.
+  size_t max_events_per_poll = 1000;
+  /// Sentinel cadence; 0 disables sentinels.
+  Timestamp sentinel_period = 0;
+};
+
+class EventsGrabber {
+ public:
+  EventsGrabber(sql::SqlBackend* backend, DeviceFleet* fleet,
+                const ConfigStore* config, EventsGrabberOptions options);
+
+  /// Creates the events table if missing:
+  ///   (network int64, device int64, ts) ->
+  ///   (event_id int64, kind string, detail string)
+  /// Sentinel rows use kind "sentinel" and carry the latest id.
+  Status EnsureTable();
+
+  /// One polling pass at `now`.
+  Status Poll(Timestamp now);
+
+  /// Rebuilds the per-device id cache after a restart.
+  Status RebuildCache(Timestamp now);
+
+  void ForgetCache() { last_id_.clear(); }
+  size_t cache_size() const { return last_id_.size(); }
+  uint64_t rows_inserted() const { return rows_inserted_; }
+  uint64_t deep_searches() const { return deep_searches_; }
+
+ private:
+  Status InsertSentinels(Timestamp now);
+
+  sql::SqlBackend* const backend_;
+  DeviceFleet* const fleet_;
+  const ConfigStore* const config_;
+  EventsGrabberOptions opts_;
+  std::map<DeviceId, int64_t> last_id_;
+  Timestamp last_sentinel_ = 0;
+  uint64_t rows_inserted_ = 0;
+  uint64_t deep_searches_ = 0;
+};
+
+}  // namespace apps
+}  // namespace lt
+
+#endif  // LITTLETABLE_APPS_EVENTS_GRABBER_H_

@@ -1,0 +1,56 @@
+#include "apps/motion.h"
+
+#include <algorithm>
+
+namespace lt {
+namespace apps {
+
+MotionRect MotionRect::FromPixels(int x0, int y0, int x1, int y1) {
+  MotionRect rect;
+  rect.min_block_col = std::clamp(x0 / kMacroblockPx, 0, kMacroblockCols - 1);
+  rect.min_block_row = std::clamp(y0 / kMacroblockPx, 0, kMacroblockRows - 1);
+  rect.max_block_col = std::clamp(x1 / kMacroblockPx, 0, kMacroblockCols - 1);
+  rect.max_block_row = std::clamp(y1 / kMacroblockPx, 0, kMacroblockRows - 1);
+  return rect;
+}
+
+bool MotionIntersects(uint32_t word, const MotionRect& rect) {
+  const int base_col = MotionCellCol(word) * kCellBlockCols;
+  const int base_row = MotionCellRow(word) * kCellBlockRows;
+  uint32_t blocks = MotionBlocks(word);
+  while (blocks != 0) {
+    int bit = __builtin_ctz(blocks);
+    blocks &= blocks - 1;
+    int col = base_col + bit % kCellBlockCols;
+    int row = base_row + bit / kCellBlockCols;
+    if (col >= rect.min_block_col && col <= rect.max_block_col &&
+        row >= rect.min_block_row && row <= rect.max_block_row) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MotionHeatmap::Add(uint32_t word) {
+  const int base_col = MotionCellCol(word) * kCellBlockCols;
+  const int base_row = MotionCellRow(word) * kCellBlockRows;
+  uint32_t blocks = MotionBlocks(word);
+  while (blocks != 0) {
+    int bit = __builtin_ctz(blocks);
+    blocks &= blocks - 1;
+    int col = base_col + bit % kCellBlockCols;
+    int row = base_row + bit / kCellBlockCols;
+    if (row < kMacroblockRows && col < kMacroblockCols) counts[row][col]++;
+  }
+}
+
+uint64_t MotionHeatmap::Total() const {
+  uint64_t total = 0;
+  for (int r = 0; r < kMacroblockRows; r++) {
+    for (int c = 0; c < kMacroblockCols; c++) total += counts[r][c];
+  }
+  return total;
+}
+
+}  // namespace apps
+}  // namespace lt

@@ -1,0 +1,77 @@
+// Motion-event encoding and search (§4.3).
+//
+// A camera divides each 960×540 frame into a grid of 16×16-pixel
+// macroblocks (60 columns × 34 rows) grouped into coarse cells of six
+// macroblock columns × four macroblock rows — a 10×9 coarse grid. When a
+// coarse cell changes between frames, the camera emits one 32-bit word:
+//
+//   bits 28..31  coarse-cell row (nibble, 0..8)
+//   bits 24..27  coarse-cell column (nibble, 0..9)
+//   bits  0..23  presence of motion in each of the cell's 24 macroblocks
+//                (row-major within the cell)
+//
+// Motion in the same cell across successive frames coalesces by OR'ing the
+// bit vectors into a single event with a duration. Dashboard lets a user
+// select any rectangle of the frame and search backwards in time for motion
+// inside it, and draws heatmaps of motion over time.
+#ifndef LITTLETABLE_APPS_MOTION_H_
+#define LITTLETABLE_APPS_MOTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace lt {
+namespace apps {
+
+constexpr int kFrameWidth = 960;
+constexpr int kFrameHeight = 540;
+constexpr int kMacroblockPx = 16;
+constexpr int kMacroblockCols = 60;  // 960 / 16.
+constexpr int kMacroblockRows = 34;  // ceil(540 / 16).
+constexpr int kCellBlockCols = 6;
+constexpr int kCellBlockRows = 4;
+constexpr int kMotionCellCols = 10;  // 60 / 6.
+constexpr int kMotionCellRows = 9;   // ceil(34 / 4).
+constexpr uint32_t kMotionBlockMask = (1u << 24) - 1;
+
+/// Packs a motion word. `blocks` is the 24-bit macroblock vector.
+inline uint32_t EncodeMotionWord(int cell_row, int cell_col, uint32_t blocks) {
+  return (static_cast<uint32_t>(cell_row & 0xf) << 28) |
+         (static_cast<uint32_t>(cell_col & 0xf) << 24) |
+         (blocks & kMotionBlockMask);
+}
+
+inline int MotionCellRow(uint32_t word) { return (word >> 28) & 0xf; }
+inline int MotionCellCol(uint32_t word) { return (word >> 24) & 0xf; }
+inline uint32_t MotionBlocks(uint32_t word) { return word & kMotionBlockMask; }
+
+/// A rectangle in macroblock coordinates (inclusive bounds), as selected on
+/// the 60×34 grid.
+struct MotionRect {
+  int min_block_col = 0;
+  int min_block_row = 0;
+  int max_block_col = kMacroblockCols - 1;
+  int max_block_row = kMacroblockRows - 1;
+
+  /// Converts from pixel coordinates.
+  static MotionRect FromPixels(int x0, int y0, int x1, int y1);
+};
+
+/// True if any set macroblock of `word` lies inside `rect`.
+bool MotionIntersects(uint32_t word, const MotionRect& rect);
+
+/// A per-macroblock heatmap accumulated from motion words.
+struct MotionHeatmap {
+  // counts[row][col] over the 34×60 macroblock grid.
+  uint32_t counts[kMacroblockRows][kMacroblockCols] = {};
+
+  void Add(uint32_t word);
+  uint64_t Total() const;
+};
+
+}  // namespace apps
+}  // namespace lt
+
+#endif  // LITTLETABLE_APPS_MOTION_H_

@@ -1,0 +1,82 @@
+#include "apps/motion_grabber.h"
+
+namespace lt {
+namespace apps {
+
+MotionGrabber::MotionGrabber(sql::SqlBackend* backend, DeviceFleet* fleet,
+                             const ConfigStore* config,
+                             MotionGrabberOptions options)
+    : backend_(backend), fleet_(fleet), config_(config), opts_(options) {}
+
+Status MotionGrabber::EnsureTable() {
+  Schema schema({Column("camera", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("word", ColumnType::kInt32),
+                 Column("duration", ColumnType::kInt64)},
+                /*num_key_columns=*/2);
+  Status s = backend_->CreateTable(opts_.table, schema, opts_.ttl);
+  if (s.IsAlreadyExists()) return Status::OK();
+  return s;
+}
+
+Status MotionGrabber::Poll(Timestamp now) {
+  std::vector<Row> rows;
+  for (DeviceId id : fleet_->DeviceIds()) {
+    const DeviceConfig* cfg = config_->GetDevice(id);
+    if (cfg == nullptr || cfg->type != DeviceType::kCamera) continue;
+    SimulatedDevice* camera = fleet_->Get(id);
+    if (!camera->ReachableAt(now)) continue;
+    Timestamp from = fetched_through_.count(id) ? fetched_through_[id]
+                                                : now - kMicrosPerHour;
+    if (from >= now) continue;
+    for (const SimMotion& m : camera->MotionBetween(from, now)) {
+      rows.push_back({Value::Int64(id), Value::Ts(m.ts),
+                      Value::Int32(static_cast<int32_t>(m.word)),
+                      Value::Int64(m.duration)});
+    }
+    fetched_through_[id] = now;
+  }
+  if (rows.empty()) return Status::OK();
+  Status s = backend_->Insert(opts_.table, rows);
+  if (s.IsAlreadyExists()) return Status::OK();  // Re-fetch overlap: benign.
+  LT_RETURN_IF_ERROR(s);
+  rows_inserted_ += rows.size();
+  return Status::OK();
+}
+
+Status MotionGrabber::SearchMotion(DeviceId camera, const MotionRect& rect,
+                                   Timestamp from, Timestamp to, size_t limit,
+                                   std::vector<MotionHit>* hits) {
+  hits->clear();
+  QueryBounds bounds = QueryBounds::ForPrefix({Value::Int64(camera)});
+  bounds.min_ts = from;
+  bounds.max_ts = to;
+  bounds.max_ts_inclusive = false;
+  bounds.direction = Direction::kDescending;  // Backwards in time (§4.3).
+  std::vector<Row> rows;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(opts_.table, bounds, &rows));
+  for (const Row& row : rows) {
+    uint32_t word = static_cast<uint32_t>(row[2].i32());
+    if (!MotionIntersects(word, rect)) continue;
+    hits->push_back(MotionHit{row[1].AsInt(), word, row[3].i64()});
+    if (limit > 0 && hits->size() >= limit) break;
+  }
+  return Status::OK();
+}
+
+Status MotionGrabber::Heatmap(DeviceId camera, Timestamp from, Timestamp to,
+                              MotionHeatmap* heatmap) {
+  QueryBounds bounds = QueryBounds::ForPrefix({Value::Int64(camera)});
+  bounds.min_ts = from;
+  bounds.max_ts = to;
+  bounds.max_ts_inclusive = false;
+  std::vector<Row> rows;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(opts_.table, bounds, &rows));
+  for (const Row& row : rows) {
+    heatmap->Add(static_cast<uint32_t>(row[2].i32()));
+  }
+  return Status::OK();
+}
+
+}  // namespace apps
+}  // namespace lt

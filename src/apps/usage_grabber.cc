@@ -1,0 +1,82 @@
+#include "apps/usage_grabber.h"
+
+namespace lt {
+namespace apps {
+
+UsageGrabber::UsageGrabber(sql::SqlBackend* backend, DeviceFleet* fleet,
+                           const ConfigStore* config,
+                           UsageGrabberOptions options)
+    : backend_(backend), fleet_(fleet), config_(config), opts_(options) {}
+
+Status UsageGrabber::EnsureTable() {
+  Schema schema({Column("network", ColumnType::kInt64),
+                 Column("device", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("t1", ColumnType::kTimestamp),
+                 Column("counter", ColumnType::kInt64),
+                 Column("rate", ColumnType::kDouble)},
+                /*num_key_columns=*/3);
+  Status s = backend_->CreateTable(opts_.table, schema, opts_.ttl);
+  if (s.IsAlreadyExists()) return Status::OK();
+  return s;
+}
+
+Status UsageGrabber::Poll(Timestamp now) {
+  std::vector<Row> rows;
+  for (DeviceId id : fleet_->DeviceIds()) {
+    SimulatedDevice* device = fleet_->Get(id);
+    if (!device->ReachableAt(now)) continue;
+    const DeviceConfig* cfg = config_->GetDevice(id);
+    if (cfg == nullptr) continue;
+
+    const int64_t c2 = device->ByteCounterAt(now);
+    auto it = cache_.find(id);
+    if (it == cache_.end()) {
+      // Very first response from this device (or first since its cache
+      // entry aged out): remember it, insert nothing (§4.1.1).
+      cache_[id] = Sample{now, c2};
+      continue;
+    }
+    const Sample prev = it->second;
+    it->second = Sample{now, c2};
+    if (now - prev.t > opts_.threshold) {
+      // Unavailable for longer than T: showing a steady rate over the whole
+      // span would be disingenuous — leave a gap.
+      gaps_++;
+      continue;
+    }
+    if (now <= prev.t) continue;
+    double rate = static_cast<double>(c2 - prev.counter) /
+                  (static_cast<double>(now - prev.t) / kMicrosPerSecond);
+    rows.push_back({Value::Int64(cfg->network), Value::Int64(id),
+                    Value::Ts(now), Value::Ts(prev.t), Value::Int64(c2),
+                    Value::Double(rate)});
+  }
+  if (rows.empty()) return Status::OK();
+  LT_RETURN_IF_ERROR(backend_->Insert(opts_.table, rows));
+  rows_inserted_ += rows.size();
+  return Status::OK();
+}
+
+Status UsageGrabber::RebuildCache(Timestamp now) {
+  cache_.clear();
+  // One scan over the last T: the maximum-timestamp row per device within
+  // the threshold window (older entries would be dropped anyway).
+  QueryBounds bounds;
+  bounds.min_ts = now - opts_.threshold;
+  std::vector<Row> rows;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(opts_.table, bounds, &rows));
+  for (const Row& row : rows) {
+    DeviceId id = row[1].i64();
+    Timestamp ts = row[2].AsInt();
+    int64_t counter = row[4].i64();
+    auto it = cache_.find(id);
+    if (it == cache_.end() || ts > it->second.t) {
+      cache_[id] = Sample{ts, counter};
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace apps
+}  // namespace lt

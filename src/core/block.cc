@@ -1,0 +1,111 @@
+#include "core/block.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/lzmini.h"
+
+namespace lt {
+
+void BlockBuilder::Add(const Row& row) {
+  offsets_.push_back(static_cast<uint32_t>(buffer_.size()));
+  EncodeRow(&buffer_, *schema_, row);
+}
+
+std::string BlockBuilder::Finish() {
+  for (uint32_t off : offsets_) PutFixed32(&buffer_, off);
+  PutFixed32(&buffer_, static_cast<uint32_t>(offsets_.size()));
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  offsets_.clear();
+  return out;
+}
+
+Status BlockReader::Parse(const Schema* schema, std::string payload,
+                          BlockReader* out) {
+  if (payload.size() < 4) return Status::Corruption("block too small");
+  uint32_t count = DecodeFixed32(payload.data() + payload.size() - 4);
+  uint64_t trailer = 4ull + 4ull * count;
+  if (trailer > payload.size()) {
+    return Status::Corruption("block row count exceeds payload");
+  }
+  out->schema_ = schema;
+  out->payload_ = std::move(payload);
+  out->data_end_ = out->payload_.size() - trailer;
+  out->offsets_.resize(count);
+  const char* p = out->payload_.data() + out->data_end_;
+  for (uint32_t i = 0; i < count; i++) {
+    out->offsets_[i] = DecodeFixed32(p + 4ull * i);
+    if (out->offsets_[i] > out->data_end_ ||
+        (i > 0 && out->offsets_[i] < out->offsets_[i - 1])) {
+      return Status::Corruption("block offsets not monotone");
+    }
+  }
+  return Status::OK();
+}
+
+Status BlockReader::RowAt(size_t i, Row* out) const {
+  if (i >= offsets_.size()) return Status::InvalidArgument("row index");
+  size_t end = i + 1 < offsets_.size() ? offsets_[i + 1] : data_end_;
+  Slice in(payload_.data() + offsets_[i], end - offsets_[i]);
+  return DecodeRow(&in, *schema_, out);
+}
+
+Status BlockReader::KeyCompareAt(size_t i, const Key& prefix, int* cmp) const {
+  // Key columns lead the row encoding, so we decode only them.
+  size_t end = i + 1 < offsets_.size() ? offsets_[i + 1] : data_end_;
+  Slice in(payload_.data() + offsets_[i], end - offsets_[i]);
+  *cmp = 0;
+  for (size_t c = 0; c < prefix.size() && c < schema_->num_key_columns(); c++) {
+    Value v;
+    LT_RETURN_IF_ERROR(DecodeValue(&in, schema_->columns()[c].type, &v));
+    int r = v.Compare(prefix[c]);
+    if (r != 0) {
+      *cmp = r;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status BlockReader::SeekFirst(const Key& prefix, bool or_equal,
+                              size_t* index) const {
+  size_t lo = 0, hi = offsets_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    int cmp;
+    LT_RETURN_IF_ERROR(KeyCompareAt(mid, prefix, &cmp));
+    bool before = or_equal ? cmp < 0 : cmp <= 0;
+    if (before) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *index = lo;
+  return Status::OK();
+}
+
+std::string StoreBlock(const std::string& payload) {
+  std::string compressed;
+  lzmini::Compress(payload, &compressed);
+  std::string out;
+  PutFixed32(&out,
+             crc32c::Mask(crc32c::Value(compressed.data(), compressed.size())));
+  out += compressed;
+  return out;
+}
+
+Status LoadBlock(const Slice& stored, std::string* payload) {
+  Slice in = stored;
+  uint32_t masked;
+  if (!GetFixed32(&in, &masked)) {
+    return Status::Corruption("block frame too small");
+  }
+  uint32_t expect = crc32c::Unmask(masked);
+  uint32_t actual = crc32c::Value(in.data(), in.size());
+  if (expect != actual) return Status::Corruption("block checksum mismatch");
+  payload->clear();
+  return lzmini::Decompress(in, payload);
+}
+
+}  // namespace lt

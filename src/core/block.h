@@ -1,0 +1,88 @@
+// Tablet blocks (§3.2, §3.5).
+//
+// An on-disk tablet is a sequence of rows sorted by primary key and grouped
+// into blocks (64 kB of row data by default). Each block is stored as:
+//
+//   fixed32 masked-CRC32C of the compressed payload
+//   lzmini-compressed payload
+//
+// where the payload is:
+//
+//   row encodings back-to-back
+//   fixed32 start offset of each row   (enables in-block binary search)
+//   fixed32 row count
+//
+// The per-tablet index stores the last key of every block, so a query
+// binary-searches the index to find the relevant block and then
+// binary-searches within the block to find the relevant row (§3.2).
+#ifndef LITTLETABLE_CORE_BLOCK_H_
+#define LITTLETABLE_CORE_BLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/row_codec.h"
+#include "core/schema.h"
+
+namespace lt {
+
+/// Accumulates encoded rows into one block payload.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(const Schema* schema) : schema_(schema) {}
+
+  /// Appends a row. Rows must arrive in ascending key order.
+  void Add(const Row& row);
+
+  size_t num_rows() const { return offsets_.size(); }
+  /// Bytes of row data so far (the 64 kB target applies to this).
+  size_t data_bytes() const { return buffer_.size(); }
+  bool empty() const { return offsets_.empty(); }
+
+  /// Completes the payload (appends the offset array and count) and returns
+  /// it; the builder resets for the next block.
+  std::string Finish();
+
+ private:
+  const Schema* schema_;
+  std::string buffer_;
+  std::vector<uint32_t> offsets_;
+};
+
+/// Parses one uncompressed block payload and provides row access and
+/// in-block binary search. The payload must outlive the reader.
+class BlockReader {
+ public:
+  /// Validates the trailer structure and indexes the rows.
+  static Status Parse(const Schema* schema, std::string payload,
+                      BlockReader* out);
+
+  size_t num_rows() const { return offsets_.size(); }
+
+  /// Decodes row i (rows are indexed in ascending key order).
+  Status RowAt(size_t i, Row* out) const;
+
+  /// Index of the first row whose key-vs-prefix comparison is >= 0
+  /// (`or_equal`) or > 0 (!`or_equal`); returns num_rows() if none.
+  /// Used to position cursors at a query's minimum key bound.
+  Status SeekFirst(const Key& prefix, bool or_equal, size_t* index) const;
+
+ private:
+  Status KeyCompareAt(size_t i, const Key& prefix, int* cmp) const;
+
+  const Schema* schema_ = nullptr;
+  std::string payload_;
+  std::vector<uint32_t> offsets_;
+  size_t data_end_ = 0;
+};
+
+/// Compresses and frames a block payload for storage (CRC + lzmini).
+std::string StoreBlock(const std::string& payload);
+
+/// Reverses StoreBlock; verifies the checksum.
+Status LoadBlock(const Slice& stored, std::string* payload);
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_BLOCK_H_

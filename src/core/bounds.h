@@ -1,0 +1,88 @@
+// Query bounds: every LittleTable query is an ordered scan of the rows
+// inside a two-dimensional bounding box (§3.1) — primary keys or prefixes
+// thereof in one dimension, timestamps in the other. Bounds may be inclusive
+// or exclusive; results stream in ascending or descending key order with an
+// optional row limit.
+#ifndef LITTLETABLE_CORE_BOUNDS_H_
+#define LITTLETABLE_CORE_BOUNDS_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "core/schema.h"
+#include "util/clock.h"
+
+namespace lt {
+
+enum class Direction : uint8_t { kAscending = 0, kDescending = 1 };
+
+/// One end of the key dimension: a (possibly partial) key prefix plus
+/// inclusivity. An absent bound is unbounded on that side.
+struct KeyBound {
+  Key prefix;
+  bool inclusive = true;
+};
+
+/// The 2-D bounding box plus scan direction and limit.
+struct QueryBounds {
+  std::optional<KeyBound> min_key;
+  std::optional<KeyBound> max_key;
+  /// Timestamp range; defaults cover all time. Inclusive flags apply to the
+  /// respective endpoint.
+  Timestamp min_ts = std::numeric_limits<Timestamp>::min();
+  Timestamp max_ts = std::numeric_limits<Timestamp>::max();
+  bool min_ts_inclusive = true;
+  bool max_ts_inclusive = true;
+  Direction direction = Direction::kAscending;
+  /// 0 = unlimited (the server still applies its own cap, §3.5).
+  uint64_t limit = 0;
+
+  /// Convenience: both key bounds set to the same prefix (rows beginning
+  /// with that prefix), i.e. the Figure 1 "rectangle" key range.
+  static QueryBounds ForPrefix(Key prefix) {
+    QueryBounds b;
+    b.min_key = KeyBound{prefix, true};
+    b.max_key = KeyBound{std::move(prefix), true};
+    return b;
+  }
+
+  /// True if `ts` satisfies the timestamp dimension.
+  bool TsInRange(Timestamp ts) const {
+    if (min_ts_inclusive ? ts < min_ts : ts <= min_ts) return false;
+    if (max_ts_inclusive ? ts > max_ts : ts >= max_ts) return false;
+    return true;
+  }
+
+  /// True if the timespan [lo, hi] could contain matching timestamps
+  /// (tablet-selection test, §3.2).
+  bool TsOverlaps(Timestamp lo, Timestamp hi) const {
+    if (min_ts_inclusive ? hi < min_ts : hi <= min_ts) return false;
+    if (max_ts_inclusive ? lo > max_ts : lo >= max_ts) return false;
+    return true;
+  }
+
+  /// True if a row's key columns satisfy the key dimension.
+  bool KeyInRange(const Schema& schema, const Row& row) const {
+    if (min_key) {
+      int c = schema.CompareKeyToPrefix(row, min_key->prefix);
+      if (min_key->inclusive ? c < 0 : c <= 0) return false;
+    }
+    if (max_key) {
+      int c = schema.CompareKeyToPrefix(row, max_key->prefix);
+      if (max_key->inclusive ? c > 0 : c >= 0) return false;
+    }
+    return true;
+  }
+
+  /// Full membership test (both dimensions). The timestamp checked is the
+  /// row's ts key column.
+  bool Matches(const Schema& schema, const Row& row) const {
+    return TsInRange(row[schema.ts_index()].AsInt()) &&
+           KeyInRange(schema, row);
+  }
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_BOUNDS_H_

@@ -1,0 +1,52 @@
+#include "core/cursor.h"
+
+namespace lt {
+
+MergingCursor::MergingCursor(const Schema* schema,
+                             std::vector<std::unique_ptr<Cursor>> children,
+                             Direction direction)
+    : schema_(schema), children_(std::move(children)), direction_(direction) {
+  for (const auto& c : children_) {
+    if (!c->status().ok()) {
+      status_ = c->status();
+      return;
+    }
+  }
+  PickCurrent();
+}
+
+void MergingCursor::PickCurrent() {
+  // Linear scan over children: tablet counts per query are small (half a
+  // dozen per period in practice, §3.4.2), so a heap buys little.
+  current_ = -1;
+  for (size_t i = 0; i < children_.size(); i++) {
+    if (!children_[i]->Valid()) continue;
+    if (current_ < 0) {
+      current_ = static_cast<int>(i);
+      continue;
+    }
+    int cmp = schema_->CompareKeys(children_[i]->row(),
+                                   children_[current_]->row());
+    if (direction_ == Direction::kDescending) cmp = -cmp;
+    if (cmp < 0) current_ = static_cast<int>(i);
+  }
+}
+
+Status MergingCursor::Next() {
+  if (current_ < 0) return status_;
+  Status s = children_[current_]->Next();
+  if (!s.ok()) {
+    status_ = s;
+    current_ = -1;
+    return s;
+  }
+  if (!children_[current_]->status().ok()) {
+    status_ = children_[current_]->status();
+    current_ = -1;
+    return status_;
+  }
+  PickCurrent();
+  return Status::OK();
+}
+
+}  // namespace lt

@@ -1,0 +1,84 @@
+// Cursors: ordered row streams. A query opens one cursor per overlapping
+// tablet (in-memory and on-disk), merge-sorts them into a single stream
+// ordered by primary key (§3.2), and filters rows whose timestamps fall
+// outside the query's bounds or past the table's TTL.
+#ifndef LITTLETABLE_CORE_CURSOR_H_
+#define LITTLETABLE_CORE_CURSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/schema.h"
+
+namespace lt {
+
+/// An ordered stream of rows. A freshly created cursor is already positioned
+/// on its first row (Valid() is false for an empty stream). All rows stream
+/// in the cursor's scan direction by primary key.
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  virtual bool Valid() const = 0;
+  /// The current row; requires Valid().
+  virtual const Row& row() const = 0;
+  /// Advances to the next row in scan direction.
+  virtual Status Next() = 0;
+  /// First error encountered, if any (an erroring cursor becomes invalid).
+  virtual Status status() const = 0;
+};
+
+/// A cursor over an in-memory vector of rows, already sorted ascending by
+/// key; iterates in `direction`.
+class VectorCursor final : public Cursor {
+ public:
+  VectorCursor(std::vector<Row> rows, Direction direction)
+      : rows_(std::move(rows)), direction_(direction) {
+    pos_ = direction_ == Direction::kAscending
+               ? 0
+               : static_cast<int64_t>(rows_.size()) - 1;
+  }
+
+  bool Valid() const override {
+    return pos_ >= 0 && pos_ < static_cast<int64_t>(rows_.size());
+  }
+  const Row& row() const override { return rows_[pos_]; }
+  Status Next() override {
+    pos_ += direction_ == Direction::kAscending ? 1 : -1;
+    return Status::OK();
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<Row> rows_;
+  Direction direction_;
+  int64_t pos_;
+};
+
+/// Merge-sorts N child cursors into one stream. Children must share the
+/// direction and never produce duplicate keys (LittleTable enforces key
+/// uniqueness at insert, §3.4.4).
+class MergingCursor final : public Cursor {
+ public:
+  MergingCursor(const Schema* schema, std::vector<std::unique_ptr<Cursor>> children,
+                Direction direction);
+
+  bool Valid() const override { return current_ >= 0; }
+  const Row& row() const override { return children_[current_]->row(); }
+  Status Next() override;
+  Status status() const override { return status_; }
+
+ private:
+  void PickCurrent();
+
+  const Schema* schema_;
+  std::vector<std::unique_ptr<Cursor>> children_;
+  Direction direction_;
+  int current_ = -1;
+  Status status_;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_CURSOR_H_

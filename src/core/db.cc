@@ -1,0 +1,135 @@
+#include "core/db.h"
+
+#include <chrono>
+
+namespace lt {
+
+DB::DB(Env* env, std::shared_ptr<Clock> clock, std::string root,
+       DbOptions options)
+    : env_(env), clock_(std::move(clock)), root_(std::move(root)),
+      options_(options) {}
+
+DB::~DB() { Close(); }
+
+bool DB::ValidTableName(const std::string& name) {
+  if (name.empty() || name.size() > 200) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status DB::Open(Env* env, std::shared_ptr<Clock> clock,
+                const std::string& root, const DbOptions& options,
+                std::unique_ptr<DB>* out) {
+  LT_RETURN_IF_ERROR(env->CreateDirIfMissing(root));
+  std::unique_ptr<DB> db(new DB(env, clock, root, options));
+
+  std::vector<std::string> children;
+  LT_RETURN_IF_ERROR(env->GetChildren(root, &children));
+  for (const std::string& child : children) {
+    const std::string dir = root + "/" + child;
+    if (!env->FileExists(dir + "/DESC")) continue;  // Not a table directory.
+    std::unique_ptr<Table> table;
+    LT_RETURN_IF_ERROR(
+        Table::Open(env, clock, dir, options.table_defaults, &table));
+    std::string name = table->name();
+    db->tables_[name] = std::shared_ptr<Table>(table.release());
+  }
+
+  if (options.background_maintenance) {
+    db->background_ = std::thread([raw = db.get()] { raw->BackgroundLoop(); });
+  }
+  *out = std::move(db);
+  return Status::OK();
+}
+
+void DB::Close() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  bg_cv_.notify_all();
+  if (background_.joinable()) background_.join();
+}
+
+void DB::BackgroundLoop() {
+  const auto interval =
+      std::chrono::microseconds(options_.maintenance_interval);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      bg_cv_.wait_for(lock, interval, [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    MaintainNow();
+  }
+}
+
+Status DB::CreateTable(const std::string& name, const Schema& schema,
+                       const TableOptions* options) {
+  if (!ValidTableName(name)) {
+    return Status::InvalidArgument("invalid table name: " + name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  TableOptions topts = options ? *options : options_.table_defaults;
+  std::unique_ptr<Table> table;
+  LT_RETURN_IF_ERROR(Table::Create(env_, clock_, TableDir(name), name, schema,
+                                   topts, &table));
+  tables_[name] = std::shared_ptr<Table>(table.release());
+  return Status::OK();
+}
+
+Status DB::DropTable(const std::string& name) {
+  std::shared_ptr<Table> table;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+    table = it->second;
+    tables_.erase(it);
+  }
+  return Table::Destroy(env_, TableDir(name));
+}
+
+std::shared_ptr<Table> DB::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> DB::ListTables() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status DB::FlushAll() {
+  std::vector<std::shared_ptr<Table>> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, table] : tables_) tables.push_back(table);
+  }
+  for (const auto& table : tables) LT_RETURN_IF_ERROR(table->FlushAll());
+  return Status::OK();
+}
+
+Status DB::MaintainNow() {
+  std::vector<std::shared_ptr<Table>> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, table] : tables_) tables.push_back(table);
+  }
+  for (const auto& table : tables) LT_RETURN_IF_ERROR(table->MaintainNow());
+  return Status::OK();
+}
+
+}  // namespace lt

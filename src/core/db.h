@@ -1,0 +1,93 @@
+// DB: a LittleTable server's collection of tables, rooted in one directory
+// (one subdirectory per table), plus the background maintenance scheduler
+// that drives age-based flushes, tablet merges, and TTL reclamation.
+//
+// The server shares almost no state between tables (§5.1.4), which is why
+// aggregate insert throughput scales with the number of writers: each Table
+// has its own locks, and the DB map is only consulted to route requests.
+#ifndef LITTLETABLE_CORE_DB_H_
+#define LITTLETABLE_CORE_DB_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.h"
+#include "core/table.h"
+
+namespace lt {
+
+class DB {
+ public:
+  /// Opens (or initializes) a database rooted at `root`, loading every
+  /// table subdirectory found there. Starts the maintenance thread unless
+  /// options.background_maintenance is false.
+  static Status Open(Env* env, std::shared_ptr<Clock> clock,
+                     const std::string& root, const DbOptions& options,
+                     std::unique_ptr<DB>* out);
+
+  ~DB();
+
+  /// Creates a table. Table names are restricted to [A-Za-z0-9_.-] because
+  /// they double as directory names. `options` overrides the DB defaults
+  /// (commonly just the TTL).
+  Status CreateTable(const std::string& name, const Schema& schema,
+                     const TableOptions* options = nullptr);
+
+  /// Drops a table and deletes its files. The paper notes dropping and
+  /// recreating with a new schema is the normal workflow during feature
+  /// development (§3.5).
+  Status DropTable(const std::string& name);
+
+  /// Looks up a table; the returned pointer stays valid across a concurrent
+  /// DropTable (the final release deletes the files' directory entry only).
+  std::shared_ptr<Table> GetTable(const std::string& name);
+
+  std::vector<std::string> ListTables();
+
+  /// Flushes every in-memory tablet of every table.
+  Status FlushAll();
+
+  /// Runs one maintenance pass over all tables (tests and deterministic
+  /// benchmarks; the background thread does the same on a timer).
+  Status MaintainNow();
+
+  /// Stops the background thread. Called by the destructor.
+  void Close();
+
+  Env* env() const { return env_; }
+  const std::shared_ptr<Clock>& clock() const { return clock_; }
+  const DbOptions& options() const { return options_; }
+
+ private:
+  DB(Env* env, std::shared_ptr<Clock> clock, std::string root,
+     DbOptions options);
+
+  static bool ValidTableName(const std::string& name);
+  std::string TableDir(const std::string& name) const {
+    return root_ + "/" + name;
+  }
+
+  void BackgroundLoop();
+
+  Env* const env_;
+  std::shared_ptr<Clock> clock_;
+  const std::string root_;
+  const DbOptions options_;
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+
+  std::thread background_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_DB_H_

@@ -1,0 +1,46 @@
+// The table descriptor file (§3.2).
+//
+// LittleTable caches each tablet's timespan and writes the list of on-disk
+// tablets — plus the table's current schema and TTL — to a descriptor file
+// after every change. The new descriptor is written to a temporary file and
+// atomically renamed over the previous version, so a crash at any point
+// leaves either the old or the new descriptor intact, never a torn one.
+// Flushing a dependency closure (§3.4.3) adds all of its tablets in a single
+// descriptor update, which is what makes the multi-tablet flush atomic.
+#ifndef LITTLETABLE_CORE_DESCRIPTOR_H_
+#define LITTLETABLE_CORE_DESCRIPTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/tablet_meta.h"
+#include "env/env.h"
+
+namespace lt {
+
+struct TableDescriptor {
+  std::string table_name;
+  Schema schema;
+  /// Time-to-live for rows; 0 means "retain until disk runs out".
+  Timestamp ttl = 0;
+  /// Next tablet file sequence number.
+  uint64_t next_file_seq = 1;
+  /// On-disk tablets, kept sorted by (min_ts, max_ts, filename).
+  std::vector<TabletMeta> tablets;
+
+  void SortTablets();
+
+  /// Serializes to bytes (with magic and checksum).
+  std::string Encode() const;
+  static Status Decode(const Slice& data, TableDescriptor* out);
+
+  /// Atomically replaces the descriptor at `path` (writes `path`.tmp, syncs,
+  /// renames).
+  Status Save(Env* env, const std::string& path) const;
+  static Status Load(Env* env, const std::string& path, TableDescriptor* out);
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_DESCRIPTOR_H_

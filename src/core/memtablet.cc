@@ -1,0 +1,58 @@
+#include "core/memtablet.h"
+
+#include "core/row_codec.h"
+
+namespace lt {
+
+MemTablet::MemTablet(uint64_t id, std::shared_ptr<const Schema> schema,
+                     Period period, Timestamp created_at)
+    : id_(id),
+      schema_(std::move(schema)),
+      period_(period),
+      created_at_(created_at),
+      rows_(RowLess{schema_.get()}) {}
+
+bool MemTablet::Insert(Row row) {
+  Timestamp ts = row[schema_->ts_index()].AsInt();
+  size_t bytes = ApproximateRowBytes(row);
+  auto [it, inserted] = rows_.insert(std::move(row));
+  if (!inserted) return false;
+  approx_bytes_ += bytes;
+  if (rows_.size() == 1) {
+    min_ts_ = max_ts_ = ts;
+  } else {
+    if (ts < min_ts_) min_ts_ = ts;
+    if (ts > max_ts_) max_ts_ = ts;
+  }
+  return true;
+}
+
+bool MemTablet::ContainsKey(const Row& key_row) const {
+  return rows_.find(key_row) != rows_.end();
+}
+
+void MemTablet::Snapshot(const QueryBounds& bounds,
+                         std::vector<Row>* out) const {
+  // Seek to the first row satisfying the min-key bound, then copy rows until
+  // the max-key bound fails. std::set iteration is ascending by key.
+  auto it = rows_.begin();
+  if (bounds.min_key) {
+    // First row with CompareKeyToPrefix >= 0 (inclusive) or > 0 (exclusive).
+    const KeyBound& kb = *bounds.min_key;
+    KeyProbe probe{&kb.prefix};
+    it = kb.inclusive ? rows_.lower_bound(probe) : rows_.upper_bound(probe);
+  }
+  for (; it != rows_.end(); ++it) {
+    if (bounds.max_key) {
+      int c = schema_->CompareKeyToPrefix(*it, bounds.max_key->prefix);
+      if (bounds.max_key->inclusive ? c > 0 : c >= 0) break;
+    }
+    out->push_back(*it);
+  }
+}
+
+std::vector<Row> MemTablet::AllRows() const {
+  return std::vector<Row>(rows_.begin(), rows_.end());
+}
+
+}  // namespace lt

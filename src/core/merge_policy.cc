@@ -1,0 +1,77 @@
+#include "core/merge_policy.h"
+
+#include "util/bloom.h"  // BloomHash doubles as a string hash.
+
+namespace lt {
+namespace {
+
+// Floor-aligns t to a multiple of unit from the epoch.
+Timestamp AlignDown(Timestamp t, Timestamp unit) {
+  Timestamp r = t % unit;
+  if (r < 0) r += unit;
+  return t - r;
+}
+
+// The instant at which a timestamp's period granularity became `unit`: a
+// day bin exists once its day has fully passed, a week bin once its week
+// has. (4-hour bins are never the result of a rollover.)
+Timestamp RolloverInstant(Timestamp ts, Timestamp unit) {
+  return AlignDown(ts, unit) + unit;
+}
+
+}  // namespace
+
+double RolloverDelayFraction(const std::string& table_key, double max_frac) {
+  uint64_t h = BloomHash(table_key);
+  return (static_cast<double>(h % 10000) / 10000.0) * max_frac;
+}
+
+MergePick PickMerge(const std::vector<TabletMeta>& tablets, Timestamp now,
+                    const std::string& table_key,
+                    const MergePolicyOptions& options) {
+  const double delay_frac =
+      RolloverDelayFraction(table_key, options.rollover_delay_frac);
+
+  auto eligible = [&](const TabletMeta& t) {
+    if (now - t.flushed_at < options.min_tablet_age) return false;
+    Period p = PeriodFor(t.min_ts, now);
+    // Rollover delay: if the tablet was flushed under a smaller period than
+    // it occupies now, wait a pseudorandom fraction of the larger period
+    // past the rollover boundary before merging it (§3.4.2).
+    Timestamp len_at_flush = PeriodLengthFor(t.min_ts, t.flushed_at);
+    if (len_at_flush < p.length()) {
+      Timestamp rollover = RolloverInstant(t.min_ts, p.length());
+      Timestamp wait = static_cast<Timestamp>(delay_frac *
+                                              static_cast<double>(p.length()));
+      if (now < rollover + wait) return false;
+    }
+    return true;
+  };
+
+  for (size_t i = 0; i + 1 < tablets.size(); i++) {
+    const TabletMeta& a = tablets[i];
+    const TabletMeta& b = tablets[i + 1];
+    if (!eligible(a) || !eligible(b)) continue;
+    // Never merge across periods (as seen at `now`).
+    if (!(PeriodFor(a.min_ts, now) == PeriodFor(b.min_ts, now))) continue;
+    // The appendix condition: merge the first pair where the older tablet
+    // is at most double the newer one.
+    if (a.file_bytes > 2 * b.file_bytes) continue;
+    uint64_t total = a.file_bytes + b.file_bytes;
+    if (total > options.max_merged_bytes) continue;
+    // Extend with newer adjacent tablets (same period, eligible, within the
+    // size cap) — the appendix shows the bounds hold regardless of their
+    // sizes.
+    size_t end = i + 2;
+    while (end < tablets.size() && eligible(tablets[end]) &&
+           PeriodFor(tablets[end].min_ts, now) == PeriodFor(a.min_ts, now) &&
+           total + tablets[end].file_bytes <= options.max_merged_bytes) {
+      total += tablets[end].file_bytes;
+      end++;
+    }
+    return MergePick{i, end};
+  }
+  return MergePick{};
+}
+
+}  // namespace lt

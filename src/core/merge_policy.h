@@ -1,0 +1,57 @@
+// The tablet merge policy (§3.4.1, §3.4.2, and the appendix).
+//
+// Tablets are ordered by their timespans' lower bounds. The policy merges
+// the oldest adjacent pair (t_i, t_{i+1}) such that |t_i| <= 2|t_{i+1}|,
+// including any newer adjacent tablets up to a maximum merged size. Because
+// only adjacent tablets merge, timespan disjointness is preserved; the
+// appendix proves the remaining tablet count and the number of times any row
+// is rewritten are both O(log T).
+//
+// Two period rules keep data clustered by time (§3.4.2): tablets from
+// different time periods never merge, and when tablets roll over into a
+// larger period the merge is delayed by a deterministic pseudorandom
+// fraction of the larger period so that a day/week boundary does not trigger
+// a surge of merges across every table at once.
+#ifndef LITTLETABLE_CORE_MERGE_POLICY_H_
+#define LITTLETABLE_CORE_MERGE_POLICY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/periods.h"
+#include "core/tablet_meta.h"
+
+namespace lt {
+
+struct MergePolicyOptions {
+  /// Upper bound on a merged tablet's size.
+  uint64_t max_merged_bytes = 128ull << 20;
+  /// Tablets younger than this never merge, maximizing the work available
+  /// to any one merge (the 90-second delay of §5.1.3).
+  Timestamp min_tablet_age = 90 * kMicrosPerSecond;
+  /// Maximum rollover delay, as a fraction of the larger period. The actual
+  /// delay is a table-keyed pseudorandom fraction of this.
+  double rollover_delay_frac = 0.5;
+};
+
+/// A contiguous range [begin, end) of the input tablet vector to merge.
+struct MergePick {
+  size_t begin = 0;
+  size_t end = 0;
+  bool valid() const { return end > begin + 1; }
+};
+
+/// Selects tablets to merge from `tablets`, which must be sorted by
+/// (min_ts, max_ts) — descriptor order. `table_key` seeds the pseudorandom
+/// rollover delay. Returns an invalid pick when nothing should merge.
+MergePick PickMerge(const std::vector<TabletMeta>& tablets, Timestamp now,
+                    const std::string& table_key,
+                    const MergePolicyOptions& options);
+
+/// The deterministic delay fraction in [0, rollover_delay_frac) for a table.
+double RolloverDelayFraction(const std::string& table_key, double max_frac);
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_MERGE_POLICY_H_

@@ -1,0 +1,57 @@
+// Tuning knobs for tables and the database. Defaults are the paper's
+// production values: 16 MB flushes, 10-minute maximum in-memory tablet age,
+// 64 kB blocks, 128 MB merged-tablet cap, 90-second merge delay.
+#ifndef LITTLETABLE_CORE_OPTIONS_H_
+#define LITTLETABLE_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/merge_policy.h"
+#include "util/clock.h"
+
+namespace lt {
+
+struct TableOptions {
+  /// Seal an in-memory tablet once it holds this many bytes (§3.3: 16 MB
+  /// sustains ~95% of a spinning disk's peak write rate).
+  uint64_t flush_bytes = 16ull << 20;
+
+  /// Seal an in-memory tablet this long after its first row (§3.4.1: bounds
+  /// data lost in a crash to 10 minutes).
+  Timestamp max_memtablet_age = 10 * kMicrosPerMinute;
+
+  /// Uncompressed row bytes per on-disk block.
+  size_t block_bytes = 64 * 1024;
+
+  /// Bloom filter density for the §3.4.5 extension; <= 0 disables filters.
+  int bloom_bits_per_key = 10;
+
+  /// Rows with timestamps older than now - ttl are aged out (§3.1);
+  /// 0 retains forever.
+  Timestamp ttl = 0;
+
+  /// Server-enforced cap on rows returned per query; results that hit it
+  /// set more_available, and the client re-submits from the last key
+  /// (§3.5).
+  uint64_t server_row_limit = 64 * 1024;
+
+  /// Backpressure: inserts stall once this many sealed tablets await
+  /// flushing (the 100-tablet limit of the §5.1.3 experiment).
+  size_t max_unflushed_tablets = 100;
+
+  MergePolicyOptions merge;
+};
+
+struct DbOptions {
+  TableOptions table_defaults;
+  /// Run flush/merge/TTL maintenance on a background thread. Tests and
+  /// deterministic benchmarks disable this and call MaintainNow().
+  bool background_maintenance = true;
+  /// Background scheduler pass interval, in real microseconds.
+  Timestamp maintenance_interval = 1 * kMicrosPerSecond;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_OPTIONS_H_

@@ -1,0 +1,30 @@
+#include "core/periods.h"
+
+namespace lt {
+namespace {
+
+// Floor-aligns t to a multiple of unit from the epoch, correct for negative
+// timestamps as well.
+Timestamp AlignDown(Timestamp t, Timestamp unit) {
+  Timestamp r = t % unit;
+  if (r < 0) r += unit;
+  return t - r;
+}
+
+constexpr Timestamp kFourHours = 4 * kMicrosPerHour;
+
+}  // namespace
+
+Timestamp PeriodLengthFor(Timestamp ts, Timestamp now) {
+  if (ts >= AlignDown(now, kMicrosPerDay)) return kFourHours;
+  if (ts >= AlignDown(now, kMicrosPerWeek)) return kMicrosPerDay;
+  return kMicrosPerWeek;
+}
+
+Period PeriodFor(Timestamp ts, Timestamp now) {
+  Timestamp unit = PeriodLengthFor(ts, now);
+  Timestamp start = AlignDown(ts, unit);
+  return Period{start, start + unit};
+}
+
+}  // namespace lt

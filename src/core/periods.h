@@ -1,0 +1,46 @@
+// Application-driven time periods (§3.4.2).
+//
+// "Anecdotally, most queries ask for anthropocentric ranges of time: an
+// hour, a day, a week," growing with lookback distance. LittleTable groups
+// time into three ranges, each measured in even intervals from the Unix
+// epoch: the six 4-hour periods of the most recent day, the seven days of
+// the most recent week, and all the weeks previous to that. One in-memory
+// tablet fills per period (§3.4.3), and the merge policy never combines
+// tablets from different periods.
+//
+// Timestamps at or after "now"'s day boundary — including future timestamps,
+// which clients are allowed to insert — bin at 4-hour granularity.
+#ifndef LITTLETABLE_CORE_PERIODS_H_
+#define LITTLETABLE_CORE_PERIODS_H_
+
+#include "util/clock.h"
+
+namespace lt {
+
+/// A half-open interval [start, end) of absolute time, aligned to its
+/// granularity from the epoch.
+struct Period {
+  Timestamp start = 0;
+  Timestamp end = 0;
+
+  Timestamp length() const { return end - start; }
+  bool Contains(Timestamp t) const { return t >= start && t < end; }
+  bool operator==(const Period& other) const {
+    return start == other.start && end == other.end;
+  }
+};
+
+/// Returns the period containing `ts`, as seen at time `now`:
+///   - 4-hour bins within (and after) the epoch-aligned day containing now,
+///   - 1-day bins within the epoch-aligned week containing now,
+///   - 1-week bins before that.
+Period PeriodFor(Timestamp ts, Timestamp now);
+
+/// The granularity (bin length) PeriodFor would use, without computing the
+/// bin. Useful for detecting rollover: a tablet written under a 4-hour bin
+/// later falls into a day bin, then a week bin.
+Timestamp PeriodLengthFor(Timestamp ts, Timestamp now);
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_PERIODS_H_

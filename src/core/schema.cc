@@ -1,0 +1,198 @@
+#include "core/schema.h"
+
+#include <set>
+
+#include "util/coding.h"
+
+namespace lt {
+
+Status Schema::Validate() const {
+  if (columns_.empty()) return Status::InvalidArgument("schema has no columns");
+  if (num_key_columns_ == 0) {
+    return Status::InvalidArgument("schema has no primary key");
+  }
+  if (num_key_columns_ > columns_.size()) {
+    return Status::InvalidArgument("more key columns than columns");
+  }
+  const Column& ts = columns_[num_key_columns_ - 1];
+  if (ts.type != ColumnType::kTimestamp || ts.name != "ts") {
+    return Status::InvalidArgument(
+        "final primary key column must be a timestamp named \"ts\"");
+  }
+  std::set<std::string> names;
+  for (size_t i = 0; i < columns_.size(); i++) {
+    const Column& c = columns_[i];
+    if (c.name.empty()) return Status::InvalidArgument("empty column name");
+    if (!names.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + c.name);
+    }
+    if (!c.default_value.MatchesType(c.type)) {
+      return Status::InvalidArgument("default value type mismatch for column " +
+                                     c.name);
+    }
+    if (i < num_key_columns_ && c.type == ColumnType::kDouble) {
+      return Status::InvalidArgument("key column may not be double: " + c.name);
+    }
+  }
+  return Status::OK();
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::RowMatches(const Row& row) const {
+  if (row.size() != columns_.size()) return false;
+  for (size_t i = 0; i < row.size(); i++) {
+    if (!row[i].MatchesType(columns_[i].type)) return false;
+  }
+  return true;
+}
+
+int Schema::CompareKeys(const Row& a, const Row& b) const {
+  for (size_t i = 0; i < num_key_columns_; i++) {
+    int r = a[i].Compare(b[i]);
+    if (r != 0) return r;
+  }
+  return 0;
+}
+
+int Schema::CompareKeyToPrefix(const Row& row, const Key& prefix) const {
+  size_t n = prefix.size() < num_key_columns_ ? prefix.size() : num_key_columns_;
+  for (size_t i = 0; i < n; i++) {
+    int r = row[i].Compare(prefix[i]);
+    if (r != 0) return r;
+  }
+  return 0;
+}
+
+Key Schema::KeyOf(const Row& row) const {
+  return Key(row.begin(), row.begin() + num_key_columns_);
+}
+
+void Schema::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, version_);
+  PutVarint32(dst, static_cast<uint32_t>(num_key_columns_));
+  PutVarint32(dst, static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    PutLengthPrefixedSlice(dst, c.name);
+    dst->push_back(static_cast<char>(c.type));
+    EncodeValue(dst, c.default_value, c.type);
+  }
+}
+
+Status Schema::DecodeFrom(Slice* input, Schema* out) {
+  uint32_t version, num_key, num_cols;
+  if (!GetVarint32(input, &version) || !GetVarint32(input, &num_key) ||
+      !GetVarint32(input, &num_cols)) {
+    return Status::Corruption("bad schema header");
+  }
+  if (num_cols > 4096) return Status::Corruption("absurd column count");
+  std::vector<Column> cols;
+  cols.reserve(num_cols);
+  for (uint32_t i = 0; i < num_cols; i++) {
+    Column c;
+    Slice name;
+    if (!GetLengthPrefixedSlice(input, &name) || input->empty()) {
+      return Status::Corruption("bad column encoding");
+    }
+    c.name = name.ToString();
+    uint8_t type_byte = static_cast<uint8_t>((*input)[0]);
+    input->remove_prefix(1);
+    if (type_byte < 1 || type_byte > 6) {
+      return Status::Corruption("bad column type");
+    }
+    c.type = static_cast<ColumnType>(type_byte);
+    LT_RETURN_IF_ERROR(DecodeValue(input, c.type, &c.default_value));
+    cols.push_back(std::move(c));
+  }
+  *out = Schema(std::move(cols), num_key, version);
+  return out->Validate();
+}
+
+Result<Schema> Schema::WithAppendedColumn(const Column& column) const {
+  if (FindColumn(column.name) >= 0) {
+    return Status::AlreadyExists("column exists: " + column.name);
+  }
+  if (!column.default_value.MatchesType(column.type)) {
+    return Status::InvalidArgument("default value type mismatch");
+  }
+  std::vector<Column> cols = columns_;
+  cols.push_back(column);
+  Schema next(std::move(cols), num_key_columns_, version_ + 1);
+  LT_RETURN_IF_ERROR(next.Validate());
+  return next;
+}
+
+Result<Schema> Schema::WithWidenedColumn(const std::string& name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) return Status::NotFound("no such column: " + name);
+  if (static_cast<size_t>(idx) < num_key_columns_) {
+    return Status::NotSupported("cannot widen a key column: " + name);
+  }
+  if (columns_[idx].type != ColumnType::kInt32) {
+    return Status::InvalidArgument("only int32 columns can be widened");
+  }
+  std::vector<Column> cols = columns_;
+  cols[idx].type = ColumnType::kInt64;
+  cols[idx].default_value = Value::Int64(cols[idx].default_value.i32());
+  Schema next(std::move(cols), num_key_columns_, version_ + 1);
+  LT_RETURN_IF_ERROR(next.Validate());
+  return next;
+}
+
+bool Schema::IsCompatibleUpgradeOf(const Schema& old_schema) const {
+  if (old_schema.columns_.size() > columns_.size()) return false;
+  if (old_schema.num_key_columns_ != num_key_columns_) return false;
+  for (size_t i = 0; i < old_schema.columns_.size(); i++) {
+    const Column& oc = old_schema.columns_[i];
+    const Column& nc = columns_[i];
+    if (oc.name != nc.name) return false;
+    if (oc.type == nc.type) continue;
+    if (oc.type == ColumnType::kInt32 && nc.type == ColumnType::kInt64) {
+      continue;  // Widened.
+    }
+    return false;
+  }
+  return true;
+}
+
+Row Schema::TranslateRow(const Schema& old_schema, const Row& row) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (i < old_schema.columns_.size()) {
+      if (old_schema.columns_[i].type == ColumnType::kInt32 &&
+          columns_[i].type == ColumnType::kInt64) {
+        out.push_back(Value::Int64(row[i].i32()));
+      } else {
+        out.push_back(row[i]);
+      }
+    } else {
+      out.push_back(columns_[i].default_value);
+    }
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (num_key_columns_ != other.num_key_columns_ ||
+      columns_.size() != other.columns_.size() ||
+      version_ != other.version_) {
+    return false;
+  }
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type ||
+        columns_[i].default_value.Compare(other.columns_[i].default_value) !=
+            0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lt

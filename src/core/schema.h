@@ -1,0 +1,103 @@
+// Table schemas (§3.1) and the supported schema manipulations (§3.5).
+//
+// A schema is an ordered list of typed, defaulted columns; an ordered prefix
+// of them forms the primary key, whose final column must be a timestamp
+// named "ts". Schemas carry a version number: every evolution step (append
+// column, widen int32→int64) bumps it, and tablet readers translate rows
+// written under older versions to the current one on the fly — existing
+// on-disk tablets are never rewritten.
+#ifndef LITTLETABLE_CORE_SCHEMA_H_
+#define LITTLETABLE_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace lt {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  Value default_value;
+
+  Column() = default;
+  Column(std::string n, ColumnType t)
+      : name(std::move(n)), type(t), default_value(DefaultValueFor(t)) {}
+  Column(std::string n, ColumnType t, Value dflt)
+      : name(std::move(n)), type(t), default_value(std::move(dflt)) {}
+};
+
+/// An immutable-by-convention table schema.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<Column> columns, size_t num_key_columns,
+         uint32_t version = 1)
+      : columns_(std::move(columns)),
+        num_key_columns_(num_key_columns),
+        version_(version) {}
+
+  /// Checks the §3.1 rules: at least one key column, key columns lead the
+  /// column list, the final key column has type timestamp and name "ts",
+  /// names are unique and non-empty, defaults match their types, and key
+  /// columns are not doubles (keys must have exact ordering).
+  Status Validate() const;
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_key_columns() const { return num_key_columns_; }
+  /// Index of the timestamp key column (always num_key_columns-1).
+  size_t ts_index() const { return num_key_columns_ - 1; }
+  uint32_t version() const { return version_; }
+
+  /// Returns the column index for `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// True if a row (vector of cells) structurally matches this schema.
+  bool RowMatches(const Row& row) const;
+
+  /// Compares the key columns of two conforming rows.
+  int CompareKeys(const Row& a, const Row& b) const;
+
+  /// Compares a row's leading key columns against a key prefix (which may
+  /// be shorter than the full key). Equal means "row starts with prefix".
+  int CompareKeyToPrefix(const Row& row, const Key& prefix) const;
+
+  /// Extracts the key cells of a row.
+  Key KeyOf(const Row& row) const;
+
+  /// Serialization used by tablet footers and table descriptors.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, Schema* out);
+
+  // ---- Evolution (§3.5): the only supported manipulations. ----
+
+  /// Returns a schema with `column` appended (non-key), version bumped.
+  Result<Schema> WithAppendedColumn(const Column& column) const;
+
+  /// Returns a schema with non-key column `name` widened int32→int64.
+  Result<Schema> WithWidenedColumn(const std::string& name) const;
+
+  /// True if `old_schema` rows can be translated to this schema: every old
+  /// column exists here at the same position with the same or widened type.
+  bool IsCompatibleUpgradeOf(const Schema& old_schema) const;
+
+  /// Translates a row written under `old_schema` (a compatible ancestor)
+  /// into this schema: widens cells and fills appended columns with their
+  /// defaults.
+  Row TranslateRow(const Schema& old_schema, const Row& row) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  size_t num_key_columns_ = 0;
+  uint32_t version_ = 1;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_SCHEMA_H_

@@ -1,0 +1,50 @@
+// Per-table operation counters. These drive the production-metrics figures:
+// rows scanned vs. returned is the Figure 9 efficiency ratio, and the flush
+// vs. merge byte counters give the §5.1.3 write-amplification factor.
+#ifndef LITTLETABLE_CORE_STATS_H_
+#define LITTLETABLE_CORE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace lt {
+
+struct TableStats {
+  std::atomic<uint64_t> insert_batches{0};
+  std::atomic<uint64_t> rows_inserted{0};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> rows_scanned{0};
+  std::atomic<uint64_t> rows_returned{0};
+
+  // Which uniqueness check (§3.4.4) admitted inserted rows.
+  std::atomic<uint64_t> unique_by_newest_ts{0};
+  std::atomic<uint64_t> unique_by_max_key{0};
+  std::atomic<uint64_t> unique_by_point_query{0};
+  std::atomic<uint64_t> duplicates_rejected{0};
+
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> bytes_flushed{0};
+  std::atomic<uint64_t> merges{0};
+  std::atomic<uint64_t> tablets_merged{0};
+  std::atomic<uint64_t> bytes_merge_written{0};
+  std::atomic<uint64_t> tablets_expired{0};
+
+  // §3.4.5 extension: tablets skipped by Bloom filters during
+  // latest-row-for-prefix and uniqueness point queries.
+  std::atomic<uint64_t> bloom_tablet_skips{0};
+  std::atomic<uint64_t> bloom_tablet_probes{0};
+
+  /// Write amplification so far: total tablet bytes written / bytes flushed.
+  double WriteAmplification() const {
+    uint64_t flushed = bytes_flushed.load(std::memory_order_relaxed);
+    if (flushed == 0) return 0.0;
+    return static_cast<double>(flushed +
+                               bytes_merge_written.load(
+                                   std::memory_order_relaxed)) /
+           static_cast<double>(flushed);
+  }
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_STATS_H_

@@ -1,0 +1,865 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "core/merge_policy.h"
+#include "core/row_codec.h"
+#include "core/tablet_writer.h"
+
+namespace lt {
+namespace {
+
+std::string TabletFileName(uint64_t seq) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%06llu.tab", static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+void SortMetas(std::vector<TabletMeta>* metas) {
+  std::sort(metas->begin(), metas->end(),
+            [](const TabletMeta& a, const TabletMeta& b) {
+              if (a.min_ts != b.min_ts) return a.min_ts < b.min_ts;
+              if (a.max_ts != b.max_ts) return a.max_ts < b.max_ts;
+              return a.filename < b.filename;
+            });
+}
+
+int CompareFullKeys(const Schema& schema, const Key& a, const Key& b) {
+  for (size_t i = 0; i < schema.num_key_columns(); i++) {
+    int r = a[i].Compare(b[i]);
+    if (r != 0) return r;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Table::Table(Env* env, std::shared_ptr<Clock> clock, std::string dir,
+             TableOptions options)
+    : env_(env), clock_(std::move(clock)), dir_(std::move(dir)),
+      opts_(options) {}
+
+Status Table::Create(Env* env, std::shared_ptr<Clock> clock,
+                     const std::string& dir, const std::string& name,
+                     const Schema& schema, const TableOptions& options,
+                     std::unique_ptr<Table>* out) {
+  LT_RETURN_IF_ERROR(schema.Validate());
+  LT_RETURN_IF_ERROR(env->CreateDirIfMissing(dir));
+  std::unique_ptr<Table> table(new Table(env, clock, dir, options));
+  if (env->FileExists(table->DescriptorPath())) {
+    return Status::AlreadyExists("table already exists in " + dir);
+  }
+  table->name_ = name;
+  table->schema_ = std::make_shared<const Schema>(schema);
+  table->ttl_ = options.ttl;
+  {
+    std::lock_guard<std::mutex> lock(table->mu_);
+    LT_RETURN_IF_ERROR(table->SaveDescriptorLocked());
+  }
+  *out = std::move(table);
+  return Status::OK();
+}
+
+Status Table::Open(Env* env, std::shared_ptr<Clock> clock,
+                   const std::string& dir, const TableOptions& options,
+                   std::unique_ptr<Table>* out) {
+  std::unique_ptr<Table> table(new Table(env, clock, dir, options));
+  TableDescriptor desc;
+  LT_RETURN_IF_ERROR(TableDescriptor::Load(env, table->DescriptorPath(), &desc));
+  table->name_ = desc.table_name;
+  table->schema_ = std::make_shared<const Schema>(desc.schema);
+  table->ttl_ = desc.ttl;
+  table->next_file_seq_ = desc.next_file_seq;
+  desc.SortTablets();
+  table->tablets_ = desc.tablets;
+
+  // Remove files a crash mid-flush or mid-merge left unreferenced.
+  std::set<std::string> live;
+  for (const TabletMeta& m : table->tablets_) live.insert(m.filename);
+  std::vector<std::string> children;
+  LT_RETURN_IF_ERROR(env->GetChildren(dir, &children));
+  for (const std::string& child : children) {
+    if (child == "DESC") continue;
+    if (!live.count(child)) env->RemoveFile(dir + "/" + child);
+  }
+
+  for (const TabletMeta& m : table->tablets_) {
+    std::shared_ptr<TabletReader> reader;
+    LT_RETURN_IF_ERROR(
+        TabletReader::Open(env, table->TabletPath(m.filename), &reader));
+    table->readers_[m.filename] = std::move(reader);
+    if (!table->has_rows_ || m.max_ts > table->max_row_ts_) {
+      table->max_row_ts_ = m.max_ts;
+      table->has_rows_ = m.row_count > 0 || table->has_rows_;
+    }
+    if (m.row_count > 0) table->has_rows_ = true;
+  }
+  *out = std::move(table);
+  return Status::OK();
+}
+
+Status Table::Destroy(Env* env, const std::string& dir) {
+  std::vector<std::string> children;
+  Status s = env->GetChildren(dir, &children);
+  if (s.IsNotFound()) return Status::OK();
+  LT_RETURN_IF_ERROR(s);
+  for (const std::string& child : children) {
+    LT_RETURN_IF_ERROR(env->RemoveFile(dir + "/" + child));
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const Schema> Table::schema() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schema_;
+}
+
+Timestamp Table::ttl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ttl_;
+}
+
+Timestamp Table::ExpiryCutoffLocked(Timestamp now) const {
+  if (ttl_ <= 0) return std::numeric_limits<Timestamp>::min();
+  return now - ttl_;
+}
+
+Status Table::SaveDescriptorLocked() {
+  TableDescriptor desc;
+  desc.table_name = name_;
+  desc.schema = *schema_;
+  desc.ttl = ttl_;
+  desc.next_file_seq = next_file_seq_;
+  desc.tablets = tablets_;
+  return desc.Save(env_, DescriptorPath());
+}
+
+// ---------------------------------------------------------------------------
+// Inserts.
+
+Status Table::CheckUnique(const Row& row,
+                          const std::set<std::string>& batch_keys) {
+  std::shared_ptr<const Schema> schema;
+  std::vector<std::shared_ptr<TabletReader>> candidates;
+  Key full_key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    schema = schema_;
+    full_key = schema->KeyOf(row);
+    std::string enc;
+    EncodeKey(&enc, *schema, full_key);
+    if (batch_keys.count(enc)) {
+      stats_.duplicates_rejected.fetch_add(1);
+      return Status::AlreadyExists("duplicate key within batch");
+    }
+    Timestamp ts = row[schema->ts_index()].AsInt();
+    // Fast path 1 (§3.4.4): newer than every existing row — provable from
+    // cached metadata alone. Common because most applications timestamp
+    // rows with the current time.
+    if (!has_rows_ || ts > max_row_ts_) {
+      stats_.unique_by_newest_ts.fetch_add(1);
+      return Status::OK();
+    }
+    // In-memory tablets: exact, cheap checks.
+    auto check_mem = [&](const std::shared_ptr<MemTablet>& mt) -> bool {
+      return !mt->empty() && mt->min_ts() <= ts && ts <= mt->max_ts() &&
+             mt->ContainsKey(row);
+    };
+    for (const auto& [start, mt] : filling_) {
+      if (check_mem(mt)) {
+        stats_.duplicates_rejected.fetch_add(1);
+        return Status::AlreadyExists("duplicate key");
+      }
+    }
+    for (const auto& mt : sealed_) {
+      if (check_mem(mt)) {
+        stats_.duplicates_rejected.fetch_add(1);
+        return Status::AlreadyExists("duplicate key");
+      }
+    }
+    // Fast path 2: within the row's time period, larger than every
+    // tablet's max key — provable from cached indexes alone. A duplicate
+    // shares the full key including ts, so only tablets whose timespan
+    // contains ts can hold one.
+    for (const TabletMeta& m : tablets_) {
+      if (m.row_count == 0 || ts < m.min_ts || ts > m.max_ts) continue;
+      auto it = readers_.find(m.filename);
+      if (it == readers_.end()) {
+        return Status::Aborted("internal: no reader for tablet " + m.filename);
+      }
+      LT_RETURN_IF_ERROR(it->second->Load());
+      int c = CompareFullKeys(*schema, it->second->max_key(), full_key);
+      if (c == 0) {
+        stats_.duplicates_rejected.fetch_add(1);
+        return Status::AlreadyExists("duplicate key");
+      }
+      if (c > 0) candidates.push_back(it->second);
+    }
+    if (candidates.empty()) {
+      stats_.unique_by_max_key.fetch_add(1);
+      return Status::OK();
+    }
+  }
+  // Slow path: point queries, outside mu_ so concurrent queries proceed
+  // unencumbered (the paper's in-memory lock table is our insert_mu_, held
+  // by the caller).
+  for (const auto& reader : candidates) {
+    stats_.bloom_tablet_probes.fetch_add(1);
+    if (!reader->MayContainPrefix(full_key)) {
+      stats_.bloom_tablet_skips.fetch_add(1);
+      continue;
+    }
+    QueryBounds bounds = QueryBounds::ForPrefix(full_key);
+    std::unique_ptr<Cursor> cursor;
+    LT_RETURN_IF_ERROR(
+        reader->NewCursor(bounds, schema.get(), nullptr, &cursor));
+    if (cursor->Valid()) {
+      stats_.duplicates_rejected.fetch_add(1);
+      return Status::AlreadyExists("duplicate key");
+    }
+  }
+  stats_.unique_by_point_query.fetch_add(1);
+  return Status::OK();
+}
+
+void Table::SealLocked(std::shared_ptr<MemTablet> mt) {
+  mt->Seal();
+  auto it = filling_.find(mt->period().start);
+  if (it != filling_.end() && it->second == mt) filling_.erase(it);
+  sealed_.push_back(std::move(mt));
+}
+
+Status Table::InsertBatch(const std::vector<Row>& rows) {
+  if (rows.empty()) return Status::OK();
+  std::lock_guard<std::mutex> insert_lock(insert_mu_);
+
+  std::shared_ptr<const Schema> schema = this->schema();
+  for (const Row& r : rows) {
+    if (!schema->RowMatches(r)) {
+      return Status::InvalidArgument("row does not match table schema");
+    }
+  }
+
+  // Pre-check every key so the batch applies atomically or not at all.
+  std::set<std::string> batch_keys;
+  for (const Row& r : rows) {
+    LT_RETURN_IF_ERROR(CheckUnique(r, batch_keys));
+    std::string enc;
+    EncodeKey(&enc, *schema, schema->KeyOf(r));
+    batch_keys.insert(std::move(enc));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Timestamp now = clock_->Now();
+    for (const Row& r : rows) {
+      Timestamp ts = r[schema->ts_index()].AsInt();
+      Period p = PeriodFor(ts, now);
+      std::shared_ptr<MemTablet> mt;
+      auto it = filling_.find(p.start);
+      if (it != filling_.end() && it->second->period() == p) {
+        mt = it->second;
+      } else {
+        // Missing, or a stale tablet whose period has since rolled over
+        // into a larger bin sharing the same start: seal the stale one.
+        if (it != filling_.end()) SealLocked(it->second);
+        mt = std::make_shared<MemTablet>(next_memtablet_id_++, schema_, p, now);
+        filling_[p.start] = mt;
+      }
+      if (!mt->Insert(r)) {
+        return Status::Aborted("uniqueness race despite insert lock");
+      }
+      // Flush dependency (§3.4.3): switching filling tablets means the
+      // previous one holds earlier rows and must flush first (or with us).
+      if (last_insert_tablet_ != 0 && last_insert_tablet_ != mt->id()) {
+        must_flush_first_[mt->id()].insert(last_insert_tablet_);
+      }
+      last_insert_tablet_ = mt->id();
+      if (!has_rows_ || ts > max_row_ts_) max_row_ts_ = ts;
+      has_rows_ = true;
+      if (mt->ApproximateBytes() >= opts_.flush_bytes) SealLocked(mt);
+    }
+    stats_.insert_batches.fetch_add(1);
+    stats_.rows_inserted.fetch_add(rows.size());
+  }
+
+  // Backpressure: once too many sealed tablets await flushing, the insert
+  // path does the flushing itself and becomes disk-bound (§5.1.3).
+  while (true) {
+    uint64_t root = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (sealed_.size() <= opts_.max_unflushed_tablets) break;
+      root = sealed_.front()->id();
+    }
+    LT_RETURN_IF_ERROR(FlushSet({root}));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Flushing.
+
+Status Table::FlushSet(std::vector<uint64_t> root_ids) {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  std::vector<std::shared_ptr<MemTablet>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Transitive closure over the dependency graph (which may have cycles).
+    std::set<uint64_t> want(root_ids.begin(), root_ids.end());
+    std::deque<uint64_t> work(root_ids.begin(), root_ids.end());
+    while (!work.empty()) {
+      uint64_t id = work.front();
+      work.pop_front();
+      auto it = must_flush_first_.find(id);
+      if (it == must_flush_first_.end()) continue;
+      for (uint64_t dep : it->second) {
+        if (want.insert(dep).second) work.push_back(dep);
+      }
+    }
+    for (auto it = filling_.begin(); it != filling_.end();) {
+      if (want.count(it->second->id())) {
+        it->second->Seal();
+        victims.push_back(it->second);
+        it = filling_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = sealed_.begin(); it != sealed_.end();) {
+      if (want.count((*it)->id())) {
+        victims.push_back(*it);
+        it = sealed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (victims.empty()) return Status::OK();
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+
+  const Timestamp now = clock_->Now();
+  std::vector<TabletMeta> metas;
+  for (const auto& mt : victims) {
+    if (mt->empty()) continue;
+    std::string fname;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fname = TabletFileName(next_file_seq_++);
+    }
+    TabletWriterOptions wopts;
+    wopts.block_bytes = opts_.block_bytes;
+    wopts.bloom_bits_per_key = opts_.bloom_bits_per_key;
+    wopts.sync = true;
+    TabletWriter writer(env_, TabletPath(fname), mt->schema().get(), wopts);
+    Status s;
+    for (const Row& r : mt->AllRows()) {
+      s = writer.Add(r);
+      if (!s.ok()) break;
+    }
+    TabletMeta meta;
+    if (s.ok()) s = writer.Finish(&meta);
+    if (!s.ok()) {
+      writer.Abandon();
+      return s;
+    }
+    meta.filename = fname;
+    meta.flushed_at = now;
+    metas.push_back(std::move(meta));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TabletMeta& meta : metas) {
+      std::shared_ptr<TabletReader> reader;
+      LT_RETURN_IF_ERROR(
+          TabletReader::Open(env_, TabletPath(meta.filename), &reader));
+      readers_[meta.filename] = std::move(reader);
+      tablets_.push_back(meta);
+      stats_.flushes.fetch_add(1);
+      stats_.bytes_flushed.fetch_add(meta.file_bytes);
+    }
+    SortMetas(&tablets_);
+    // One atomic descriptor update covers the whole closure (§3.4.3).
+    LT_RETURN_IF_ERROR(SaveDescriptorLocked());
+    for (const auto& mt : victims) must_flush_first_.erase(mt->id());
+  }
+  return Status::OK();
+}
+
+Status Table::FlushAll() {
+  std::vector<uint64_t> roots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [start, mt] : filling_) roots.push_back(mt->id());
+    for (const auto& mt : sealed_) roots.push_back(mt->id());
+  }
+  if (roots.empty()) return Status::OK();
+  return FlushSet(std::move(roots));
+}
+
+Status Table::FlushThrough(Timestamp ts) {
+  std::vector<uint64_t> roots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [start, mt] : filling_) {
+      if (!mt->empty() && mt->min_ts() <= ts) roots.push_back(mt->id());
+    }
+    for (const auto& mt : sealed_) {
+      if (!mt->empty() && mt->min_ts() <= ts) roots.push_back(mt->id());
+    }
+  }
+  if (roots.empty()) return Status::OK();
+  return FlushSet(std::move(roots));
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: age-based flushing, merging, TTL.
+
+Status Table::MaintainNow() {
+  const Timestamp now = clock_->Now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<MemTablet>> aged;
+    for (const auto& [start, mt] : filling_) {
+      if (now - mt->created_at() >= opts_.max_memtablet_age) aged.push_back(mt);
+    }
+    for (const auto& mt : aged) SealLocked(mt);
+  }
+  while (true) {
+    uint64_t root = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (sealed_.empty()) break;
+      root = sealed_.front()->id();
+    }
+    LT_RETURN_IF_ERROR(FlushSet({root}));
+  }
+  LT_RETURN_IF_ERROR(MaybeMerge(now));
+  if (ttl() > 0) LT_RETURN_IF_ERROR(ReclaimExpired(now));
+  return Status::OK();
+}
+
+bool Table::HasMaintenanceWork() {
+  const Timestamp now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sealed_.empty()) return true;
+  for (const auto& [start, mt] : filling_) {
+    if (now - mt->created_at() >= opts_.max_memtablet_age) return true;
+  }
+  if (PickMerge(tablets_, now, name_, opts_.merge).valid()) return true;
+  if (ttl_ > 0) {
+    Timestamp cutoff = ExpiryCutoffLocked(now);
+    for (const TabletMeta& m : tablets_) {
+      if (m.max_ts < cutoff) return true;
+    }
+  }
+  return false;
+}
+
+Status Table::MaybeMerge(Timestamp now) {
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  std::vector<TabletMeta> inputs;
+  std::vector<std::shared_ptr<TabletReader>> input_readers;
+  std::shared_ptr<const Schema> schema;
+  Timestamp cutoff;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MergePick pick = PickMerge(tablets_, now, name_, opts_.merge);
+    if (!pick.valid()) return Status::OK();
+    for (size_t i = pick.begin; i < pick.end; i++) {
+      auto it = readers_.find(tablets_[i].filename);
+      if (it == readers_.end()) {
+        return Status::Aborted("merge input reader missing");
+      }
+      inputs.push_back(tablets_[i]);
+      input_readers.push_back(it->second);
+    }
+    schema = schema_;
+    cutoff = ExpiryCutoffLocked(now);
+  }
+
+  std::string fname;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fname = TabletFileName(next_file_seq_++);
+  }
+  TabletWriterOptions wopts;
+  wopts.block_bytes = opts_.block_bytes;
+  wopts.bloom_bits_per_key = opts_.bloom_bits_per_key;
+  wopts.sync = true;
+  TabletWriter writer(env_, TabletPath(fname), schema.get(), wopts);
+
+  // Single-pass merge-sort of the inputs (§3.4.1). Rows already past the
+  // TTL are dropped rather than rewritten.
+  std::vector<std::unique_ptr<Cursor>> cursors;
+  QueryBounds everything;
+  for (const auto& reader : input_readers) {
+    std::unique_ptr<Cursor> c;
+    Status s = reader->NewCursor(everything, schema.get(), nullptr, &c);
+    if (!s.ok()) {
+      writer.Abandon();
+      return s;
+    }
+    cursors.push_back(std::move(c));
+  }
+  MergingCursor merged(schema.get(), std::move(cursors), Direction::kAscending);
+  while (merged.Valid()) {
+    const Row& row = merged.row();
+    if (row[schema->ts_index()].AsInt() >= cutoff) {
+      Status s = writer.Add(row);
+      if (!s.ok()) {
+        writer.Abandon();
+        return s;
+      }
+    }
+    Status s = merged.Next();
+    if (!s.ok()) {
+      writer.Abandon();
+      return s;
+    }
+  }
+
+  TabletMeta out_meta;
+  bool have_output = writer.rows_added() > 0;
+  if (have_output) {
+    LT_RETURN_IF_ERROR(writer.Finish(&out_meta));
+    out_meta.filename = fname;
+    out_meta.flushed_at = now;
+  } else {
+    writer.Abandon();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::set<std::string> gone;
+    for (const TabletMeta& m : inputs) gone.insert(m.filename);
+    std::vector<TabletMeta> next;
+    next.reserve(tablets_.size());
+    for (TabletMeta& m : tablets_) {
+      if (!gone.count(m.filename)) next.push_back(std::move(m));
+    }
+    tablets_ = std::move(next);
+    if (have_output) {
+      std::shared_ptr<TabletReader> reader;
+      LT_RETURN_IF_ERROR(
+          TabletReader::Open(env_, TabletPath(fname), &reader));
+      readers_[fname] = std::move(reader);
+      tablets_.push_back(out_meta);
+    }
+    SortMetas(&tablets_);
+    LT_RETURN_IF_ERROR(SaveDescriptorLocked());
+    for (const std::string& f : gone) readers_.erase(f);
+    stats_.merges.fetch_add(1);
+    stats_.tablets_merged.fetch_add(inputs.size());
+    if (have_output) stats_.bytes_merge_written.fetch_add(out_meta.file_bytes);
+  }
+  for (const TabletMeta& m : inputs) env_->RemoveFile(TabletPath(m.filename));
+  return Status::OK();
+}
+
+Status Table::ReclaimExpired(Timestamp now) {
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Timestamp cutoff = ExpiryCutoffLocked(now);
+    for (const TabletMeta& m : tablets_) {
+      if (m.max_ts < cutoff) doomed.push_back(m.filename);
+    }
+    if (doomed.empty()) return Status::OK();
+    std::vector<TabletMeta> keep;
+    keep.reserve(tablets_.size() - doomed.size());
+    for (TabletMeta& m : tablets_) {
+      if (m.max_ts >= cutoff) keep.push_back(std::move(m));
+    }
+    tablets_ = std::move(keep);
+    LT_RETURN_IF_ERROR(SaveDescriptorLocked());
+    for (const std::string& f : doomed) readers_.erase(f);
+    stats_.tablets_expired.fetch_add(doomed.size());
+  }
+  for (const std::string& f : doomed) env_->RemoveFile(TabletPath(f));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+
+Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
+  result->rows.clear();
+  result->more_available = false;
+  result->rows_scanned = 0;
+  stats_.queries.fetch_add(1);
+
+  const Timestamp now = clock_->Now();
+  QueryBounds bounds = user_bounds;
+
+  std::shared_ptr<const Schema> schema;
+  std::vector<std::shared_ptr<TabletReader>> disk;
+  std::vector<std::vector<Row>> mem_snapshots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    schema = schema_;
+    // TTL is just a tighter lower timestamp bound (§3.3).
+    Timestamp cutoff = ExpiryCutoffLocked(now);
+    if (cutoff > bounds.min_ts) {
+      bounds.min_ts = cutoff;
+      bounds.min_ts_inclusive = true;
+    }
+    for (const TabletMeta& m : tablets_) {
+      if (!bounds.TsOverlaps(m.min_ts, m.max_ts)) continue;
+      auto it = readers_.find(m.filename);
+      if (it == readers_.end()) {
+        return Status::Aborted("internal: no reader for tablet " + m.filename);
+      }
+      const auto& reader = it->second;
+      LT_RETURN_IF_ERROR(reader->Load());
+      if (reader->row_count() == 0) continue;
+      // Key-range pruning from cached footer min/max keys.
+      if (bounds.min_key) {
+        int c = schema->CompareKeyToPrefix(reader->max_key(),
+                                           bounds.min_key->prefix);
+        if (bounds.min_key->inclusive ? c < 0 : c <= 0) continue;
+      }
+      if (bounds.max_key) {
+        int c = schema->CompareKeyToPrefix(reader->min_key(),
+                                           bounds.max_key->prefix);
+        if (bounds.max_key->inclusive ? c > 0 : c >= 0) continue;
+      }
+      disk.push_back(reader);
+    }
+    auto snap = [&](const std::shared_ptr<MemTablet>& mt) {
+      if (mt->empty()) return;
+      if (!bounds.TsOverlaps(mt->min_ts(), mt->max_ts())) return;
+      std::vector<Row> rows;
+      mt->Snapshot(bounds, &rows);
+      if (!rows.empty()) mem_snapshots.push_back(std::move(rows));
+    };
+    for (const auto& [start, mt] : filling_) snap(mt);
+    for (const auto& mt : sealed_) snap(mt);
+  }
+
+  uint64_t limit = opts_.server_row_limit > 0
+                       ? opts_.server_row_limit
+                       : std::numeric_limits<uint64_t>::max();
+  if (bounds.limit > 0 && bounds.limit < limit) limit = bounds.limit;
+
+  std::atomic<uint64_t> scanned{0};
+  std::vector<std::unique_ptr<Cursor>> cursors;
+  cursors.reserve(disk.size() + mem_snapshots.size());
+  for (const auto& reader : disk) {
+    std::unique_ptr<Cursor> c;
+    LT_RETURN_IF_ERROR(reader->NewCursor(bounds, schema.get(), &scanned, &c));
+    cursors.push_back(std::move(c));
+  }
+  for (auto& rows : mem_snapshots) {
+    scanned.fetch_add(rows.size());
+    cursors.push_back(
+        std::make_unique<VectorCursor>(std::move(rows), bounds.direction));
+  }
+
+  MergingCursor merged(schema.get(), std::move(cursors), bounds.direction);
+  LT_RETURN_IF_ERROR(merged.status());
+  while (merged.Valid()) {
+    const Row& row = merged.row();
+    if (bounds.TsInRange(row[schema->ts_index()].AsInt())) {
+      if (result->rows.size() >= limit) {
+        result->more_available = true;
+        break;
+      }
+      result->rows.push_back(row);
+    }
+    LT_RETURN_IF_ERROR(merged.Next());
+  }
+  LT_RETURN_IF_ERROR(merged.status());
+
+  result->rows_scanned = scanned.load();
+  stats_.rows_scanned.fetch_add(result->rows_scanned);
+  stats_.rows_returned.fetch_add(result->rows.size());
+  return Status::OK();
+}
+
+Status Table::LatestRowForPrefix(const Key& prefix, Row* row, bool* found) {
+  *found = false;
+  const Timestamp now = clock_->Now();
+
+  struct Source {
+    Timestamp min_ts, max_ts;
+    std::shared_ptr<TabletReader> reader;  // Null for in-memory snapshots.
+    std::vector<Row> rows;
+  };
+  std::vector<Source> sources;
+  std::shared_ptr<const Schema> schema;
+  Timestamp cutoff;
+  QueryBounds prefix_bounds = QueryBounds::ForPrefix(prefix);
+  prefix_bounds.direction = Direction::kDescending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    schema = schema_;
+    cutoff = ExpiryCutoffLocked(now);
+    for (const TabletMeta& m : tablets_) {
+      if (m.row_count == 0 || m.max_ts < cutoff) continue;
+      auto it = readers_.find(m.filename);
+      if (it == readers_.end()) {
+        return Status::Aborted("internal: no reader for tablet " + m.filename);
+      }
+      sources.push_back(Source{m.min_ts, m.max_ts, it->second, {}});
+    }
+    auto snap = [&](const std::shared_ptr<MemTablet>& mt) {
+      if (mt->empty() || mt->max_ts() < cutoff) return;
+      std::vector<Row> rows;
+      mt->Snapshot(prefix_bounds, &rows);
+      if (!rows.empty()) {
+        sources.push_back(Source{mt->min_ts(), mt->max_ts(), nullptr,
+                                 std::move(rows)});
+      }
+    };
+    for (const auto& [start, mt] : filling_) snap(mt);
+    for (const auto& mt : sealed_) snap(mt);
+  }
+  if (sources.empty()) return Status::OK();
+
+  std::sort(sources.begin(), sources.end(), [](const Source& a, const Source& b) {
+    return a.min_ts < b.min_ts;
+  });
+
+  // Group sources with overlapping timespans (§3.4.5): groups are disjoint
+  // in time, so the first (newest) group containing a match holds the
+  // global latest row.
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end)
+  size_t begin = 0;
+  Timestamp group_max = sources[0].max_ts;
+  for (size_t i = 1; i < sources.size(); i++) {
+    if (sources[i].min_ts > group_max) {
+      groups.emplace_back(begin, i);
+      begin = i;
+      group_max = sources[i].max_ts;
+    } else {
+      group_max = std::max(group_max, sources[i].max_ts);
+    }
+  }
+  groups.emplace_back(begin, sources.size());
+
+  const bool prefix_is_all_but_ts =
+      prefix.size() + 1 == schema->num_key_columns();
+
+  for (auto git = groups.rbegin(); git != groups.rend(); ++git) {
+    std::vector<std::unique_ptr<Cursor>> cursors;
+    for (size_t i = git->first; i < git->second; i++) {
+      Source& src = sources[i];
+      if (src.reader) {
+        LT_RETURN_IF_ERROR(src.reader->Load());
+        stats_.bloom_tablet_probes.fetch_add(1);
+        if (!src.reader->MayContainPrefix(prefix)) {
+          stats_.bloom_tablet_skips.fetch_add(1);
+          continue;
+        }
+        std::unique_ptr<Cursor> c;
+        LT_RETURN_IF_ERROR(src.reader->NewCursor(
+            prefix_bounds, schema.get(), &stats_.rows_scanned, &c));
+        cursors.push_back(std::move(c));
+      } else {
+        stats_.rows_scanned.fetch_add(src.rows.size());
+        cursors.push_back(std::make_unique<VectorCursor>(
+            std::move(src.rows), Direction::kDescending));
+      }
+    }
+    if (cursors.empty()) continue;
+    MergingCursor merged(schema.get(), std::move(cursors),
+                         Direction::kDescending);
+    LT_RETURN_IF_ERROR(merged.status());
+
+    bool have_best = false;
+    Row best;
+    Timestamp best_ts = 0;
+    while (merged.Valid()) {
+      const Row& r = merged.row();
+      Timestamp ts = r[schema->ts_index()].AsInt();
+      if (ts >= cutoff) {
+        if (!have_best || ts > best_ts) {
+          best = r;
+          best_ts = ts;
+          have_best = true;
+        }
+        // With the full key (minus ts) pinned, descending key order is
+        // descending timestamp order, so the first hit is the latest.
+        if (prefix_is_all_but_ts) break;
+      }
+      LT_RETURN_IF_ERROR(merged.Next());
+    }
+    if (have_best) {
+      *row = std::move(best);
+      *found = true;
+      stats_.rows_returned.fetch_add(1);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Schema evolution.
+
+Status Table::AppendColumn(const Column& column) {
+  std::lock_guard<std::mutex> insert_lock(insert_mu_);
+  LT_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Schema> next = schema_->WithAppendedColumn(column);
+  if (!next.ok()) return next.status();
+  schema_ = std::make_shared<const Schema>(std::move(*next));
+  return SaveDescriptorLocked();
+}
+
+Status Table::WidenColumn(const std::string& column_name) {
+  std::lock_guard<std::mutex> insert_lock(insert_mu_);
+  LT_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Schema> next = schema_->WithWidenedColumn(column_name);
+  if (!next.ok()) return next.status();
+  schema_ = std::make_shared<const Schema>(std::move(*next));
+  return SaveDescriptorLocked();
+}
+
+Status Table::SetTtl(Timestamp ttl) {
+  if (ttl < 0) return Status::InvalidArgument("negative TTL");
+  std::lock_guard<std::mutex> lock(mu_);
+  ttl_ = ttl;
+  return SaveDescriptorLocked();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+size_t Table::NumDiskTablets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tablets_.size();
+}
+
+size_t Table::NumMemTablets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filling_.size() + sealed_.size();
+}
+
+uint64_t Table::DiskBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const TabletMeta& m : tablets_) total += m.file_bytes;
+  return total;
+}
+
+uint64_t Table::ApproxMemBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [start, mt] : filling_) total += mt->ApproximateBytes();
+  for (const auto& mt : sealed_) total += mt->ApproximateBytes();
+  return total;
+}
+
+std::vector<TabletMeta> Table::DiskTablets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tablets_;
+}
+
+}  // namespace lt

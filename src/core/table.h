@@ -1,0 +1,181 @@
+// Table: one LittleTable table — the union of its in-memory filling tablets,
+// sealed tablets awaiting flush, and on-disk tablets (§3.2).
+//
+// Consistency and durability model (§2.3.4, §3.1):
+//   - Inserts are append-only; rows are never updated, only aged out by TTL.
+//   - Primary keys are unique, enforced at insert with the §3.4.4 fast
+//     paths.
+//   - A query that starts after an insert completes sees all of the
+//     insert's rows; a query concurrent with an insert may see some, all,
+//     or none of them.
+//   - There is no write-ahead log. The only crash guarantee is prefix
+//     durability: if a row survives a crash, every row inserted into the
+//     same table before it survives too. With multiple filling tablets
+//     (§3.4.3) this is maintained by the flush dependency graph: inserting
+//     into tablet t' right after tablet t adds the edge "t must flush
+//     before t'", and a flush persists the whole transitive closure in one
+//     atomic descriptor update.
+#ifndef LITTLETABLE_CORE_TABLE_H_
+#define LITTLETABLE_CORE_TABLE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/descriptor.h"
+#include "core/memtablet.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "core/tablet_reader.h"
+#include "env/env.h"
+#include "util/clock.h"
+
+namespace lt {
+
+/// The result of a query: rows in scan order, plus the §3.5 more-available
+/// flag the client uses to paginate with continuation queries.
+struct QueryResult {
+  std::vector<Row> rows;
+  bool more_available = false;
+  /// Rows the engine decoded to produce this result (Figure 9 numerator).
+  uint64_t rows_scanned = 0;
+};
+
+class Table {
+ public:
+  /// Creates a new table in `dir` (created if missing) and persists its
+  /// initial descriptor.
+  static Status Create(Env* env, std::shared_ptr<Clock> clock,
+                       const std::string& dir, const std::string& name,
+                       const Schema& schema, const TableOptions& options,
+                       std::unique_ptr<Table>* out);
+
+  /// Opens an existing table from its descriptor, removing any orphaned
+  /// tablet files left by a crash mid-flush.
+  static Status Open(Env* env, std::shared_ptr<Clock> clock,
+                     const std::string& dir, const TableOptions& options,
+                     std::unique_ptr<Table>* out);
+
+  const std::string& name() const { return name_; }
+  std::shared_ptr<const Schema> schema() const;
+  Timestamp ttl() const;
+
+  /// Inserts a batch of rows (each matching the current schema, timestamps
+  /// already assigned). Rejects the whole batch atomically if any key
+  /// duplicates an existing row or another row in the batch.
+  Status InsertBatch(const std::vector<Row>& rows);
+
+  /// Executes a 2-D bounded scan (§3.1). TTL-expired rows are filtered; the
+  /// row limit is min(bounds.limit, server cap), and more_available is set
+  /// if the scan stopped at the limit with rows remaining.
+  Status Query(const QueryBounds& bounds, QueryResult* result);
+
+  /// Finds the row with the largest timestamp whose key begins with
+  /// `prefix` (§3.4.5), walking tablet groups backwards through time and
+  /// skipping tablets via Bloom filters. Sets *found=false if none.
+  Status LatestRowForPrefix(const Key& prefix, Row* row, bool* found);
+
+  /// Seals and flushes every in-memory tablet.
+  Status FlushAll();
+
+  /// The §4.1.2 extension: flushes every in-memory tablet holding any row
+  /// with timestamp <= `ts` (plus dependency closures), so aggregators can
+  /// know their source data is durable without the 20-minute heuristic.
+  Status FlushThrough(Timestamp ts);
+
+  /// One maintenance pass: age-based seals, the flush queue, at most one
+  /// tablet merge, and TTL reclamation. The DB background thread calls this
+  /// periodically; deterministic tests call it directly.
+  Status MaintainNow();
+
+  /// True if a maintenance pass would do work right now.
+  bool HasMaintenanceWork();
+
+  // Schema evolution (§3.5). Each flushes in-memory data first; existing
+  // on-disk tablets are never rewritten.
+  Status AppendColumn(const Column& column);
+  Status WidenColumn(const std::string& column_name);
+  Status SetTtl(Timestamp ttl);
+
+  TableStats& stats() { return stats_; }
+
+  // Introspection (tests and benchmarks).
+  size_t NumDiskTablets() const;
+  size_t NumMemTablets() const;
+  uint64_t DiskBytes() const;
+  uint64_t ApproxMemBytes() const;
+  std::vector<TabletMeta> DiskTablets() const;
+  const std::string& dir() const { return dir_; }
+
+  /// Deletes every file belonging to the table in `dir`.
+  static Status Destroy(Env* env, const std::string& dir);
+
+ private:
+  Table(Env* env, std::shared_ptr<Clock> clock, std::string dir,
+        TableOptions options);
+
+  std::string DescriptorPath() const { return dir_ + "/DESC"; }
+  std::string TabletPath(const std::string& fname) const {
+    return dir_ + "/" + fname;
+  }
+
+  Timestamp ExpiryCutoffLocked(Timestamp now) const;
+
+  /// Uniqueness check for one row (§3.4.4); `batch_keys` carries encoded
+  /// keys earlier in the same batch. May read from disk (slow path).
+  Status CheckUnique(const Row& row, const std::set<std::string>& batch_keys);
+
+  /// Seals `mt` and moves it from filling_ to the flush queue. mu_ held.
+  /// Takes the pointer by value: callers often pass the shared_ptr living
+  /// inside the filling_ map node this function erases.
+  void SealLocked(std::shared_ptr<MemTablet> mt);
+
+  /// Flushes the given root tablets plus their dependency closures as one
+  /// atomic descriptor update.
+  Status FlushSet(std::vector<uint64_t> root_ids);
+
+  /// Performs at most one merge per call (§3.4.1).
+  Status MaybeMerge(Timestamp now);
+
+  /// Drops tablets whose rows have all expired (§3.3).
+  Status ReclaimExpired(Timestamp now);
+
+  Status SaveDescriptorLocked();
+
+  Env* const env_;
+  std::shared_ptr<Clock> clock_;
+  const std::string dir_;
+  TableOptions opts_;
+  std::string name_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const Schema> schema_;
+  Timestamp ttl_ = 0;
+  uint64_t next_file_seq_ = 1;
+  std::vector<TabletMeta> tablets_;  // Sorted by (min_ts, max_ts, name).
+  std::map<std::string, std::shared_ptr<TabletReader>> readers_;
+
+  std::map<Timestamp, std::shared_ptr<MemTablet>> filling_;  // By period start.
+  std::deque<std::shared_ptr<MemTablet>> sealed_;
+  // must_flush_first_[t'] = tablets that must flush before (or with) t'.
+  std::map<uint64_t, std::set<uint64_t>> must_flush_first_;
+  uint64_t last_insert_tablet_ = 0;
+  uint64_t next_memtablet_id_ = 1;
+  bool has_rows_ = false;
+  Timestamp max_row_ts_ = 0;  // Valid when has_rows_.
+
+  std::mutex insert_mu_;  // Serializes inserts; queries take only mu_.
+  std::mutex flush_mu_;   // Serializes flush I/O.
+  std::mutex merge_mu_;   // One merge at a time.
+
+  TableStats stats_;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_TABLE_H_

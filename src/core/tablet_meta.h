@@ -1,0 +1,31 @@
+// TabletMeta: what the table descriptor records about each on-disk tablet
+// (§3.2): its file, its timespan, and enough statistics for the flush,
+// merge, and TTL policies to run without touching the file itself.
+#ifndef LITTLETABLE_CORE_TABLET_META_H_
+#define LITTLETABLE_CORE_TABLET_META_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace lt {
+
+struct TabletMeta {
+  /// File name within the table directory (e.g. "000042.tab").
+  std::string filename;
+  /// Timespan: min and max row timestamps in the tablet (inclusive).
+  Timestamp min_ts = 0;
+  Timestamp max_ts = 0;
+  uint64_t file_bytes = 0;
+  uint64_t row_count = 0;
+  /// Wall-clock time the tablet was written; drives the pseudorandom merge
+  /// delay at period rollover (§3.4.2).
+  Timestamp flushed_at = 0;
+  /// Schema version the rows were encoded under (§3.5).
+  uint32_t schema_version = 1;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_TABLET_META_H_

@@ -1,0 +1,374 @@
+#include "core/tablet_reader.h"
+
+#include "core/row_codec.h"
+#include "core/tablet_writer.h"  // kTabletMagic, kTabletTrailerSize
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/lzmini.h"
+
+namespace lt {
+
+// Cursor over one tablet. Positions lazily load blocks; iteration order is
+// the scan direction. The cursor holds a shared_ptr to its reader so merges
+// can drop tablets while queries stream from them.
+class TabletCursor final : public Cursor {
+ public:
+  TabletCursor(std::shared_ptr<const TabletReader> reader,
+               const QueryBounds& bounds, const Schema* current_schema,
+               std::atomic<uint64_t>* scanned)
+      : reader_(std::move(reader)),
+        current_schema_(current_schema),
+        scanned_(scanned),
+        direction_(bounds.direction),
+        min_key_(bounds.min_key),
+        max_key_(bounds.max_key) {
+    needs_translation_ =
+        current_schema_->version() != reader_->tablet_schema().version();
+    Seek();
+  }
+
+  bool Valid() const override { return valid_; }
+  const Row& row() const override { return row_; }
+  Status status() const override { return status_; }
+
+  Status Next() override {
+    if (!valid_) return status_;
+    Advance();
+    return status_;
+  }
+
+ private:
+  void Fail(Status s) {
+    status_ = std::move(s);
+    valid_ = false;
+  }
+
+  // Positions at the first row in scan direction within the key bounds.
+  void Seek() {
+    const size_t nblocks = reader_->num_blocks();
+    if (nblocks == 0) return;
+    if (direction_ == Direction::kAscending) {
+      block_idx_ = 0;
+      row_idx_ = 0;
+      if (min_key_) {
+        block_idx_ = reader_->SeekBlock(min_key_->prefix, min_key_->inclusive);
+        if (block_idx_ >= nblocks) return;
+        Status s = reader_->ReadBlock(block_idx_, &block_);
+        if (!s.ok()) return Fail(s);
+        block_loaded_ = true;
+        size_t idx;
+        s = block_.SeekFirst(min_key_->prefix, min_key_->inclusive, &idx);
+        if (!s.ok()) return Fail(s);
+        row_idx_ = idx;
+        // The index guarantees the block's *last* key satisfies the bound,
+        // so idx < num_rows always; be defensive anyway.
+        if (row_idx_ >= block_.num_rows()) return;
+      }
+    } else {
+      // Descending: find the position one past the last qualifying row,
+      // then step back.
+      size_t end_block, end_row;
+      if (max_key_) {
+        // First row with compare > 0 (inclusive bound) or >= 0 (exclusive).
+        bool or_equal_for_end = !max_key_->inclusive;
+        end_block = reader_->SeekBlock(max_key_->prefix, or_equal_for_end);
+        if (end_block >= nblocks) {
+          end_block = nblocks - 1;
+          Status s = reader_->ReadBlock(end_block, &block_);
+          if (!s.ok()) return Fail(s);
+          block_loaded_ = true;
+          block_idx_ = end_block;
+          end_row = block_.num_rows();
+        } else {
+          Status s = reader_->ReadBlock(end_block, &block_);
+          if (!s.ok()) return Fail(s);
+          block_loaded_ = true;
+          block_idx_ = end_block;
+          size_t idx;
+          s = block_.SeekFirst(max_key_->prefix, or_equal_for_end, &idx);
+          if (!s.ok()) return Fail(s);
+          end_row = idx;
+        }
+      } else {
+        end_block = nblocks - 1;
+        Status s = reader_->ReadBlock(end_block, &block_);
+        if (!s.ok()) return Fail(s);
+        block_loaded_ = true;
+        block_idx_ = end_block;
+        end_row = block_.num_rows();
+      }
+      // Step back one row, possibly into the previous block.
+      if (end_row == 0) {
+        if (block_idx_ == 0) return;  // Nothing before the bound.
+        block_idx_--;
+        Status s = reader_->ReadBlock(block_idx_, &block_);
+        if (!s.ok()) return Fail(s);
+        if (block_.num_rows() == 0) return Fail(Status::Corruption("empty block"));
+        row_idx_ = block_.num_rows() - 1;
+      } else {
+        row_idx_ = end_row - 1;
+      }
+    }
+    LoadCurrentRow();
+  }
+
+  // Decodes the row at (block_idx_, row_idx_), applies the trailing key
+  // bound, and translates schemas if needed.
+  void LoadCurrentRow() {
+    if (!block_loaded_) {
+      Status s = reader_->ReadBlock(block_idx_, &block_);
+      if (!s.ok()) return Fail(s);
+      block_loaded_ = true;
+    }
+    Row raw;
+    Status s = block_.RowAt(row_idx_, &raw);
+    if (!s.ok()) return Fail(s);
+    if (scanned_) scanned_->fetch_add(1, std::memory_order_relaxed);
+
+    // Trailing bound: max_key when ascending, min_key when descending.
+    const Schema& ts_schema = reader_->tablet_schema();
+    if (direction_ == Direction::kAscending && max_key_) {
+      int c = ts_schema.CompareKeyToPrefix(raw, max_key_->prefix);
+      if (max_key_->inclusive ? c > 0 : c >= 0) {
+        valid_ = false;
+        return;
+      }
+    }
+    if (direction_ == Direction::kDescending && min_key_) {
+      int c = ts_schema.CompareKeyToPrefix(raw, min_key_->prefix);
+      if (min_key_->inclusive ? c < 0 : c <= 0) {
+        valid_ = false;
+        return;
+      }
+    }
+    row_ = needs_translation_
+               ? current_schema_->TranslateRow(ts_schema, raw)
+               : std::move(raw);
+    valid_ = true;
+  }
+
+  void Advance() {
+    if (direction_ == Direction::kAscending) {
+      row_idx_++;
+      if (row_idx_ >= block_.num_rows()) {
+        block_idx_++;
+        if (block_idx_ >= reader_->num_blocks()) {
+          valid_ = false;
+          return;
+        }
+        Status s = reader_->ReadBlock(block_idx_, &block_);
+        if (!s.ok()) return Fail(s);
+        row_idx_ = 0;
+      }
+    } else {
+      if (row_idx_ == 0) {
+        if (block_idx_ == 0) {
+          valid_ = false;
+          return;
+        }
+        block_idx_--;
+        Status s = reader_->ReadBlock(block_idx_, &block_);
+        if (!s.ok()) return Fail(s);
+        if (block_.num_rows() == 0) return Fail(Status::Corruption("empty block"));
+        row_idx_ = block_.num_rows() - 1;
+      } else {
+        row_idx_--;
+      }
+    }
+    LoadCurrentRow();
+  }
+
+  std::shared_ptr<const TabletReader> reader_;
+  const Schema* current_schema_;
+  std::atomic<uint64_t>* scanned_;
+  Direction direction_;
+  std::optional<KeyBound> min_key_, max_key_;
+  bool needs_translation_ = false;
+
+  BlockReader block_;
+  bool block_loaded_ = false;
+  size_t block_idx_ = 0;
+  size_t row_idx_ = 0;
+  Row row_;
+  bool valid_ = false;
+  Status status_;
+};
+
+Status TabletReader::Open(Env* env, const std::string& fname,
+                          std::shared_ptr<TabletReader>* out) {
+  std::shared_ptr<TabletReader> reader(new TabletReader());
+  reader->env_ = env;
+  reader->fname_ = fname;
+  if (!env->FileExists(fname)) return Status::NotFound(fname);
+  *out = std::move(reader);
+  return Status::OK();
+}
+
+Status TabletReader::Load() const {
+  std::lock_guard<std::mutex> lock(load_mu_);
+  return LoadLocked();
+}
+
+Status TabletReader::LoadLocked() const {
+  if (loaded_) return load_status_;
+  loaded_ = true;
+  TabletReader* self = const_cast<TabletReader*>(this);
+  load_status_ = env_->NewRandomAccessFile(fname_, &self->file_);
+  if (load_status_.ok()) load_status_ = self->LoadFooter(fname_);
+  return load_status_;
+}
+
+Status TabletReader::LoadFooter(const std::string& fname) {
+  uint64_t file_size;
+  LT_RETURN_IF_ERROR(file_->Size(&file_size));
+  if (file_size < kTabletTrailerSize) {
+    return Status::Corruption(fname + ": too small to be a tablet");
+  }
+
+  // Trailer read: one seek on a cold tablet.
+  char trailer_buf[kTabletTrailerSize];
+  Slice trailer;
+  LT_RETURN_IF_ERROR(file_->Read(file_size - kTabletTrailerSize,
+                                 kTabletTrailerSize, &trailer, trailer_buf));
+  if (trailer.size() != kTabletTrailerSize) {
+    return Status::Corruption(fname + ": truncated trailer");
+  }
+  Slice in = trailer;
+  uint32_t footer_crc;
+  uint64_t footer_size, footer_offset, magic;
+  GetFixed32(&in, &footer_crc);
+  GetFixed64(&in, &footer_size);
+  GetFixed64(&in, &footer_offset);
+  GetFixed64(&in, &magic);
+  if (magic != kTabletMagic) {
+    return Status::Corruption(fname + ": bad magic");
+  }
+  uint64_t footer_end = file_size - kTabletTrailerSize;
+  if (footer_offset > footer_end) {
+    return Status::Corruption(fname + ": bad footer offset");
+  }
+
+  // Footer read: the second seek.
+  size_t stored_len = static_cast<size_t>(footer_end - footer_offset);
+  std::string stored_buf(stored_len, '\0');
+  Slice stored;
+  LT_RETURN_IF_ERROR(
+      file_->Read(footer_offset, stored_len, &stored, stored_buf.data()));
+  if (stored.size() != stored_len) {
+    return Status::Corruption(fname + ": truncated footer");
+  }
+  if (crc32c::Unmask(footer_crc) !=
+      crc32c::Value(stored.data(), stored.size())) {
+    return Status::Corruption(fname + ": footer checksum mismatch");
+  }
+  std::string footer;
+  LT_RETURN_IF_ERROR(lzmini::Decompress(stored, &footer));
+  if (footer.size() != footer_size) {
+    return Status::Corruption(fname + ": footer size mismatch");
+  }
+
+  Slice f(footer);
+  LT_RETURN_IF_ERROR(Schema::DecodeFrom(&f, &schema_));
+  uint64_t nblocks;
+  if (!GetVarint64(&f, &nblocks) || nblocks > (1ull << 32)) {
+    return Status::Corruption(fname + ": bad block count");
+  }
+  index_.reserve(nblocks);
+  for (uint64_t i = 0; i < nblocks; i++) {
+    IndexEntry e;
+    uint64_t offset;
+    uint32_t stored32, payload32, rows32;
+    Slice key_enc;
+    if (!GetVarint64(&f, &offset) || !GetVarint32(&f, &stored32) ||
+        !GetVarint32(&f, &payload32) || !GetVarint32(&f, &rows32) ||
+        !GetLengthPrefixedSlice(&f, &key_enc)) {
+      return Status::Corruption(fname + ": bad index entry");
+    }
+    e.offset = offset;
+    e.stored_len = stored32;
+    e.payload_len = payload32;
+    e.row_count = rows32;
+    Slice key_in = key_enc;
+    LT_RETURN_IF_ERROR(DecodeKey(&key_in, schema_, &e.last_key));
+    index_.push_back(std::move(e));
+  }
+  uint64_t zz_min, zz_max;
+  if (!GetVarint64(&f, &zz_min) || !GetVarint64(&f, &zz_max) ||
+      !GetVarint64(&f, &row_count_)) {
+    return Status::Corruption(fname + ": bad footer stats");
+  }
+  min_ts_ = ZigZagDecode(zz_min);
+  max_ts_ = ZigZagDecode(zz_max);
+  Slice min_key_enc, max_key_enc, bloom_enc;
+  if (!GetLengthPrefixedSlice(&f, &min_key_enc) ||
+      !GetLengthPrefixedSlice(&f, &max_key_enc) ||
+      !GetLengthPrefixedSlice(&f, &bloom_enc)) {
+    return Status::Corruption(fname + ": bad footer keys");
+  }
+  if (row_count_ > 0) {
+    Slice kin = min_key_enc;
+    LT_RETURN_IF_ERROR(DecodeKey(&kin, schema_, &min_key_));
+    kin = max_key_enc;
+    LT_RETURN_IF_ERROR(DecodeKey(&kin, schema_, &max_key_));
+  }
+  if (!bloom_enc.empty()) {
+    LT_RETURN_IF_ERROR(BloomFilter::Parse(bloom_enc, &bloom_));
+    has_bloom_ = true;
+  }
+  return Status::OK();
+}
+
+Status TabletReader::ReadBlock(size_t i, BlockReader* out) const {
+  const IndexEntry& e = index_[i];
+  std::string buf(e.stored_len, '\0');
+  Slice stored;
+  LT_RETURN_IF_ERROR(file_->Read(e.offset, e.stored_len, &stored, buf.data()));
+  if (stored.size() != e.stored_len) {
+    return Status::Corruption("truncated block read");
+  }
+  std::string payload;
+  LT_RETURN_IF_ERROR(LoadBlock(stored, &payload));
+  if (payload.size() != e.payload_len) {
+    return Status::Corruption("block payload size mismatch");
+  }
+  return BlockReader::Parse(&schema_, std::move(payload), out);
+}
+
+size_t TabletReader::SeekBlock(const Key& prefix, bool or_equal) const {
+  // First block whose last key satisfies compare >= 0 (or > 0): all earlier
+  // blocks end before the bound, so the target row cannot be in them.
+  size_t lo = 0, hi = index_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    int c = schema_.CompareKeyToPrefix(index_[mid].last_key, prefix);
+    bool before = or_equal ? c < 0 : c <= 0;
+    if (before) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool TabletReader::MayContainPrefix(const Key& prefix) const {
+  if (!has_bloom_) return true;
+  std::string enc;
+  EncodeKey(&enc, schema_, prefix);
+  return bloom_.MayContain(enc);
+}
+
+Status TabletReader::NewCursor(const QueryBounds& bounds,
+                               const Schema* current_schema,
+                               std::atomic<uint64_t>* scanned,
+                               std::unique_ptr<Cursor>* out) {
+  LT_RETURN_IF_ERROR(Load());
+  auto cursor = std::make_unique<TabletCursor>(shared_from_this(), bounds,
+                                               current_schema, scanned);
+  Status s = cursor->status();
+  if (!s.ok()) return s;
+  *out = std::move(cursor);
+  return Status::OK();
+}
+
+}  // namespace lt

@@ -1,0 +1,140 @@
+#include "core/tablet_writer.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/lzmini.h"
+
+namespace lt {
+
+TabletWriter::TabletWriter(Env* env, std::string fname, const Schema* schema,
+                           TabletWriterOptions options)
+    : env_(env),
+      fname_(std::move(fname)),
+      schema_(schema),
+      opts_(options),
+      block_(schema),
+      bloom_(options.bloom_bits_per_key > 0 ? options.bloom_bits_per_key : 1) {
+  open_status_ = env_->NewWritableFile(fname_, &file_);
+}
+
+Status TabletWriter::Add(const Row& row) {
+  LT_RETURN_IF_ERROR(open_status_);
+  if (!schema_->RowMatches(row)) {
+    return Status::InvalidArgument("row does not match tablet schema");
+  }
+  if (rows_added_ > 0 && schema_->CompareKeys(last_row_, row) >= 0) {
+    return Status::InvalidArgument("rows not in strictly ascending key order");
+  }
+
+  std::string key_enc;
+  EncodeKey(&key_enc, *schema_, schema_->KeyOf(row));
+  if (opts_.bloom_bits_per_key > 0) {
+    // Every proper prefix of the key (for §3.4.5 latest-row queries) plus
+    // the full key (for §3.4.4 duplicate checks). Prefix encodings are
+    // length-delimited per cell, so prefix i is a byte prefix of the key;
+    // we still hash each cumulative encoding separately for exact lookups.
+    std::string prefix_enc;
+    for (size_t i = 0; i + 1 < schema_->num_key_columns(); i++) {
+      EncodeValue(&prefix_enc, row[i], schema_->columns()[i].type);
+      bloom_.Add(prefix_enc);
+    }
+    bloom_.Add(key_enc);
+  }
+
+  Timestamp ts = row[schema_->ts_index()].AsInt();
+  if (rows_added_ == 0) {
+    min_ts_ = max_ts_ = ts;
+    min_key_ = key_enc;
+  } else {
+    if (ts < min_ts_) min_ts_ = ts;
+    if (ts > max_ts_) max_ts_ = ts;
+  }
+  max_key_ = key_enc;
+  pending_last_key_ = std::move(key_enc);
+  last_row_ = row;
+  rows_added_++;
+
+  block_.Add(row);
+  if (block_.data_bytes() >= opts_.block_bytes) {
+    LT_RETURN_IF_ERROR(FlushBlock());
+  }
+  return Status::OK();
+}
+
+Status TabletWriter::FlushBlock() {
+  if (block_.empty()) return Status::OK();
+  IndexEntry entry;
+  entry.last_key = pending_last_key_;
+  entry.offset = file_offset_;
+  entry.row_count = static_cast<uint32_t>(block_.num_rows());
+  std::string payload = block_.Finish();
+  entry.payload_len = static_cast<uint32_t>(payload.size());
+  std::string stored = StoreBlock(payload);
+  entry.stored_len = static_cast<uint32_t>(stored.size());
+  LT_RETURN_IF_ERROR(file_->Append(stored));
+  file_offset_ += stored.size();
+  index_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status TabletWriter::Finish(TabletMeta* meta) {
+  LT_RETURN_IF_ERROR(open_status_);
+  if (finished_) return Status::InvalidArgument("Finish called twice");
+  finished_ = true;
+  LT_RETURN_IF_ERROR(FlushBlock());
+
+  // Assemble the footer payload.
+  std::string footer;
+  schema_->EncodeTo(&footer);
+  PutVarint64(&footer, index_.size());
+  for (const IndexEntry& e : index_) {
+    PutVarint64(&footer, e.offset);
+    PutVarint32(&footer, e.stored_len);
+    PutVarint32(&footer, e.payload_len);
+    PutVarint32(&footer, e.row_count);
+    PutLengthPrefixedSlice(&footer, e.last_key);
+  }
+  PutVarint64(&footer, ZigZagEncode(min_ts_));
+  PutVarint64(&footer, ZigZagEncode(max_ts_));
+  PutVarint64(&footer, rows_added_);
+  PutLengthPrefixedSlice(&footer, min_key_);
+  PutLengthPrefixedSlice(&footer, max_key_);
+  if (opts_.bloom_bits_per_key > 0 && rows_added_ > 0) {
+    PutLengthPrefixedSlice(&footer, bloom_.Finish());
+  } else {
+    PutLengthPrefixedSlice(&footer, Slice());
+  }
+
+  std::string compressed;
+  lzmini::Compress(footer, &compressed);
+  const uint64_t footer_offset = file_offset_;
+  LT_RETURN_IF_ERROR(file_->Append(compressed));
+  file_offset_ += compressed.size();
+
+  std::string trailer;
+  PutFixed32(&trailer, crc32c::Mask(crc32c::Value(compressed.data(),
+                                                  compressed.size())));
+  PutFixed64(&trailer, footer.size());
+  PutFixed64(&trailer, footer_offset);
+  PutFixed64(&trailer, kTabletMagic);
+  LT_RETURN_IF_ERROR(file_->Append(trailer));
+  file_offset_ += trailer.size();
+
+  if (opts_.sync) LT_RETURN_IF_ERROR(file_->Sync());
+  LT_RETURN_IF_ERROR(file_->Close());
+
+  meta->filename = fname_;
+  meta->min_ts = min_ts_;
+  meta->max_ts = max_ts_;
+  meta->file_bytes = file_offset_;
+  meta->row_count = rows_added_;
+  meta->schema_version = schema_->version();
+  return Status::OK();
+}
+
+void TabletWriter::Abandon() {
+  file_.reset();
+  env_->RemoveFile(fname_);
+}
+
+}  // namespace lt

@@ -1,0 +1,99 @@
+// TabletWriter: serializes a sorted row stream into an on-disk tablet file.
+//
+// File layout (§3.2, §3.5):
+//
+//   block 0 … block N-1          (see block.h for the per-block framing)
+//   footer                       (compressed; see below)
+//   trailer (28 bytes):
+//     fixed32 masked-CRC32C of the compressed footer
+//     fixed64 footer decompressed size     \  the "final two words"
+//     fixed64 footer offset in the file    /  the paper describes
+//     fixed64 magic
+//
+// The footer payload carries the tablet's schema, the block index (last key,
+// offset, sizes, row count per block), the tablet timespan, min/max keys,
+// and the optional Bloom filter over key prefixes (§3.4.5). On average the
+// index is ~0.5% of the tablet, so readers cache it in memory indefinitely.
+//
+// Both flushes (§3.4.1) and merges write tablets through this class, always
+// as one long sequential write — that is the core of LittleTable's insert
+// efficiency on spinning disks.
+#ifndef LITTLETABLE_CORE_TABLET_WRITER_H_
+#define LITTLETABLE_CORE_TABLET_WRITER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/block.h"
+#include "core/tablet_meta.h"
+#include "env/env.h"
+#include "util/bloom.h"
+
+namespace lt {
+
+constexpr uint64_t kTabletMagic = 0x6c74746162317631ull;  // "lttab1v1"
+constexpr size_t kTabletTrailerSize = 4 + 8 + 8 + 8;
+
+struct TabletWriterOptions {
+  /// Uncompressed row bytes per block.
+  size_t block_bytes = 64 * 1024;
+  /// Bloom filter over key prefixes; <= 0 disables it.
+  int bloom_bits_per_key = 10;
+  /// Sync the file before Finish returns (flushes must sync before the
+  /// descriptor references the tablet).
+  bool sync = true;
+};
+
+class TabletWriter {
+ public:
+  /// Creates `fname` for writing. `schema` must outlive the writer.
+  TabletWriter(Env* env, std::string fname, const Schema* schema,
+               TabletWriterOptions options);
+
+  /// Appends a row. Rows must arrive in strictly ascending key order (the
+  /// writer checks and rejects regressions — flushes and merges both
+  /// produce sorted, duplicate-free streams).
+  Status Add(const Row& row);
+
+  uint64_t rows_added() const { return rows_added_; }
+
+  /// Writes the final block, footer, and trailer; syncs and closes. Fills
+  /// `meta` (everything except flushed_at, which the caller stamps).
+  Status Finish(TabletMeta* meta);
+
+  /// Abandons the file (best effort removal).
+  void Abandon();
+
+ private:
+  struct IndexEntry {
+    std::string last_key;  // Encoded full key of the block's last row.
+    uint64_t offset;
+    uint32_t stored_len;
+    uint32_t payload_len;
+    uint32_t row_count;
+  };
+
+  Status FlushBlock();
+
+  Env* env_;
+  std::string fname_;
+  const Schema* schema_;
+  TabletWriterOptions opts_;
+  std::unique_ptr<WritableFile> file_;
+  Status open_status_;
+
+  BlockBuilder block_;
+  std::vector<IndexEntry> index_;
+  BloomFilterBuilder bloom_;
+  uint64_t file_offset_ = 0;
+  uint64_t rows_added_ = 0;
+  Timestamp min_ts_ = 0, max_ts_ = 0;
+  std::string min_key_, max_key_;   // Encoded full keys.
+  Row last_row_;                    // For ordering checks.
+  std::string pending_last_key_;    // Encoded key of last row in open block.
+  bool finished_ = false;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_TABLET_WRITER_H_

@@ -1,0 +1,88 @@
+// Env: the filesystem abstraction behind the storage engine.
+//
+// Everything the engine does to stable storage goes through an Env, which
+// lets the same code run against the real filesystem (PosixEnv), an
+// in-memory store with crash simulation (MemEnv), or a seek/throughput model
+// of a spinning disk (SimDiskEnv). The engine relies on two POSIX-grade
+// guarantees: RenameFile is atomic (table descriptors, §3.2) and appends to a
+// WritableFile become visible in order.
+#ifndef LITTLETABLE_ENV_ENV_H_
+#define LITTLETABLE_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lt {
+
+/// A file being read from front to back.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  /// Reads up to n bytes. `*result` points into `scratch` (or an internal
+  /// buffer) and is empty at EOF.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// A file supporting positional reads from multiple threads.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to n bytes at `offset`. Short reads at EOF are not an error.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual Status Size(uint64_t* size) const = 0;
+};
+
+/// A file being written by appending.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  /// Flushes application and OS buffers to the device.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Filesystem interface.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  /// Atomic replace, per POSIX rename(2).
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& dst) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dirname) = 0;
+  /// Lists immediate children of `dirname` (names only, no paths).
+  virtual Status GetChildren(const std::string& dirname,
+                             std::vector<std::string>* result) = 0;
+
+  /// The real-filesystem Env (process-wide singleton).
+  static Env* Default();
+};
+
+/// Reads an entire file into `*data`.
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+/// Writes `data` to `fname` (replacing it), optionally syncing.
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
+                         bool sync);
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_ENV_ENV_H_

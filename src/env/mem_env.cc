@@ -1,0 +1,210 @@
+#include "env/mem_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lt {
+namespace {
+
+std::string DirPrefix(const std::string& dirname) {
+  if (!dirname.empty() && dirname.back() == '/') return dirname;
+  return dirname + "/";
+}
+
+}  // namespace
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(MemEnv::FileRef file) : file_(std::move(file)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    if (pos_ >= file_->data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t take = std::min(n, file_->data.size() - pos_);
+    memcpy(scratch, file_->data.data() + pos_, take);
+    *result = Slice(scratch, take);
+    pos_ += take;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  MemEnv::FileRef file_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(MemEnv::FileRef file) : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    if (offset >= file_->data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t take =
+        std::min(n, file_->data.size() - static_cast<size_t>(offset));
+    memcpy(scratch, file_->data.data() + offset, take);
+    *result = Slice(scratch, take);
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* size) const override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    *size = file_->data.size();
+    return Status::OK();
+  }
+
+ private:
+  MemEnv::FileRef file_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(MemEnv::FileRef file) : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    file_->data.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    file_->synced = file_->data.size();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  MemEnv::FileRef file_;
+};
+
+Status MemEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  result->reset(new MemSequentialFile(it->second));
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  result->reset(new MemRandomAccessFile(it->second));
+  return Status::OK();
+}
+
+Status MemEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto file = std::make_shared<FileState>();
+  files_[fname] = file;
+  result->reset(new MemWritableFile(std::move(file)));
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.find(fname) != files_.end();
+}
+
+Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  std::lock_guard<std::mutex> flock(it->second->mu);
+  *size = it->second->data.size();
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(fname) == 0) return Status::NotFound(fname);
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& src, const std::string& dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound(src);
+  files_[dst] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string& dirname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirs_.insert(DirPrefix(dirname));
+  return Status::OK();
+}
+
+Status MemEnv::GetChildren(const std::string& dirname,
+                           std::vector<std::string>* result) {
+  result->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = DirPrefix(dirname);
+  std::set<std::string> names;
+  for (const auto& [name, state] : files_) {
+    if (name.size() > prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+      std::string rest = name.substr(prefix.size());
+      // Files directly inside the directory, plus the first path component
+      // of deeper files (i.e. subdirectory names).
+      size_t slash = rest.find('/');
+      if (slash != std::string::npos) rest.resize(slash);
+      names.insert(std::move(rest));
+    }
+  }
+  for (const std::string& dir : dirs_) {
+    if (dir.size() > prefix.size() &&
+        dir.compare(0, prefix.size(), prefix) == 0) {
+      std::string rest = dir.substr(prefix.size());
+      if (!rest.empty() && rest.back() == '/') rest.pop_back();
+      size_t slash = rest.find('/');
+      if (slash != std::string::npos) rest.resize(slash);
+      if (!rest.empty()) names.insert(std::move(rest));
+    }
+  }
+  result->assign(names.begin(), names.end());
+  return Status::OK();
+}
+
+void MemEnv::DropUnsynced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.begin(); it != files_.end();) {
+    std::unique_lock<std::mutex> flock(it->second->mu);
+    if (it->second->synced == 0) {
+      flock.unlock();
+      it = files_.erase(it);
+    } else {
+      it->second->data.resize(it->second->synced);
+      ++it;
+    }
+  }
+}
+
+uint64_t MemEnv::TotalBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, state] : files_) {
+    std::lock_guard<std::mutex> flock(state->mu);
+    total += state->data.size();
+  }
+  return total;
+}
+
+}  // namespace lt

@@ -1,0 +1,70 @@
+// MemEnv: an in-memory Env with crash simulation.
+//
+// Every file tracks how many of its bytes have been Sync()'d. DropUnsynced()
+// models a machine crash: unsynced suffixes vanish, never-synced files
+// disappear entirely. The durability property tests (§3.1's "if a row
+// survives, every earlier insert survives") iterate crash points with this.
+//
+// Open handles hold a reference to the file's state, matching POSIX
+// semantics: a file removed or renamed while open remains readable through
+// existing handles (merges delete source tablets while queries still hold
+// cursors on them).
+#ifndef LITTLETABLE_ENV_MEM_ENV_H_
+#define LITTLETABLE_ENV_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "env/env.h"
+
+namespace lt {
+
+class MemEnv final : public Env {
+ public:
+  MemEnv() = default;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status RenameFile(const std::string& src, const std::string& dst) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override;
+
+  /// Simulates a crash: truncates every file to its synced length and
+  /// removes files that were never synced.
+  void DropUnsynced();
+
+  /// Total bytes across all (linked) files, for space-accounting tests.
+  uint64_t TotalBytes();
+
+ private:
+  struct FileState {
+    std::mutex mu;
+    std::string data;
+    size_t synced = 0;
+  };
+  using FileRef = std::shared_ptr<FileState>;
+
+  friend class MemSequentialFile;
+  friend class MemRandomAccessFile;
+  friend class MemWritableFile;
+
+  std::mutex mu_;
+  std::map<std::string, FileRef> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_ENV_MEM_ENV_H_

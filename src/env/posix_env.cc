@@ -1,0 +1,228 @@
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "env/env.h"
+
+namespace lt {
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) return Status::NotFound(context + ": " + strerror(err));
+  return Status::IOError(context + ": " + strerror(err));
+}
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixSequentialFile() override { close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ssize_t r = read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      *result = Slice(scratch, static_cast<size_t>(r));
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (lseek(fd_, static_cast<off_t>(n), SEEK_CUR) < 0) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixRandomAccessFile() override { close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = pread(fd_, scratch + got, n - got,
+                        static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      if (r == 0) break;  // EOF.
+      got += static_cast<size_t>(r);
+    }
+    *result = Slice(scratch, got);
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* size) const override {
+    struct stat st;
+    if (fstat(fd_, &st) != 0) return PosixError(fname_, errno);
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  Status Append(const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t w = write(fd_, p, left);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      p += w;
+      left -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fdatasync(fd_) != 0) return PosixError(fname_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    int fd = fd_;
+    fd_ = -1;
+    if (close(fd) != 0) return PosixError(fname_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return PosixError(fname, errno);
+    result->reset(new PosixSequentialFile(fname, fd));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return PosixError(fname, errno);
+    result->reset(new PosixRandomAccessFile(fname, fd));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd =
+        open(fname.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return PosixError(fname, errno);
+    result->reset(new PosixWritableFile(fname, fd));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return access(fname.c_str(), F_OK) == 0;
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct stat st;
+    if (stat(fname.c_str(), &st) != 0) return PosixError(fname, errno);
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (unlink(fname.c_str()) != 0) return PosixError(fname, errno);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    if (rename(src.c_str(), dst.c_str()) != 0) return PosixError(src, errno);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    if (mkdir(dirname.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    DIR* d = opendir(dirname.c_str());
+    if (d == nullptr) return PosixError(dirname, errno);
+    struct dirent* entry;
+    while ((entry = readdir(d)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") result->push_back(std::move(name));
+    }
+    closedir(d);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status ReadFileToString(Env* env, const std::string& fname,
+                        std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  LT_RETURN_IF_ERROR(env->NewSequentialFile(fname, &file));
+  static constexpr size_t kBufSize = 64 << 10;
+  std::string scratch(kBufSize, '\0');
+  while (true) {
+    Slice chunk;
+    LT_RETURN_IF_ERROR(file->Read(kBufSize, &chunk, scratch.data()));
+    if (chunk.empty()) break;
+    data->append(chunk.data(), chunk.size());
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
+                         bool sync) {
+  std::unique_ptr<WritableFile> file;
+  LT_RETURN_IF_ERROR(env->NewWritableFile(fname, &file));
+  LT_RETURN_IF_ERROR(file->Append(data));
+  if (sync) LT_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+}  // namespace lt

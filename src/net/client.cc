@@ -1,0 +1,380 @@
+#include "net/client.h"
+
+#include "core/row_codec.h"
+#include "util/coding.h"
+
+namespace lt {
+
+using wire::ErrCode;
+using wire::MsgType;
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       std::unique_ptr<Client>* out) {
+  std::unique_ptr<Client> client(new Client());
+  LT_RETURN_IF_ERROR(net::Connect(host, port, &client->conn_));
+  LT_RETURN_IF_ERROR(client->Ping());
+  *out = std::move(client);
+  return Status::OK();
+}
+
+Status Client::ReadFrame(MsgType* type, std::string* body) {
+  char len_buf[4];
+  LT_RETURN_IF_ERROR(conn_.ReadAll(len_buf, 4));
+  uint32_t len = DecodeFixed32(len_buf);
+  if (len == 0 || len > wire::kMaxFrameBytes) {
+    return Status::NetworkError("bad frame length");
+  }
+  std::string payload(len, '\0');
+  LT_RETURN_IF_ERROR(conn_.ReadAll(payload.data(), len));
+  *type = static_cast<MsgType>(payload[0]);
+  body->assign(payload, 1, payload.size() - 1);
+  return Status::OK();
+}
+
+Status Client::ErrorFromBody(Slice body) {
+  if (body.empty()) return Status::NetworkError("malformed error frame");
+  ErrCode code = static_cast<ErrCode>(body[0]);
+  body.remove_prefix(1);
+  Slice message;
+  GetLengthPrefixedSlice(&body, &message);
+  return wire::StatusForCode(code, message.ToString());
+}
+
+Status Client::RoundTrip(MsgType type, const std::string& body,
+                         MsgType* resp_type, std::string* resp_body) {
+  std::string frame = wire::Frame(type, body);
+  LT_RETURN_IF_ERROR(conn_.WriteAll(frame.data(), frame.size()));
+  return ReadFrame(resp_type, resp_body);
+}
+
+Status Client::Ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kPing, "", &type, &body));
+  if (type != MsgType::kOk) return Status::NetworkError("bad ping response");
+  return Status::OK();
+}
+
+Status Client::ListTables(std::vector<std::string>* names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kListTables, "", &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  if (type != MsgType::kTableList) {
+    return Status::NetworkError("unexpected response");
+  }
+  Slice in(body);
+  uint32_t count;
+  if (!GetVarint32(&in, &count)) return Status::Corruption("bad table list");
+  names->clear();
+  for (uint32_t i = 0; i < count; i++) {
+    Slice name;
+    if (!GetLengthPrefixedSlice(&in, &name)) {
+      return Status::Corruption("bad table list");
+    }
+    names->push_back(name.ToString());
+  }
+  return Status::OK();
+}
+
+Status Client::CreateTable(const std::string& table, const Schema& schema,
+                           Timestamp ttl) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  schema.EncodeTo(&req);
+  PutVarint64(&req, static_cast<uint64_t>(ttl));
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kCreateTable, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  return Status::OK();
+}
+
+Status Client::DropTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schema_cache_.erase(table);
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kDropTable, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  return Status::OK();
+}
+
+Status Client::GetTableInfo(const std::string& table, Schema* schema,
+                            Timestamp* ttl) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kGetTable, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  if (type != MsgType::kTableInfo) {
+    return Status::NetworkError("unexpected response");
+  }
+  Slice in(body);
+  LT_RETURN_IF_ERROR(Schema::DecodeFrom(&in, schema));
+  uint64_t ttl_u;
+  if (!GetVarint64(&in, &ttl_u)) return Status::Corruption("bad table info");
+  if (ttl != nullptr) *ttl = static_cast<Timestamp>(ttl_u);
+  schema_cache_[table] = std::make_shared<const Schema>(*schema);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Schema>> Client::SchemaLocked(
+    const std::string& table) {
+  auto it = schema_cache_.find(table);
+  if (it != schema_cache_.end()) return it->second;
+  // Inline fetch (mu_ held): mirror GetTableInfo's body.
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kGetTable, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  if (type != MsgType::kTableInfo) {
+    return Status::NetworkError("unexpected response");
+  }
+  Slice in(body);
+  Schema schema;
+  LT_RETURN_IF_ERROR(Schema::DecodeFrom(&in, &schema));
+  auto shared = std::make_shared<const Schema>(std::move(schema));
+  schema_cache_[table] = shared;
+  return shared;
+}
+
+Result<std::shared_ptr<const Schema>> Client::TableSchema(
+    const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SchemaLocked(table);
+}
+
+void Client::InvalidateSchema(const std::string& table) {
+  schema_cache_.erase(table);
+}
+
+Status Client::Insert(const std::string& table, const std::vector<Row>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int attempt = 0; attempt < 2; attempt++) {
+    LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                        SchemaLocked(table));
+    std::string req;
+    PutLengthPrefixedSlice(&req, table);
+    PutVarint32(&req, schema->version());
+    PutVarint32(&req, static_cast<uint32_t>(rows.size()));
+    for (const Row& row : rows) {
+      if (!schema->RowMatches(row)) {
+        return Status::InvalidArgument("row does not match table schema");
+      }
+      EncodeRow(&req, *schema, row);
+    }
+    MsgType type;
+    std::string body;
+    LT_RETURN_IF_ERROR(RoundTrip(MsgType::kInsert, req, &type, &body));
+    if (type == MsgType::kOk) return Status::OK();
+    if (type != MsgType::kError) {
+      return Status::NetworkError("unexpected response");
+    }
+    if (!body.empty() &&
+        static_cast<ErrCode>(body[0]) == ErrCode::kSchemaChanged &&
+        attempt == 0) {
+      InvalidateSchema(table);
+      continue;  // Refetch and retry once.
+    }
+    return ErrorFromBody(body);
+  }
+  return Status::Aborted("schema changed repeatedly");
+}
+
+Status Client::Query(const std::string& table, const QueryBounds& bounds,
+                     QueryResult* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  result->rows.clear();
+  result->more_available = false;
+  for (int attempt = 0; attempt < 2; attempt++) {
+    LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                        SchemaLocked(table));
+    std::string req;
+    PutLengthPrefixedSlice(&req, table);
+    PutVarint32(&req, schema->version());
+    wire::EncodeBounds(&req, *schema, bounds);
+
+    std::string frame = wire::Frame(MsgType::kQuery, req);
+    LT_RETURN_IF_ERROR(conn_.WriteAll(frame.data(), frame.size()));
+
+    result->rows.clear();
+    bool schema_changed = false;
+    while (true) {
+      MsgType type;
+      std::string body;
+      LT_RETURN_IF_ERROR(ReadFrame(&type, &body));
+      if (type == MsgType::kError) {
+        if (!body.empty() &&
+            static_cast<ErrCode>(body[0]) == ErrCode::kSchemaChanged &&
+            attempt == 0) {
+          schema_changed = true;
+          break;
+        }
+        return ErrorFromBody(body);
+      }
+      if (type != MsgType::kQueryChunk) {
+        return Status::NetworkError("unexpected response");
+      }
+      Slice in(body);
+      if (in.empty()) return Status::Corruption("bad chunk");
+      uint8_t flags = static_cast<uint8_t>(in[0]);
+      in.remove_prefix(1);
+      uint32_t version, count;
+      if (!GetVarint32(&in, &version) || !GetVarint32(&in, &count)) {
+        return Status::Corruption("bad chunk");
+      }
+      if (version != schema->version()) {
+        return Status::Aborted("schema changed mid-query");
+      }
+      for (uint32_t i = 0; i < count; i++) {
+        Row row;
+        LT_RETURN_IF_ERROR(DecodeRow(&in, *schema, &row));
+        result->rows.push_back(std::move(row));
+      }
+      if (flags & wire::kChunkFinal) {
+        result->more_available = flags & wire::kChunkMoreAvailable;
+        return Status::OK();
+      }
+    }
+    if (schema_changed) {
+      InvalidateSchema(table);
+      continue;
+    }
+  }
+  return Status::Aborted("schema changed repeatedly");
+}
+
+Status Client::QueryAll(const std::string& table, const QueryBounds& bounds,
+                        std::vector<Row>* rows) {
+  rows->clear();
+  LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                      TableSchema(table));
+  QueryBounds page = bounds;
+  const uint64_t want = bounds.limit;  // 0 = all rows.
+  while (true) {
+    if (want > 0) page.limit = want - rows->size();
+    QueryResult result;
+    LT_RETURN_IF_ERROR(Query(table, page, &result));
+    for (Row& row : result.rows) rows->push_back(std::move(row));
+    if (!result.more_available) return Status::OK();
+    if (want > 0 && rows->size() >= want) return Status::OK();
+    if (rows->empty()) return Status::OK();  // Defensive: no progress.
+    // §3.5: update the starting key bound to the last row returned and
+    // re-submit (exclusive so the row is not repeated).
+    Key last_key = schema->KeyOf(rows->back());
+    if (page.direction == Direction::kAscending) {
+      page.min_key = KeyBound{std::move(last_key), /*inclusive=*/false};
+    } else {
+      page.max_key = KeyBound{std::move(last_key), /*inclusive=*/false};
+    }
+  }
+}
+
+Status Client::LatestRow(const std::string& table, const Key& prefix,
+                         Row* row, bool* found) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *found = false;
+  for (int attempt = 0; attempt < 2; attempt++) {
+    LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                        SchemaLocked(table));
+    std::string req;
+    PutLengthPrefixedSlice(&req, table);
+    PutVarint32(&req, schema->version());
+    wire::EncodeKeyPrefix(&req, *schema, prefix);
+    MsgType type;
+    std::string body;
+    LT_RETURN_IF_ERROR(RoundTrip(MsgType::kLatestRow, req, &type, &body));
+    if (type == MsgType::kError) {
+      if (!body.empty() &&
+          static_cast<ErrCode>(body[0]) == ErrCode::kSchemaChanged &&
+          attempt == 0) {
+        InvalidateSchema(table);
+        continue;
+      }
+      return ErrorFromBody(body);
+    }
+    if (type != MsgType::kRowResult) {
+      return Status::NetworkError("unexpected response");
+    }
+    Slice in(body);
+    if (in.empty()) return Status::Corruption("bad row result");
+    bool has_row = in[0] != 0;
+    in.remove_prefix(1);
+    uint32_t version;
+    if (!GetVarint32(&in, &version)) return Status::Corruption("bad row result");
+    if (version != schema->version()) {
+      InvalidateSchema(table);
+      if (attempt == 0) continue;
+      return Status::Aborted("schema changed repeatedly");
+    }
+    if (has_row) LT_RETURN_IF_ERROR(DecodeRow(&in, *schema, row));
+    *found = has_row;
+    return Status::OK();
+  }
+  return Status::Aborted("schema changed repeatedly");
+}
+
+Status Client::FlushThrough(const std::string& table, Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  PutVarint64(&req, ZigZagEncode(ts));
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kFlushThrough, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  return Status::OK();
+}
+
+Status Client::AppendColumn(const std::string& table, const Column& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateSchema(table);
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  PutLengthPrefixedSlice(&req, column.name);
+  req.push_back(static_cast<char>(column.type));
+  EncodeValue(&req, column.default_value, column.type);
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kAppendColumn, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  return Status::OK();
+}
+
+Status Client::WidenColumn(const std::string& table,
+                           const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateSchema(table);
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  PutLengthPrefixedSlice(&req, column);
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kWidenColumn, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  return Status::OK();
+}
+
+Status Client::SetTtl(const std::string& table, Timestamp ttl) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  PutVarint64(&req, static_cast<uint64_t>(ttl));
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kSetTtl, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  return Status::OK();
+}
+
+}  // namespace lt

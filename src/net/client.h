@@ -1,0 +1,96 @@
+// Client: the library applications link to talk to a LittleTable server —
+// the role the paper's SQLite virtual-table adaptor plays (§3.1, §3.5).
+//
+// The client keeps one persistent TCP connection (disconnection is how it
+// learns the server crashed, §3.1), caches each table's schema and sort
+// order from the server, batches inserts, and paginates queries: when a
+// result sets more-available, QueryAll updates the starting key bound to the
+// last returned row's key and re-submits (§3.5). Requests encoded against a
+// stale schema are transparently retried after a schema refresh.
+//
+// Thread safety: a Client serializes its requests internally; use one
+// Client per concurrent stream (as the paper's one-process-per-grabber
+// model does naturally).
+#ifndef LITTLETABLE_NET_CLIENT_H_
+#define LITTLETABLE_NET_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/table.h"  // QueryResult
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace lt {
+
+class Client {
+ public:
+  /// Connects to a LittleTable server.
+  static Status Connect(const std::string& host, uint16_t port,
+                        std::unique_ptr<Client>* out);
+
+  Status Ping();
+  Status ListTables(std::vector<std::string>* names);
+
+  /// Creates a table with the given TTL (0 = retain forever).
+  Status CreateTable(const std::string& table, const Schema& schema,
+                     Timestamp ttl);
+  Status DropTable(const std::string& table);
+
+  /// Fetches (and caches) a table's schema and TTL.
+  Status GetTableInfo(const std::string& table, Schema* schema,
+                      Timestamp* ttl);
+
+  /// Returns the cached schema, fetching it if needed.
+  Result<std::shared_ptr<const Schema>> TableSchema(const std::string& table);
+
+  /// Inserts a batch. Rows whose ts cell equals wire::kOmittedTimestamp get
+  /// server-assigned current time (§3.1).
+  Status Insert(const std::string& table, const std::vector<Row>& rows);
+
+  /// One server round trip; result.more_available signals truncation by the
+  /// server's row limit.
+  Status Query(const std::string& table, const QueryBounds& bounds,
+               QueryResult* result);
+
+  /// Full result: re-submits continuation queries past each server limit.
+  Status QueryAll(const std::string& table, const QueryBounds& bounds,
+                  std::vector<Row>* rows);
+
+  /// Latest row whose key starts with `prefix` (§3.4.5).
+  Status LatestRow(const std::string& table, const Key& prefix, Row* row,
+                   bool* found);
+
+  /// Asks the server to flush all tablets holding rows at or before `ts`
+  /// (§4.1.2 extension).
+  Status FlushThrough(const std::string& table, Timestamp ts);
+
+  Status AppendColumn(const std::string& table, const Column& column);
+  Status WidenColumn(const std::string& table, const std::string& column);
+  Status SetTtl(const std::string& table, Timestamp ttl);
+
+  bool connected() const { return conn_.valid(); }
+
+ private:
+  Client() = default;
+
+  /// Sends one frame and reads one response frame.
+  Status RoundTrip(wire::MsgType type, const std::string& body,
+                   wire::MsgType* resp_type, std::string* resp_body);
+  Status ReadFrame(wire::MsgType* type, std::string* body);
+  /// Decodes a kError response body.
+  static Status ErrorFromBody(Slice body);
+  /// Drops the cached schema for `table` (on kSchemaChanged).
+  void InvalidateSchema(const std::string& table);
+  Result<std::shared_ptr<const Schema>> SchemaLocked(const std::string& table);
+
+  std::mutex mu_;
+  net::Socket conn_;
+  std::map<std::string, std::shared_ptr<const Schema>> schema_cache_;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_NET_CLIENT_H_

@@ -1,0 +1,318 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+
+#include "core/row_codec.h"
+#include "util/coding.h"
+
+namespace lt {
+
+using wire::ErrCode;
+using wire::MsgType;
+
+namespace {
+
+// Rows per kQueryChunk frame.
+constexpr size_t kChunkRows = 512;
+
+bool GetName(Slice* in, std::string* name) {
+  Slice s;
+  if (!GetLengthPrefixedSlice(in, &s)) return false;
+  *name = s.ToString();
+  return true;
+}
+
+}  // namespace
+
+LittleTableServer::LittleTableServer(DB* db, uint16_t port)
+    : db_(db), port_(port) {}
+
+LittleTableServer::~LittleTableServer() { Stop(); }
+
+Status LittleTableServer::Start() {
+  LT_RETURN_IF_ERROR(net::Listen(port_, &listener_, &port_));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LittleTableServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  // Closing the listener wakes the accept loop; poking it with a connect
+  // guarantees wake-up on platforms where close doesn't interrupt accept.
+  {
+    net::Socket poke;
+    net::Connect("127.0.0.1", port_, &poke);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(conn_threads_);
+    // Connection threads may be blocked in recv on idle-but-live client
+    // connections; shut those sockets down so the threads observe EOF.
+    for (int fd : live_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void LittleTableServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    net::Socket conn;
+    if (!net::Accept(listener_, &conn).ok()) break;
+    if (stopping_.load()) break;
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    conn_threads_.emplace_back(
+        [this, c = std::move(conn)]() mutable { ServeConnection(std::move(c)); });
+  }
+}
+
+void LittleTableServer::ServeConnection(net::Socket conn) {
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    live_fds_.insert(conn.fd());
+  }
+  std::string payload;
+  while (!stopping_.load()) {
+    char len_buf[4];
+    if (!conn.ReadAll(len_buf, 4).ok()) break;  // Client disconnected.
+    uint32_t len = DecodeFixed32(len_buf);
+    if (len == 0 || len > wire::kMaxFrameBytes) break;
+    payload.resize(len);
+    if (!conn.ReadAll(payload.data(), len).ok()) break;
+
+    MsgType type = static_cast<MsgType>(payload[0]);
+    Slice body(payload.data() + 1, payload.size() - 1);
+    std::string response;
+    Dispatch(type, body, &response);
+    if (!conn.WriteAll(response.data(), response.size()).ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  live_fds_.erase(conn.fd());
+}
+
+void LittleTableServer::ReplyError(std::string* out, ErrCode code,
+                                   const std::string& message) {
+  std::string body;
+  body.push_back(static_cast<char>(code));
+  PutLengthPrefixedSlice(&body, message);
+  *out += wire::Frame(MsgType::kError, body);
+}
+
+void LittleTableServer::ReplyStatus(std::string* out, const Status& s) {
+  if (s.ok()) {
+    *out += wire::Frame(MsgType::kOk, "");
+  } else {
+    ReplyError(out, wire::CodeForStatus(s), s.message());
+  }
+}
+
+void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
+  switch (type) {
+    case MsgType::kPing:
+      *out += wire::Frame(MsgType::kOk, "");
+      return;
+
+    case MsgType::kListTables: {
+      std::string resp;
+      std::vector<std::string> names = db_->ListTables();
+      PutVarint32(&resp, static_cast<uint32_t>(names.size()));
+      for (const std::string& n : names) PutLengthPrefixedSlice(&resp, n);
+      *out += wire::Frame(MsgType::kTableList, resp);
+      return;
+    }
+
+    case MsgType::kGetTable: {
+      std::string name;
+      if (!GetName(&body, &name)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      std::shared_ptr<Table> table = db_->GetTable(name);
+      if (!table) {
+        return ReplyError(out, ErrCode::kNotFound, "no such table: " + name);
+      }
+      std::string resp;
+      table->schema()->EncodeTo(&resp);
+      PutVarint64(&resp, static_cast<uint64_t>(table->ttl()));
+      *out += wire::Frame(MsgType::kTableInfo, resp);
+      return;
+    }
+
+    case MsgType::kCreateTable: {
+      std::string name;
+      Schema schema;
+      uint64_t ttl;
+      if (!GetName(&body, &name) ||
+          !Schema::DecodeFrom(&body, &schema).ok() ||
+          !GetVarint64(&body, &ttl)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      TableOptions opts = db_->options().table_defaults;
+      opts.ttl = static_cast<Timestamp>(ttl);
+      return ReplyStatus(out, db_->CreateTable(name, schema, &opts));
+    }
+
+    case MsgType::kDropTable: {
+      std::string name;
+      if (!GetName(&body, &name)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      return ReplyStatus(out, db_->DropTable(name));
+    }
+
+    default:
+      break;
+  }
+
+  // All remaining requests address a table and carry its name first.
+  std::string name;
+  if (!GetName(&body, &name)) {
+    return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+  }
+  std::shared_ptr<Table> table = db_->GetTable(name);
+  if (!table) {
+    return ReplyError(out, ErrCode::kNotFound, "no such table: " + name);
+  }
+  std::shared_ptr<const Schema> schema = table->schema();
+
+  // Requests encoded against a schema check the version (§3.5 evolutions
+  // can land between a client's schema fetch and its next request).
+  auto check_version = [&](Slice* in) -> bool {
+    uint32_t version;
+    if (!GetVarint32(in, &version)) return false;
+    return version == schema->version();
+  };
+
+  switch (type) {
+    case MsgType::kInsert: {
+      uint32_t version;
+      if (!GetVarint32(&body, &version)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      if (version != schema->version()) {
+        return ReplyError(out, ErrCode::kSchemaChanged, "schema changed");
+      }
+      uint32_t count;
+      if (!GetVarint32(&body, &count) || count > 10u * 1000 * 1000) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad row count");
+      }
+      std::vector<Row> rows;
+      rows.reserve(count);
+      const Timestamp now = db_->clock()->Now();
+      for (uint32_t i = 0; i < count; i++) {
+        Row row;
+        if (!DecodeRow(&body, *schema, &row).ok()) {
+          return ReplyError(out, ErrCode::kInvalidArgument, "bad row");
+        }
+        // A client may omit a row's timestamp entirely, in which case the
+        // server sets it to the current time (§3.1).
+        if (row[schema->ts_index()].AsInt() == wire::kOmittedTimestamp) {
+          row[schema->ts_index()] = Value::Ts(now);
+        }
+        rows.push_back(std::move(row));
+      }
+      return ReplyStatus(out, table->InsertBatch(rows));
+    }
+
+    case MsgType::kQuery: {
+      QueryBounds bounds;
+      if (!check_version(&body) ||
+          !wire::DecodeBounds(&body, *schema, &bounds).ok()) {
+        return ReplyError(out, ErrCode::kSchemaChanged,
+                          "schema changed or bad bounds");
+      }
+      QueryResult result;
+      Status s = table->Query(bounds, &result);
+      if (!s.ok()) return ReplyStatus(out, s);
+      // Stream rows in chunks; the last chunk carries the flags.
+      size_t sent = 0;
+      do {
+        size_t n = std::min(kChunkRows, result.rows.size() - sent);
+        bool final = sent + n == result.rows.size();
+        std::string chunk;
+        uint8_t flags = 0;
+        if (final) flags |= wire::kChunkFinal;
+        if (final && result.more_available) flags |= wire::kChunkMoreAvailable;
+        chunk.push_back(static_cast<char>(flags));
+        PutVarint32(&chunk, schema->version());
+        PutVarint32(&chunk, static_cast<uint32_t>(n));
+        for (size_t i = 0; i < n; i++) {
+          EncodeRow(&chunk, *schema, result.rows[sent + i]);
+        }
+        *out += wire::Frame(MsgType::kQueryChunk, chunk);
+        sent += n;
+      } while (sent < result.rows.size());
+      return;
+    }
+
+    case MsgType::kLatestRow: {
+      Key prefix;
+      if (!check_version(&body) ||
+          !wire::DecodeKeyPrefix(&body, *schema, &prefix).ok()) {
+        return ReplyError(out, ErrCode::kSchemaChanged,
+                          "schema changed or bad prefix");
+      }
+      Row row;
+      bool found = false;
+      Status s = table->LatestRowForPrefix(prefix, &row, &found);
+      if (!s.ok()) return ReplyStatus(out, s);
+      std::string resp;
+      resp.push_back(found ? 1 : 0);
+      PutVarint32(&resp, schema->version());
+      if (found) EncodeRow(&resp, *schema, row);
+      *out += wire::Frame(MsgType::kRowResult, resp);
+      return;
+    }
+
+    case MsgType::kFlushThrough: {
+      uint64_t zz_ts;
+      if (!GetVarint64(&body, &zz_ts)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      return ReplyStatus(out, table->FlushThrough(ZigZagDecode(zz_ts)));
+    }
+
+    case MsgType::kAppendColumn: {
+      // Column encoded as a length-prefixed name + type byte + default.
+      Slice cname;
+      if (!GetLengthPrefixedSlice(&body, &cname) || body.empty()) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      uint8_t type_byte = static_cast<uint8_t>(body[0]);
+      body.remove_prefix(1);
+      if (type_byte < 1 || type_byte > 6) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad column type");
+      }
+      Column column;
+      column.name = cname.ToString();
+      column.type = static_cast<ColumnType>(type_byte);
+      if (!DecodeValue(&body, column.type, &column.default_value).ok()) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad default");
+      }
+      return ReplyStatus(out, table->AppendColumn(column));
+    }
+
+    case MsgType::kWidenColumn: {
+      std::string cname;
+      if (!GetName(&body, &cname)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      return ReplyStatus(out, table->WidenColumn(cname));
+    }
+
+    case MsgType::kSetTtl: {
+      uint64_t ttl;
+      if (!GetVarint64(&body, &ttl)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      return ReplyStatus(out, table->SetTtl(static_cast<Timestamp>(ttl)));
+    }
+
+    default:
+      return ReplyError(out, ErrCode::kInvalidArgument, "unknown message type");
+  }
+}
+
+}  // namespace lt

@@ -1,0 +1,63 @@
+// LittleTableServer: runs a DB as an independent server process reachable
+// over TCP (§3.1), one thread per client connection.
+//
+// Inserts are acknowledged as soon as rows land in in-memory tablets — the
+// server deliberately provides no way to learn whether data reached stable
+// storage (§3.1); the FlushThrough command (§4.1.2) is the one explicit
+// durability hook. Query responses stream in chunks so the client can
+// surface rows before the scan completes; the final chunk carries the
+// more-available flag for §3.5 continuation queries.
+#ifndef LITTLETABLE_NET_SERVER_H_
+#define LITTLETABLE_NET_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace lt {
+
+class LittleTableServer {
+ public:
+  /// Serves `db` (not owned) on 127.0.0.1:`port` (0 = ephemeral).
+  LittleTableServer(DB* db, uint16_t port = 0);
+  ~LittleTableServer();
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// Stops accepting, closes the listener, and joins all threads.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(net::Socket conn);
+  /// Handles one request; appends response frames to `*out`.
+  void Dispatch(wire::MsgType type, Slice body, std::string* out);
+
+  void ReplyError(std::string* out, wire::ErrCode code,
+                  const std::string& message);
+  void ReplyStatus(std::string* out, const Status& s);
+
+  DB* const db_;
+  uint16_t port_;
+  net::Socket listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> conn_threads_;
+  // Live connection fds, so Stop() can shut down blocked reads.
+  std::set<int> live_fds_;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_NET_SERVER_H_

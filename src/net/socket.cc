@@ -1,0 +1,124 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lt {
+namespace net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::NetworkError(what + ": " + strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::WriteAll(const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = send(fd_, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadAll(char* data, size_t n) {
+  while (n > 0) {
+    ssize_t r = recv(fd_, data, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (r == 0) return Status::NetworkError("connection closed");
+    data += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status Listen(uint16_t port, Socket* listener, uint16_t* bound_port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (listen(fd, 64) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  *listener = std::move(sock);
+  return Status::OK();
+}
+
+Status Accept(const Socket& listener, Socket* conn) {
+  while (true) {
+    int fd = accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    *conn = Socket(fd);
+    return Status::OK();
+  }
+}
+
+Status Connect(const std::string& host, uint16_t port, Socket* conn) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *conn = std::move(sock);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace lt

@@ -1,0 +1,51 @@
+// Minimal TCP socket helpers for the server and client (loopback or LAN).
+#ifndef LITTLETABLE_NET_SOCKET_H_
+#define LITTLETABLE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace lt {
+namespace net {
+
+/// RAII wrapper around a connected or listening socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes all of `data` (handles partial writes).
+  Status WriteAll(const char* data, size_t n);
+  /// Reads exactly n bytes; a clean EOF mid-read is a NetworkError.
+  Status ReadAll(char* data, size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:port (port 0 picks an ephemeral port;
+/// *bound_port receives the actual one).
+Status Listen(uint16_t port, Socket* listener, uint16_t* bound_port);
+
+/// Accepts one connection.
+Status Accept(const Socket& listener, Socket* conn);
+
+/// Connects to host:port.
+Status Connect(const std::string& host, uint16_t port, Socket* conn);
+
+}  // namespace net
+}  // namespace lt
+
+#endif  // LITTLETABLE_NET_SOCKET_H_

@@ -1,0 +1,100 @@
+// Wire protocol between the LittleTable server and its clients (§3.1).
+//
+// The paper's clients load a custom adaptor into SQLite's virtual-table
+// interface; internally that adaptor speaks a binary protocol over a
+// persistent TCP connection to the server — listing tables, fetching each
+// table's schema and sort order, and performing inserts and queries. This
+// header defines that protocol.
+//
+// Framing: every message is [fixed32 payload_length][payload], where the
+// payload begins with a one-byte message type. Row and bounds encodings are
+// schema-dependent, so requests carry the schema version the client encoded
+// against; the server answers kErrSchemaChanged when stale and the client
+// refreshes its cached schema and retries.
+//
+// Durability surface (§3.1): there is deliberately NO acknowledgement that
+// an insert reached stable storage — the server replies as soon as rows are
+// in an in-memory tablet. Clients detect server crashes via disconnection
+// and re-read recent data from their devices.
+#ifndef LITTLETABLE_NET_WIRE_H_
+#define LITTLETABLE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/schema.h"
+
+namespace lt {
+namespace wire {
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kPing = 1,
+  kListTables = 2,
+  kGetTable = 3,      // body: name
+  kCreateTable = 4,   // body: name, schema, ttl
+  kDropTable = 5,     // body: name
+  kInsert = 6,        // body: name, schema version, row count, rows
+  kQuery = 7,         // body: name, schema version, bounds
+  kLatestRow = 8,     // body: name, schema version, prefix
+  kFlushThrough = 9,  // body: name, ts (§4.1.2 extension)
+  kAppendColumn = 10, // body: name, column
+  kWidenColumn = 11,  // body: name, column name
+  kSetTtl = 12,       // body: name, ttl
+
+  // Responses.
+  kOk = 64,
+  kError = 65,       // body: code byte, message
+  kTableList = 66,   // body: count, names
+  kTableInfo = 67,   // body: schema, ttl
+  kQueryChunk = 68,  // body: flags, schema version, row count, rows
+  kRowResult = 69,   // body: found byte, schema version, row
+};
+
+/// Error codes carried by kError.
+enum class ErrCode : uint8_t {
+  kGeneric = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kSchemaChanged = 4,  // Client must refetch the table schema and retry.
+  kCorruption = 5,
+  kIOError = 6,
+};
+
+/// kQueryChunk flags.
+constexpr uint8_t kChunkFinal = 0x1;          // Last chunk of this query.
+constexpr uint8_t kChunkMoreAvailable = 0x2;  // Server row limit was hit.
+
+/// Sentinel "client omitted the timestamp" value: the server replaces it
+/// with the current time (§3.1).
+constexpr Timestamp kOmittedTimestamp = INT64_MIN;
+
+/// Maximum accepted frame payload (defensive bound).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// ---- Frame assembly. Payload = type byte + body. ----
+
+/// Builds a complete frame (length prefix + type + body).
+std::string Frame(MsgType type, const std::string& body);
+
+// ---- Body encodings. ----
+
+void EncodeBounds(std::string* dst, const Schema& schema,
+                  const QueryBounds& bounds);
+Status DecodeBounds(Slice* in, const Schema& schema, QueryBounds* out);
+
+/// Key prefixes (used by bounds and latest-row requests).
+void EncodeKeyPrefix(std::string* dst, const Schema& schema, const Key& key);
+Status DecodeKeyPrefix(Slice* in, const Schema& schema, Key* out);
+
+/// Status <-> wire error mapping.
+ErrCode CodeForStatus(const Status& s);
+Status StatusForCode(ErrCode code, const std::string& message);
+
+}  // namespace wire
+}  // namespace lt
+
+#endif  // LITTLETABLE_NET_WIRE_H_

@@ -1,0 +1,93 @@
+// Statement AST for the LittleTable SQL dialect.
+//
+// The dialect covers what Dashboard uses LittleTable for (§3.1, §4):
+//   CREATE TABLE t (col TYPE [DEFAULT lit], ..., PRIMARY KEY (a, b, ts))
+//       [WITH TTL <duration>]
+//   DROP TABLE t
+//   INSERT INTO t [(cols)] VALUES (lit, ...), ...
+//   SELECT cols-or-aggregates FROM t [WHERE conj] [GROUP BY cols]
+//       [ORDER BY KEY [ASC|DESC]] [LIMIT n]
+// WHERE clauses are conjunctions of <column> <op> <literal>; the planner
+// turns primary-key-prefix conditions into the 2-D bounding box and applies
+// the rest as row filters.
+#ifndef LITTLETABLE_SQL_AST_H_
+#define LITTLETABLE_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/schema.h"
+
+namespace lt {
+namespace sql {
+
+/// An untyped literal; coerced to a column type at planning time.
+struct Literal {
+  enum class Kind { kInteger, kFloat, kString, kBlob, kNow, kDefault };
+  Kind kind = Kind::kInteger;
+  int64_t int_value = 0;
+  double float_value = 0;
+  std::string text;
+  /// For kNow: microsecond offset, so `NOW() - 3600000000` is one literal.
+  int64_t now_offset = 0;
+
+  /// Coerces to a typed Value; `now` resolves NOW(), `dflt` resolves
+  /// DEFAULT.
+  Result<Value> Bind(ColumnType type, Timestamp now, const Value& dflt) const;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Condition {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Literal value;
+};
+
+enum class AggFunc { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+struct SelectItem {
+  AggFunc func = AggFunc::kNone;
+  std::string column;  // Empty for COUNT(*).
+  bool star = false;   // SELECT * (func == kNone) or COUNT(*).
+  std::string DisplayName() const;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<Column> columns;         // Default values already bound.
+  std::vector<std::string> key_names;  // PRIMARY KEY column order.
+  Timestamp ttl = 0;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // Empty = all columns in schema order.
+  std::vector<std::vector<Literal>> rows;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<Condition> where;
+  std::vector<std::string> group_by;
+  bool order_descending = false;
+  uint64_t limit = 0;  // 0 = unlimited.
+};
+
+using Statement =
+    std::variant<CreateTableStmt, DropTableStmt, InsertStmt, SelectStmt>;
+
+/// Parses exactly one statement (trailing ';' optional).
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace sql
+}  // namespace lt
+
+#endif  // LITTLETABLE_SQL_AST_H_

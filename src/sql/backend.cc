@@ -1,0 +1,70 @@
+#include "sql/backend.h"
+
+namespace lt {
+namespace sql {
+
+Result<std::shared_ptr<const Schema>> DbBackend::GetSchema(
+    const std::string& table) {
+  std::shared_ptr<Table> t = db_->GetTable(table);
+  if (!t) return Status::NotFound("no such table: " + table);
+  return std::shared_ptr<const Schema>(t->schema());
+}
+
+Status DbBackend::CreateTable(const std::string& table, const Schema& schema,
+                              Timestamp ttl) {
+  TableOptions opts = db_->options().table_defaults;
+  opts.ttl = ttl;
+  return db_->CreateTable(table, schema, &opts);
+}
+
+Status DbBackend::DropTable(const std::string& table) {
+  return db_->DropTable(table);
+}
+
+Status DbBackend::Insert(const std::string& table,
+                         const std::vector<Row>& rows) {
+  std::shared_ptr<Table> t = db_->GetTable(table);
+  if (!t) return Status::NotFound("no such table: " + table);
+  return t->InsertBatch(rows);
+}
+
+Status DbBackend::QueryAll(const std::string& table, const QueryBounds& bounds,
+                           std::vector<Row>* rows) {
+  rows->clear();
+  std::shared_ptr<Table> t = db_->GetTable(table);
+  if (!t) return Status::NotFound("no such table: " + table);
+  std::shared_ptr<const Schema> schema = t->schema();
+  QueryBounds page = bounds;
+  const uint64_t want = bounds.limit;
+  while (true) {
+    if (want > 0) page.limit = want - rows->size();
+    QueryResult result;
+    LT_RETURN_IF_ERROR(t->Query(page, &result));
+    for (Row& row : result.rows) rows->push_back(std::move(row));
+    if (!result.more_available) return Status::OK();
+    if (want > 0 && rows->size() >= want) return Status::OK();
+    if (rows->empty()) return Status::OK();
+    Key last_key = schema->KeyOf(rows->back());
+    if (page.direction == Direction::kAscending) {
+      page.min_key = KeyBound{std::move(last_key), /*inclusive=*/false};
+    } else {
+      page.max_key = KeyBound{std::move(last_key), /*inclusive=*/false};
+    }
+  }
+}
+
+Status DbBackend::LatestRow(const std::string& table, const Key& prefix,
+                            Row* row, bool* found) {
+  std::shared_ptr<Table> t = db_->GetTable(table);
+  if (!t) return Status::NotFound("no such table: " + table);
+  return t->LatestRowForPrefix(prefix, row, found);
+}
+
+Status DbBackend::FlushThrough(const std::string& table, Timestamp ts) {
+  std::shared_ptr<Table> t = db_->GetTable(table);
+  if (!t) return Status::NotFound("no such table: " + table);
+  return t->FlushThrough(ts);
+}
+
+}  // namespace sql
+}  // namespace lt

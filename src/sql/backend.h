@@ -1,0 +1,105 @@
+// SqlBackend: the storage interface the SQL executor runs against. Two
+// implementations: embedded (directly on a DB, as the server's own tools
+// use) and remote (through a Client, the way the paper's SQLite adaptor
+// fronts the TCP protocol).
+#ifndef LITTLETABLE_SQL_BACKEND_H_
+#define LITTLETABLE_SQL_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "net/client.h"
+
+namespace lt {
+namespace sql {
+
+class SqlBackend {
+ public:
+  virtual ~SqlBackend() = default;
+
+  virtual Result<std::shared_ptr<const Schema>> GetSchema(
+      const std::string& table) = 0;
+  virtual Status CreateTable(const std::string& table, const Schema& schema,
+                             Timestamp ttl) = 0;
+  virtual Status DropTable(const std::string& table) = 0;
+  virtual Status Insert(const std::string& table,
+                        const std::vector<Row>& rows) = 0;
+  /// Complete result for the bounds (paginating past server limits).
+  virtual Status QueryAll(const std::string& table, const QueryBounds& bounds,
+                          std::vector<Row>* rows) = 0;
+  /// Latest row whose key begins with `prefix` (§3.4.5).
+  virtual Status LatestRow(const std::string& table, const Key& prefix,
+                           Row* row, bool* found) = 0;
+  /// Flushes tablets holding rows at or before ts (§4.1.2 extension).
+  virtual Status FlushThrough(const std::string& table, Timestamp ts) = 0;
+  /// The time NOW() binds to.
+  virtual Timestamp Now() = 0;
+};
+
+/// Runs statements directly against an embedded DB.
+class DbBackend final : public SqlBackend {
+ public:
+  explicit DbBackend(DB* db) : db_(db) {}
+
+  Result<std::shared_ptr<const Schema>> GetSchema(
+      const std::string& table) override;
+  Status CreateTable(const std::string& table, const Schema& schema,
+                     Timestamp ttl) override;
+  Status DropTable(const std::string& table) override;
+  Status Insert(const std::string& table, const std::vector<Row>& rows) override;
+  Status QueryAll(const std::string& table, const QueryBounds& bounds,
+                  std::vector<Row>* rows) override;
+  Status LatestRow(const std::string& table, const Key& prefix, Row* row,
+                   bool* found) override;
+  Status FlushThrough(const std::string& table, Timestamp ts) override;
+  Timestamp Now() override { return db_->clock()->Now(); }
+
+ private:
+  DB* const db_;
+};
+
+/// Runs statements through a network Client.
+class ClientBackend final : public SqlBackend {
+ public:
+  ClientBackend(Client* client, std::shared_ptr<Clock> clock)
+      : client_(client), clock_(std::move(clock)) {}
+
+  Result<std::shared_ptr<const Schema>> GetSchema(
+      const std::string& table) override {
+    return client_->TableSchema(table);
+  }
+  Status CreateTable(const std::string& table, const Schema& schema,
+                     Timestamp ttl) override {
+    return client_->CreateTable(table, schema, ttl);
+  }
+  Status DropTable(const std::string& table) override {
+    return client_->DropTable(table);
+  }
+  Status Insert(const std::string& table,
+                const std::vector<Row>& rows) override {
+    return client_->Insert(table, rows);
+  }
+  Status QueryAll(const std::string& table, const QueryBounds& bounds,
+                  std::vector<Row>* rows) override {
+    return client_->QueryAll(table, bounds, rows);
+  }
+  Status LatestRow(const std::string& table, const Key& prefix, Row* row,
+                   bool* found) override {
+    return client_->LatestRow(table, prefix, row, found);
+  }
+  Status FlushThrough(const std::string& table, Timestamp ts) override {
+    return client_->FlushThrough(table, ts);
+  }
+  Timestamp Now() override { return clock_->Now(); }
+
+ private:
+  Client* const client_;
+  std::shared_ptr<Clock> clock_;
+};
+
+}  // namespace sql
+}  // namespace lt
+
+#endif  // LITTLETABLE_SQL_BACKEND_H_

@@ -1,0 +1,505 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+
+#include "net/wire.h"  // kOmittedTimestamp
+
+namespace lt {
+namespace sql {
+namespace {
+
+bool EvalCompare(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+/// A WHERE condition bound to a column index and typed value.
+struct BoundCondition {
+  size_t column_index;
+  CompareOp op;
+  Value value;
+};
+
+bool RowPasses(const Row& row, const std::vector<BoundCondition>& conds) {
+  for (const BoundCondition& c : conds) {
+    if (!EvalCompare(c.op, row[c.column_index].Compare(c.value))) return false;
+  }
+  return true;
+}
+
+/// Streaming aggregate state for one select item within one group.
+struct AggState {
+  uint64_t count = 0;
+  int64_t int_sum = 0;
+  double dbl_sum = 0;
+  Value min, max;
+  bool has_minmax = false;
+
+  void Add(const Value& v, bool is_double) {
+    count++;
+    if (!v.is_bytes()) {  // MIN/MAX apply to strings; sums never do.
+      if (is_double) dbl_sum += v.dbl();
+      else int_sum += v.AsInt();
+    }
+    if (!has_minmax || v.Compare(min) < 0) min = v;
+    if (!has_minmax || v.Compare(max) > 0) max = v;
+    has_minmax = true;
+  }
+};
+
+}  // namespace
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); i++) {
+    if (i) out += " | ";
+    out += columns[i];
+  }
+  if (!columns.empty()) out += "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); i++) {
+      if (i) out += " | ";
+      out += row[i].ToString(types[i]);
+    }
+    out += "\n";
+  }
+  if (rows_affected > 0) {
+    out += "(" + std::to_string(rows_affected) + " rows affected)\n";
+  }
+  return out;
+}
+
+Result<ResultSet> SqlSession::Execute(const std::string& statement) {
+  LT_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
+  if (auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+    return ExecuteCreate(*create);
+  }
+  if (auto* drop = std::get_if<DropTableStmt>(&stmt)) {
+    return ExecuteDrop(*drop);
+  }
+  if (auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    return ExecuteInsert(*insert);
+  }
+  return ExecuteSelect(std::get<SelectStmt>(stmt));
+}
+
+Result<ResultSet> SqlSession::ExecuteCreate(const CreateTableStmt& stmt) {
+  // Reorder columns so the primary key leads, in declared key order — the
+  // schema's physical layout is the clustering developers chose (§3.1).
+  std::vector<Column> ordered;
+  std::vector<Column> rest = stmt.columns;
+  for (const std::string& key : stmt.key_names) {
+    auto it = std::find_if(rest.begin(), rest.end(),
+                           [&](const Column& c) { return c.name == key; });
+    if (it == rest.end()) {
+      return Status::InvalidArgument("PRIMARY KEY names unknown column: " + key);
+    }
+    ordered.push_back(*it);
+    rest.erase(it);
+  }
+  size_t num_key = ordered.size();
+  for (Column& c : rest) ordered.push_back(std::move(c));
+  Schema schema(std::move(ordered), num_key);
+  LT_RETURN_IF_ERROR(schema.Validate());
+  LT_RETURN_IF_ERROR(backend_->CreateTable(stmt.table, schema, stmt.ttl));
+  return ResultSet{};
+}
+
+Result<ResultSet> SqlSession::ExecuteDrop(const DropTableStmt& stmt) {
+  LT_RETURN_IF_ERROR(backend_->DropTable(stmt.table));
+  return ResultSet{};
+}
+
+Result<ResultSet> SqlSession::ExecuteInsert(const InsertStmt& stmt) {
+  LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                      backend_->GetSchema(stmt.table));
+  const Timestamp now = backend_->Now();
+
+  // Map the statement's column list to schema indexes.
+  std::vector<int> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema->num_columns(); i++) {
+      targets.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      int idx = schema->FindColumn(name);
+      if (idx < 0) return Status::InvalidArgument("unknown column: " + name);
+      targets.push_back(idx);
+    }
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(stmt.rows.size());
+  for (const std::vector<Literal>& lits : stmt.rows) {
+    if (lits.size() != targets.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    // Start from defaults; an unlisted ts column means "server assigns"
+    // (§3.1), which the engine path resolves to now.
+    Row row;
+    std::vector<bool> provided(schema->num_columns(), false);
+    for (size_t i = 0; i < schema->num_columns(); i++) {
+      row.push_back(schema->columns()[i].default_value);
+    }
+    for (size_t i = 0; i < targets.size(); i++) {
+      const Column& col = schema->columns()[targets[i]];
+      LT_ASSIGN_OR_RETURN(Value v,
+                          lits[i].Bind(col.type, now, col.default_value));
+      row[targets[i]] = std::move(v);
+      provided[targets[i]] = true;
+    }
+    // Unprovided key columns other than ts are an error; unprovided ts
+    // means current time.
+    for (size_t i = 0; i + 1 < schema->num_key_columns(); i++) {
+      if (!provided[i]) {
+        return Status::InvalidArgument("key column not provided: " +
+                                       schema->columns()[i].name);
+      }
+    }
+    if (!provided[schema->ts_index()] ||
+        row[schema->ts_index()].AsInt() == wire::kOmittedTimestamp) {
+      row[schema->ts_index()] = Value::Ts(now);
+    }
+    rows.push_back(std::move(row));
+  }
+  LT_RETURN_IF_ERROR(backend_->Insert(stmt.table, rows));
+  ResultSet rs;
+  rs.rows_affected = rows.size();
+  return rs;
+}
+
+Result<ResultSet> SqlSession::ExecuteSelect(const SelectStmt& stmt) {
+  LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                      backend_->GetSchema(stmt.table));
+  const Timestamp now = backend_->Now();
+
+  // ---- Bind WHERE conditions. ----
+  std::vector<BoundCondition> conds;
+  for (const Condition& c : stmt.where) {
+    int idx = schema->FindColumn(c.column);
+    if (idx < 0) return Status::InvalidArgument("unknown column: " + c.column);
+    const Column& col = schema->columns()[idx];
+    LT_ASSIGN_OR_RETURN(Value v, c.value.Bind(col.type, now, col.default_value));
+    conds.push_back(BoundCondition{static_cast<size_t>(idx), c.op, std::move(v)});
+  }
+
+  // ---- Plan the 2-D bounding box. ----
+  QueryBounds bounds;
+  bounds.direction =
+      stmt.order_descending ? Direction::kDescending : Direction::kAscending;
+
+  // Timestamp dimension: every ts condition narrows the box.
+  const size_t ts_idx = schema->ts_index();
+  for (const BoundCondition& c : conds) {
+    if (c.column_index != ts_idx) continue;
+    Timestamp v = c.value.AsInt();
+    switch (c.op) {
+      case CompareOp::kEq:
+        bounds.min_ts = std::max(bounds.min_ts, v);
+        bounds.max_ts = std::min(bounds.max_ts, v);
+        break;
+      case CompareOp::kGe:
+        bounds.min_ts = std::max(bounds.min_ts, v);
+        break;
+      case CompareOp::kGt:
+        if (v >= bounds.min_ts) {
+          bounds.min_ts = v;
+          bounds.min_ts_inclusive = false;
+        }
+        break;
+      case CompareOp::kLe:
+        bounds.max_ts = std::min(bounds.max_ts, v);
+        break;
+      case CompareOp::kLt:
+        if (v <= bounds.max_ts) {
+          bounds.max_ts = v;
+          bounds.max_ts_inclusive = false;
+        }
+        break;
+      case CompareOp::kNe:
+        break;  // Row filter only.
+    }
+  }
+
+  // Key dimension: equality run over leading key columns, then one range
+  // column.
+  Key prefix;
+  size_t key_col = 0;
+  while (key_col + 1 < schema->num_key_columns()) {  // ts handled above.
+    const BoundCondition* eq = nullptr;
+    for (const BoundCondition& c : conds) {
+      if (c.column_index == key_col && c.op == CompareOp::kEq) {
+        eq = &c;
+        break;
+      }
+    }
+    if (!eq) break;
+    prefix.push_back(eq->value);
+    key_col++;
+  }
+  KeyBound min_kb{prefix, true}, max_kb{prefix, true};
+  bool has_min = !prefix.empty(), has_max = !prefix.empty();
+  // Range conditions on the first non-equality key column.
+  if (key_col + 1 < schema->num_key_columns()) {
+    for (const BoundCondition& c : conds) {
+      if (c.column_index != key_col) continue;
+      switch (c.op) {
+        case CompareOp::kGe:
+        case CompareOp::kGt:
+          if (min_kb.prefix.size() == prefix.size()) {
+            min_kb.prefix.push_back(c.value);
+            min_kb.inclusive = c.op == CompareOp::kGe;
+            has_min = true;
+          }
+          break;
+        case CompareOp::kLe:
+        case CompareOp::kLt:
+          if (max_kb.prefix.size() == prefix.size()) {
+            max_kb.prefix.push_back(c.value);
+            max_kb.inclusive = c.op == CompareOp::kLe;
+            has_max = true;
+          }
+          break;
+        case CompareOp::kEq:
+          if (min_kb.prefix.size() == prefix.size() &&
+              max_kb.prefix.size() == prefix.size()) {
+            min_kb.prefix.push_back(c.value);
+            max_kb.prefix.push_back(c.value);
+            has_min = has_max = true;
+          }
+          break;
+        case CompareOp::kNe:
+          break;
+      }
+    }
+  }
+  if (has_min) bounds.min_key = min_kb;
+  if (has_max) bounds.max_key = max_kb;
+
+  const bool has_aggregates =
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& i) { return i.func != AggFunc::kNone; });
+
+  // Limit pushdown is only safe when no row filter can drop rows and no
+  // aggregation consumes them.
+  if (stmt.limit > 0 && conds.empty() && !has_aggregates) {
+    bounds.limit = stmt.limit;
+  }
+
+  // ---- Validate the projection. ----
+  if (!has_aggregates && !stmt.group_by.empty()) {
+    return Status::InvalidArgument("GROUP BY requires aggregate functions");
+  }
+  std::vector<int> group_cols;
+  for (const std::string& g : stmt.group_by) {
+    int idx = schema->FindColumn(g);
+    if (idx < 0) return Status::InvalidArgument("unknown column: " + g);
+    // Streaming GROUP BY relies on key order: the group columns must be a
+    // leading run of the primary key.
+    if (static_cast<size_t>(idx) != group_cols.size() ||
+        static_cast<size_t>(idx) >= schema->num_key_columns()) {
+      return Status::NotSupported(
+          "GROUP BY columns must be a prefix of the primary key");
+    }
+    group_cols.push_back(idx);
+  }
+  if (has_aggregates) {
+    for (const SelectItem& item : stmt.items) {
+      if (item.func != AggFunc::kNone) continue;
+      int idx = schema->FindColumn(item.column);
+      if (item.star || idx < 0 ||
+          std::find(group_cols.begin(), group_cols.end(), idx) ==
+              group_cols.end()) {
+        return Status::InvalidArgument(
+            "non-aggregate select items must appear in GROUP BY");
+      }
+    }
+  }
+
+  // ---- Fetch and post-process. ----
+  std::vector<Row> raw;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(stmt.table, bounds, &raw));
+
+  ResultSet rs;
+  if (!has_aggregates) {
+    // Plain projection.
+    std::vector<int> proj;
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        for (size_t i = 0; i < schema->num_columns(); i++) {
+          proj.push_back(static_cast<int>(i));
+          rs.columns.push_back(schema->columns()[i].name);
+          rs.types.push_back(schema->columns()[i].type);
+        }
+      } else {
+        int idx = schema->FindColumn(item.column);
+        if (idx < 0) {
+          return Status::InvalidArgument("unknown column: " + item.column);
+        }
+        proj.push_back(idx);
+        rs.columns.push_back(item.column);
+        rs.types.push_back(schema->columns()[idx].type);
+      }
+    }
+    for (const Row& row : raw) {
+      if (!RowPasses(row, conds)) continue;
+      Row out;
+      out.reserve(proj.size());
+      for (int idx : proj) out.push_back(row[idx]);
+      rs.rows.push_back(std::move(out));
+      if (stmt.limit > 0 && rs.rows.size() >= stmt.limit) break;
+    }
+    return rs;
+  }
+
+  // ---- Aggregation (streaming over the key-sorted rows). ----
+  struct ItemPlan {
+    AggFunc func;
+    int column = -1;  // -1 for COUNT(*) / group column position.
+    bool is_double = false;
+  };
+  std::vector<ItemPlan> plans;
+  for (const SelectItem& item : stmt.items) {
+    ItemPlan plan;
+    plan.func = item.func;
+    rs.columns.push_back(item.DisplayName());
+    if (item.func == AggFunc::kNone) {
+      plan.column = schema->FindColumn(item.column);
+      rs.types.push_back(schema->columns()[plan.column].type);
+    } else if (item.star) {
+      rs.types.push_back(ColumnType::kInt64);  // COUNT(*).
+    } else {
+      plan.column = schema->FindColumn(item.column);
+      if (plan.column < 0) {
+        return Status::InvalidArgument("unknown column: " + item.column);
+      }
+      ColumnType ct = schema->columns()[plan.column].type;
+      plan.is_double = ct == ColumnType::kDouble;
+      if ((item.func == AggFunc::kSum || item.func == AggFunc::kAvg) &&
+          (ct == ColumnType::kString || ct == ColumnType::kBlob)) {
+        return Status::InvalidArgument("SUM/AVG require a numeric column");
+      }
+      switch (item.func) {
+        case AggFunc::kCount:
+          rs.types.push_back(ColumnType::kInt64);
+          break;
+        case AggFunc::kAvg:
+          rs.types.push_back(ColumnType::kDouble);
+          break;
+        case AggFunc::kSum:
+          rs.types.push_back(plan.is_double ? ColumnType::kDouble
+                                            : ColumnType::kInt64);
+          break;
+        default:
+          rs.types.push_back(ct);
+      }
+    }
+    plans.push_back(plan);
+  }
+
+  std::vector<AggState> states(plans.size());
+  Row current_group;
+  bool in_group = false;
+  uint64_t group_rows = 0;
+
+  auto emit_group = [&]() {
+    Row out;
+    for (size_t i = 0; i < plans.size(); i++) {
+      const ItemPlan& plan = plans[i];
+      const AggState& st = states[i];
+      switch (plan.func) {
+        case AggFunc::kNone: {
+          // Group column: position within group_cols == its column index.
+          size_t pos = std::find(group_cols.begin(), group_cols.end(),
+                                 plan.column) -
+                       group_cols.begin();
+          out.push_back(current_group[pos]);
+          break;
+        }
+        case AggFunc::kCount:
+          out.push_back(Value::Int64(
+              plan.column < 0 ? static_cast<int64_t>(group_rows)
+                              : static_cast<int64_t>(st.count)));
+          break;
+        case AggFunc::kSum:
+          out.push_back(plan.is_double ? Value::Double(st.dbl_sum)
+                                       : Value::Int64(st.int_sum));
+          break;
+        case AggFunc::kMin:
+          out.push_back(st.has_minmax ? st.min : Value::Int64(0));
+          break;
+        case AggFunc::kMax:
+          out.push_back(st.has_minmax ? st.max : Value::Int64(0));
+          break;
+        case AggFunc::kAvg: {
+          double total = plan.is_double ? st.dbl_sum
+                                        : static_cast<double>(st.int_sum);
+          out.push_back(
+              Value::Double(st.count == 0 ? 0.0 : total / st.count));
+          break;
+        }
+      }
+    }
+    rs.rows.push_back(std::move(out));
+    states.assign(plans.size(), AggState());
+    group_rows = 0;
+  };
+
+  for (const Row& row : raw) {
+    if (!RowPasses(row, conds)) continue;
+    // Group key for this row.
+    Row group;
+    group.reserve(group_cols.size());
+    for (int idx : group_cols) group.push_back(row[idx]);
+    bool same = in_group && group.size() == current_group.size();
+    if (same) {
+      for (size_t i = 0; i < group.size(); i++) {
+        if (group[i].Compare(current_group[i]) != 0) {
+          same = false;
+          break;
+        }
+      }
+    }
+    if (in_group && !same) emit_group();
+    if (!in_group || !same) {
+      current_group = std::move(group);
+      in_group = true;
+    }
+    group_rows++;
+    for (size_t i = 0; i < plans.size(); i++) {
+      if (plans[i].func == AggFunc::kNone || plans[i].column < 0) continue;
+      const Value& v = row[plans[i].column];
+      if (plans[i].func == AggFunc::kCount) {
+        states[i].count++;
+      } else {
+        states[i].Add(v, plans[i].is_double);
+      }
+    }
+    if (stmt.limit > 0 && rs.rows.size() >= stmt.limit) {
+      in_group = false;  // Drop the partial group past the limit.
+      break;
+    }
+  }
+  if (in_group) {
+    // Global aggregates (no GROUP BY) emit a row even for empty input;
+    // grouped aggregates emit one row per observed group.
+    emit_group();
+  } else if (group_cols.empty() && rs.rows.empty()) {
+    group_rows = 0;
+    current_group.clear();
+    emit_group();
+  }
+  if (stmt.limit > 0 && rs.rows.size() > stmt.limit) rs.rows.resize(stmt.limit);
+  return rs;
+}
+
+}  // namespace sql
+}  // namespace lt

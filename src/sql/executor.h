@@ -1,0 +1,58 @@
+// SqlSession: parses and executes LittleTable SQL.
+//
+// The planner converts a SELECT's WHERE conjunction into the engine's native
+// query shape — the two-dimensional bounding box of §3.1:
+//   - equality conditions on a leading run of primary-key columns become the
+//     shared key prefix of both bounds;
+//   - range conditions on the next key column extend one bound each;
+//   - conditions on the ts column become the timestamp dimension;
+//   - everything else is applied as a row filter.
+// Because the engine streams rows sorted by primary key, GROUP BY on a
+// key-column prefix aggregates without re-sorting — exactly how the paper's
+// adaptor computes per-device sums from a (network, device, ts) table
+// (§3.1's example).
+#ifndef LITTLETABLE_SQL_EXECUTOR_H_
+#define LITTLETABLE_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/backend.h"
+
+namespace lt {
+namespace sql {
+
+/// Result of executing one statement.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<ColumnType> types;
+  std::vector<Row> rows;
+  /// Rows inserted (INSERT statements).
+  uint64_t rows_affected = 0;
+
+  /// Renders an ASCII table for CLIs and examples.
+  std::string ToString() const;
+};
+
+class SqlSession {
+ public:
+  /// `backend` must outlive the session.
+  explicit SqlSession(SqlBackend* backend) : backend_(backend) {}
+
+  /// Parses and executes one statement.
+  Result<ResultSet> Execute(const std::string& statement);
+
+ private:
+  Result<ResultSet> ExecuteCreate(const CreateTableStmt& stmt);
+  Result<ResultSet> ExecuteDrop(const DropTableStmt& stmt);
+  Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt);
+
+  SqlBackend* const backend_;
+};
+
+}  // namespace sql
+}  // namespace lt
+
+#endif  // LITTLETABLE_SQL_EXECUTOR_H_

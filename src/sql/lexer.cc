@@ -1,0 +1,177 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace lt {
+namespace sql {
+
+bool Token::Is(const char* word) const {
+  if (type != TokenType::kIdentifier) return false;
+  size_t i = 0;
+  for (; word[i] != '\0' && i < text.size(); i++) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(word[i]))) {
+      return false;
+    }
+  }
+  return word[i] == '\0' && i == text.size();
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Status Tokenize(const std::string& input, std::vector<Token>* tokens) {
+  tokens->clear();
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') i++;
+      continue;
+    }
+
+    // Blob literal x'0afb'.
+    if ((c == 'x' || c == 'X') && i + 1 < n && input[i + 1] == '\'') {
+      i += 2;
+      std::string bytes;
+      while (i + 1 < n && input[i] != '\'') {
+        int hi = HexDigit(input[i]), lo = HexDigit(input[i + 1]);
+        if (hi < 0 || lo < 0) {
+          return Status::InvalidArgument("bad blob literal at offset " +
+                                         std::to_string(tok.offset));
+        }
+        bytes.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+      }
+      if (i >= n || input[i] != '\'') {
+        return Status::InvalidArgument("unterminated blob literal");
+      }
+      i++;
+      tok.type = TokenType::kBlob;
+      tok.text = std::move(bytes);
+      tokens->push_back(std::move(tok));
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) i++;
+      tok.type = TokenType::kIdentifier;
+      tok.text = input.substr(start, i - start);
+      tokens->push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        if (input[i] == '.' || input[i] == 'e' || input[i] == 'E') {
+          is_float = true;
+        }
+        i++;
+      }
+      std::string num = input.substr(start, i - start);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(num);
+      tokens->push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      i++;
+      std::string text;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // Escaped quote.
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        text.push_back(input[i++]);
+      }
+      if (i >= n) return Status::InvalidArgument("unterminated string literal");
+      i++;  // Closing quote.
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tokens->push_back(std::move(tok));
+      continue;
+    }
+
+    // Two-character operators.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        tok.type = TokenType::kSymbol;
+        tok.text = two == "<>" ? "!=" : two;
+        tokens->push_back(std::move(tok));
+        i += 2;
+        continue;
+      }
+    }
+
+    static const char kSingles[] = "(),;*=<>+-";
+    bool matched = false;
+    for (char s : kSingles) {
+      if (c == s && s != '\0') {
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        tokens->push_back(std::move(tok));
+        i++;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens->push_back(std::move(end));
+  return Status::OK();
+}
+
+}  // namespace sql
+}  // namespace lt

@@ -1,0 +1,46 @@
+// SQL tokenizer. §2.3.2: LittleTable's first query language was XML-based
+// and "developer uptake was sluggish until a subsequent version added SQL
+// support" — the SQL surface is part of the system being reproduced.
+#ifndef LITTLETABLE_SQL_LEXER_H_
+#define LITTLETABLE_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lt {
+namespace sql {
+
+enum class TokenType {
+  kIdentifier,   // table1, network (also keywords; matched case-insensitively)
+  kInteger,      // 42, -7
+  kFloat,        // 3.25, -1e9
+  kString,       // 'text' (single quotes, '' escapes a quote)
+  kBlob,         // x'0afb'
+  kSymbol,       // ( ) , ; * = < > <= >= != + -
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // Identifier/symbol text, or decoded string/blob.
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;   // Byte offset in the input, for error messages.
+
+  /// Case-insensitive keyword/identifier match.
+  bool Is(const char* word) const;
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `input`; the result always ends with a kEnd token.
+Status Tokenize(const std::string& input, std::vector<Token>* tokens);
+
+}  // namespace sql
+}  // namespace lt
+
+#endif  // LITTLETABLE_SQL_LEXER_H_

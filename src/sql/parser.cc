@@ -1,0 +1,400 @@
+#include <cstdlib>
+
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace lt {
+namespace sql {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (Accept("CREATE")) return ParseCreate();
+    if (Accept("DROP")) return ParseDrop();
+    if (Accept("INSERT")) return ParseInsert();
+    if (Accept("SELECT")) return ParseSelect();
+    return Error("expected CREATE, DROP, INSERT, or SELECT");
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool Accept(const char* word) {
+    if (Peek().Is(word)) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const char* word) {
+    if (Accept(word)) return Status::OK();
+    return Error("expected " + std::string(word)).status();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (AcceptSymbol(sym)) return Status::OK();
+    return Error("expected '" + std::string(sym) + "'").status();
+  }
+
+  Result<Statement> Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " near offset " + std::to_string(Peek().offset) +
+        (Peek().text.empty() ? "" : " (at \"" + Peek().text + "\")"));
+  }
+
+  Result<std::string> Identifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error(std::string("expected ") + what).status();
+    }
+    return Next().text;
+  }
+
+  // Literal := [-] number | 'string' | x'blob' | NOW() [(+|-) integer]
+  //            | DEFAULT
+  Result<Literal> ParseLiteral() {
+    Literal lit;
+    if (Accept("NOW")) {
+      LT_RETURN_IF_ERROR(ExpectSymbol("("));
+      LT_RETURN_IF_ERROR(ExpectSymbol(")"));
+      lit.kind = Literal::Kind::kNow;
+      // Offsets: NOW() + n or NOW() - n (microseconds).
+      if (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+        bool negative = Next().text == "-";
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected integer after NOW() +/-").status();
+        }
+        int64_t n = Next().int_value;
+        lit.now_offset = negative ? -n : n;
+      }
+      return lit;
+    }
+    if (Accept("DEFAULT")) {
+      lit.kind = Literal::Kind::kDefault;
+      return lit;
+    }
+    bool negative = false;
+    if (Peek().IsSymbol("-")) {
+      negative = true;
+      pos_++;
+    }
+    const Token& tok = Next();
+    switch (tok.type) {
+      case TokenType::kInteger:
+        lit.kind = Literal::Kind::kInteger;
+        lit.int_value = negative ? -tok.int_value : tok.int_value;
+        return lit;
+      case TokenType::kFloat:
+        lit.kind = Literal::Kind::kFloat;
+        lit.float_value = negative ? -tok.float_value : tok.float_value;
+        return lit;
+      case TokenType::kString:
+        if (negative) return Error("cannot negate a string").status();
+        lit.kind = Literal::Kind::kString;
+        lit.text = tok.text;
+        return lit;
+      case TokenType::kBlob:
+        if (negative) return Error("cannot negate a blob").status();
+        lit.kind = Literal::Kind::kBlob;
+        lit.text = tok.text;
+        return lit;
+      default:
+        pos_--;
+        return Error("expected literal").status();
+    }
+  }
+
+  Result<ColumnType> ParseColumnType() {
+    LT_ASSIGN_OR_RETURN(std::string name, Identifier("column type"));
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    ColumnType type;
+    LT_RETURN_IF_ERROR(ColumnTypeFromName(name, &type));
+    return type;
+  }
+
+  // Duration := integer [us|s|m|h|d|w]  (bare integers are microseconds)
+  Result<Timestamp> ParseDuration() {
+    if (Peek().type != TokenType::kInteger) {
+      return Error("expected duration").status();
+    }
+    int64_t n = Next().int_value;
+    if (Peek().type == TokenType::kIdentifier) {
+      const Token& unit = Next();
+      if (unit.Is("us")) {
+      } else if (unit.Is("s")) {
+        n *= kMicrosPerSecond;
+      } else if (unit.Is("m")) {
+        n *= kMicrosPerMinute;
+      } else if (unit.Is("h")) {
+        n *= kMicrosPerHour;
+      } else if (unit.Is("d")) {
+        n *= kMicrosPerDay;
+      } else if (unit.Is("w")) {
+        n *= kMicrosPerWeek;
+      } else {
+        return Error("unknown duration unit \"" + unit.text + "\"").status();
+      }
+    }
+    return static_cast<Timestamp>(n);
+  }
+
+  Result<Statement> ParseCreate() {
+    LT_RETURN_IF_ERROR(Expect("TABLE"));
+    CreateTableStmt stmt;
+    LT_ASSIGN_OR_RETURN(stmt.table, Identifier("table name"));
+    LT_RETURN_IF_ERROR(ExpectSymbol("("));
+    bool saw_primary_key = false;
+    while (true) {
+      if (Accept("PRIMARY")) {
+        LT_RETURN_IF_ERROR(Expect("KEY"));
+        LT_RETURN_IF_ERROR(ExpectSymbol("("));
+        do {
+          LT_ASSIGN_OR_RETURN(std::string key, Identifier("key column"));
+          stmt.key_names.push_back(std::move(key));
+        } while (AcceptSymbol(","));
+        LT_RETURN_IF_ERROR(ExpectSymbol(")"));
+        saw_primary_key = true;
+      } else {
+        Column col;
+        LT_ASSIGN_OR_RETURN(col.name, Identifier("column name"));
+        LT_ASSIGN_OR_RETURN(col.type, ParseColumnType());
+        col.default_value = DefaultValueFor(col.type);
+        if (Accept("DEFAULT")) {
+          LT_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+          LT_ASSIGN_OR_RETURN(col.default_value,
+                              lit.Bind(col.type, 0, DefaultValueFor(col.type)));
+        }
+        stmt.columns.push_back(std::move(col));
+      }
+      if (AcceptSymbol(",")) continue;
+      LT_RETURN_IF_ERROR(ExpectSymbol(")"));
+      break;
+    }
+    if (!saw_primary_key) {
+      return Error("CREATE TABLE requires a PRIMARY KEY clause").status();
+    }
+    if (Accept("WITH")) {
+      LT_RETURN_IF_ERROR(Expect("TTL"));
+      LT_ASSIGN_OR_RETURN(stmt.ttl, ParseDuration());
+    }
+    LT_RETURN_IF_ERROR(End());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDrop() {
+    LT_RETURN_IF_ERROR(Expect("TABLE"));
+    DropTableStmt stmt;
+    LT_ASSIGN_OR_RETURN(stmt.table, Identifier("table name"));
+    LT_RETURN_IF_ERROR(End());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    LT_RETURN_IF_ERROR(Expect("INTO"));
+    InsertStmt stmt;
+    LT_ASSIGN_OR_RETURN(stmt.table, Identifier("table name"));
+    if (AcceptSymbol("(")) {
+      do {
+        LT_ASSIGN_OR_RETURN(std::string col, Identifier("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+      LT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    LT_RETURN_IF_ERROR(Expect("VALUES"));
+    do {
+      LT_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Literal> row;
+      do {
+        LT_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+        row.push_back(std::move(lit));
+      } while (AcceptSymbol(","));
+      LT_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    LT_RETURN_IF_ERROR(End());
+    return Statement(std::move(stmt));
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (AcceptSymbol("*")) {
+      item.star = true;
+      return item;
+    }
+    struct AggName {
+      const char* word;
+      AggFunc func;
+    };
+    static const AggName kAggs[] = {{"COUNT", AggFunc::kCount},
+                                    {"SUM", AggFunc::kSum},
+                                    {"MIN", AggFunc::kMin},
+                                    {"MAX", AggFunc::kMax},
+                                    {"AVG", AggFunc::kAvg}};
+    for (const AggName& agg : kAggs) {
+      if (Peek().Is(agg.word) && tokens_[pos_ + 1].IsSymbol("(")) {
+        pos_ += 2;
+        item.func = agg.func;
+        if (AcceptSymbol("*")) {
+          if (agg.func != AggFunc::kCount) {
+            return Error("only COUNT accepts *").status();
+          }
+          item.star = true;
+        } else {
+          LT_ASSIGN_OR_RETURN(item.column, Identifier("aggregate column"));
+        }
+        LT_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return item;
+      }
+    }
+    LT_ASSIGN_OR_RETURN(item.column, Identifier("column name"));
+    return item;
+  }
+
+  Result<Statement> ParseSelect() {
+    SelectStmt stmt;
+    do {
+      LT_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    LT_RETURN_IF_ERROR(Expect("FROM"));
+    LT_ASSIGN_OR_RETURN(stmt.table, Identifier("table name"));
+
+    if (Accept("WHERE")) {
+      do {
+        Condition cond;
+        LT_ASSIGN_OR_RETURN(cond.column, Identifier("column name"));
+        if (AcceptSymbol("=")) cond.op = CompareOp::kEq;
+        else if (AcceptSymbol("!=")) cond.op = CompareOp::kNe;
+        else if (AcceptSymbol("<=")) cond.op = CompareOp::kLe;
+        else if (AcceptSymbol("<")) cond.op = CompareOp::kLt;
+        else if (AcceptSymbol(">=")) cond.op = CompareOp::kGe;
+        else if (AcceptSymbol(">")) cond.op = CompareOp::kGt;
+        else return Error("expected comparison operator");
+        LT_ASSIGN_OR_RETURN(cond.value, ParseLiteral());
+        stmt.where.push_back(std::move(cond));
+      } while (Accept("AND"));
+    }
+
+    if (Accept("GROUP")) {
+      LT_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        LT_ASSIGN_OR_RETURN(std::string col, Identifier("group-by column"));
+        stmt.group_by.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+    }
+
+    if (Accept("ORDER")) {
+      LT_RETURN_IF_ERROR(Expect("BY"));
+      // Results are always in primary-key order (§3.1); ORDER BY KEY picks
+      // the direction.
+      LT_RETURN_IF_ERROR(Expect("KEY"));
+      if (Accept("DESC")) stmt.order_descending = true;
+      else Accept("ASC");
+    }
+
+    if (Accept("LIMIT")) {
+      if (Peek().type != TokenType::kInteger || Peek().int_value < 0) {
+        return Error("expected non-negative LIMIT");
+      }
+      stmt.limit = static_cast<uint64_t>(Next().int_value);
+    }
+    LT_RETURN_IF_ERROR(End());
+    return Statement(std::move(stmt));
+  }
+
+  Status End() {
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input").status();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Literal::Bind(ColumnType type, Timestamp now,
+                            const Value& dflt) const {
+  switch (kind) {
+    case Kind::kDefault:
+      return dflt;
+    case Kind::kNow:
+      if (type != ColumnType::kTimestamp) {
+        return Status::InvalidArgument("NOW() only binds to timestamps");
+      }
+      return Value::Ts(now + now_offset);
+    case Kind::kInteger:
+      switch (type) {
+        case ColumnType::kInt32:
+          if (int_value < INT32_MIN || int_value > INT32_MAX) {
+            return Status::InvalidArgument("integer out of int32 range");
+          }
+          return Value::Int32(static_cast<int32_t>(int_value));
+        case ColumnType::kInt64:
+          return Value::Int64(int_value);
+        case ColumnType::kTimestamp:
+          return Value::Ts(int_value);
+        case ColumnType::kDouble:
+          return Value::Double(static_cast<double>(int_value));
+        default:
+          return Status::InvalidArgument("integer literal for non-numeric column");
+      }
+    case Kind::kFloat:
+      if (type != ColumnType::kDouble) {
+        return Status::InvalidArgument("float literal for non-double column");
+      }
+      return Value::Double(float_value);
+    case Kind::kString:
+      if (type == ColumnType::kString) return Value::String(text);
+      if (type == ColumnType::kBlob) return Value::Blob(text);
+      return Status::InvalidArgument("string literal for non-text column");
+    case Kind::kBlob:
+      if (type != ColumnType::kBlob) {
+        return Status::InvalidArgument("blob literal for non-blob column");
+      }
+      return Value::Blob(text);
+  }
+  return Status::InvalidArgument("bad literal");
+}
+
+std::string SelectItem::DisplayName() const {
+  switch (func) {
+    case AggFunc::kNone:
+      return star ? "*" : column;
+    case AggFunc::kCount:
+      return star ? "count(*)" : "count(" + column + ")";
+    case AggFunc::kSum:
+      return "sum(" + column + ")";
+    case AggFunc::kMin:
+      return "min(" + column + ")";
+    case AggFunc::kMax:
+      return "max(" + column + ")";
+    case AggFunc::kAvg:
+      return "avg(" + column + ")";
+  }
+  return column;
+}
+
+Result<Statement> Parse(const std::string& sql) {
+  std::vector<Token> tokens;
+  LT_RETURN_IF_ERROR(Tokenize(sql, &tokens));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace lt

@@ -1,0 +1,11 @@
+#include "util/clock.h"
+
+namespace lt {
+
+const std::shared_ptr<SystemClock>& SystemClock::Instance() {
+  static const std::shared_ptr<SystemClock> clock =
+      std::make_shared<SystemClock>();
+  return clock;
+}
+
+}  // namespace lt

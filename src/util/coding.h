@@ -1,0 +1,47 @@
+// Primitive encoders/decoders for the tablet file format and wire protocol.
+//
+// All multi-byte integers are little-endian. Varints use the LEB128-style
+// 7-bits-per-byte encoding. Decoders take a Slice cursor and consume from it.
+#ifndef LITTLETABLE_UTIL_CODING_H_
+#define LITTLETABLE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace lt {
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends a varint length followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+
+/// Each GetX consumes the decoded bytes from `input` and returns false on
+/// truncated or malformed input (leaving `input` unspecified).
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// ZigZag maps signed integers to unsigned so small magnitudes stay small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_UTIL_CODING_H_

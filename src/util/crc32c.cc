@@ -1,0 +1,61 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace lt {
+namespace crc32c {
+namespace {
+
+// CRC32C polynomial, reflected.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+struct Table {
+  uint32_t t[4][256];
+};
+
+Table BuildTable() {
+  Table table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; j++) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; i++) {
+    table.t[1][i] = (table.t[0][i] >> 8) ^ table.t[0][table.t[0][i] & 0xff];
+    table.t[2][i] = (table.t[1][i] >> 8) ^ table.t[0][table.t[1][i] & 0xff];
+    table.t[3][i] = (table.t[2][i] >> 8) ^ table.t[0][table.t[2][i] & 0xff];
+  }
+  return table;
+}
+
+const Table& GetTable() {
+  static const Table table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& tab = GetTable();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  // Process 4 bytes at a time (slicing-by-4).
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tab.t[3][crc & 0xff] ^ tab.t[2][(crc >> 8) & 0xff] ^
+          tab.t[1][(crc >> 16) & 0xff] ^ tab.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n--) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace lt

@@ -1,0 +1,34 @@
+// CRC32C (Castagnoli) checksums, used to detect corruption in tablet blocks
+// and footers. Software implementation with an 8-entry-per-byte slicing
+// table; the masked form guards against checksumming a checksum.
+#ifndef LITTLETABLE_UTIL_CRC32C_H_
+#define LITTLETABLE_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lt {
+namespace crc32c {
+
+/// Returns the CRC32C of data[0..n-1], extending `init_crc`.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// Returns the CRC32C of data[0..n-1].
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Returns a masked CRC. Storing raw CRCs of data that itself contains CRCs
+/// is error-prone; the mask makes stored checksums distinct from raw ones.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - 0xa282ead8ul;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace crc32c
+}  // namespace lt
+
+#endif  // LITTLETABLE_UTIL_CRC32C_H_

@@ -1,0 +1,85 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lt {
+namespace {
+
+// Two-sided 95% critical values of the Student's t-distribution by degrees of
+// freedom; entries beyond the table fall back to the normal value 1.96.
+double TCritical95(size_t df) {
+  static const double kTable[] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052,  2.048,  2.045, 2.042};
+  if (df == 0) return 0;
+  if (df < sizeof(kTable) / sizeof(kTable[0])) return kTable[df];
+  return 1.96;
+}
+
+}  // namespace
+
+std::vector<double>& Samples::sorted() const {
+  if (sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  return sorted_;
+}
+
+double Samples::Mean() const {
+  if (values_.empty()) return 0;
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / values_.size();
+}
+
+double Samples::StdDev() const {
+  if (values_.size() < 2) return 0;
+  double mean = Mean();
+  double ss = 0;
+  for (double v : values_) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / (values_.size() - 1));
+}
+
+double Samples::Min() const { return values_.empty() ? 0 : sorted().front(); }
+double Samples::Max() const { return values_.empty() ? 0 : sorted().back(); }
+
+double Samples::Quantile(double q) const {
+  if (values_.empty()) return 0;
+  const std::vector<double>& s = sorted();
+  if (q <= 0) return s.front();
+  if (q >= 1) return s.back();
+  double pos = q * (s.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - lo;
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1 - frac) + s[lo + 1] * frac;
+}
+
+double Samples::ConfidenceInterval95() const {
+  if (values_.size() < 2) return 0;
+  double sem = StdDev() / std::sqrt(static_cast<double>(values_.size()));
+  return TCritical95(values_.size() - 1) * sem;
+}
+
+double Samples::CdfAt(double x) const {
+  if (values_.empty()) return 0;
+  const std::vector<double>& s = sorted();
+  size_t n = std::upper_bound(s.begin(), s.end(), x) - s.begin();
+  return static_cast<double>(n) / s.size();
+}
+
+std::string SummaryString(const Samples& s) {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "n=%zu mean=%.3f p50=%.3f p90=%.3f p99=%.3f min=%.3f max=%.3f",
+           s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.9),
+           s.Quantile(0.99), s.Min(), s.Max());
+  return buf;
+}
+
+}  // namespace lt

@@ -1,0 +1,46 @@
+// Sample accumulator used by the benchmark harness: means, confidence
+// intervals (Student's t, as §5.1.1 specifies for the paper's error bars),
+// and CDF quantiles for the §5.2 production-metrics figures.
+#ifndef LITTLETABLE_UTIL_HISTOGRAM_H_
+#define LITTLETABLE_UTIL_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace lt {
+
+/// Collects double-valued samples and reports summary statistics.
+class Samples {
+ public:
+  void Add(double v) { values_.push_back(v); }
+  size_t Count() const { return values_.size(); }
+  bool Empty() const { return values_.empty(); }
+
+  double Mean() const;
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  double Quantile(double q) const;
+  /// Half-width of the 95% confidence interval on the mean, using the
+  /// Student's t-distribution (matches the paper's benchmark methodology).
+  double ConfidenceInterval95() const;
+
+  /// Fraction of samples <= x (empirical CDF).
+  double CdfAt(double x) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double>& sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+};
+
+/// Renders "p50=… p90=… mean=…" for logging.
+std::string SummaryString(const Samples& s);
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_UTIL_HISTOGRAM_H_

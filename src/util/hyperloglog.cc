@@ -1,0 +1,85 @@
+#include "util/hyperloglog.h"
+
+#include <cmath>
+
+#include "util/bloom.h"  // Reuses the 64-bit byte-string hash.
+
+namespace lt {
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  if (precision_ < 4) precision_ = 4;
+  if (precision_ > 16) precision_ = 16;
+  registers_.assign(1u << precision_, 0);
+}
+
+void HyperLogLog::Add(const Slice& element) { AddHash(BloomHash(element)); }
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
+  // Rank = position of the leftmost 1-bit in the remaining bits, 1-based.
+  uint64_t rest = hash << precision_;
+  uint8_t rank;
+  if (rest == 0) {
+    rank = static_cast<uint8_t>(64 - precision_ + 1);
+  } else {
+    rank = static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  }
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+double HyperLogLog::Estimate() const {
+  const size_t m = registers_.size();
+  double alpha;
+  switch (m) {
+    case 16: alpha = 0.673; break;
+    case 32: alpha = 0.697; break;
+    case 64: alpha = 0.709; break;
+    default: alpha = 0.7213 / (1.0 + 1.079 / static_cast<double>(m)); break;
+  }
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) zeros++;
+  }
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros != 0) {
+    // Small-range correction: linear counting.
+    estimate = m * std::log(static_cast<double>(m) / zeros);
+  }
+  return estimate;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("HLL precision mismatch");
+  }
+  for (size_t i = 0; i < registers_.size(); i++) {
+    if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
+  }
+  return Status::OK();
+}
+
+std::string HyperLogLog::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(precision_));
+  out.append(reinterpret_cast<const char*>(registers_.data()),
+             registers_.size());
+  return out;
+}
+
+Status HyperLogLog::Deserialize(const Slice& data, HyperLogLog* out) {
+  if (data.empty()) return Status::Corruption("empty HLL blob");
+  int precision = static_cast<unsigned char>(data[0]);
+  if (precision < 4 || precision > 16 ||
+      data.size() != 1 + (1u << precision)) {
+    return Status::Corruption("bad HLL blob");
+  }
+  out->precision_ = precision;
+  out->registers_.assign(
+      reinterpret_cast<const uint8_t*>(data.data()) + 1,
+      reinterpret_cast<const uint8_t*>(data.data()) + data.size());
+  return Status::OK();
+}
+
+}  // namespace lt

@@ -1,0 +1,44 @@
+// lzmini: a fast byte-oriented LZ77 codec, standing in for the LZO1X-1
+// compressor the paper uses for tablet blocks and footers (§3.5).
+//
+// Format of a frame:
+//   varint64 uncompressed_size
+//   sequence of tokens, LZ4-style:
+//     token byte = (literal_len_nibble << 4) | match_len_nibble
+//     nibble value 15 means "length continues": subsequent bytes each add
+//     0..255, terminated by a byte < 255.
+//     literal bytes follow, then (if not the final token) a 2-byte
+//     little-endian match distance (1..65535) and a match of length
+//     match_len + 4.
+//   The stream ends when uncompressed_size bytes have been produced; the
+//   final token carries no match.
+//
+// The decoder is defensive: any out-of-bounds length, zero distance, or
+// truncated frame returns Status::Corruption rather than reading or writing
+// out of range.
+#ifndef LITTLETABLE_UTIL_LZMINI_H_
+#define LITTLETABLE_UTIL_LZMINI_H_
+
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lt {
+namespace lzmini {
+
+/// Compresses `input`, appending the frame to `*out`.
+void Compress(const Slice& input, std::string* out);
+
+/// Decompresses one frame from `input`, appending the original bytes to
+/// `*out`. `input` must contain exactly one frame.
+Status Decompress(const Slice& input, std::string* out);
+
+/// Returns the uncompressed size recorded in a frame header without decoding
+/// the body; 0-size frames and corrupt headers yield a Corruption status.
+Status GetUncompressedSize(const Slice& input, uint64_t* size);
+
+}  // namespace lzmini
+}  // namespace lt
+
+#endif  // LITTLETABLE_UTIL_LZMINI_H_

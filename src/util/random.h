@@ -1,0 +1,73 @@
+// Deterministic PRNGs. The benchmarks use xorshift128+ exactly as the paper's
+// microbenchmarks do (§5.1.1): fast enough not to bottleneck insert paths and
+// producing incompressible payloads that defeat block compression.
+#ifndef LITTLETABLE_UTIL_RANDOM_H_
+#define LITTLETABLE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lt {
+
+/// xorshift128+ generator. Not cryptographic; seeded deterministically.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to spread the seed across both words.
+    s_[0] = Mix(&seed);
+    s_[1] = Mix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p in [0,1].
+  bool Bernoulli(double p) {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Uniform double in [0,1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Returns n incompressible bytes.
+  std::string Bytes(size_t n) {
+    std::string out;
+    out.reserve(n);
+    while (out.size() + 8 <= n) {
+      uint64_t v = Next();
+      out.append(reinterpret_cast<char*>(&v), 8);
+    }
+    uint64_t v = Next();
+    out.append(reinterpret_cast<char*>(&v), n - out.size());
+    return out;
+  }
+
+ private:
+  static uint64_t Mix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_UTIL_RANDOM_H_

@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace lt {
+
+std::string Status::ToString() const {
+  const char* name = nullptr;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kAlreadyExists:
+      name = "AlreadyExists";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+    case Code::kAborted:
+      name = "Aborted";
+      break;
+    case Code::kNetworkError:
+      name = "NetworkError";
+      break;
+  }
+  std::string out = name;
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace lt

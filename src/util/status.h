@@ -1,0 +1,141 @@
+// Status and Result<T>: the error-handling idiom used throughout LittleTable.
+//
+// The core library does not throw exceptions. Every fallible operation
+// returns a Status (or a Result<T>, which is a Status plus a value). This
+// mirrors the convention of production storage engines (RocksDB, LevelDB,
+// Arrow) and keeps error paths explicit and cheap.
+#ifndef LITTLETABLE_UTIL_STATUS_H_
+#define LITTLETABLE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lt {
+
+/// Result status of a fallible operation.
+///
+/// A Status is either OK (the common, allocation-free case) or carries an
+/// error code and a human-readable message. Statuses are cheap to copy and
+/// move; an OK status stores no heap data.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIOError,
+    kAlreadyExists,
+    kNotSupported,
+    kAborted,
+    kNetworkError,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(Code::kNetworkError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNetworkError() const { return code_ == Code::kNetworkError; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "IOError: disk full" or "OK".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A Status combined with a value: holds T on success, a non-OK Status on
+/// failure. Use `value()` only after checking `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace lt
+
+/// Propagates a non-OK status to the caller.
+#define LT_RETURN_IF_ERROR(expr)             \
+  do {                                       \
+    ::lt::Status _s = (expr);                \
+    if (!_s.ok()) return _s;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating failure, else binds `lhs`.
+#define LT_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto LT_CONCAT_(res_, __LINE__) = (expr);  \
+  if (!LT_CONCAT_(res_, __LINE__).ok())      \
+    return LT_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(*LT_CONCAT_(res_, __LINE__))
+
+#define LT_CONCAT_INNER_(a, b) a##b
+#define LT_CONCAT_(a, b) LT_CONCAT_INNER_(a, b)
+
+#endif  // LITTLETABLE_UTIL_STATUS_H_

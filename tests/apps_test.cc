@@ -1,0 +1,537 @@
+// Tests for the §4 applications: the simulated device fleet, UsageGrabber,
+// EventsGrabber, the aggregator (rollups, tag joins, HLL sketches, restart
+// discovery), and video motion search.
+#include <gtest/gtest.h>
+
+#include "apps/aggregator.h"
+#include "apps/events_grabber.h"
+#include "apps/motion_grabber.h"
+#include "apps/usage_grabber.h"
+#include "env/mem_env.h"
+
+namespace lt {
+namespace apps {
+namespace {
+
+constexpr Timestamp kStart = 400 * kMicrosPerWeek;
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<SimClock>(kStart);
+    DbOptions opts;
+    opts.background_maintenance = false;
+    ASSERT_TRUE(DB::Open(&env_, clock_, "/apps", opts, &db_).ok());
+    backend_ = std::make_unique<sql::DbBackend>(db_.get());
+
+    BuildShardConfig(/*seed=*/7, /*networks=*/3, /*devices_per_network=*/8,
+                     &config_);
+    sim_opts_.seed = 7;
+    // Short enough history that one poll drains a device's event backlog
+    // (2h / 30s = ~240 events << the 1000-per-poll cap).
+    sim_opts_.birth = kStart - 2 * kMicrosPerHour;
+    sim_opts_.unreachable_hour_prob = 0;  // Reachability tested explicitly.
+    fleet_ = std::make_unique<DeviceFleet>(sim_opts_);
+    fleet_->PopulateFromConfig(config_);
+  }
+
+  Timestamp Now() const { return clock_->Now(); }
+
+  MemEnv env_;
+  std::shared_ptr<SimClock> clock_;
+  std::unique_ptr<DB> db_;
+  std::unique_ptr<sql::DbBackend> backend_;
+  ConfigStore config_;
+  DeviceSimOptions sim_opts_;
+  std::unique_ptr<DeviceFleet> fleet_;
+};
+
+// ----- Device simulation. -----
+
+TEST_F(AppsTest, ShardConfigShape) {
+  EXPECT_EQ(config_.AllNetworks().size(), 3u);
+  EXPECT_EQ(config_.AllDevices().size(), 24u);
+  EXPECT_EQ(config_.DevicesInNetwork(1).size(), 8u);
+  int cameras = 0;
+  for (DeviceId id : config_.AllDevices()) {
+    if (config_.GetDevice(id)->type == DeviceType::kCamera) cameras++;
+  }
+  EXPECT_EQ(cameras, 3);  // Every 8th device.
+}
+
+TEST_F(AppsTest, ByteCountersMonotoneAndDeterministic) {
+  SimulatedDevice* d = fleet_->Get(1);
+  int64_t prev = 0;
+  for (int m = 0; m < 200; m++) {
+    int64_t c = d->ByteCounterAt(Now() + m * kMicrosPerMinute);
+    EXPECT_GE(c, prev) << m;
+    prev = c;
+  }
+  // Determinism: a second fleet reproduces identical values.
+  DeviceFleet other(sim_opts_);
+  other.PopulateFromConfig(config_);
+  EXPECT_EQ(other.Get(1)->ByteCounterAt(Now() + kMicrosPerHour),
+            d->ByteCounterAt(Now() + kMicrosPerHour));
+}
+
+TEST_F(AppsTest, EventsMonotoneIdsAndRetention) {
+  SimulatedDevice* d = fleet_->Get(2);
+  std::vector<SimEvent> events = d->EventsAfter(-1, Now(), 100);
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); i++) {
+    EXPECT_EQ(events[i].id, events[i - 1].id + 1);
+    EXPECT_GT(events[i].ts, events[i - 1].ts);
+  }
+  // EventsAfter(id) resumes exactly.
+  std::vector<SimEvent> tail = d->EventsAfter(events[49].id, Now(), 10);
+  ASSERT_EQ(tail.size(), 10u);
+  EXPECT_EQ(tail[0].id, events[50].id);
+  // Re-reading produces identical data (the recoverability property).
+  std::vector<SimEvent> again = d->EventsAfter(-1, Now(), 100);
+  EXPECT_EQ(again[10].detail, events[10].detail);
+  // Ring buffer: with a long history, the oldest stored event id > 0.
+  SimEvent oldest;
+  ASSERT_TRUE(d->OldestStoredEvent(Now(), &oldest));
+  EXPECT_EQ(oldest.id,
+            std::max<int64_t>(0, d->EventCountAt(Now()) - 10000));
+}
+
+TEST_F(AppsTest, OutagesMakeDevicesUnreachable) {
+  SimulatedDevice* d = fleet_->Get(3);
+  EXPECT_TRUE(d->ReachableAt(Now()));
+  d->SetOutage(Now() + kMicrosPerMinute, Now() + kMicrosPerHour);
+  EXPECT_TRUE(d->ReachableAt(Now()));
+  EXPECT_FALSE(d->ReachableAt(Now() + 30 * kMicrosPerMinute));
+  EXPECT_TRUE(d->ReachableAt(Now() + 2 * kMicrosPerHour));
+}
+
+// ----- Motion encoding. -----
+
+TEST(MotionTest, WordRoundTrip) {
+  uint32_t word = EncodeMotionWord(8, 9, 0x00abcdef);
+  EXPECT_EQ(MotionCellRow(word), 8);
+  EXPECT_EQ(MotionCellCol(word), 9);
+  EXPECT_EQ(MotionBlocks(word), 0x00abcdefu);
+}
+
+TEST(MotionTest, GridDimensionsMatchPaper) {
+  // 960x540 frame, 16x16 macroblocks, 6x4 blocks per coarse cell.
+  EXPECT_EQ(kMacroblockCols, 60);
+  EXPECT_EQ(kMacroblockRows, 34);
+  EXPECT_EQ(kMotionCellCols * kCellBlockCols, 60);
+  EXPECT_GE(kMotionCellRows * kCellBlockRows, 34);
+  EXPECT_LE(kMotionCellRows, 16);  // Must fit a nibble.
+  EXPECT_LE(kMotionCellCols, 16);
+}
+
+TEST(MotionTest, IntersectionGeometry) {
+  // Motion in coarse cell (row 2, col 3): macroblocks rows 8..11, cols
+  // 18..23. Set only the top-left macroblock of the cell (bit 0).
+  uint32_t word = EncodeMotionWord(2, 3, 0x1);
+  MotionRect hit;
+  hit.min_block_col = 18;
+  hit.max_block_col = 18;
+  hit.min_block_row = 8;
+  hit.max_block_row = 8;
+  EXPECT_TRUE(MotionIntersects(word, hit));
+  MotionRect miss = hit;
+  miss.min_block_col = miss.max_block_col = 19;  // One block right.
+  EXPECT_FALSE(MotionIntersects(word, miss));
+  // Whole frame always intersects.
+  EXPECT_TRUE(MotionIntersects(word, MotionRect{}));
+  // Bit 23 = bottom-right macroblock of the cell (row 11, col 23).
+  uint32_t last = EncodeMotionWord(2, 3, 1u << 23);
+  MotionRect corner;
+  corner.min_block_col = corner.max_block_col = 23;
+  corner.min_block_row = corner.max_block_row = 11;
+  EXPECT_TRUE(MotionIntersects(last, corner));
+}
+
+TEST(MotionTest, RectFromPixels) {
+  MotionRect r = MotionRect::FromPixels(100, 200, 400, 500);
+  EXPECT_EQ(r.min_block_col, 6);
+  EXPECT_EQ(r.min_block_row, 12);
+  EXPECT_EQ(r.max_block_col, 25);
+  EXPECT_EQ(r.max_block_row, 31);
+}
+
+TEST(MotionTest, HeatmapAccumulates) {
+  MotionHeatmap map;
+  map.Add(EncodeMotionWord(0, 0, 0x3));  // Two blocks.
+  map.Add(EncodeMotionWord(0, 0, 0x1));  // One overlapping block.
+  EXPECT_EQ(map.counts[0][0], 2u);
+  EXPECT_EQ(map.counts[0][1], 1u);
+  EXPECT_EQ(map.Total(), 3u);
+}
+
+// ----- UsageGrabber. -----
+
+TEST_F(AppsTest, UsageGrabberComputesRates) {
+  UsageGrabberOptions opts;
+  UsageGrabber grabber(backend_.get(), fleet_.get(), &config_, opts);
+  ASSERT_TRUE(grabber.EnsureTable().ok());
+
+  // First poll: caches only, no rows (§4.1.1).
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  EXPECT_EQ(grabber.rows_inserted(), 0u);
+  EXPECT_EQ(grabber.cache_size(), 24u);
+
+  clock_->Advance(kMicrosPerMinute);
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  EXPECT_EQ(grabber.rows_inserted(), 24u);
+
+  std::vector<Row> rows;
+  ASSERT_TRUE(backend_->QueryAll("usage", QueryBounds{}, &rows).ok());
+  ASSERT_EQ(rows.size(), 24u);
+  for (const Row& row : rows) {
+    DeviceId device = row[1].i64();
+    EXPECT_EQ(row[0].i64(), config_.GetDevice(device)->network);
+    EXPECT_EQ(row[2].AsInt(), Now());                    // t2.
+    EXPECT_EQ(row[3].AsInt(), Now() - kMicrosPerMinute);  // t1.
+    // rate * 60s == counter delta.
+    int64_t c2 = fleet_->Get(device)->ByteCounterAt(Now());
+    int64_t c1 = fleet_->Get(device)->ByteCounterAt(Now() - kMicrosPerMinute);
+    EXPECT_NEAR(row[5].dbl() * 60.0, static_cast<double>(c2 - c1), 1.0);
+  }
+}
+
+TEST_F(AppsTest, UsageGrabberLeavesGapAfterLongUnavailability) {
+  UsageGrabberOptions opts;
+  opts.threshold = kMicrosPerHour;
+  UsageGrabber grabber(backend_.get(), fleet_.get(), &config_, opts);
+  ASSERT_TRUE(grabber.EnsureTable().ok());
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+
+  // Device 1 goes dark for two hours; others keep reporting.
+  fleet_->Get(1)->SetOutage(Now() + 1, Now() + 2 * kMicrosPerHour);
+  for (int m = 1; m <= 130; m++) {
+    clock_->Advance(kMicrosPerMinute);
+    ASSERT_TRUE(grabber.Poll(Now()).ok());
+  }
+  EXPECT_GT(grabber.gaps_observed(), 0u);
+  // Device 1 has no row covering the outage: its rows resume ~an hour+ after.
+  std::vector<Row> rows;
+  QueryBounds b = QueryBounds::ForPrefix(
+      {Value::Int64(config_.GetDevice(1)->network), Value::Int64(1)});
+  ASSERT_TRUE(backend_->QueryAll("usage", b, &rows).ok());
+  for (size_t i = 1; i < rows.size(); i++) {
+    // Every stored interval [t1, t2) is at most the threshold long.
+    EXPECT_LE(rows[i][2].AsInt() - rows[i][3].AsInt(), opts.threshold);
+  }
+}
+
+TEST_F(AppsTest, UsageGrabberRebuildsCacheAfterCrash) {
+  UsageGrabberOptions opts;
+  UsageGrabber grabber(backend_.get(), fleet_.get(), &config_, opts);
+  ASSERT_TRUE(grabber.EnsureTable().ok());
+  for (int m = 0; m < 5; m++) {
+    ASSERT_TRUE(grabber.Poll(Now()).ok());
+    clock_->Advance(kMicrosPerMinute);
+  }
+  uint64_t before = grabber.rows_inserted();
+
+  grabber.ForgetCache();  // Grabber process restarts.
+  ASSERT_TRUE(grabber.RebuildCache(Now()).ok());
+  EXPECT_EQ(grabber.cache_size(), 24u);
+
+  // The next poll continues producing rate rows (no first-contact reset).
+  clock_->Advance(kMicrosPerMinute);
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  EXPECT_EQ(grabber.rows_inserted(), before + 24);
+}
+
+// ----- EventsGrabber. -----
+
+TEST_F(AppsTest, EventsGrabberTracksIdsIncrementally) {
+  EventsGrabberOptions opts;
+  EventsGrabber grabber(backend_.get(), fleet_.get(), &config_, opts);
+  ASSERT_TRUE(grabber.EnsureTable().ok());
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  uint64_t first = grabber.rows_inserted();
+  EXPECT_GT(first, 0u);
+  // Nothing new without time passing.
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  EXPECT_EQ(grabber.rows_inserted(), first);
+  // More events arrive as time advances.
+  clock_->Advance(10 * kMicrosPerMinute);
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  EXPECT_GT(grabber.rows_inserted(), first);
+
+  // Stored ids are contiguous per device.
+  std::vector<Row> rows;
+  QueryBounds b = QueryBounds::ForPrefix(
+      {Value::Int64(config_.GetDevice(5)->network), Value::Int64(5)});
+  ASSERT_TRUE(backend_->QueryAll("events", b, &rows).ok());
+  ASSERT_GT(rows.size(), 1u);
+  for (size_t i = 1; i < rows.size(); i++) {
+    EXPECT_EQ(rows[i][3].i64(), rows[i - 1][3].i64() + 1);
+  }
+}
+
+TEST_F(AppsTest, EventsGrabberRestartUsesRecentWindow) {
+  EventsGrabberOptions opts;
+  EventsGrabber grabber(backend_.get(), fleet_.get(), &config_, opts);
+  ASSERT_TRUE(grabber.EnsureTable().ok());
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  clock_->Advance(5 * kMicrosPerMinute);
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  uint64_t rows_before = grabber.rows_inserted();
+
+  grabber.ForgetCache();
+  ASSERT_TRUE(grabber.RebuildCache(Now()).ok());
+  EXPECT_EQ(grabber.cache_size(), 24u);
+  EXPECT_EQ(grabber.deep_searches(), 0u);  // All found in the window.
+
+  // No duplicate re-inserts after recovery.
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+  EXPECT_EQ(grabber.rows_inserted(), rows_before);
+}
+
+TEST_F(AppsTest, EventsGrabberDeepSearchForLongOfflineDevice) {
+  EventsGrabberOptions opts;
+  opts.recent_window = kMicrosPerHour;
+  EventsGrabber grabber(backend_.get(), fleet_.get(), &config_, opts);
+  ASSERT_TRUE(grabber.EnsureTable().ok());
+  ASSERT_TRUE(grabber.Poll(Now()).ok());
+
+  // Device 9 goes offline for the rest of the polling run, while others
+  // keep inserting.
+  fleet_->Get(9)->SetOutage(Now() + 1, Now() + 49 * kMicrosPerHour);
+  for (int h = 0; h < 8; h++) {
+    clock_->Advance(6 * kMicrosPerHour);
+    ASSERT_TRUE(grabber.Poll(Now()).ok());
+  }
+  // The grabber restarts after the outage ends. Device 9's most recent row
+  // is ~2 days old — far outside the recent window — so recovery bounds its
+  // search with the device's oldest stored event and issues a
+  // latest-row-for-prefix query (§3.4.5).
+  clock_->Advance(2 * kMicrosPerHour);
+  grabber.ForgetCache();
+  ASSERT_TRUE(grabber.RebuildCache(Now()).ok());
+  EXPECT_GE(grabber.deep_searches(), 1u);
+  EXPECT_EQ(grabber.cache_size(), 24u);
+}
+
+TEST_F(AppsTest, EventsGrabberSentinelsBoundLookback) {
+  EventsGrabberOptions opts;
+  opts.sentinel_period = 10 * kMicrosPerMinute;
+  EventsGrabber grabber(backend_.get(), fleet_.get(), &config_, opts);
+  ASSERT_TRUE(grabber.EnsureTable().ok());
+  for (int m = 0; m <= 30; m += 5) {
+    ASSERT_TRUE(grabber.Poll(Now()).ok());
+    clock_->Advance(5 * kMicrosPerMinute);
+  }
+  std::vector<Row> rows;
+  ASSERT_TRUE(backend_->QueryAll("events", QueryBounds{}, &rows).ok());
+  int sentinels = 0;
+  for (const Row& row : rows) {
+    if (row[4].bytes() == "sentinel") sentinels++;
+  }
+  EXPECT_GT(sentinels, 0);
+}
+
+// ----- MotionGrabber. -----
+
+TEST_F(AppsTest, MotionSearchAndHeatmap) {
+  sim_opts_.motion_prob = 0.3;  // Busy scene.
+  DeviceFleet busy(sim_opts_);
+  busy.PopulateFromConfig(config_);
+
+  MotionGrabberOptions opts;
+  MotionGrabber grabber(backend_.get(), &busy, &config_, opts);
+  ASSERT_TRUE(grabber.EnsureTable().ok());
+  for (int m = 0; m < 30; m++) {
+    clock_->Advance(kMicrosPerMinute);
+    ASSERT_TRUE(grabber.Poll(Now()).ok());
+  }
+  ASSERT_GT(grabber.rows_inserted(), 0u);
+
+  // Find a camera.
+  DeviceId camera = 0;
+  for (DeviceId id : config_.AllDevices()) {
+    if (config_.GetDevice(id)->type == DeviceType::kCamera) {
+      camera = id;
+      break;
+    }
+  }
+  ASSERT_NE(camera, 0);
+
+  // Whole-frame search finds everything, newest first.
+  std::vector<MotionHit> hits;
+  ASSERT_TRUE(grabber
+                  .SearchMotion(camera, MotionRect{}, Now() - kMicrosPerHour,
+                                Now(), 0, &hits)
+                  .ok());
+  ASSERT_GT(hits.size(), 0u);
+  for (size_t i = 1; i < hits.size(); i++) {
+    EXPECT_GT(hits[i - 1].ts, hits[i].ts);
+  }
+  // A narrow rectangle finds a subset.
+  MotionRect corner;
+  corner.max_block_col = 5;
+  corner.max_block_row = 3;
+  std::vector<MotionHit> corner_hits;
+  ASSERT_TRUE(grabber
+                  .SearchMotion(camera, corner, Now() - kMicrosPerHour, Now(),
+                                0, &corner_hits)
+                  .ok());
+  EXPECT_LT(corner_hits.size(), hits.size());
+  for (const MotionHit& h : corner_hits) {
+    EXPECT_TRUE(MotionIntersects(h.word, corner));
+  }
+  // Limit applies.
+  std::vector<MotionHit> limited;
+  ASSERT_TRUE(grabber
+                  .SearchMotion(camera, MotionRect{}, Now() - kMicrosPerHour,
+                                Now(), 3, &limited)
+                  .ok());
+  EXPECT_EQ(limited.size(), 3u);
+
+  MotionHeatmap map;
+  ASSERT_TRUE(
+      grabber.Heatmap(camera, Now() - kMicrosPerHour, Now(), &map).ok());
+  EXPECT_GT(map.Total(), 0u);
+}
+
+// ----- Aggregator. -----
+
+class AggregatorTest : public AppsTest {
+ protected:
+  void SetUp() override {
+    AppsTest::SetUp();
+    usage_ = std::make_unique<UsageGrabber>(backend_.get(), fleet_.get(),
+                                            &config_, UsageGrabberOptions{});
+    events_ = std::make_unique<EventsGrabber>(backend_.get(), fleet_.get(),
+                                              &config_, EventsGrabberOptions{});
+    ASSERT_TRUE(usage_->EnsureTable().ok());
+    ASSERT_TRUE(events_->EnsureTable().ok());
+    agg_opts_.max_lookback = kMicrosPerDay;
+    agg_ = std::make_unique<Aggregator>(backend_.get(), &config_, agg_opts_);
+    ASSERT_TRUE(agg_->EnsureTables().ok());
+  }
+
+  // Runs both grabbers once a minute for `minutes`.
+  void RunGrabbers(int minutes) {
+    for (int m = 0; m < minutes; m++) {
+      clock_->Advance(kMicrosPerMinute);
+      ASSERT_TRUE(usage_->Poll(Now()).ok());
+      ASSERT_TRUE(events_->Poll(Now()).ok());
+    }
+  }
+
+  AggregatorOptions agg_opts_;
+  std::unique_ptr<UsageGrabber> usage_;
+  std::unique_ptr<EventsGrabber> events_;
+  std::unique_ptr<Aggregator> agg_;
+};
+
+TEST_F(AggregatorTest, RollupMatchesSource) {
+  RunGrabbers(35);
+  ASSERT_TRUE(agg_->Run(Now()).ok());
+  EXPECT_GT(agg_->periods_aggregated(), 0u);
+
+  // Pick one fully aggregated 10-minute period and check the per-network
+  // byte sum against a direct source aggregation.
+  std::vector<Row> derived;
+  ASSERT_TRUE(
+      backend_->QueryAll("usage_by_network_10m", QueryBounds{}, &derived).ok());
+  ASSERT_FALSE(derived.empty());
+  const Row& sample = derived[derived.size() / 2];
+  NetworkId network = sample[0].i64();
+  Timestamp start = sample[1].AsInt();
+
+  QueryBounds src = QueryBounds::ForPrefix({Value::Int64(network)});
+  src.min_ts = start;
+  src.max_ts = start + 10 * kMicrosPerMinute;
+  src.max_ts_inclusive = false;
+  std::vector<Row> source;
+  ASSERT_TRUE(backend_->QueryAll("usage", src, &source).ok());
+  int64_t expected = 0;
+  for (const Row& row : source) {
+    expected += static_cast<int64_t>(
+        row[5].dbl() *
+        (static_cast<double>(row[2].AsInt() - row[3].AsInt()) /
+         kMicrosPerSecond));
+  }
+  EXPECT_EQ(sample[2].i64(), expected);
+  EXPECT_EQ(sample[4].i64(), static_cast<int64_t>(source.size()));
+}
+
+TEST_F(AggregatorTest, TagRollupJoinsConfigStore) {
+  RunGrabbers(25);
+  ASSERT_TRUE(agg_->Run(Now()).ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE(backend_->QueryAll("usage_by_tag_10m", QueryBounds{}, &rows).ok());
+  // The shard config assigns tags to some devices; rollups must exist and
+  // use only known tags.
+  ASSERT_FALSE(rows.empty());
+  for (const Row& row : rows) {
+    const std::string& tag = row[1].bytes();
+    EXPECT_TRUE(tag == "classrooms" || tag == "playing-fields" ||
+                tag == "offices" || tag == "guest" || tag == "warehouse")
+        << tag;
+    EXPECT_GE(row[3].i64(), 0);
+  }
+}
+
+TEST_F(AggregatorTest, HllSketchesCountDistinctClients) {
+  // Run for over an hour so at least one HLL period completes.
+  RunGrabbers(70);
+  ASSERT_TRUE(agg_->Run(Now()).ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE(backend_->QueryAll("clients_hourly", QueryBounds{}, &rows).ok());
+  ASSERT_FALSE(rows.empty());
+  for (const Row& row : rows) {
+    // Device sim draws client details from a pool of 64; estimates must be
+    // plausible (>0, < pool * devices).
+    EXPECT_GT(row[3].dbl(), 0);
+    EXPECT_LT(row[3].dbl(), 64.0 * 9);
+    HyperLogLog sketch(12);
+    EXPECT_TRUE(HyperLogLog::Deserialize(row[2].bytes(), &sketch).ok());
+    EXPECT_NEAR(sketch.Estimate(), row[3].dbl(), 1e-6);
+  }
+  // Re-aggregation: union across the whole range >= any single hour.
+  NetworkId network = rows[0][0].i64();
+  auto merged = agg_->DistinctClientsOverRange(network, 0, Now());
+  ASSERT_TRUE(merged.ok());
+  EXPECT_GE(*merged + 1e-6, rows[0][3].dbl());
+}
+
+TEST_F(AggregatorTest, RestartDiscoveryFindsResumePoint) {
+  RunGrabbers(45);
+  ASSERT_TRUE(agg_->Run(Now()).ok());
+  ASSERT_TRUE(agg_->next_period_start().has_value());
+  Timestamp resume = *agg_->next_period_start();
+
+  // The aggregator restarts with no memory; discovery must resume at (or
+  // one period before, which is idempotent) the same point.
+  agg_->ForgetProgress();
+  ASSERT_TRUE(agg_->RebuildProgress(Now()).ok());
+  ASSERT_TRUE(agg_->next_period_start().has_value());
+  EXPECT_GE(*agg_->next_period_start(), resume - 10 * kMicrosPerMinute);
+  EXPECT_LE(*agg_->next_period_start(), resume);
+
+  // Continuing from the discovered point neither fails nor duplicates.
+  RunGrabbers(15);
+  ASSERT_TRUE(agg_->Run(Now()).ok());
+}
+
+TEST_F(AggregatorTest, EmptyDestinationStartsFromLookback) {
+  ASSERT_TRUE(agg_->RebuildProgress(Now()).ok());
+  ASSERT_TRUE(agg_->next_period_start().has_value());
+  EXPECT_LE(*agg_->next_period_start(), Now() - agg_opts_.max_lookback +
+                                            10 * kMicrosPerMinute);
+}
+
+TEST_F(AggregatorTest, FlushThroughMakesSourceDurableBeforeAggregating) {
+  RunGrabbers(15);
+  ASSERT_TRUE(agg_->Run(Now()).ok());
+  // The aggregated periods' source rows must be on disk (flushed), so a
+  // crash now cannot lose data the rollup already described.
+  auto table = db_->GetTable("usage");
+  EXPECT_GE(table->NumDiskTablets(), 1u);
+}
+
+}  // namespace
+}  // namespace apps
+}  // namespace lt

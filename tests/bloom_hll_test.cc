@@ -1,0 +1,150 @@
+// Tests for the probabilistic structures: Bloom filters (the §3.4.5 tablet
+// skipping extension) and HyperLogLog (the §4.1.2 distinct-client sketches).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bloom.h"
+#include "util/hyperloglog.h"
+#include "util/random.h"
+
+namespace lt {
+namespace {
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 5000; i++) builder.Add("key-" + std::to_string(i));
+  BloomFilter filter;
+  ASSERT_TRUE(BloomFilter::Parse(builder.Finish(), &filter).ok());
+  for (int i = 0; i < 5000; i++) {
+    EXPECT_TRUE(filter.MayContain("key-" + std::to_string(i))) << i;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearOnePercentAtTenBits) {
+  // The paper's proposed 10 bits/row should eliminate ~99% of non-matching
+  // tablets (§3.4.5).
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 20000; i++) builder.Add("present-" + std::to_string(i));
+  BloomFilter filter;
+  ASSERT_TRUE(BloomFilter::Parse(builder.Finish(), &filter).ok());
+  int fp = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; i++) {
+    if (filter.MayContain("absent-" + std::to_string(i))) fp++;
+  }
+  double rate = static_cast<double>(fp) / trials;
+  EXPECT_LT(rate, 0.025);
+  EXPECT_GT(rate, 0.0005);
+}
+
+TEST(BloomTest, SizeIsTenBitsPerKey) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 8000; i++) builder.Add("k" + std::to_string(i));
+  BloomFilter filter;
+  ASSERT_TRUE(BloomFilter::Parse(builder.Finish(), &filter).ok());
+  EXPECT_NEAR(filter.SizeBytes(), 8000 * 10 / 8, 64);
+}
+
+TEST(BloomTest, EmptyFilterMatchesNothing) {
+  BloomFilterBuilder builder(10);
+  BloomFilter filter;
+  ASSERT_TRUE(BloomFilter::Parse(builder.Finish(), &filter).ok());
+  EXPECT_FALSE(filter.MayContain("anything"));
+}
+
+TEST(BloomTest, ParseRejectsGarbage) {
+  BloomFilter filter;
+  EXPECT_FALSE(BloomFilter::Parse("", &filter).ok());
+  EXPECT_FALSE(BloomFilter::Parse("\xff\xff\xff", &filter).ok());
+}
+
+TEST(BloomTest, DifferentBitsPerKeyTradeoff) {
+  auto fp_rate = [](int bits_per_key) {
+    BloomFilterBuilder builder(bits_per_key);
+    for (int i = 0; i < 5000; i++) builder.Add("p" + std::to_string(i));
+    BloomFilter filter;
+    EXPECT_TRUE(BloomFilter::Parse(builder.Finish(), &filter).ok());
+    int fp = 0;
+    for (int i = 0; i < 5000; i++) {
+      if (filter.MayContain("a" + std::to_string(i))) fp++;
+    }
+    return static_cast<double>(fp) / 5000;
+  };
+  EXPECT_GT(fp_rate(4), fp_rate(16));
+}
+
+TEST(HllTest, SmallCardinalitiesNearExact) {
+  HyperLogLog hll(12);
+  for (int i = 0; i < 100; i++) hll.Add("client-" + std::to_string(i));
+  EXPECT_NEAR(hll.Estimate(), 100, 5);
+}
+
+TEST(HllTest, LargeCardinalityWithinRelativeError) {
+  HyperLogLog hll(12);  // ~1.6% standard error.
+  const int n = 200000;
+  for (int i = 0; i < n; i++) hll.Add("client-" + std::to_string(i));
+  EXPECT_NEAR(hll.Estimate(), n, n * 0.05);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int round = 0; round < 10; round++) {
+    for (int i = 0; i < 1000; i++) hll.Add("dup-" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 1000, 60);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  for (int i = 0; i < 5000; i++) {
+    a.Add("x" + std::to_string(i));
+    u.Add("x" + std::to_string(i));
+  }
+  for (int i = 2500; i < 7500; i++) {
+    b.Add("x" + std::to_string(i));
+    u.Add("x" + std::to_string(i));
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+  EXPECT_NEAR(a.Estimate(), 7500, 7500 * 0.05);
+}
+
+TEST(HllTest, MergePrecisionMismatchFails) {
+  HyperLogLog a(12), b(10);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(HllTest, SerializeRoundTrip) {
+  HyperLogLog hll(11);
+  for (int i = 0; i < 3000; i++) hll.Add("s" + std::to_string(i));
+  std::string blob = hll.Serialize();
+  EXPECT_EQ(blob.size(), 1u + (1u << 11));
+  HyperLogLog back(4);
+  ASSERT_TRUE(HyperLogLog::Deserialize(blob, &back).ok());
+  EXPECT_EQ(back.precision(), 11);
+  EXPECT_DOUBLE_EQ(back.Estimate(), hll.Estimate());
+}
+
+TEST(HllTest, DeserializeRejectsCorruptBlobs) {
+  HyperLogLog out(4);
+  EXPECT_FALSE(HyperLogLog::Deserialize("", &out).ok());
+  EXPECT_FALSE(HyperLogLog::Deserialize("\x0c short", &out).ok());
+  std::string bad_precision(1 + 4096, '\0');
+  bad_precision[0] = 99;
+  EXPECT_FALSE(HyperLogLog::Deserialize(bad_precision, &out).ok());
+}
+
+TEST(HllTest, EmptySketchEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_NEAR(hll.Estimate(), 0, 1e-9);
+}
+
+TEST(HllTest, PrecisionClamped) {
+  HyperLogLog low(1), high(30);
+  EXPECT_EQ(low.precision(), 4);
+  EXPECT_EQ(high.precision(), 16);
+}
+
+}  // namespace
+}  // namespace lt

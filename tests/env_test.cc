@@ -1,0 +1,324 @@
+// Tests for the Env layer: PosixEnv against a temp directory, MemEnv crash
+// simulation, and the SimDiskEnv cost model that backs Figures 5 and 6.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "env/env.h"
+#include "env/mem_env.h"
+#include "env/sim_disk_env.h"
+
+namespace lt {
+namespace {
+
+std::string TempDir() {
+  char tmpl[] = "/tmp/lt_env_test_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+// ----- Generic conformance checks, run against both Envs. -----
+
+class EnvConformanceTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "posix") {
+      env_ = Env::Default();
+      dir_ = TempDir();
+    } else {
+      mem_ = std::make_unique<MemEnv>();
+      env_ = mem_.get();
+      dir_ = "/mem";
+      env_->CreateDirIfMissing(dir_);
+    }
+  }
+
+  Env* env_ = nullptr;
+  std::unique_ptr<MemEnv> mem_;
+  std::string dir_;
+};
+
+TEST_P(EnvConformanceTest, WriteReadRoundTrip) {
+  const std::string path = dir_ + "/file";
+  ASSERT_TRUE(WriteStringToFile(env_, "hello world", path, true).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, path, &data).ok());
+  EXPECT_EQ(data, "hello world");
+}
+
+TEST_P(EnvConformanceTest, AppendAccumulates) {
+  const std::string path = dir_ + "/appended";
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(path, &f).ok());
+  ASSERT_TRUE(f->Append("abc").ok());
+  ASSERT_TRUE(f->Append("def").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, path, &data).ok());
+  EXPECT_EQ(data, "abcdef");
+}
+
+TEST_P(EnvConformanceTest, RandomAccessReads) {
+  const std::string path = dir_ + "/ra";
+  ASSERT_TRUE(WriteStringToFile(env_, "0123456789", path, false).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_->NewRandomAccessFile(path, &f).ok());
+  char scratch[16];
+  Slice out;
+  ASSERT_TRUE(f->Read(3, 4, &out, scratch).ok());
+  EXPECT_EQ(out.ToString(), "3456");
+  // Short read at EOF.
+  ASSERT_TRUE(f->Read(8, 10, &out, scratch).ok());
+  EXPECT_EQ(out.ToString(), "89");
+  // Read past EOF is empty, not an error.
+  ASSERT_TRUE(f->Read(100, 4, &out, scratch).ok());
+  EXPECT_TRUE(out.empty());
+  uint64_t size;
+  ASSERT_TRUE(f->Size(&size).ok());
+  EXPECT_EQ(size, 10u);
+}
+
+TEST_P(EnvConformanceTest, RenameReplacesAtomically) {
+  const std::string a = dir_ + "/a", b = dir_ + "/b";
+  ASSERT_TRUE(WriteStringToFile(env_, "new", a, false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "old", b, false).ok());
+  ASSERT_TRUE(env_->RenameFile(a, b).ok());
+  EXPECT_FALSE(env_->FileExists(a));
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, b, &data).ok());
+  EXPECT_EQ(data, "new");
+}
+
+TEST_P(EnvConformanceTest, RemoveAndExists) {
+  const std::string path = dir_ + "/gone";
+  EXPECT_FALSE(env_->FileExists(path));
+  ASSERT_TRUE(WriteStringToFile(env_, "x", path, false).ok());
+  EXPECT_TRUE(env_->FileExists(path));
+  ASSERT_TRUE(env_->RemoveFile(path).ok());
+  EXPECT_FALSE(env_->FileExists(path));
+  EXPECT_TRUE(env_->RemoveFile(path).IsNotFound());
+}
+
+TEST_P(EnvConformanceTest, GetChildrenListsFiles) {
+  ASSERT_TRUE(WriteStringToFile(env_, "1", dir_ + "/one", false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "2", dir_ + "/two", false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  EXPECT_NE(std::find(children.begin(), children.end(), "one"), children.end());
+  EXPECT_NE(std::find(children.begin(), children.end(), "two"), children.end());
+}
+
+TEST_P(EnvConformanceTest, MissingFileIsNotFound) {
+  std::unique_ptr<SequentialFile> sf;
+  EXPECT_TRUE(env_->NewSequentialFile(dir_ + "/nope", &sf).IsNotFound());
+  uint64_t size;
+  EXPECT_FALSE(env_->GetFileSize(dir_ + "/nope", &size).ok());
+}
+
+TEST_P(EnvConformanceTest, SequentialReadAndSkip) {
+  const std::string path = dir_ + "/seq";
+  ASSERT_TRUE(WriteStringToFile(env_, "abcdefghij", path, false).ok());
+  std::unique_ptr<SequentialFile> f;
+  ASSERT_TRUE(env_->NewSequentialFile(path, &f).ok());
+  char scratch[8];
+  Slice out;
+  ASSERT_TRUE(f->Read(3, &out, scratch).ok());
+  EXPECT_EQ(out.ToString(), "abc");
+  ASSERT_TRUE(f->Skip(2).ok());
+  ASSERT_TRUE(f->Read(3, &out, scratch).ok());
+  EXPECT_EQ(out.ToString(), "fgh");
+}
+
+INSTANTIATE_TEST_SUITE_P(Envs, EnvConformanceTest,
+                         ::testing::Values("posix", "mem"));
+
+// ----- MemEnv crash semantics. -----
+
+TEST(MemEnvTest, DropUnsyncedTruncatesToSyncPoint) {
+  MemEnv env;
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("volatile").ok());
+  env.DropUnsynced();
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env, "/f", &data).ok());
+  EXPECT_EQ(data, "durable");
+}
+
+TEST(MemEnvTest, DropUnsyncedRemovesNeverSyncedFiles) {
+  MemEnv env;
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/never", &f).ok());
+  ASSERT_TRUE(f->Append("data").ok());
+  env.DropUnsynced();
+  EXPECT_FALSE(env.FileExists("/never"));
+}
+
+TEST(MemEnvTest, OpenHandleSurvivesRemove) {
+  MemEnv env;
+  ASSERT_TRUE(WriteStringToFile(&env, "still here", "/f", true).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &f).ok());
+  ASSERT_TRUE(env.RemoveFile("/f").ok());
+  char scratch[16];
+  Slice out;
+  ASSERT_TRUE(f->Read(0, 10, &out, scratch).ok());
+  EXPECT_EQ(out.ToString(), "still here");
+}
+
+TEST(MemEnvTest, GetChildrenReportsSubdirectories) {
+  MemEnv env;
+  ASSERT_TRUE(WriteStringToFile(&env, "x", "/root/tbl_a/DESC", false).ok());
+  ASSERT_TRUE(WriteStringToFile(&env, "x", "/root/tbl_b/DESC", false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env.GetChildren("/root", &children).ok());
+  EXPECT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], "tbl_a");
+  EXPECT_EQ(children[1], "tbl_b");
+}
+
+// ----- SimDiskEnv cost model. -----
+
+class SimDiskTest : public ::testing::Test {
+ protected:
+  SimDiskTest() : sim_(&mem_, SimDiskOptions{}) {}
+
+  MemEnv mem_;
+  SimDiskEnv sim_;
+};
+
+TEST_F(SimDiskTest, SequentialReadChargesTransferNotSeeks) {
+  const size_t kSize = 10 << 20;  // 10 MB.
+  ASSERT_TRUE(
+      WriteStringToFile(&sim_, std::string(kSize, 'x'), "/big", false).ok());
+  sim_.ClearCaches();
+  sim_.ResetSimTime();
+
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(sim_.NewRandomAccessFile("/big", &f).ok());
+  std::string scratch(1 << 20, '\0');
+  Slice out;
+  for (size_t off = 0; off < kSize; off += scratch.size()) {
+    ASSERT_TRUE(f->Read(off, scratch.size(), &out, scratch.data()).ok());
+  }
+  // 10 MB at 120 MB/s = ~83 ms transfer; plus inode + first-chunk seeks.
+  int64_t elapsed = sim_.SimElapsedMicros();
+  EXPECT_GT(elapsed, 80000);
+  EXPECT_LT(elapsed, 110000);
+  EXPECT_LE(sim_.seek_count(), 3);
+}
+
+TEST_F(SimDiskTest, AlternatingFilesPaySeeks) {
+  // Disable the drive-cache prefetch model: this checks the raw seek
+  // accounting.
+  SimDiskOptions opts;
+  opts.drive_cache_bytes = 0;
+  MemEnv mem;
+  SimDiskEnv sim(&mem, opts);
+  ASSERT_TRUE(
+      WriteStringToFile(&sim, std::string(4 << 20, 'a'), "/a", false).ok());
+  ASSERT_TRUE(
+      WriteStringToFile(&sim, std::string(4 << 20, 'b'), "/b", false).ok());
+  sim.ClearCaches();
+  sim.ResetSimTime();
+
+  std::unique_ptr<RandomAccessFile> fa, fb;
+  ASSERT_TRUE(sim.NewRandomAccessFile("/a", &fa).ok());
+  ASSERT_TRUE(sim.NewRandomAccessFile("/b", &fb).ok());
+  char scratch[128 << 10];
+  Slice out;
+  const int kChunks = 16;
+  for (int i = 0; i < kChunks; i++) {
+    ASSERT_TRUE(fa->Read(i * sizeof(scratch), sizeof(scratch), &out, scratch).ok());
+    ASSERT_TRUE(fb->Read(i * sizeof(scratch), sizeof(scratch), &out, scratch).ok());
+  }
+  // Every chunk switch moves the head: ~2 seeks per iteration + 2 inodes.
+  EXPECT_GE(sim.seek_count(), 2 * kChunks);
+}
+
+TEST_F(SimDiskTest, DriveCachePrefetchAmortizesAlternatingStreams) {
+  // With the drive-cache model on (the default), two interleaved sequential
+  // streams grow prefetch windows and pay far fewer seeks — the §5.1.5
+  // effect that lifts multi-tablet scans above the naive floor.
+  ASSERT_TRUE(
+      WriteStringToFile(&sim_, std::string(8 << 20, 'a'), "/pa", false).ok());
+  ASSERT_TRUE(
+      WriteStringToFile(&sim_, std::string(8 << 20, 'b'), "/pb", false).ok());
+  sim_.ClearCaches();
+  sim_.ResetSimTime();
+  std::unique_ptr<RandomAccessFile> fa, fb;
+  ASSERT_TRUE(sim_.NewRandomAccessFile("/pa", &fa).ok());
+  ASSERT_TRUE(sim_.NewRandomAccessFile("/pb", &fb).ok());
+  char scratch[128 << 10];
+  Slice out;
+  const int kChunks = 64;
+  for (int i = 0; i < kChunks; i++) {
+    ASSERT_TRUE(fa->Read(i * sizeof(scratch), sizeof(scratch), &out, scratch).ok());
+    ASSERT_TRUE(fb->Read(i * sizeof(scratch), sizeof(scratch), &out, scratch).ok());
+  }
+  // Far fewer than one seek per chunk read (128 chunk reads total).
+  EXPECT_LT(sim_.seek_count(), 40);
+  EXPECT_GE(sim_.seek_count(), 2);
+}
+
+TEST_F(SimDiskTest, PageCacheMakesRereadsFree) {
+  ASSERT_TRUE(
+      WriteStringToFile(&sim_, std::string(1 << 20, 'c'), "/c", false).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(sim_.NewRandomAccessFile("/c", &f).ok());
+  char scratch[4096];
+  Slice out;
+  ASSERT_TRUE(f->Read(0, sizeof(scratch), &out, scratch).ok());
+  sim_.ResetSimTime();
+  ASSERT_TRUE(f->Read(0, sizeof(scratch), &out, scratch).ok());
+  EXPECT_EQ(sim_.SimElapsedMicros(), 0);
+  sim_.ClearCaches();
+  ASSERT_TRUE(f->Read(0, sizeof(scratch), &out, scratch).ok());
+  EXPECT_GT(sim_.SimElapsedMicros(), 0);
+}
+
+TEST_F(SimDiskTest, ReadaheadGranularityChangesChargedBytes) {
+  ASSERT_TRUE(
+      WriteStringToFile(&sim_, std::string(8 << 20, 'd'), "/d", false).ok());
+  auto charged = [&](uint64_t readahead) {
+    sim_.SetReadahead(readahead);
+    sim_.ClearCaches();
+    sim_.ResetSimTime();
+    std::unique_ptr<RandomAccessFile> f;
+    EXPECT_TRUE(sim_.NewRandomAccessFile("/d", &f).ok());
+    char scratch[512];
+    Slice out;
+    EXPECT_TRUE(f->Read(1 << 20, sizeof(scratch), &out, scratch).ok());
+    return sim_.bytes_read();
+  };
+  EXPECT_EQ(charged(128 << 10), 128 << 10);
+  EXPECT_EQ(charged(1 << 20), 1 << 20);
+}
+
+TEST_F(SimDiskTest, InodeSeekChargedOncePerFile) {
+  ASSERT_TRUE(WriteStringToFile(&sim_, "tiny", "/e", false).ok());
+  sim_.ClearCaches();
+  sim_.ResetSimTime();
+  std::unique_ptr<RandomAccessFile> f1, f2;
+  ASSERT_TRUE(sim_.NewRandomAccessFile("/e", &f1).ok());
+  EXPECT_EQ(sim_.seek_count(), 1);
+  ASSERT_TRUE(sim_.NewRandomAccessFile("/e", &f2).ok());
+  EXPECT_EQ(sim_.seek_count(), 1);  // Cached inode.
+}
+
+TEST_F(SimDiskTest, SequentialWriteThroughputMatchesModel) {
+  sim_.ResetSimTime();
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(sim_.NewWritableFile("/w", &f).ok());
+  std::string chunk(1 << 20, 'w');
+  for (int i = 0; i < 12; i++) ASSERT_TRUE(f->Append(chunk).ok());
+  // 12 MiB at 120 MB/s = ~104.9 ms + 1 seek.
+  EXPECT_NEAR(sim_.SimElapsedMicros(), 104858 + 8000, 2000);
+}
+
+}  // namespace
+}  // namespace lt

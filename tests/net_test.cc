@@ -1,0 +1,281 @@
+// End-to-end tests for the wire protocol, server, and client: round trips,
+// streaming query chunks, §3.5 continuation pagination, server-assigned
+// timestamps, schema-change retry, and error mapping.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "tests/test_util.h"
+
+namespace lt {
+namespace {
+
+using testutil::UsageRow;
+using testutil::UsageSchema;
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+    DbOptions opts;
+    opts.background_maintenance = false;
+    opts.table_defaults.merge.min_tablet_age = 0;
+    ASSERT_TRUE(DB::Open(&env_, clock_, "/srv", opts, &db_).ok());
+    server_ = std::make_unique<LittleTableServer>(db_.get(), 0);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(Client::Connect("127.0.0.1", server_->port(), &client_).ok());
+  }
+
+  void TearDown() override {
+    client_.reset();
+    server_->Stop();
+  }
+
+  MemEnv env_;
+  std::shared_ptr<SimClock> clock_;
+  std::unique_ptr<DB> db_;
+  std::unique_ptr<LittleTableServer> server_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(NetTest, PingAndEmptyListTables) {
+  ASSERT_TRUE(client_->Ping().ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(client_->ListTables(&names).ok());
+  EXPECT_TRUE(names.empty());
+}
+
+TEST_F(NetTest, CreateInsertQueryRoundTrip) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(client_->ListTables(&names).ok());
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "usage");
+
+  Timestamp t = clock_->Now();
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; i++) rows.push_back(UsageRow(1, i, t + i, i * 7, 0.5));
+  ASSERT_TRUE(client_->Insert("usage", rows).ok());
+
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(got[3][3].i64(), 21);
+}
+
+TEST_F(NetTest, GetTableInfoReturnsSchemaAndTtl) {
+  ASSERT_TRUE(
+      client_->CreateTable("usage", UsageSchema(), 2 * kMicrosPerWeek).ok());
+  Schema schema;
+  Timestamp ttl = 0;
+  ASSERT_TRUE(client_->GetTableInfo("usage", &schema, &ttl).ok());
+  EXPECT_EQ(schema.num_columns(), 5u);
+  EXPECT_EQ(schema.num_key_columns(), 3u);
+  EXPECT_EQ(ttl, 2 * kMicrosPerWeek);
+}
+
+TEST_F(NetTest, ErrorsMapToStatuses) {
+  EXPECT_TRUE(client_->DropTable("nope").IsNotFound());
+  std::vector<Row> rows = {UsageRow(1, 1, 1, 1, 1)};
+  EXPECT_TRUE(client_->Insert("nope", rows).IsNotFound());
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  EXPECT_TRUE(
+      client_->CreateTable("usage", UsageSchema(), 0).IsAlreadyExists());
+  // Duplicate key insert maps back to AlreadyExists.
+  ASSERT_TRUE(client_->Insert("usage", rows).ok());
+  EXPECT_TRUE(client_->Insert("usage", rows).IsAlreadyExists());
+}
+
+TEST_F(NetTest, ServerAssignsOmittedTimestamps) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  Row row = UsageRow(1, 1, wire::kOmittedTimestamp, 42, 0);
+  ASSERT_TRUE(client_->Insert("usage", {row}).ok());
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0][2].AsInt(), clock_->Now());
+}
+
+TEST_F(NetTest, QueryStreamsChunksAndPaginates) {
+  // More rows than one chunk (512) and more than the server row limit hit
+  // via client-side bounds.limit to exercise continuation.
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  Timestamp t = clock_->Now();
+  std::vector<Row> rows;
+  for (int i = 0; i < 1500; i++) rows.push_back(UsageRow(1, i, t, i, 0));
+  ASSERT_TRUE(client_->Insert("usage", rows).ok());
+
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_EQ(got.size(), 1500u);
+  for (int i = 0; i < 1500; i++) EXPECT_EQ(got[i][1].i64(), i);
+
+  // Bounded page with a limit: exactly one server round.
+  QueryBounds b;
+  b.limit = 100;
+  QueryResult page;
+  ASSERT_TRUE(client_->Query("usage", b, &page).ok());
+  EXPECT_EQ(page.rows.size(), 100u);
+  EXPECT_TRUE(page.more_available);
+}
+
+TEST_F(NetTest, ContinuationAcrossServerRowLimit) {
+  // Force a small server cap so QueryAll must re-submit (§3.5).
+  TableOptions topts;
+  topts.server_row_limit = 64;
+  ASSERT_TRUE(db_->CreateTable("capped", UsageSchema(), &topts).ok());
+  auto table = db_->GetTable("capped");
+  Timestamp t = clock_->Now();
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; i++) rows.push_back(UsageRow(1, i, t, i, 0));
+  ASSERT_TRUE(table->InsertBatch(rows).ok());
+
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("capped", QueryBounds{}, &got).ok());
+  ASSERT_EQ(got.size(), 500u);
+  for (int i = 0; i < 500; i++) EXPECT_EQ(got[i][1].i64(), i);
+
+  // Descending continuation too.
+  QueryBounds desc;
+  desc.direction = Direction::kDescending;
+  ASSERT_TRUE(client_->QueryAll("capped", desc, &got).ok());
+  ASSERT_EQ(got.size(), 500u);
+  for (int i = 0; i < 500; i++) EXPECT_EQ(got[i][1].i64(), 499 - i);
+}
+
+TEST_F(NetTest, BoundedQueryOverWire) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  Timestamp t = clock_->Now();
+  std::vector<Row> rows;
+  for (int net = 0; net < 4; net++) {
+    for (int m = 0; m < 20; m++) rows.push_back(UsageRow(net, 0, t + m, m, 0));
+  }
+  ASSERT_TRUE(client_->Insert("usage", rows).ok());
+  QueryBounds b = QueryBounds::ForPrefix({Value::Int64(2)});
+  b.min_ts = t + 5;
+  b.max_ts = t + 9;
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", b, &got).ok());
+  ASSERT_EQ(got.size(), 5u);
+  for (const Row& r : got) EXPECT_EQ(r[0].i64(), 2);
+}
+
+TEST_F(NetTest, LatestRowOverWire) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  Timestamp t = clock_->Now();
+  ASSERT_TRUE(client_->Insert("usage", {UsageRow(1, 7, t, 1, 0),
+                                        UsageRow(1, 7, t + 60, 2, 0)}).ok());
+  Row row;
+  bool found = false;
+  ASSERT_TRUE(client_
+                  ->LatestRow("usage", {Value::Int64(1), Value::Int64(7)},
+                              &row, &found)
+                  .ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(row[3].i64(), 2);
+  ASSERT_TRUE(
+      client_->LatestRow("usage", {Value::Int64(9)}, &row, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(NetTest, FlushThroughMakesDataDurable) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  Timestamp t = clock_->Now();
+  ASSERT_TRUE(client_->Insert("usage", {UsageRow(1, 1, t, 5, 0)}).ok());
+  auto table = db_->GetTable("usage");
+  EXPECT_EQ(table->NumDiskTablets(), 0u);
+  ASSERT_TRUE(client_->FlushThrough("usage", t).ok());
+  EXPECT_EQ(table->NumDiskTablets(), 1u);
+}
+
+TEST_F(NetTest, SchemaEvolutionWithStaleClientRetries) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  Timestamp t = clock_->Now();
+  ASSERT_TRUE(client_->Insert("usage", {UsageRow(1, 1, t, 1, 0)}).ok());
+
+  // A second client evolves the schema; the first client's cache is stale.
+  std::unique_ptr<Client> admin;
+  ASSERT_TRUE(Client::Connect("127.0.0.1", server_->port(), &admin).ok());
+  ASSERT_TRUE(admin
+                  ->AppendColumn("usage", Column("packets", ColumnType::kInt64,
+                                                 Value::Int64(-1)))
+                  .ok());
+
+  // Stale query: client transparently refreshes and succeeds, with rows
+  // translated to the new schema.
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].size(), 6u);
+  EXPECT_EQ(got[0][5].i64(), -1);
+
+  // Stale insert: refreshed schema has 6 columns, so the old-shape row is
+  // rejected by the client-side schema check after refresh.
+  EXPECT_FALSE(client_->Insert("usage", {UsageRow(1, 2, t + 1, 2, 0)}).ok());
+  Row wide = UsageRow(1, 2, t + 1, 2, 0);
+  wide.push_back(Value::Int64(9));
+  ASSERT_TRUE(client_->Insert("usage", {wide}).ok());
+
+  // Widen over the wire.
+  // Widening against a missing table maps to NotFound.
+  ASSERT_TRUE(admin->WidenColumn("nope", "packets").IsNotFound());
+  ASSERT_TRUE(admin->SetTtl("usage", 5 * kMicrosPerWeek).ok());
+  Schema schema;
+  Timestamp ttl;
+  ASSERT_TRUE(client_->GetTableInfo("usage", &schema, &ttl).ok());
+  EXPECT_EQ(ttl, 5 * kMicrosPerWeek);
+}
+
+TEST_F(NetTest, ManyConcurrentClients) {
+  // §5.1.4's observation that the server shares almost no state between
+  // tables: N clients each writing their own table concurrently.
+  const int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; c++) {
+    ASSERT_TRUE(client_
+                    ->CreateTable("t" + std::to_string(c), UsageSchema(), 0)
+                    .ok());
+  }
+  Timestamp t = clock_->Now();
+  for (int c = 0; c < kClients; c++) {
+    threads.emplace_back([&, c] {
+      std::unique_ptr<Client> cl;
+      if (!Client::Connect("127.0.0.1", server_->port(), &cl).ok()) {
+        failures++;
+        return;
+      }
+      std::string table = "t" + std::to_string(c);
+      for (int batch = 0; batch < 20; batch++) {
+        std::vector<Row> rows;
+        for (int i = 0; i < 32; i++) {
+          rows.push_back(UsageRow(c, batch * 32 + i, t + batch * 32 + i, i, 0));
+        }
+        if (!cl->Insert(table, rows).ok()) {
+          failures++;
+          return;
+        }
+      }
+      std::vector<Row> got;
+      if (!cl->QueryAll(table, QueryBounds{}, &got).ok() ||
+          got.size() != 20 * 32) {
+        failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(NetTest, ClientDetectsServerStop) {
+  ASSERT_TRUE(client_->Ping().ok());
+  server_->Stop();
+  EXPECT_FALSE(client_->Ping().ok());
+}
+
+}  // namespace
+}  // namespace lt

@@ -1,0 +1,301 @@
+// Tests for time-period binning (§3.4.2) and the merge policy, including the
+// appendix's two logarithmic bounds as property tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/merge_policy.h"
+#include "core/periods.h"
+#include "util/random.h"
+
+namespace lt {
+namespace {
+
+constexpr Timestamp kFourHours = 4 * kMicrosPerHour;
+
+TEST(PeriodsTest, RecentDayUsesFourHourBins) {
+  Timestamp now = 100 * kMicrosPerWeek + 17 * kMicrosPerHour;  // 17:00.
+  Timestamp ts = now - kMicrosPerHour;                         // 16:00 today.
+  Period p = PeriodFor(ts, now);
+  EXPECT_EQ(p.length(), kFourHours);
+  EXPECT_TRUE(p.Contains(ts));
+  EXPECT_EQ(p.start % kFourHours, 0);
+}
+
+TEST(PeriodsTest, FutureTimestampsUseFourHourBins) {
+  Timestamp now = 100 * kMicrosPerWeek;
+  Period p = PeriodFor(now + 3 * kMicrosPerDay, now);
+  EXPECT_EQ(p.length(), kFourHours);
+}
+
+TEST(PeriodsTest, RecentWeekUsesDayBins) {
+  Timestamp now = 100 * kMicrosPerWeek + 3 * kMicrosPerDay + kMicrosPerHour;
+  Timestamp ts = now - 2 * kMicrosPerDay;  // Two days ago, same week.
+  Period p = PeriodFor(ts, now);
+  EXPECT_EQ(p.length(), kMicrosPerDay);
+  EXPECT_TRUE(p.Contains(ts));
+  EXPECT_EQ(p.start % kMicrosPerDay, 0);
+}
+
+TEST(PeriodsTest, OlderThanWeekUsesWeekBins) {
+  Timestamp now = 100 * kMicrosPerWeek + kMicrosPerDay;
+  Timestamp ts = now - 3 * kMicrosPerWeek;
+  Period p = PeriodFor(ts, now);
+  EXPECT_EQ(p.length(), kMicrosPerWeek);
+  EXPECT_TRUE(p.Contains(ts));
+}
+
+TEST(PeriodsTest, BoundariesAreEpochAligned) {
+  Timestamp now = 123456789 * kMicrosPerSecond;
+  for (Timestamp ts :
+       {now, now - kMicrosPerDay - 1, now - kMicrosPerWeek - 1}) {
+    Period p = PeriodFor(ts, now);
+    EXPECT_EQ(p.start % p.length(), 0);
+    EXPECT_EQ(p.end - p.start, p.length());
+  }
+}
+
+TEST(PeriodsTest, RolloverShrinksGranularityMonotonically) {
+  Timestamp ts = 100 * kMicrosPerWeek + 10 * kMicrosPerHour;
+  Timestamp same_day = ts + kMicrosPerHour;
+  Timestamp next_day = ts + kMicrosPerDay;
+  Timestamp next_week = ts + kMicrosPerWeek + kMicrosPerDay;
+  EXPECT_EQ(PeriodLengthFor(ts, same_day), kFourHours);
+  EXPECT_EQ(PeriodLengthFor(ts, next_day), kMicrosPerDay);
+  EXPECT_EQ(PeriodLengthFor(ts, next_week), kMicrosPerWeek);
+}
+
+TEST(PeriodsTest, PartitionIsExhaustiveAndDisjoint) {
+  // Every timestamp belongs to exactly one period; consecutive timestamps
+  // within a bin share it.
+  Timestamp now = 100 * kMicrosPerWeek + 5 * kMicrosPerHour;
+  Random r(3);
+  for (int i = 0; i < 1000; i++) {
+    Timestamp ts = now - static_cast<Timestamp>(r.Uniform(10 * kMicrosPerWeek));
+    Period p = PeriodFor(ts, now);
+    EXPECT_TRUE(p.Contains(ts));
+    EXPECT_EQ(PeriodFor(p.start, now).start, p.start);
+    EXPECT_EQ(PeriodFor(p.end - 1, now).start, p.start);
+  }
+}
+
+// ----- Merge policy. -----
+
+TabletMeta MakeTablet(Timestamp min_ts, Timestamp max_ts, uint64_t bytes,
+                      Timestamp flushed_at, const std::string& name) {
+  TabletMeta m;
+  m.filename = name;
+  m.min_ts = min_ts;
+  m.max_ts = max_ts;
+  m.file_bytes = bytes;
+  m.row_count = bytes / 128;
+  m.flushed_at = flushed_at;
+  return m;
+}
+
+MergePolicyOptions NoDelayOptions() {
+  MergePolicyOptions o;
+  o.min_tablet_age = 0;
+  o.rollover_delay_frac = 0;
+  return o;
+}
+
+TEST(MergePolicyTest, MergesOldestEligiblePair) {
+  Timestamp now = 200 * kMicrosPerWeek;
+  Timestamp base = now - 50 * kMicrosPerWeek;  // Deep past: one week bin.
+  std::vector<TabletMeta> tablets = {
+      MakeTablet(base, base + 10, 100 << 20, now, "a"),   // Too big vs next.
+      MakeTablet(base + 20, base + 30, 10 << 20, now, "b"),
+      MakeTablet(base + 40, base + 50, 8 << 20, now, "c"),
+      MakeTablet(base + 60, base + 70, 8 << 20, now, "d"),
+  };
+  MergePick pick = PickMerge(tablets, now, "t", NoDelayOptions());
+  ASSERT_TRUE(pick.valid());
+  // a vs b: 100MB > 2*10MB, skip. b vs c: 10 <= 16, pick {b, c} and extend
+  // with d.
+  EXPECT_EQ(pick.begin, 1u);
+  EXPECT_EQ(pick.end, 4u);
+}
+
+TEST(MergePolicyTest, NothingToMergeWhenGeometric) {
+  Timestamp now = 200 * kMicrosPerWeek;
+  Timestamp base = now - 50 * kMicrosPerWeek;
+  std::vector<TabletMeta> tablets = {
+      MakeTablet(base, base + 1, 64 << 20, now, "a"),
+      MakeTablet(base + 2, base + 3, 16 << 20, now, "b"),
+      MakeTablet(base + 4, base + 5, 4 << 20, now, "c"),
+      MakeTablet(base + 6, base + 7, 1 << 20, now, "d"),
+  };
+  EXPECT_FALSE(PickMerge(tablets, now, "t", NoDelayOptions()).valid());
+}
+
+TEST(MergePolicyTest, RespectsMaxMergedSize) {
+  Timestamp now = 200 * kMicrosPerWeek;
+  Timestamp base = now - 50 * kMicrosPerWeek;
+  MergePolicyOptions opts = NoDelayOptions();
+  opts.max_merged_bytes = 20 << 20;
+  std::vector<TabletMeta> tablets = {
+      MakeTablet(base, base + 1, 8 << 20, now, "a"),
+      MakeTablet(base + 2, base + 3, 8 << 20, now, "b"),
+      MakeTablet(base + 4, base + 5, 8 << 20, now, "c"),
+  };
+  MergePick pick = PickMerge(tablets, now, "t", opts);
+  ASSERT_TRUE(pick.valid());
+  EXPECT_EQ(pick.end - pick.begin, 2u);  // Third would exceed 20 MB.
+}
+
+TEST(MergePolicyTest, NeverMergesAcrossPeriods) {
+  Timestamp now = 200 * kMicrosPerWeek + 2 * kMicrosPerDay;
+  // Two tablets in adjacent *day* bins of the current week.
+  Timestamp day1 = now - 2 * kMicrosPerDay;
+  Timestamp day2 = now - kMicrosPerDay;
+  std::vector<TabletMeta> tablets = {
+      MakeTablet(day1, day1 + 10, 1 << 20, now, "a"),
+      MakeTablet(day2, day2 + 10, 1 << 20, now, "b"),
+  };
+  EXPECT_FALSE(PickMerge(tablets, now, "t", NoDelayOptions()).valid());
+  // Same day bin: merges.
+  tablets[1] = MakeTablet(day1 + 20, day1 + 30, 1 << 20, now, "b");
+  EXPECT_TRUE(PickMerge(tablets, now, "t", NoDelayOptions()).valid());
+}
+
+TEST(MergePolicyTest, MinAgeDefersFreshTablets) {
+  Timestamp now = 200 * kMicrosPerWeek;
+  Timestamp base = now - 50 * kMicrosPerWeek;
+  MergePolicyOptions opts = NoDelayOptions();
+  opts.min_tablet_age = 90 * kMicrosPerSecond;
+  std::vector<TabletMeta> tablets = {
+      MakeTablet(base, base + 1, 1 << 20, now - kMicrosPerSecond, "a"),
+      MakeTablet(base + 2, base + 3, 1 << 20, now - kMicrosPerSecond, "b"),
+  };
+  EXPECT_FALSE(PickMerge(tablets, now, "t", opts).valid());
+  tablets[0].flushed_at = now - 100 * kMicrosPerSecond;
+  tablets[1].flushed_at = now - 100 * kMicrosPerSecond;
+  EXPECT_TRUE(PickMerge(tablets, now, "t", opts).valid());
+}
+
+TEST(MergePolicyTest, RolloverDelayDefersCrossPeriodMerges) {
+  MergePolicyOptions opts = NoDelayOptions();
+  opts.rollover_delay_frac = 0.5;
+  // Tablets flushed yesterday under 4-hour bins; today they share a day
+  // bin. Right after midnight the delay defers merging them.
+  Timestamp yesterday = 200 * kMicrosPerWeek + 3 * kMicrosPerDay;
+  Timestamp t1 = yesterday + 2 * kMicrosPerHour;
+  Timestamp t2 = yesterday + 6 * kMicrosPerHour;
+  std::vector<TabletMeta> tablets = {
+      MakeTablet(t1, t1 + 10, 1 << 20, t1 + kMicrosPerHour, "a"),
+      MakeTablet(t2, t2 + 10, 1 << 20, t2 + kMicrosPerHour, "b"),
+  };
+  double frac = RolloverDelayFraction("t", 0.5);
+  ASSERT_GT(frac, 0.0);
+  Timestamp midnight = yesterday + kMicrosPerDay;
+  Timestamp just_after = midnight + kMicrosPerMinute;
+  EXPECT_FALSE(PickMerge(tablets, just_after, "t", opts).valid());
+  Timestamp after_delay =
+      midnight + static_cast<Timestamp>(frac * kMicrosPerDay) + kMicrosPerMinute;
+  EXPECT_TRUE(PickMerge(tablets, after_delay, "t", opts).valid());
+}
+
+TEST(MergePolicyTest, DelayFractionDeterministicPerTable) {
+  EXPECT_DOUBLE_EQ(RolloverDelayFraction("alpha", 0.5),
+                   RolloverDelayFraction("alpha", 0.5));
+  EXPECT_NE(RolloverDelayFraction("alpha", 0.5),
+            RolloverDelayFraction("beta", 0.5));
+  EXPECT_EQ(RolloverDelayFraction("alpha", 0.0), 0.0);
+}
+
+// ----- Appendix property tests. -----
+//
+// Simulate flushing many 1-unit tablets into one period and repeatedly
+// applying the policy, tracking how many times each original tablet's rows
+// are rewritten. The appendix proves: (1) when no merge is possible the
+// tablet count is O(log T); (2) no row is merged more than O(log T) times.
+
+struct SimTablet {
+  uint64_t bytes;
+  int max_rewrites;  // Max merge count over constituent rows.
+};
+
+// Applies PickMerge until fixpoint; returns the surviving tablets.
+std::vector<SimTablet> RunMergeSim(size_t n_flushes, uint64_t flush_bytes,
+                                   Random* r) {
+  Timestamp now = 300 * kMicrosPerWeek;
+  Timestamp base = now - 50 * kMicrosPerWeek;  // One deep-past week bin.
+  MergePolicyOptions opts = NoDelayOptions();
+  opts.max_merged_bytes = UINT64_MAX;  // The proof has no size cap.
+
+  std::vector<TabletMeta> metas;
+  std::vector<SimTablet> sims;
+  int name = 0;
+  for (size_t i = 0; i < n_flushes; i++) {
+    uint64_t bytes = flush_bytes + (r ? r->Uniform(flush_bytes) : 0);
+    metas.push_back(MakeTablet(base + i * 100, base + i * 100 + 50, bytes,
+                               now, std::to_string(name++)));
+    sims.push_back(SimTablet{bytes, 0});
+    while (true) {
+      MergePick pick = PickMerge(metas, now, "t", opts);
+      if (!pick.valid()) break;
+      uint64_t total = 0;
+      int rewrites = 0;
+      for (size_t j = pick.begin; j < pick.end; j++) {
+        total += sims[j].bytes;
+        rewrites = std::max(rewrites, sims[j].max_rewrites);
+      }
+      TabletMeta merged = MakeTablet(metas[pick.begin].min_ts,
+                                     metas[pick.end - 1].max_ts, total, now,
+                                     std::to_string(name++));
+      metas.erase(metas.begin() + pick.begin, metas.begin() + pick.end);
+      sims.erase(sims.begin() + pick.begin, sims.begin() + pick.end);
+      metas.insert(metas.begin() + pick.begin, merged);
+      sims.insert(sims.begin() + pick.begin, SimTablet{total, rewrites + 1});
+    }
+  }
+  return sims;
+}
+
+TEST(MergePolicyPropertyTest, TabletCountLogarithmicUniform) {
+  for (size_t n : {64u, 256u, 1024u, 4096u}) {
+    std::vector<SimTablet> out = RunMergeSim(n, 1, nullptr);
+    double log_t = std::log2(static_cast<double>(n) + 1);
+    EXPECT_LE(out.size(), 2 * log_t + 2) << "n=" << n;
+  }
+}
+
+TEST(MergePolicyPropertyTest, RewriteCountLogarithmicUniform) {
+  std::vector<SimTablet> out = RunMergeSim(4096, 1, nullptr);
+  int max_rewrites = 0;
+  for (const SimTablet& t : out) {
+    max_rewrites = std::max(max_rewrites, t.max_rewrites);
+  }
+  // T = 4096 units; log2(T) = 12. Allow the constant factor.
+  EXPECT_LE(max_rewrites, 2 * 12 + 2);
+  EXPECT_GE(max_rewrites, 2);  // Sanity: merging actually happened.
+}
+
+TEST(MergePolicyPropertyTest, BoundsHoldUnderRandomSizes) {
+  Random r(11);
+  for (int trial = 0; trial < 5; trial++) {
+    std::vector<SimTablet> out = RunMergeSim(1024, 1 + r.Uniform(64), &r);
+    uint64_t total = 0;
+    int max_rewrites = 0;
+    for (const SimTablet& t : out) {
+      total += t.bytes;
+      max_rewrites = std::max(max_rewrites, t.max_rewrites);
+    }
+    double log_t = std::log2(static_cast<double>(total) + 1);
+    EXPECT_LE(out.size(), 2 * log_t + 2);
+    EXPECT_LE(max_rewrites, 2 * log_t + 2);
+  }
+}
+
+TEST(MergePolicyPropertyTest, SurvivorsSatisfyTerminationCondition) {
+  // When no more merges apply, |t_i| > 2|t_{i+1}| for all adjacent pairs.
+  std::vector<SimTablet> out = RunMergeSim(1000, 3, nullptr);
+  for (size_t i = 0; i + 1 < out.size(); i++) {
+    EXPECT_GT(out[i].bytes, 2 * out[i + 1].bytes) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace lt

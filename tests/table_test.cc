@@ -1,0 +1,597 @@
+// Tests for the Table engine: inserts, 2-D bounded queries, TTL aging,
+// uniqueness fast paths, flush-dependency durability, merging, latest-row
+// queries, schema evolution, limits/pagination, and crash recovery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/table.h"
+#include "env/mem_env.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace lt {
+namespace {
+
+using testutil::UsageRow;
+using testutil::UsageSchema;
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+    ResetOptions();
+    Recreate();
+  }
+
+  void ResetOptions() {
+    opts_ = TableOptions();
+    opts_.merge.min_tablet_age = 0;
+    opts_.merge.rollover_delay_frac = 0;
+  }
+
+  void Recreate() {
+    table_.reset();
+    Table::Destroy(&env_, "/db/usage");
+    ASSERT_TRUE(Table::Create(&env_, clock_, "/db/usage", "usage",
+                              UsageSchema(), opts_, &table_)
+                    .ok());
+  }
+
+  void Reopen() {
+    table_.reset();
+    ASSERT_TRUE(
+        Table::Open(&env_, clock_, "/db/usage", opts_, &table_).ok());
+  }
+
+  Timestamp Now() const { return clock_->Now(); }
+
+  Status Insert(int64_t net, int64_t dev, Timestamp ts, int64_t bytes = 0) {
+    return table_->InsertBatch({UsageRow(net, dev, ts, bytes, 0.0)});
+  }
+
+  std::vector<Row> Query(const QueryBounds& b) {
+    QueryResult result;
+    Status s = table_->Query(b, &result);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return result.rows;
+  }
+
+  MemEnv env_;
+  std::shared_ptr<SimClock> clock_;
+  TableOptions opts_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, InsertAndQueryFromMemory) {
+  ASSERT_TRUE(Insert(1, 1, Now(), 10).ok());
+  ASSERT_TRUE(Insert(1, 2, Now() + 1, 20).ok());
+  std::vector<Row> rows = Query(QueryBounds{});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][3].i64(), 10);
+  EXPECT_EQ(rows[1][3].i64(), 20);
+}
+
+TEST_F(TableTest, QueryAfterFlushAndMixedMemoryDisk) {
+  ASSERT_TRUE(Insert(1, 1, Now(), 10).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  EXPECT_EQ(table_->NumDiskTablets(), 1u);
+  EXPECT_EQ(table_->NumMemTablets(), 0u);
+  ASSERT_TRUE(Insert(1, 2, Now() + 1, 20).ok());
+  std::vector<Row> rows = Query(QueryBounds{});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].i64(), 1);
+  EXPECT_EQ(rows[1][1].i64(), 2);
+}
+
+TEST_F(TableTest, TwoDimensionalBoundingBox) {
+  // The Figure 1 rectangle: key range x time range.
+  Timestamp t0 = Now();
+  for (int net = 0; net < 4; net++) {
+    for (int dev = 0; dev < 4; dev++) {
+      for (int m = 0; m < 10; m++) {
+        ASSERT_TRUE(Insert(net, dev, t0 + m * kMicrosPerMinute, m).ok());
+      }
+    }
+  }
+  ASSERT_TRUE(table_->FlushAll().ok());
+  QueryBounds b = QueryBounds::ForPrefix({Value::Int64(2)});
+  b.min_ts = t0 + 3 * kMicrosPerMinute;
+  b.max_ts = t0 + 6 * kMicrosPerMinute;
+  std::vector<Row> rows = Query(b);
+  ASSERT_EQ(rows.size(), 4u * 4u);  // 4 devices x minutes 3..6.
+  for (const Row& r : rows) {
+    EXPECT_EQ(r[0].i64(), 2);
+    EXPECT_GE(r[2].AsInt(), b.min_ts);
+    EXPECT_LE(r[2].AsInt(), b.max_ts);
+  }
+}
+
+TEST_F(TableTest, ExclusiveTimestampBounds) {
+  Timestamp t0 = Now();
+  for (int m = 0; m < 5; m++) ASSERT_TRUE(Insert(1, 1, t0 + m, m).ok());
+  QueryBounds b;
+  b.min_ts = t0 + 1;
+  b.min_ts_inclusive = false;
+  b.max_ts = t0 + 3;
+  b.max_ts_inclusive = false;
+  std::vector<Row> rows = Query(b);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][2].AsInt(), t0 + 2);
+}
+
+TEST_F(TableTest, DescendingQuery) {
+  Timestamp t0 = Now();
+  for (int dev = 0; dev < 10; dev++) ASSERT_TRUE(Insert(1, dev, t0, dev).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  for (int dev = 10; dev < 20; dev++) ASSERT_TRUE(Insert(1, dev, t0, dev).ok());
+  QueryBounds b;
+  b.direction = Direction::kDescending;
+  std::vector<Row> rows = Query(b);
+  ASSERT_EQ(rows.size(), 20u);
+  for (int i = 0; i < 20; i++) EXPECT_EQ(rows[i][1].i64(), 19 - i);
+}
+
+TEST_F(TableTest, LimitAndMoreAvailable) {
+  Timestamp t0 = Now();
+  for (int dev = 0; dev < 100; dev++) ASSERT_TRUE(Insert(1, dev, t0).ok());
+  QueryBounds b;
+  b.limit = 30;
+  QueryResult result;
+  ASSERT_TRUE(table_->Query(b, &result).ok());
+  EXPECT_EQ(result.rows.size(), 30u);
+  EXPECT_TRUE(result.more_available);
+  // Continuation from the last key, exclusive (§3.5).
+  QueryBounds cont = b;
+  cont.min_key =
+      KeyBound{UsageSchema().KeyOf(result.rows.back()), /*inclusive=*/false};
+  QueryResult page2;
+  ASSERT_TRUE(table_->Query(cont, &page2).ok());
+  EXPECT_EQ(page2.rows.size(), 30u);
+  EXPECT_EQ(page2.rows.front()[1].i64(), 30);
+  // Exact-limit final page: no more_available.
+  QueryBounds exact;
+  exact.limit = 100;
+  QueryResult all;
+  ASSERT_TRUE(table_->Query(exact, &all).ok());
+  EXPECT_EQ(all.rows.size(), 100u);
+  EXPECT_FALSE(all.more_available);
+}
+
+TEST_F(TableTest, ServerRowLimitCapsResults) {
+  opts_.server_row_limit = 10;
+  Recreate();
+  for (int dev = 0; dev < 25; dev++) ASSERT_TRUE(Insert(1, dev, Now()).ok());
+  QueryResult result;
+  ASSERT_TRUE(table_->Query(QueryBounds{}, &result).ok());
+  EXPECT_EQ(result.rows.size(), 10u);
+  EXPECT_TRUE(result.more_available);
+}
+
+TEST_F(TableTest, DuplicateKeyRejectedEverywhere) {
+  Timestamp t = Now();
+  ASSERT_TRUE(Insert(1, 1, t).ok());
+  // Duplicate while in memory.
+  EXPECT_TRUE(Insert(1, 1, t).IsAlreadyExists());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  // Duplicate against disk (slow path).
+  EXPECT_TRUE(Insert(1, 1, t).IsAlreadyExists());
+  EXPECT_EQ(table_->stats().duplicates_rejected.load(), 2u);
+  // Batch with an internal duplicate is rejected atomically.
+  Status s = table_->InsertBatch(
+      {UsageRow(2, 2, t + 5, 0, 0), UsageRow(2, 2, t + 5, 1, 1)});
+  EXPECT_TRUE(s.IsAlreadyExists());
+  EXPECT_TRUE(Query(QueryBounds::ForPrefix({Value::Int64(2)})).empty());
+}
+
+TEST_F(TableTest, UniquenessFastPathAccounting) {
+  Timestamp t = Now();
+  // Ascending timestamps: newest-ts fast path.
+  ASSERT_TRUE(Insert(1, 1, t).ok());
+  ASSERT_TRUE(Insert(1, 1, t + 1).ok());
+  EXPECT_EQ(table_->stats().unique_by_newest_ts.load(), 2u);
+  ASSERT_TRUE(table_->FlushAll().ok());
+  // Same timestamp, larger key: max-key fast path.
+  ASSERT_TRUE(Insert(5, 1, t + 1).ok());
+  EXPECT_EQ(table_->stats().unique_by_max_key.load(), 1u);
+  ASSERT_TRUE(table_->FlushAll().ok());
+  // Same timestamp, key below the tablet max: point-query slow path.
+  ASSERT_TRUE(Insert(0, 0, t + 1).ok());
+  EXPECT_EQ(table_->stats().unique_by_point_query.load(), 1u);
+}
+
+TEST_F(TableTest, TtlFiltersAndReclaims) {
+  opts_.ttl = kMicrosPerDay;
+  Recreate();
+  Timestamp t0 = Now();
+  ASSERT_TRUE(Insert(1, 1, t0 - 2 * kMicrosPerHour, 1).ok());  // Old-ish.
+  ASSERT_TRUE(Insert(1, 2, t0, 2).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  EXPECT_EQ(Query(QueryBounds{}).size(), 2u);
+  // Advance past the first row's TTL: filtered from queries.
+  clock_->Advance(kMicrosPerDay - kMicrosPerHour);
+  std::vector<Row> rows = Query(QueryBounds{});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].i64(), 2);
+  // Advance until everything expired; maintenance reclaims whole tablets.
+  clock_->Advance(2 * kMicrosPerDay);
+  EXPECT_TRUE(Query(QueryBounds{}).empty());
+  ASSERT_TRUE(table_->MaintainNow().ok());
+  EXPECT_EQ(table_->NumDiskTablets(), 0u);
+  EXPECT_GE(table_->stats().tablets_expired.load(), 1u);
+}
+
+TEST_F(TableTest, SizeTriggeredSealAndFlushViaMaintain) {
+  opts_.flush_bytes = 16 * 1024;  // Tiny flush threshold.
+  Recreate();
+  Timestamp t = Now();
+  std::vector<Row> batch;
+  for (int i = 0; i < 2000; i++) batch.push_back(UsageRow(1, i, t + i, i, 0));
+  ASSERT_TRUE(table_->InsertBatch(batch).ok());
+  ASSERT_TRUE(table_->MaintainNow().ok());
+  EXPECT_GE(table_->NumDiskTablets(), 1u);
+  EXPECT_EQ(Query(QueryBounds{}).size(), 2000u);
+}
+
+TEST_F(TableTest, AgeTriggeredFlush) {
+  ASSERT_TRUE(Insert(1, 1, Now()).ok());
+  ASSERT_TRUE(table_->MaintainNow().ok());
+  EXPECT_EQ(table_->NumDiskTablets(), 0u);  // Too young.
+  clock_->Advance(11 * kMicrosPerMinute);
+  ASSERT_TRUE(table_->MaintainNow().ok());
+  EXPECT_EQ(table_->NumDiskTablets(), 1u);
+  EXPECT_EQ(table_->NumMemTablets(), 0u);
+}
+
+TEST_F(TableTest, OutOfOrderInsertsBinIntoSeparatePeriods) {
+  Timestamp now = Now();
+  // A device reconnecting after a long outage delivers old events (§3.4.3).
+  ASSERT_TRUE(Insert(1, 1, now).ok());
+  ASSERT_TRUE(Insert(1, 2, now - 3 * kMicrosPerDay).ok());
+  ASSERT_TRUE(Insert(1, 3, now - 3 * kMicrosPerWeek).ok());
+  EXPECT_EQ(table_->NumMemTablets(), 3u);
+  EXPECT_EQ(Query(QueryBounds{}).size(), 3u);
+}
+
+TEST_F(TableTest, FlushDependencyClosureFlushedTogether) {
+  Timestamp now = Now();
+  // Interleave inserts across two periods: A(old), B(now), A(old).
+  ASSERT_TRUE(Insert(1, 1, now - 3 * kMicrosPerDay).ok());  // Tablet A.
+  ASSERT_TRUE(Insert(1, 2, now).ok());                      // Tablet B, edge A->B.
+  ASSERT_TRUE(Insert(1, 3, now - 3 * kMicrosPerDay + 1).ok());  // A, edge B->A.
+  EXPECT_EQ(table_->NumMemTablets(), 2u);
+  // Flushing either one must flush both (cycle).
+  ASSERT_TRUE(table_->FlushThrough(now - kMicrosPerDay).ok());
+  EXPECT_EQ(table_->NumMemTablets(), 0u);
+  EXPECT_EQ(table_->NumDiskTablets(), 2u);
+}
+
+TEST_F(TableTest, CrashLosesUnflushedButKeepsPrefix) {
+  Timestamp now = Now();
+  ASSERT_TRUE(Insert(1, 1, now, 1).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  ASSERT_TRUE(Insert(1, 2, now + 1, 2).ok());  // Never flushed.
+  env_.DropUnsynced();
+  Reopen();
+  std::vector<Row> rows = Query(QueryBounds{});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].i64(), 1);
+  // The table keeps accepting inserts after recovery.
+  ASSERT_TRUE(Insert(1, 2, now + 1, 2).ok());
+  EXPECT_EQ(Query(QueryBounds{}).size(), 2u);
+}
+
+TEST_F(TableTest, CrashDurabilityIsInsertionPrefixPerTable) {
+  // §3.1: "if it retains a particular row after a crash, it will also
+  // retain all rows that were inserted into the same table prior to that
+  // row" — exercised across interleaved periods, where the dependency
+  // graph does the work.
+  Timestamp now = Now();
+  std::vector<Row> inserted;
+  Random r(17);
+  for (int i = 0; i < 200; i++) {
+    Timestamp ts;
+    switch (r.Uniform(3)) {
+      case 0: ts = now + i; break;                           // Current 4h bin.
+      case 1: ts = now - 2 * kMicrosPerDay + i; break;       // Day bin.
+      default: ts = now - 2 * kMicrosPerWeek + i; break;     // Week bin.
+    }
+    Row row = UsageRow(1, i, ts, i, 0);
+    ASSERT_TRUE(table_->InsertBatch({row}).ok());
+    inserted.push_back(row);
+    if (i == 60) ASSERT_TRUE(table_->FlushThrough(now - kMicrosPerDay).ok());
+    if (i == 120) ASSERT_TRUE(table_->FlushAll().ok());
+  }
+  env_.DropUnsynced();
+  Reopen();
+  std::vector<Row> survived = Query(QueryBounds{});
+  // Identify survivors by device id (== insertion order here).
+  std::set<int64_t> alive;
+  for (const Row& row : survived) alive.insert(row[1].i64());
+  // Prefix property: if row i survived, every j < i survived.
+  int64_t max_alive = -1;
+  for (int64_t d : alive) max_alive = std::max(max_alive, d);
+  EXPECT_EQ(static_cast<int64_t>(alive.size()), max_alive + 1);
+  // The explicit FlushAll at i==120 makes at least rows 0..120 durable.
+  EXPECT_GE(max_alive, 120);
+}
+
+TEST_F(TableTest, MergeReducesTabletCountPreservesRows) {
+  opts_.merge.max_merged_bytes = 1ull << 30;
+  Recreate();
+  Timestamp t0 = Now() - 10 * kMicrosPerWeek;  // One deep-past week bin.
+  for (int flush = 0; flush < 8; flush++) {
+    std::vector<Row> batch;
+    for (int i = 0; i < 100; i++) {
+      batch.push_back(UsageRow(flush, i, t0 + flush * 1000 + i, i, 0));
+    }
+    ASSERT_TRUE(table_->InsertBatch(batch).ok());
+    ASSERT_TRUE(table_->FlushAll().ok());
+  }
+  EXPECT_EQ(table_->NumDiskTablets(), 8u);
+  // Iterate maintenance until merging reaches a fixpoint.
+  for (int i = 0; i < 20; i++) ASSERT_TRUE(table_->MaintainNow().ok());
+  EXPECT_LT(table_->NumDiskTablets(), 8u);
+  EXPECT_GE(table_->stats().merges.load(), 1u);
+  std::vector<Row> rows = Query(QueryBounds{});
+  EXPECT_EQ(rows.size(), 800u);
+  for (size_t i = 1; i < rows.size(); i++) {
+    EXPECT_LT(UsageSchema().CompareKeys(rows[i - 1], rows[i]), 0);
+  }
+}
+
+TEST_F(TableTest, MergeSurvivesReopen) {
+  Timestamp t0 = Now() - 10 * kMicrosPerWeek;
+  for (int flush = 0; flush < 4; flush++) {
+    ASSERT_TRUE(Insert(flush, 0, t0 + flush, flush).ok());
+    ASSERT_TRUE(table_->FlushAll().ok());
+  }
+  for (int i = 0; i < 10; i++) ASSERT_TRUE(table_->MaintainNow().ok());
+  size_t tablets = table_->NumDiskTablets();
+  Reopen();
+  EXPECT_EQ(table_->NumDiskTablets(), tablets);
+  EXPECT_EQ(Query(QueryBounds{}).size(), 4u);
+}
+
+TEST_F(TableTest, LatestRowForPrefixBasic) {
+  Timestamp t0 = Now();
+  for (int m = 0; m < 10; m++) {
+    ASSERT_TRUE(Insert(1, 1, t0 + m * kMicrosPerMinute, m).ok());
+    ASSERT_TRUE(Insert(1, 2, t0 + m * kMicrosPerMinute, 100 + m).ok());
+  }
+  ASSERT_TRUE(table_->FlushAll().ok());
+  Row row;
+  bool found = false;
+  // Full prefix (network, device).
+  ASSERT_TRUE(table_
+                  ->LatestRowForPrefix({Value::Int64(1), Value::Int64(1)},
+                                       &row, &found)
+                  .ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(row[3].i64(), 9);
+  // Shorter prefix (network): latest across both devices.
+  ASSERT_TRUE(
+      table_->LatestRowForPrefix({Value::Int64(1)}, &row, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(row[2].AsInt(), t0 + 9 * kMicrosPerMinute);
+  // Missing prefix.
+  ASSERT_TRUE(
+      table_->LatestRowForPrefix({Value::Int64(42)}, &row, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(TableTest, LatestRowSearchesArbitrarilyFarBack) {
+  Timestamp now = Now();
+  // Device 7 last reported three weeks ago; newer tablets hold other
+  // devices (the §4.2 EventsGrabber scenario).
+  ASSERT_TRUE(Insert(1, 7, now - 3 * kMicrosPerWeek, 777).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  for (int w = 2; w >= 0; w--) {
+    ASSERT_TRUE(Insert(1, 8, now - w * kMicrosPerWeek + 1, w).ok());
+    ASSERT_TRUE(table_->FlushAll().ok());
+  }
+  Row row;
+  bool found = false;
+  ASSERT_TRUE(table_
+                  ->LatestRowForPrefix({Value::Int64(1), Value::Int64(7)},
+                                       &row, &found)
+                  .ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(row[3].i64(), 777);
+  // Bloom filters should have skipped the non-matching newer tablets.
+  EXPECT_GE(table_->stats().bloom_tablet_skips.load(), 1u);
+}
+
+TEST_F(TableTest, LatestRowSeesUnflushedData) {
+  Timestamp now = Now();
+  ASSERT_TRUE(Insert(3, 3, now - kMicrosPerDay, 1).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  ASSERT_TRUE(Insert(3, 3, now, 2).ok());  // Still in memory.
+  Row row;
+  bool found = false;
+  ASSERT_TRUE(table_
+                  ->LatestRowForPrefix({Value::Int64(3), Value::Int64(3)},
+                                       &row, &found)
+                  .ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(row[3].i64(), 2);
+}
+
+TEST_F(TableTest, LatestRowRespectsTtl) {
+  opts_.ttl = kMicrosPerDay;
+  Recreate();
+  ASSERT_TRUE(Insert(1, 1, Now(), 5).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  clock_->Advance(2 * kMicrosPerDay);
+  Row row;
+  bool found = true;
+  ASSERT_TRUE(
+      table_->LatestRowForPrefix({Value::Int64(1)}, &row, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(TableTest, SchemaEvolutionAcrossFlushedData) {
+  Timestamp t = Now();
+  ASSERT_TRUE(Insert(1, 1, t, 11).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  ASSERT_TRUE(table_
+                  ->AppendColumn(Column("packets", ColumnType::kInt64,
+                                        Value::Int64(-1)))
+                  .ok());
+  // New rows carry the new column; old rows read back with the default.
+  Row new_row = UsageRow(1, 2, t + 1, 22, 0);
+  new_row.push_back(Value::Int64(500));
+  ASSERT_TRUE(table_->InsertBatch({new_row}).ok());
+  std::vector<Row> rows = Query(QueryBounds{});
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[0].size(), 6u);
+  EXPECT_EQ(rows[0][5].i64(), -1);   // Old row: default.
+  EXPECT_EQ(rows[1][5].i64(), 500);  // New row: stored value.
+  // Evolution survives reopen (flush first: reopening drops memtablets).
+  ASSERT_TRUE(table_->FlushAll().ok());
+  Reopen();
+  EXPECT_EQ(table_->schema()->num_columns(), 6u);
+  EXPECT_EQ(Query(QueryBounds{}).size(), 2u);
+}
+
+TEST_F(TableTest, WidenColumnAcrossFlushedData) {
+  Schema narrow({Column("k", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("n", ColumnType::kInt32)},
+                2);
+  std::unique_ptr<Table> t;
+  ASSERT_TRUE(Table::Create(&env_, clock_, "/db/narrow", "narrow", narrow,
+                            opts_, &t)
+                  .ok());
+  ASSERT_TRUE(
+      t->InsertBatch({{Value::Int64(1), Value::Ts(Now()), Value::Int32(7)}})
+          .ok());
+  ASSERT_TRUE(t->FlushAll().ok());
+  ASSERT_TRUE(t->WidenColumn("n").ok());
+  Row wide = {Value::Int64(2), Value::Ts(Now() + 1), Value::Int64(1LL << 40)};
+  ASSERT_TRUE(t->InsertBatch({wide}).ok());
+  QueryResult result;
+  ASSERT_TRUE(t->Query(QueryBounds{}, &result).ok());
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][2].i64(), 7);
+  EXPECT_EQ(result.rows[1][2].i64(), 1LL << 40);
+}
+
+TEST_F(TableTest, SetTtlPersists) {
+  ASSERT_TRUE(table_->SetTtl(3 * kMicrosPerWeek).ok());
+  Reopen();
+  EXPECT_EQ(table_->ttl(), 3 * kMicrosPerWeek);
+}
+
+TEST_F(TableTest, InsertRejectsSchemaViolations) {
+  EXPECT_TRUE(table_->InsertBatch({{Value::Int64(1)}}).IsInvalidArgument());
+  Row wrong_type = {Value::String("x"), Value::Int64(1), Value::Ts(1),
+                    Value::Int64(0), Value::Double(0)};
+  EXPECT_TRUE(table_->InsertBatch({wrong_type}).IsInvalidArgument());
+}
+
+TEST_F(TableTest, ScanStatsTrackEfficiencyRatio) {
+  // Insert two interleaved device series in one tablet; querying a narrow
+  // time slice scans rows outside it (Figure 9's numerator).
+  Timestamp t0 = Now();
+  for (int m = 0; m < 100; m++) ASSERT_TRUE(Insert(1, 1, t0 + m, m).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  QueryBounds b = QueryBounds::ForPrefix({Value::Int64(1), Value::Int64(1)});
+  b.min_ts = t0 + 90;
+  QueryResult result;
+  ASSERT_TRUE(table_->Query(b, &result).ok());
+  EXPECT_EQ(result.rows.size(), 10u);
+  EXPECT_GT(result.rows_scanned, result.rows.size());
+  EXPECT_EQ(table_->stats().rows_returned.load(), 10u);
+}
+
+TEST_F(TableTest, EmptyTableQueries) {
+  EXPECT_TRUE(Query(QueryBounds{}).empty());
+  Row row;
+  bool found = true;
+  ASSERT_TRUE(
+      table_->LatestRowForPrefix({Value::Int64(1)}, &row, &found).ok());
+  EXPECT_FALSE(found);
+  ASSERT_TRUE(table_->FlushAll().ok());
+  ASSERT_TRUE(table_->MaintainNow().ok());
+}
+
+TEST_F(TableTest, CreateRejectsInvalidSchemaAndDuplicates) {
+  std::unique_ptr<Table> t;
+  Schema bad({Column("x", ColumnType::kInt64)}, 1);
+  EXPECT_FALSE(
+      Table::Create(&env_, clock_, "/db/bad", "bad", bad, opts_, &t).ok());
+  EXPECT_TRUE(Table::Create(&env_, clock_, "/db/usage", "usage",
+                            UsageSchema(), opts_, &t)
+                  .IsAlreadyExists());
+}
+
+TEST_F(TableTest, OrphanTabletFilesRemovedOnOpen) {
+  ASSERT_TRUE(Insert(1, 1, Now()).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  // Simulate a crash that left a stray tablet and temp descriptor.
+  ASSERT_TRUE(
+      WriteStringToFile(&env_, "junk", "/db/usage/999999.tab", true).ok());
+  ASSERT_TRUE(
+      WriteStringToFile(&env_, "junk", "/db/usage/DESC.tmp", true).ok());
+  Reopen();
+  EXPECT_FALSE(env_.FileExists("/db/usage/999999.tab"));
+  EXPECT_FALSE(env_.FileExists("/db/usage/DESC.tmp"));
+  EXPECT_EQ(Query(QueryBounds{}).size(), 1u);
+}
+
+TEST_F(TableTest, BackpressureFlushesInline) {
+  opts_.flush_bytes = 4 * 1024;
+  opts_.max_unflushed_tablets = 2;
+  Recreate();
+  Timestamp t = Now();
+  for (int batch = 0; batch < 20; batch++) {
+    std::vector<Row> rows;
+    for (int i = 0; i < 200; i++) {
+      rows.push_back(UsageRow(batch, i, t + batch * 1000 + i, i, 0));
+    }
+    ASSERT_TRUE(table_->InsertBatch(rows).ok());
+  }
+  // The backlog cap forces flushes during inserts.
+  EXPECT_GE(table_->stats().flushes.load(), 1u);
+  EXPECT_EQ(Query(QueryBounds{}).size(), 4000u);
+}
+
+TEST_F(TableTest, ConcurrentInsertsAndQueries) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread writer([&] {
+    Timestamp t = Now();
+    for (int i = 0; i < 3000; i++) {
+      if (!table_->InsertBatch({UsageRow(1, i, t + i, i, 0)}).ok()) {
+        errors++;
+        break;
+      }
+      if (i % 500 == 0 && !table_->FlushAll().ok()) errors++;
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      QueryResult result;
+      if (!table_->Query(QueryBounds{}, &result).ok()) {
+        errors++;
+        break;
+      }
+      // Rows always arrive in strictly ascending key order.
+      for (size_t i = 1; i < result.rows.size(); i++) {
+        if (UsageSchema().CompareKeys(result.rows[i - 1], result.rows[i]) >= 0) {
+          errors++;
+        }
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(Query(QueryBounds{}).size(), 3000u);
+}
+
+}  // namespace
+}  // namespace lt

@@ -1,0 +1,59 @@
+// Shared helpers for the LittleTable test suites: canonical schemas modeled
+// on the paper's running example (Figure 1: a usage table keyed by
+// (network, device, ts)) and row factories.
+#ifndef LITTLETABLE_TESTS_TEST_UTIL_H_
+#define LITTLETABLE_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "util/clock.h"
+
+namespace lt {
+namespace testutil {
+
+/// (network int64, device int64, ts) -> (bytes int64, rate double).
+inline Schema UsageSchema() {
+  return Schema({Column("network", ColumnType::kInt64),
+                 Column("device", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("bytes", ColumnType::kInt64),
+                 Column("rate", ColumnType::kDouble)},
+                /*num_key_columns=*/3);
+}
+
+inline Row UsageRow(int64_t network, int64_t device, Timestamp ts,
+                    int64_t bytes, double rate) {
+  return {Value::Int64(network), Value::Int64(device), Value::Ts(ts),
+          Value::Int64(bytes), Value::Double(rate)};
+}
+
+/// (name string, ts) -> (payload blob).
+inline Schema EventSchema() {
+  return Schema({Column("name", ColumnType::kString),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("payload", ColumnType::kBlob)},
+                /*num_key_columns=*/2);
+}
+
+inline Row EventRow(std::string name, Timestamp ts, std::string payload) {
+  return {Value::String(std::move(name)), Value::Ts(ts),
+          Value::Blob(std::move(payload))};
+}
+
+/// Minimal schema: (ts) -> (v int64).
+inline Schema TsOnlySchema() {
+  return Schema({Column("ts", ColumnType::kTimestamp),
+                 Column("v", ColumnType::kInt64)},
+                /*num_key_columns=*/1);
+}
+
+inline Row TsOnlyRow(Timestamp ts, int64_t v) {
+  return {Value::Ts(ts), Value::Int64(v)};
+}
+
+}  // namespace testutil
+}  // namespace lt
+
+#endif  // LITTLETABLE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_merge.dir/bench_appendix_merge.cc.o"
+  "CMakeFiles/bench_appendix_merge.dir/bench_appendix_merge.cc.o.d"
+  "bench_appendix_merge"
+  "bench_appendix_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

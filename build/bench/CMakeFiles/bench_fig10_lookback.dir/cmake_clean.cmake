@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lookback.dir/bench_fig10_lookback.cc.o"
+  "CMakeFiles/bench_fig10_lookback.dir/bench_fig10_lookback.cc.o.d"
+  "bench_fig10_lookback"
+  "bench_fig10_lookback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lookback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

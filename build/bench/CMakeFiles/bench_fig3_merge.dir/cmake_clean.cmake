@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_merge.dir/bench_fig3_merge.cc.o"
+  "CMakeFiles/bench_fig3_merge.dir/bench_fig3_merge.cc.o.d"
+  "bench_fig3_merge"
+  "bench_fig3_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

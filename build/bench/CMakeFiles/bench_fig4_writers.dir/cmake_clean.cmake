@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_writers.dir/bench_fig4_writers.cc.o"
+  "CMakeFiles/bench_fig4_writers.dir/bench_fig4_writers.cc.o.d"
+  "bench_fig4_writers"
+  "bench_fig4_writers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_writers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

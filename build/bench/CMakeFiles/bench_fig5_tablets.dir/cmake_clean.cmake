@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tablets.dir/bench_fig5_tablets.cc.o"
+  "CMakeFiles/bench_fig5_tablets.dir/bench_fig5_tablets.cc.o.d"
+  "bench_fig5_tablets"
+  "bench_fig5_tablets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tablets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_rowsizes.dir/bench_fig8_rowsizes.cc.o"
+  "CMakeFiles/bench_fig8_rowsizes.dir/bench_fig8_rowsizes.cc.o.d"
+  "bench_fig8_rowsizes"
+  "bench_fig8_rowsizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_rowsizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

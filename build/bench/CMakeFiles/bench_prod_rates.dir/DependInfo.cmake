@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_prod_rates.cc" "bench/CMakeFiles/bench_prod_rates.dir/bench_prod_rates.cc.o" "gcc" "bench/CMakeFiles/bench_prod_rates.dir/bench_prod_rates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lt_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/lt_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/lt_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prod_rates.dir/bench_prod_rates.cc.o"
+  "CMakeFiles/bench_prod_rates.dir/bench_prod_rates.cc.o.d"
+  "bench_prod_rates"
+  "bench_prod_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prod_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lt_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/lt_bench_util.dir/bench_util.cc.o.d"
+  "liblt_bench_util.a"
+  "liblt_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

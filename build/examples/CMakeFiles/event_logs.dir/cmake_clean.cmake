@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_logs.dir/event_logs.cpp.o"
+  "CMakeFiles/event_logs.dir/event_logs.cpp.o.d"
+  "event_logs"
+  "event_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

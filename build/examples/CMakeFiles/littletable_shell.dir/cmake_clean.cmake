@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/littletable_shell.dir/littletable_shell.cpp.o"
+  "CMakeFiles/littletable_shell.dir/littletable_shell.cpp.o.d"
+  "littletable_shell"
+  "littletable_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/littletable_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_search.dir/motion_search.cpp.o"
+  "CMakeFiles/motion_search.dir/motion_search.cpp.o.d"
+  "motion_search"
+  "motion_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/network_usage.cpp" "examples/CMakeFiles/network_usage.dir/network_usage.cpp.o" "gcc" "examples/CMakeFiles/network_usage.dir/network_usage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/lt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/lt_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/lt_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_usage.dir/network_usage.cpp.o"
+  "CMakeFiles/network_usage.dir/network_usage.cpp.o.d"
+  "network_usage"
+  "network_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

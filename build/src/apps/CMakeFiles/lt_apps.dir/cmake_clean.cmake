@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lt_apps.dir/aggregator.cc.o"
+  "CMakeFiles/lt_apps.dir/aggregator.cc.o.d"
+  "CMakeFiles/lt_apps.dir/device_sim.cc.o"
+  "CMakeFiles/lt_apps.dir/device_sim.cc.o.d"
+  "CMakeFiles/lt_apps.dir/events_grabber.cc.o"
+  "CMakeFiles/lt_apps.dir/events_grabber.cc.o.d"
+  "CMakeFiles/lt_apps.dir/motion.cc.o"
+  "CMakeFiles/lt_apps.dir/motion.cc.o.d"
+  "CMakeFiles/lt_apps.dir/motion_grabber.cc.o"
+  "CMakeFiles/lt_apps.dir/motion_grabber.cc.o.d"
+  "CMakeFiles/lt_apps.dir/usage_grabber.cc.o"
+  "CMakeFiles/lt_apps.dir/usage_grabber.cc.o.d"
+  "liblt_apps.a"
+  "liblt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block.cc" "src/core/CMakeFiles/lt_core.dir/block.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/block.cc.o.d"
+  "/root/repo/src/core/cursor.cc" "src/core/CMakeFiles/lt_core.dir/cursor.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/cursor.cc.o.d"
+  "/root/repo/src/core/db.cc" "src/core/CMakeFiles/lt_core.dir/db.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/db.cc.o.d"
+  "/root/repo/src/core/descriptor.cc" "src/core/CMakeFiles/lt_core.dir/descriptor.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/descriptor.cc.o.d"
+  "/root/repo/src/core/memtablet.cc" "src/core/CMakeFiles/lt_core.dir/memtablet.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/memtablet.cc.o.d"
+  "/root/repo/src/core/merge_policy.cc" "src/core/CMakeFiles/lt_core.dir/merge_policy.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/merge_policy.cc.o.d"
+  "/root/repo/src/core/periods.cc" "src/core/CMakeFiles/lt_core.dir/periods.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/periods.cc.o.d"
+  "/root/repo/src/core/row_codec.cc" "src/core/CMakeFiles/lt_core.dir/row_codec.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/row_codec.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/core/CMakeFiles/lt_core.dir/schema.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/schema.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/core/CMakeFiles/lt_core.dir/table.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/table.cc.o.d"
+  "/root/repo/src/core/tablet_reader.cc" "src/core/CMakeFiles/lt_core.dir/tablet_reader.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/tablet_reader.cc.o.d"
+  "/root/repo/src/core/tablet_writer.cc" "src/core/CMakeFiles/lt_core.dir/tablet_writer.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/tablet_writer.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/core/CMakeFiles/lt_core.dir/value.cc.o" "gcc" "src/core/CMakeFiles/lt_core.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/lt_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

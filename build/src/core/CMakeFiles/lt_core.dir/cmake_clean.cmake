@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lt_core.dir/block.cc.o"
+  "CMakeFiles/lt_core.dir/block.cc.o.d"
+  "CMakeFiles/lt_core.dir/cursor.cc.o"
+  "CMakeFiles/lt_core.dir/cursor.cc.o.d"
+  "CMakeFiles/lt_core.dir/db.cc.o"
+  "CMakeFiles/lt_core.dir/db.cc.o.d"
+  "CMakeFiles/lt_core.dir/descriptor.cc.o"
+  "CMakeFiles/lt_core.dir/descriptor.cc.o.d"
+  "CMakeFiles/lt_core.dir/memtablet.cc.o"
+  "CMakeFiles/lt_core.dir/memtablet.cc.o.d"
+  "CMakeFiles/lt_core.dir/merge_policy.cc.o"
+  "CMakeFiles/lt_core.dir/merge_policy.cc.o.d"
+  "CMakeFiles/lt_core.dir/periods.cc.o"
+  "CMakeFiles/lt_core.dir/periods.cc.o.d"
+  "CMakeFiles/lt_core.dir/row_codec.cc.o"
+  "CMakeFiles/lt_core.dir/row_codec.cc.o.d"
+  "CMakeFiles/lt_core.dir/schema.cc.o"
+  "CMakeFiles/lt_core.dir/schema.cc.o.d"
+  "CMakeFiles/lt_core.dir/table.cc.o"
+  "CMakeFiles/lt_core.dir/table.cc.o.d"
+  "CMakeFiles/lt_core.dir/tablet_reader.cc.o"
+  "CMakeFiles/lt_core.dir/tablet_reader.cc.o.d"
+  "CMakeFiles/lt_core.dir/tablet_writer.cc.o"
+  "CMakeFiles/lt_core.dir/tablet_writer.cc.o.d"
+  "CMakeFiles/lt_core.dir/value.cc.o"
+  "CMakeFiles/lt_core.dir/value.cc.o.d"
+  "liblt_core.a"
+  "liblt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

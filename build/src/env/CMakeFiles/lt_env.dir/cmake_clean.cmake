@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lt_env.dir/mem_env.cc.o"
+  "CMakeFiles/lt_env.dir/mem_env.cc.o.d"
+  "CMakeFiles/lt_env.dir/posix_env.cc.o"
+  "CMakeFiles/lt_env.dir/posix_env.cc.o.d"
+  "CMakeFiles/lt_env.dir/sim_disk_env.cc.o"
+  "CMakeFiles/lt_env.dir/sim_disk_env.cc.o.d"
+  "liblt_env.a"
+  "liblt_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lt_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

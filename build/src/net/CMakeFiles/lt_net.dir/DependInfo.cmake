@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/client.cc" "src/net/CMakeFiles/lt_net.dir/client.cc.o" "gcc" "src/net/CMakeFiles/lt_net.dir/client.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/net/CMakeFiles/lt_net.dir/server.cc.o" "gcc" "src/net/CMakeFiles/lt_net.dir/server.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/lt_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/lt_net.dir/socket.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/lt_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/lt_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/lt_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lt_net.dir/client.cc.o"
+  "CMakeFiles/lt_net.dir/client.cc.o.d"
+  "CMakeFiles/lt_net.dir/server.cc.o"
+  "CMakeFiles/lt_net.dir/server.cc.o.d"
+  "CMakeFiles/lt_net.dir/socket.cc.o"
+  "CMakeFiles/lt_net.dir/socket.cc.o.d"
+  "CMakeFiles/lt_net.dir/wire.cc.o"
+  "CMakeFiles/lt_net.dir/wire.cc.o.d"
+  "liblt_net.a"
+  "liblt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblt_net.a"
+)

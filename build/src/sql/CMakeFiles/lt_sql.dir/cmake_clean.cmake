@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lt_sql.dir/backend.cc.o"
+  "CMakeFiles/lt_sql.dir/backend.cc.o.d"
+  "CMakeFiles/lt_sql.dir/executor.cc.o"
+  "CMakeFiles/lt_sql.dir/executor.cc.o.d"
+  "CMakeFiles/lt_sql.dir/lexer.cc.o"
+  "CMakeFiles/lt_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/lt_sql.dir/parser.cc.o"
+  "CMakeFiles/lt_sql.dir/parser.cc.o.d"
+  "liblt_sql.a"
+  "liblt_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lt_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lt_util.dir/bloom.cc.o"
+  "CMakeFiles/lt_util.dir/bloom.cc.o.d"
+  "CMakeFiles/lt_util.dir/clock.cc.o"
+  "CMakeFiles/lt_util.dir/clock.cc.o.d"
+  "CMakeFiles/lt_util.dir/coding.cc.o"
+  "CMakeFiles/lt_util.dir/coding.cc.o.d"
+  "CMakeFiles/lt_util.dir/crc32c.cc.o"
+  "CMakeFiles/lt_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/lt_util.dir/histogram.cc.o"
+  "CMakeFiles/lt_util.dir/histogram.cc.o.d"
+  "CMakeFiles/lt_util.dir/hyperloglog.cc.o"
+  "CMakeFiles/lt_util.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/lt_util.dir/lzmini.cc.o"
+  "CMakeFiles/lt_util.dir/lzmini.cc.o.d"
+  "CMakeFiles/lt_util.dir/status.cc.o"
+  "CMakeFiles/lt_util.dir/status.cc.o.d"
+  "liblt_util.a"
+  "liblt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

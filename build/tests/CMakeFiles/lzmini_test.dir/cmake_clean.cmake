@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzmini_test.dir/lzmini_test.cc.o"
+  "CMakeFiles/lzmini_test.dir/lzmini_test.cc.o.d"
+  "lzmini_test"
+  "lzmini_test.pdb"
+  "lzmini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzmini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtablet_test.dir/memtablet_test.cc.o"
+  "CMakeFiles/memtablet_test.dir/memtablet_test.cc.o.d"
+  "memtablet_test"
+  "memtablet_test.pdb"
+  "memtablet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtablet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

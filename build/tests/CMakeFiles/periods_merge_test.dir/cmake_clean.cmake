@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periods_merge_test.dir/periods_merge_test.cc.o"
+  "CMakeFiles/periods_merge_test.dir/periods_merge_test.cc.o.d"
+  "periods_merge_test"
+  "periods_merge_test.pdb"
+  "periods_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periods_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

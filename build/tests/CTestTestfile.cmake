@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/lzmini_test[1]_include.cmake")
+include("/root/repo/build/tests/bloom_hll_test[1]_include.cmake")
+include("/root/repo/build/tests/env_test[1]_include.cmake")
+include("/root/repo/build/tests/value_schema_test[1]_include.cmake")
+include("/root/repo/build/tests/tablet_test[1]_include.cmake")
+include("/root/repo/build/tests/periods_merge_test[1]_include.cmake")
+include("/root/repo/build/tests/memtablet_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")

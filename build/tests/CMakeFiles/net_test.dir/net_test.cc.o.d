@@ -293,10 +293,10 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -305,17 +305,16 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /root/repo/src/core/options.h /root/repo/src/core/merge_policy.h \
  /root/repo/src/core/periods.h /root/repo/src/util/clock.h \
- /usr/include/c++/12/chrono /root/repo/src/core/tablet_meta.h \
- /root/repo/src/core/table.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/bounds.h /root/repo/src/core/schema.h \
- /root/repo/src/core/value.h /root/repo/src/util/slice.h \
- /usr/include/c++/12/cstring /root/repo/src/util/status.h \
- /root/repo/src/core/descriptor.h /root/repo/src/env/env.h \
- /root/repo/src/core/memtablet.h /root/repo/src/core/stats.h \
- /root/repo/src/core/tablet_reader.h /root/repo/src/core/block.h \
- /root/repo/src/core/row_codec.h /root/repo/src/core/cursor.h \
- /root/repo/src/util/bloom.h /root/repo/src/env/mem_env.h \
- /root/repo/src/net/client.h /root/repo/src/net/socket.h \
- /root/repo/src/net/wire.h /root/repo/src/net/server.h \
- /root/repo/tests/test_util.h
+ /root/repo/src/core/tablet_meta.h /root/repo/src/core/table.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/bounds.h \
+ /root/repo/src/core/schema.h /root/repo/src/core/value.h \
+ /root/repo/src/util/slice.h /usr/include/c++/12/cstring \
+ /root/repo/src/util/status.h /root/repo/src/core/descriptor.h \
+ /root/repo/src/env/env.h /root/repo/src/core/memtablet.h \
+ /root/repo/src/core/stats.h /root/repo/src/core/tablet_reader.h \
+ /root/repo/src/core/block.h /root/repo/src/core/row_codec.h \
+ /root/repo/src/core/cursor.h /root/repo/src/util/bloom.h \
+ /root/repo/src/env/mem_env.h /root/repo/src/net/client.h \
+ /root/repo/src/net/socket.h /root/repo/src/net/wire.h \
+ /root/repo/src/net/server.h /root/repo/tests/test_util.h

@@ -300,18 +300,19 @@ tests/CMakeFiles/table_test.dir/table_test.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /root/repo/src/core/db.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
+ /root/repo/src/core/options.h /root/repo/src/core/merge_policy.h \
+ /root/repo/src/core/periods.h /root/repo/src/util/clock.h \
+ /usr/include/c++/12/chrono /root/repo/src/core/tablet_meta.h \
  /root/repo/src/core/table.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/core/bounds.h /root/repo/src/core/schema.h \
- /root/repo/src/core/value.h /root/repo/src/util/clock.h \
- /usr/include/c++/12/chrono /root/repo/src/util/slice.h \
+ /root/repo/src/core/value.h /root/repo/src/util/slice.h \
  /usr/include/c++/12/cstring /root/repo/src/util/status.h \
- /root/repo/src/core/descriptor.h /root/repo/src/core/tablet_meta.h \
- /root/repo/src/env/env.h /root/repo/src/core/memtablet.h \
- /root/repo/src/core/periods.h /root/repo/src/core/options.h \
- /root/repo/src/core/merge_policy.h /root/repo/src/core/stats.h \
+ /root/repo/src/core/descriptor.h /root/repo/src/env/env.h \
+ /root/repo/src/core/memtablet.h /root/repo/src/core/stats.h \
  /root/repo/src/core/tablet_reader.h /root/repo/src/core/block.h \
  /root/repo/src/core/row_codec.h /root/repo/src/core/cursor.h \
  /root/repo/src/util/bloom.h /root/repo/src/env/mem_env.h \

@@ -1,6 +1,7 @@
 #include "core/db.h"
 
 #include <chrono>
+#include <cstdio>
 
 namespace lt {
 
@@ -9,16 +10,25 @@ DB::DB(Env* env, std::shared_ptr<Clock> clock, std::string root,
     : env_(env), clock_(std::move(clock)), root_(std::move(root)),
       options_(options) {}
 
-DB::~DB() { Close(); }
+DB::~DB() {
+  Status s = Close();
+  if (!s.ok()) {
+    fprintf(stderr, "littletable: flush on close: %s\n", s.ToString().c_str());
+  }
+}
 
 bool DB::ValidTableName(const std::string& name) {
   if (name.empty() || name.size() > 200) return false;
+  bool all_dots = true;
   for (char c : name) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
     if (!ok) return false;
+    if (c != '.') all_dots = false;
   }
-  return true;
+  // Names double as directory names; "." and ".." (and friends) would
+  // escape or alias the database root.
+  return !all_dots;
 }
 
 Status DB::Open(Env* env, std::shared_ptr<Clock> clock,
@@ -33,8 +43,15 @@ Status DB::Open(Env* env, std::shared_ptr<Clock> clock,
     const std::string dir = root + "/" + child;
     if (!env->FileExists(dir + "/DESC")) continue;  // Not a table directory.
     std::unique_ptr<Table> table;
-    LT_RETURN_IF_ERROR(
-        Table::Open(env, clock, dir, options.table_defaults, &table));
+    Status s = Table::Open(env, clock, dir, options.table_defaults, &table);
+    if (!s.ok()) {
+      // One damaged table (unreadable descriptor) must not keep the whole
+      // server down; skip it and serve the rest. Its files are left in
+      // place for manual recovery.
+      fprintf(stderr, "littletable: skipping unreadable table %s: %s\n",
+              dir.c_str(), s.ToString().c_str());
+      continue;
+    }
     std::string name = table->name();
     db->tables_[name] = std::shared_ptr<Table>(table.release());
   }
@@ -46,14 +63,17 @@ Status DB::Open(Env* env, std::shared_ptr<Clock> clock,
   return Status::OK();
 }
 
-void DB::Close() {
+Status DB::Close() {
   {
     std::lock_guard<std::mutex> lock(bg_mu_);
-    if (stopping_) return;
+    if (stopping_) return Status::OK();
     stopping_ = true;
   }
   bg_cv_.notify_all();
   if (background_.joinable()) background_.join();
+  // With maintenance stopped, persist whatever is still buffered; without
+  // this, rows inserted since the last flush silently vanish on shutdown.
+  return FlushAll();
 }
 
 void DB::BackgroundLoop() {

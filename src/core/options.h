@@ -40,6 +40,13 @@ struct TableOptions {
   /// flushing (the 100-tablet limit of the §5.1.3 experiment).
   size_t max_unflushed_tablets = 100;
 
+  /// Eagerly load (and checksum-verify) every tablet footer at open,
+  /// quarantining unreadable tablets immediately. Off by default: footers
+  /// load lazily on first use (§3.5), so opening a table with hundreds of
+  /// tablets stays cheap and corrupt tablets are quarantined when a query
+  /// or insert first touches them.
+  bool verify_open = false;
+
   MergePolicyOptions merge;
 };
 

@@ -29,6 +29,11 @@ struct TableStats {
   std::atomic<uint64_t> bytes_merge_written{0};
   std::atomic<uint64_t> tablets_expired{0};
 
+  // Tablets whose footer could not be read (corrupt or missing file) and
+  // were renamed to `<name>.corrupt` and dropped from the descriptor so the
+  // rest of the table keeps serving.
+  std::atomic<uint64_t> tablets_quarantined{0};
+
   // §3.4.5 extension: tablets skipped by Bloom filters during
   // latest-row-for-prefix and uniqueness point queries.
   std::atomic<uint64_t> bloom_tablet_skips{0};

@@ -76,25 +76,42 @@ Status Table::Open(Env* env, std::shared_ptr<Clock> clock,
   table->tablets_ = desc.tablets;
 
   // Remove files a crash mid-flush or mid-merge left unreferenced.
+  // Quarantined tablets (`*.corrupt`) are kept for post-mortems.
   std::set<std::string> live;
   for (const TabletMeta& m : table->tablets_) live.insert(m.filename);
   std::vector<std::string> children;
   LT_RETURN_IF_ERROR(env->GetChildren(dir, &children));
   for (const std::string& child : children) {
     if (child == "DESC") continue;
+    if (child.ends_with(".corrupt")) continue;
     if (!live.count(child)) env->RemoveFile(dir + "/" + child);
   }
 
+  std::vector<std::pair<std::string, Status>> doomed;
   for (const TabletMeta& m : table->tablets_) {
     std::shared_ptr<TabletReader> reader;
-    LT_RETURN_IF_ERROR(
-        TabletReader::Open(env, table->TabletPath(m.filename), &reader));
+    Status s = TabletReader::Open(env, table->TabletPath(m.filename), &reader);
+    if (s.ok() && options.verify_open) s = reader->Load();
+    if (!s.ok()) {
+      // A missing or corrupt tablet must not brick the whole table: the
+      // paper's contract is that persisted data stays *recoverable*, so we
+      // quarantine the bad tablet and keep serving the rest.
+      if (!ShouldQuarantine(s)) return s;
+      doomed.emplace_back(m.filename, std::move(s));
+      continue;
+    }
     table->readers_[m.filename] = std::move(reader);
     if (!table->has_rows_ || m.max_ts > table->max_row_ts_) {
       table->max_row_ts_ = m.max_ts;
       table->has_rows_ = m.row_count > 0 || table->has_rows_;
     }
     if (m.row_count > 0) table->has_rows_ = true;
+  }
+  if (!doomed.empty()) {
+    std::lock_guard<std::mutex> lock(table->mu_);
+    for (const auto& [fname, why] : doomed) {
+      table->QuarantineTabletLocked(fname, why);
+    }
   }
   *out = std::move(table);
   return Status::OK();
@@ -124,6 +141,29 @@ Timestamp Table::ttl() const {
 Timestamp Table::ExpiryCutoffLocked(Timestamp now) const {
   if (ttl_ <= 0) return std::numeric_limits<Timestamp>::min();
   return now - ttl_;
+}
+
+void Table::QuarantineTabletLocked(const std::string& fname,
+                                   const Status& why) {
+  const std::string path = TabletPath(fname);
+  fprintf(stderr, "littletable: quarantining tablet %s: %s\n", path.c_str(),
+          why.ToString().c_str());
+  readers_.erase(fname);
+  std::vector<TabletMeta> keep;
+  keep.reserve(tablets_.size());
+  for (TabletMeta& m : tablets_) {
+    if (m.filename != fname) keep.push_back(std::move(m));
+  }
+  tablets_ = std::move(keep);
+  if (env_->FileExists(path)) env_->RenameFile(path, path + ".corrupt");
+  stats_.tablets_quarantined.fetch_add(1);
+  // Persist the drop so the next open doesn't trip over the same tablet.
+  // If this write fails, reopening just quarantines again.
+  Status s = SaveDescriptorLocked();
+  if (!s.ok()) {
+    fprintf(stderr, "littletable: descriptor update after quarantine: %s\n",
+            s.ToString().c_str());
+  }
 }
 
 Status Table::SaveDescriptorLocked() {
@@ -183,13 +223,21 @@ Status Table::CheckUnique(const Row& row,
     // tablet's max key — provable from cached indexes alone. A duplicate
     // shares the full key including ts, so only tablets whose timespan
     // contains ts can hold one.
+    std::vector<std::pair<std::string, Status>> doomed;
     for (const TabletMeta& m : tablets_) {
       if (m.row_count == 0 || ts < m.min_ts || ts > m.max_ts) continue;
       auto it = readers_.find(m.filename);
       if (it == readers_.end()) {
         return Status::Aborted("internal: no reader for tablet " + m.filename);
       }
-      LT_RETURN_IF_ERROR(it->second->Load());
+      Status ls = it->second->Load();
+      if (!ls.ok()) {
+        if (!ShouldQuarantine(ls)) return ls;
+        // The tablet is unreadable, so it cannot hold a duplicate; drop it
+        // from the table and keep checking the rest.
+        doomed.emplace_back(m.filename, std::move(ls));
+        continue;
+      }
       int c = CompareFullKeys(*schema, it->second->max_key(), full_key);
       if (c == 0) {
         stats_.duplicates_rejected.fetch_add(1);
@@ -197,6 +245,7 @@ Status Table::CheckUnique(const Row& row,
       }
       if (c > 0) candidates.push_back(it->second);
     }
+    for (const auto& [fname, why] : doomed) QuarantineTabletLocked(fname, why);
     if (candidates.empty()) {
       stats_.unique_by_max_key.fetch_add(1);
       return Status::OK();
@@ -497,11 +546,19 @@ Status Table::MaybeMerge(Timestamp now) {
   // TTL are dropped rather than rewritten.
   std::vector<std::unique_ptr<Cursor>> cursors;
   QueryBounds everything;
-  for (const auto& reader : input_readers) {
+  for (size_t i = 0; i < input_readers.size(); i++) {
     std::unique_ptr<Cursor> c;
-    Status s = reader->NewCursor(everything, schema.get(), nullptr, &c);
+    Status s = input_readers[i]->NewCursor(everything, schema.get(), nullptr,
+                                           &c);
     if (!s.ok()) {
       writer.Abandon();
+      if (ShouldQuarantine(s)) {
+        // An unreadable input must not wedge maintenance forever: quarantine
+        // it and report success; the next pass re-picks without it.
+        std::lock_guard<std::mutex> lock(mu_);
+        QuarantineTabletLocked(inputs[i].filename, s);
+        return Status::OK();
+      }
       return s;
     }
     cursors.push_back(std::move(c));
@@ -608,6 +665,7 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
       bounds.min_ts = cutoff;
       bounds.min_ts_inclusive = true;
     }
+    std::vector<std::pair<std::string, Status>> doomed;
     for (const TabletMeta& m : tablets_) {
       if (!bounds.TsOverlaps(m.min_ts, m.max_ts)) continue;
       auto it = readers_.find(m.filename);
@@ -615,7 +673,15 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
         return Status::Aborted("internal: no reader for tablet " + m.filename);
       }
       const auto& reader = it->second;
-      LT_RETURN_IF_ERROR(reader->Load());
+      Status ls = reader->Load();
+      if (!ls.ok()) {
+        if (!ShouldQuarantine(ls)) return ls;
+        // Unreadable tablet: quarantine it and serve the rest (§2.3.4 —
+        // persisted data stays recoverable; one bad file must not take the
+        // whole table down).
+        doomed.emplace_back(m.filename, std::move(ls));
+        continue;
+      }
       if (reader->row_count() == 0) continue;
       // Key-range pruning from cached footer min/max keys.
       if (bounds.min_key) {
@@ -639,6 +705,7 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
     };
     for (const auto& [start, mt] : filling_) snap(mt);
     for (const auto& mt : sealed_) snap(mt);
+    for (const auto& [fname, why] : doomed) QuarantineTabletLocked(fname, why);
   }
 
   uint64_t limit = opts_.server_row_limit > 0
@@ -689,6 +756,7 @@ Status Table::LatestRowForPrefix(const Key& prefix, Row* row, bool* found) {
     Timestamp min_ts, max_ts;
     std::shared_ptr<TabletReader> reader;  // Null for in-memory snapshots.
     std::vector<Row> rows;
+    std::string filename;  // Set for disk sources (quarantine target).
   };
   std::vector<Source> sources;
   std::shared_ptr<const Schema> schema;
@@ -705,7 +773,7 @@ Status Table::LatestRowForPrefix(const Key& prefix, Row* row, bool* found) {
       if (it == readers_.end()) {
         return Status::Aborted("internal: no reader for tablet " + m.filename);
       }
-      sources.push_back(Source{m.min_ts, m.max_ts, it->second, {}});
+      sources.push_back(Source{m.min_ts, m.max_ts, it->second, {}, m.filename});
     }
     auto snap = [&](const std::shared_ptr<MemTablet>& mt) {
       if (mt->empty() || mt->max_ts() < cutoff) return;
@@ -750,7 +818,15 @@ Status Table::LatestRowForPrefix(const Key& prefix, Row* row, bool* found) {
     for (size_t i = git->first; i < git->second; i++) {
       Source& src = sources[i];
       if (src.reader) {
-        LT_RETURN_IF_ERROR(src.reader->Load());
+        Status ls = src.reader->Load();
+        if (!ls.ok()) {
+          if (!ShouldQuarantine(ls)) return ls;
+          // Unreadable tablet: drop it and keep searching the remaining
+          // sources; it can no longer contribute a latest row.
+          std::lock_guard<std::mutex> lock(mu_);
+          QuarantineTabletLocked(src.filename, ls);
+          continue;
+        }
         stats_.bloom_tablet_probes.fetch_add(1);
         if (!src.reader->MayContainPrefix(prefix)) {
           stats_.bloom_tablet_skips.fetch_add(1);

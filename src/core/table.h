@@ -145,6 +145,17 @@ class Table {
   /// Drops tablets whose rows have all expired (§3.3).
   Status ReclaimExpired(Timestamp now);
 
+  /// Removes an unreadable tablet from the table so the rest keeps serving:
+  /// renames its file to `<name>.corrupt` (kept for post-mortems), drops it
+  /// from the descriptor and reader cache, and logs `why`. mu_ held.
+  void QuarantineTabletLocked(const std::string& fname, const Status& why);
+
+  /// True for load failures that mean the tablet itself is unusable (vs.
+  /// transient I/O errors, which propagate to the caller).
+  static bool ShouldQuarantine(const Status& s) {
+    return s.IsCorruption() || s.IsNotFound();
+  }
+
   Status SaveDescriptorLocked();
 
   Env* const env_;

@@ -240,7 +240,11 @@ Status TabletReader::LoadFooter(const std::string& fname) {
   GetFixed64(&in, &footer_size);
   GetFixed64(&in, &footer_offset);
   GetFixed64(&in, &magic);
-  if (magic != kTabletMagic) {
+  if (magic == kTabletMagic) {
+    format_version_ = 0;
+  } else if (magic == kTabletMagicV2) {
+    format_version_ = 1;
+  } else {
     return Status::Corruption(fname + ": bad magic");
   }
   uint64_t footer_end = file_size - kTabletTrailerSize;
@@ -288,6 +292,9 @@ Status TabletReader::LoadFooter(const std::string& fname) {
     e.stored_len = stored32;
     e.payload_len = payload32;
     e.row_count = rows32;
+    if (format_version_ >= 1 && !GetFixed32(&f, &e.crc)) {
+      return Status::Corruption(fname + ": bad index entry crc");
+    }
     Slice key_in = key_enc;
     LT_RETURN_IF_ERROR(DecodeKey(&key_in, schema_, &e.last_key));
     index_.push_back(std::move(e));
@@ -324,12 +331,19 @@ Status TabletReader::ReadBlock(size_t i, BlockReader* out) const {
   Slice stored;
   LT_RETURN_IF_ERROR(file_->Read(e.offset, e.stored_len, &stored, buf.data()));
   if (stored.size() != e.stored_len) {
-    return Status::Corruption("truncated block read");
+    return Status::Corruption(fname_ + ": truncated block read");
+  }
+  // Verify-if-present: format >= 1 carries the expected CRC of the stored
+  // bytes in the (itself checksummed) footer index, so a flipped bit is
+  // caught before any decompression or row decoding runs.
+  if (format_version_ >= 1 &&
+      crc32c::Unmask(e.crc) != crc32c::Value(stored.data(), stored.size())) {
+    return Status::Corruption(fname_ + ": block checksum mismatch");
   }
   std::string payload;
   LT_RETURN_IF_ERROR(LoadBlock(stored, &payload));
   if (payload.size() != e.payload_len) {
-    return Status::Corruption("block payload size mismatch");
+    return Status::Corruption(fname_ + ": block payload size mismatch");
   }
   return BlockReader::Parse(&schema_, std::move(payload), out);
 }

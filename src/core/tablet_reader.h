@@ -48,6 +48,10 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
   const Key& max_key() const { return max_key_; }
   bool has_bloom() const { return has_bloom_; }
 
+  /// On-disk format version this tablet was written under (0 = no per-block
+  /// CRCs in the index; 1 = index carries a CRC per stored block).
+  uint32_t format_version() const { return format_version_; }
+
   /// Bloom-filter check for a key prefix (or a full key). True means "may
   /// contain"; when the tablet carries no filter, always true.
   bool MayContainPrefix(const Key& prefix) const;
@@ -73,6 +77,7 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
     uint32_t stored_len;
     uint32_t payload_len;
     uint32_t row_count;
+    uint32_t crc = 0;  // Masked CRC32C of the stored block (format >= 1).
   };
 
   TabletReader() = default;
@@ -94,6 +99,7 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
 
   mutable std::unique_ptr<RandomAccessFile> file_;
   Schema schema_;
+  uint32_t format_version_ = 0;
   std::vector<IndexEntry> index_;
   Timestamp min_ts_ = 0, max_ts_ = 0;
   uint64_t row_count_ = 0;

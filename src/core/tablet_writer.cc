@@ -14,6 +14,10 @@ TabletWriter::TabletWriter(Env* env, std::string fname, const Schema* schema,
       opts_(options),
       block_(schema),
       bloom_(options.bloom_bits_per_key > 0 ? options.bloom_bits_per_key : 1) {
+  if (opts_.format_version > kTabletFormatLatest) {
+    open_status_ = Status::InvalidArgument("unknown tablet format version");
+    return;
+  }
   open_status_ = env_->NewWritableFile(fname_, &file_);
 }
 
@@ -71,6 +75,7 @@ Status TabletWriter::FlushBlock() {
   entry.payload_len = static_cast<uint32_t>(payload.size());
   std::string stored = StoreBlock(payload);
   entry.stored_len = static_cast<uint32_t>(stored.size());
+  entry.crc = crc32c::Mask(crc32c::Value(stored.data(), stored.size()));
   LT_RETURN_IF_ERROR(file_->Append(stored));
   file_offset_ += stored.size();
   index_.push_back(std::move(entry));
@@ -93,6 +98,10 @@ Status TabletWriter::Finish(TabletMeta* meta) {
     PutVarint32(&footer, e.payload_len);
     PutVarint32(&footer, e.row_count);
     PutLengthPrefixedSlice(&footer, e.last_key);
+    // Format >= 1: the block's masked CRC travels in the (checksummed)
+    // footer, so reads verify blocks against the index, not just the
+    // block's own frame.
+    if (opts_.format_version >= 1) PutFixed32(&footer, e.crc);
   }
   PutVarint64(&footer, ZigZagEncode(min_ts_));
   PutVarint64(&footer, ZigZagEncode(max_ts_));
@@ -116,7 +125,8 @@ Status TabletWriter::Finish(TabletMeta* meta) {
                                                   compressed.size())));
   PutFixed64(&trailer, footer.size());
   PutFixed64(&trailer, footer_offset);
-  PutFixed64(&trailer, kTabletMagic);
+  PutFixed64(&trailer,
+             opts_.format_version >= 1 ? kTabletMagicV2 : kTabletMagic);
   LT_RETURN_IF_ERROR(file_->Append(trailer));
   file_offset_ += trailer.size();
 

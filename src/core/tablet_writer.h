@@ -8,12 +8,20 @@
 //     fixed32 masked-CRC32C of the compressed footer
 //     fixed64 footer decompressed size     \  the "final two words"
 //     fixed64 footer offset in the file    /  the paper describes
-//     fixed64 magic
+//     fixed64 magic                        (encodes the format version)
 //
 // The footer payload carries the tablet's schema, the block index (last key,
-// offset, sizes, row count per block), the tablet timespan, min/max keys,
-// and the optional Bloom filter over key prefixes (§3.4.5). On average the
-// index is ~0.5% of the tablet, so readers cache it in memory indefinitely.
+// offset, sizes, row count, and — since format version 1 — a masked CRC32C
+// of each stored block), the tablet timespan, min/max keys, and the optional
+// Bloom filter over key prefixes (§3.4.5). On average the index is ~0.5% of
+// the tablet, so readers cache it in memory indefinitely.
+//
+// Format versions (distinguished by the trailer magic):
+//   0 ("lttab1v1"): no per-block CRC in the index; blocks carry only their
+//     in-frame CRC. Still readable — readers verify what is present.
+//   1 ("lttab1v2"): each index entry additionally stores the masked CRC32C
+//     of the block's stored (framed, compressed) bytes, so a read verifies
+//     the block against the checksummed footer before decompressing.
 //
 // Both flushes (§3.4.1) and merges write tablets through this class, always
 // as one long sequential write — that is the core of LittleTable's insert
@@ -31,8 +39,11 @@
 
 namespace lt {
 
-constexpr uint64_t kTabletMagic = 0x6c74746162317631ull;  // "lttab1v1"
+constexpr uint64_t kTabletMagic = 0x6c74746162317631ull;    // "lttab1v1"
+constexpr uint64_t kTabletMagicV2 = 0x6c74746162317632ull;  // "lttab1v2"
 constexpr size_t kTabletTrailerSize = 4 + 8 + 8 + 8;
+/// The newest on-disk format version this build writes.
+constexpr uint32_t kTabletFormatLatest = 1;
 
 struct TabletWriterOptions {
   /// Uncompressed row bytes per block.
@@ -42,6 +53,9 @@ struct TabletWriterOptions {
   /// Sync the file before Finish returns (flushes must sync before the
   /// descriptor references the tablet).
   bool sync = true;
+  /// On-disk format version to emit. Production code always writes the
+  /// latest; tests pin 0 to exercise backward compatibility.
+  uint32_t format_version = kTabletFormatLatest;
 };
 
 class TabletWriter {
@@ -71,6 +85,7 @@ class TabletWriter {
     uint32_t stored_len;
     uint32_t payload_len;
     uint32_t row_count;
+    uint32_t crc;  // Masked CRC32C of the stored block bytes (format >= 1).
   };
 
   Status FlushBlock();

@@ -15,9 +15,11 @@ std::string DirPrefix(const std::string& dirname) {
 
 class MemSequentialFile final : public SequentialFile {
  public:
-  explicit MemSequentialFile(MemEnv::FileRef file) : file_(std::move(file)) {}
+  MemSequentialFile(MemEnv* env, MemEnv::FileRef file)
+      : env_(env), file_(std::move(file)) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
+    if (env_->ConsumeReadFault()) return Status::IOError("injected read fault");
     std::lock_guard<std::mutex> lock(file_->mu);
     if (pos_ >= file_->data.size()) {
       *result = Slice();
@@ -36,16 +38,19 @@ class MemSequentialFile final : public SequentialFile {
   }
 
  private:
+  MemEnv* const env_;
   MemEnv::FileRef file_;
   size_t pos_ = 0;
 };
 
 class MemRandomAccessFile final : public RandomAccessFile {
  public:
-  explicit MemRandomAccessFile(MemEnv::FileRef file) : file_(std::move(file)) {}
+  MemRandomAccessFile(MemEnv* env, MemEnv::FileRef file)
+      : env_(env), file_(std::move(file)) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
+    if (env_->ConsumeReadFault()) return Status::IOError("injected read fault");
     std::lock_guard<std::mutex> lock(file_->mu);
     if (offset >= file_->data.size()) {
       *result = Slice();
@@ -65,14 +70,19 @@ class MemRandomAccessFile final : public RandomAccessFile {
   }
 
  private:
+  MemEnv* const env_;
   MemEnv::FileRef file_;
 };
 
 class MemWritableFile final : public WritableFile {
  public:
-  explicit MemWritableFile(MemEnv::FileRef file) : file_(std::move(file)) {}
+  MemWritableFile(MemEnv* env, MemEnv::FileRef file)
+      : env_(env), file_(std::move(file)) {}
 
   Status Append(const Slice& data) override {
+    if (env_->ConsumeWriteFault()) {
+      return Status::IOError("injected write fault");
+    }
     std::lock_guard<std::mutex> lock(file_->mu);
     file_->data.append(data.data(), data.size());
     return Status::OK();
@@ -87,6 +97,7 @@ class MemWritableFile final : public WritableFile {
   Status Close() override { return Status::OK(); }
 
  private:
+  MemEnv* const env_;
   MemEnv::FileRef file_;
 };
 
@@ -95,7 +106,7 @@ Status MemEnv::NewSequentialFile(const std::string& fname,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) return Status::NotFound(fname);
-  result->reset(new MemSequentialFile(it->second));
+  result->reset(new MemSequentialFile(this, it->second));
   return Status::OK();
 }
 
@@ -104,7 +115,7 @@ Status MemEnv::NewRandomAccessFile(const std::string& fname,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) return Status::NotFound(fname);
-  result->reset(new MemRandomAccessFile(it->second));
+  result->reset(new MemRandomAccessFile(this, it->second));
   return Status::OK();
 }
 
@@ -113,7 +124,7 @@ Status MemEnv::NewWritableFile(const std::string& fname,
   std::lock_guard<std::mutex> lock(mu_);
   auto file = std::make_shared<FileState>();
   files_[fname] = file;
-  result->reset(new MemWritableFile(std::move(file)));
+  result->reset(new MemWritableFile(this, std::move(file)));
   return Status::OK();
 }
 
@@ -195,6 +206,56 @@ void MemEnv::DropUnsynced() {
       ++it;
     }
   }
+}
+
+Status MemEnv::CorruptFile(const std::string& fname, uint64_t offset,
+                           uint8_t mask) {
+  FileRef file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) return Status::NotFound(fname);
+    file = it->second;
+  }
+  std::lock_guard<std::mutex> flock(file->mu);
+  if (offset >= file->data.size()) {
+    return Status::InvalidArgument("corrupt offset past EOF");
+  }
+  file->data[offset] = static_cast<char>(file->data[offset] ^ mask);
+  return Status::OK();
+}
+
+Status MemEnv::TruncateFile(const std::string& fname, uint64_t size) {
+  FileRef file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) return Status::NotFound(fname);
+    file = it->second;
+  }
+  std::lock_guard<std::mutex> flock(file->mu);
+  if (size > file->data.size()) {
+    return Status::InvalidArgument("truncate size past EOF");
+  }
+  file->data.resize(size);
+  file->synced = std::min(file->synced, static_cast<size_t>(size));
+  return Status::OK();
+}
+
+bool MemEnv::ConsumeReadFault() {
+  int v = fail_read_countdown_.load();
+  while (v > 0) {
+    if (fail_read_countdown_.compare_exchange_weak(v, v - 1)) return v == 1;
+  }
+  return false;
+}
+
+bool MemEnv::ConsumeWriteFault() {
+  int v = fail_write_countdown_.load();
+  while (v > 0) {
+    if (fail_write_countdown_.compare_exchange_weak(v, v - 1)) return v == 1;
+  }
+  return false;
 }
 
 uint64_t MemEnv::TotalBytes() {

@@ -12,6 +12,7 @@
 #ifndef LITTLETABLE_ENV_MEM_ENV_H_
 #define LITTLETABLE_ENV_MEM_ENV_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,24 @@ class MemEnv final : public Env {
   /// Total bytes across all (linked) files, for space-accounting tests.
   uint64_t TotalBytes();
 
+  // Deterministic fault injection for corruption-detection tests. Faults
+  // affect existing open handles too (they share the FileState).
+
+  /// XORs the byte at `offset` with `mask` (silent on-disk bit rot).
+  Status CorruptFile(const std::string& fname, uint64_t offset,
+                     uint8_t mask = 0x40);
+
+  /// Truncates the file to `size` bytes (torn write / lost tail).
+  Status TruncateFile(const std::string& fname, uint64_t size);
+
+  /// Makes the Nth read from now (1 = the very next one) fail with an
+  /// IOError; n <= 0 clears the fault. Counts both sequential and
+  /// random-access reads.
+  void FailNthRead(int n) { fail_read_countdown_.store(n); }
+
+  /// Same for writes (Append calls).
+  void FailNthWrite(int n) { fail_write_countdown_.store(n); }
+
  private:
   struct FileState {
     std::mutex mu;
@@ -60,9 +79,16 @@ class MemEnv final : public Env {
   friend class MemRandomAccessFile;
   friend class MemWritableFile;
 
+  /// True if this call should fail (decrements the countdown).
+  bool ConsumeReadFault();
+  bool ConsumeWriteFault();
+
   std::mutex mu_;
   std::map<std::string, FileRef> files_;
   std::set<std::string> dirs_;
+
+  std::atomic<int> fail_read_countdown_{0};   // 0 = no fault armed.
+  std::atomic<int> fail_write_countdown_{0};
 };
 
 }  // namespace lt

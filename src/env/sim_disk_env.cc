@@ -19,6 +19,7 @@ class SimSequentialFile final : public SequentialFile {
         size_(size) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
+    if (env_->ConsumeReadFault()) return Status::IOError("injected read fault");
     {
       std::lock_guard<std::mutex> lock(env_->mu_);
       env_->ChargeReadLocked(fname_, pos_, n, size_);
@@ -49,6 +50,7 @@ class SimRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
+    if (env_->ConsumeReadFault()) return Status::IOError("injected read fault");
     uint64_t size = 0;
     Status s = base_->Size(&size);
     if (!s.ok()) return s;
@@ -74,6 +76,9 @@ class SimWritableFile final : public WritableFile {
       : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
 
   Status Append(const Slice& data) override {
+    if (env_->ConsumeWriteFault()) {
+      return Status::IOError("injected write fault");
+    }
     {
       std::lock_guard<std::mutex> lock(env_->mu_);
       env_->ChargeWriteLocked(fname_, pos_, data.size());
@@ -219,6 +224,22 @@ int64_t SimDiskEnv::bytes_read() const {
 int64_t SimDiskEnv::bytes_written() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_written_;
+}
+
+bool SimDiskEnv::ConsumeReadFault() {
+  int v = fail_read_countdown_.load();
+  while (v > 0) {
+    if (fail_read_countdown_.compare_exchange_weak(v, v - 1)) return v == 1;
+  }
+  return false;
+}
+
+bool SimDiskEnv::ConsumeWriteFault() {
+  int v = fail_write_countdown_.load();
+  while (v > 0) {
+    if (fail_write_countdown_.compare_exchange_weak(v, v - 1)) return v == 1;
+  }
+  return false;
 }
 
 uint64_t SimDiskEnv::ExtentStartLocked(const std::string& fname) {

@@ -24,6 +24,7 @@
 #ifndef LITTLETABLE_ENV_SIM_DISK_ENV_H_
 #define LITTLETABLE_ENV_SIM_DISK_ENV_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -93,6 +94,12 @@ class SimDiskEnv final : public Env {
   int64_t bytes_read() const;
   int64_t bytes_written() const;
 
+  // Deterministic fault injection at the simulated-disk layer: the Nth read
+  // (or write) from now fails with an IOError before reaching the base env
+  // and before any sim time is charged; n <= 0 clears the fault.
+  void FailNthRead(int n) { fail_read_countdown_.store(n); }
+  void FailNthWrite(int n) { fail_write_countdown_.store(n); }
+
  private:
   friend class SimSequentialFile;
   friend class SimRandomAccessFile;
@@ -111,6 +118,8 @@ class SimDiskEnv final : public Env {
   void CacheInsertLocked(const std::string& fname, uint64_t chunk);
   bool CacheContainsLocked(const std::string& fname, uint64_t chunk);
   void CacheEraseFileLocked(const std::string& fname);
+  bool ConsumeReadFault();
+  bool ConsumeWriteFault();
 
   Env* const base_;
   SimDiskOptions opts_;
@@ -137,6 +146,9 @@ class SimDiskEnv final : public Env {
   std::map<std::string, Streak> streaks_;
   // Files read recently, to divide the drive cache between streams.
   std::list<std::string> recent_files_;
+
+  std::atomic<int> fail_read_countdown_{0};   // 0 = no fault armed.
+  std::atomic<int> fail_write_countdown_{0};
 };
 
 }  // namespace lt

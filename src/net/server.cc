@@ -45,15 +45,38 @@ void LittleTableServer::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
-  std::vector<std::thread> threads;
+  std::map<uint64_t, std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
     threads.swap(conn_threads_);
+    finished_ids_.clear();
     // Connection threads may be blocked in recv on idle-but-live client
     // connections; shut those sockets down so the threads observe EOF.
     for (int fd : live_fds_) shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : threads) {
+  for (auto& [id, t] : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t LittleTableServer::NumConnThreads() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  return conn_threads_.size();
+}
+
+void LittleTableServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (uint64_t id : finished_ids_) {
+      auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+    finished_ids_.clear();
+  }
+  for (std::thread& t : done) {
     if (t.joinable()) t.join();
   }
 }
@@ -63,13 +86,19 @@ void LittleTableServer::AcceptLoop() {
     net::Socket conn;
     if (!net::Accept(listener_, &conn).ok()) break;
     if (stopping_.load()) break;
+    // Reap threads whose connections have closed; without this a
+    // long-lived server leaks one zombie thread per connection ever
+    // accepted.
+    ReapFinished();
     std::lock_guard<std::mutex> lock(threads_mu_);
-    conn_threads_.emplace_back(
-        [this, c = std::move(conn)]() mutable { ServeConnection(std::move(c)); });
+    uint64_t id = next_conn_id_++;
+    conn_threads_.emplace(id, std::thread([this, id, c = std::move(conn)]() mutable {
+      ServeConnection(id, std::move(c));
+    }));
   }
 }
 
-void LittleTableServer::ServeConnection(net::Socket conn) {
+void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
     live_fds_.insert(conn.fd());
@@ -89,8 +118,11 @@ void LittleTableServer::ServeConnection(net::Socket conn) {
     Dispatch(type, body, &response);
     if (!conn.WriteAll(response.data(), response.size()).ok()) break;
   }
+  // Last use of threads_mu_: after this the thread only returns, so the
+  // accept loop (or Stop) can join it without deadlock.
   std::lock_guard<std::mutex> lock(threads_mu_);
   live_fds_.erase(conn.fd());
+  finished_ids_.push_back(id);
 }
 
 void LittleTableServer::ReplyError(std::string* out, ErrCode code,

@@ -11,6 +11,8 @@
 #define LITTLETABLE_NET_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -37,9 +39,17 @@ class LittleTableServer {
 
   uint16_t port() const { return port_; }
 
+  /// Connection threads currently tracked (live plus not-yet-reaped).
+  /// Stays bounded under connection churn because the accept loop joins
+  /// finished threads; tests assert on this.
+  size_t NumConnThreads();
+
  private:
   void AcceptLoop();
-  void ServeConnection(net::Socket conn);
+  void ServeConnection(uint64_t id, net::Socket conn);
+  /// Joins connection threads that have already announced completion.
+  /// threads_mu_ must NOT be held.
+  void ReapFinished();
   /// Handles one request; appends response frames to `*out`.
   void Dispatch(wire::MsgType type, Slice body, std::string* out);
 
@@ -53,7 +63,12 @@ class LittleTableServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex threads_mu_;
-  std::vector<std::thread> conn_threads_;
+  std::map<uint64_t, std::thread> conn_threads_;
+  // Ids of connection threads that have finished serving; pushing its own
+  // id is a ServeConnection thread's last use of threads_mu_, so joining
+  // a listed thread can never deadlock.
+  std::vector<uint64_t> finished_ids_;
+  uint64_t next_conn_id_ = 1;
   // Live connection fds, so Stop() can shut down blocked reads.
   std::set<int> live_fds_;
 };

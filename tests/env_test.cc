@@ -181,6 +181,59 @@ TEST(MemEnvTest, GetChildrenReportsSubdirectories) {
   EXPECT_EQ(children[1], "tbl_b");
 }
 
+// ----- MemEnv fault injection. -----
+
+TEST(MemEnvTest, CorruptFileFlipsOneByte) {
+  MemEnv env;
+  ASSERT_TRUE(WriteStringToFile(&env, "abcdef", "/f", false).ok());
+  ASSERT_TRUE(env.CorruptFile("/f", 2).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env, "/f", &data).ok());
+  EXPECT_EQ(data, std::string("ab") + static_cast<char>('c' ^ 0x40) + "def");
+  // Flip back restores the original.
+  ASSERT_TRUE(env.CorruptFile("/f", 2).ok());
+  ASSERT_TRUE(ReadFileToString(&env, "/f", &data).ok());
+  EXPECT_EQ(data, "abcdef");
+  EXPECT_TRUE(env.CorruptFile("/f", 100).IsInvalidArgument());
+  EXPECT_TRUE(env.CorruptFile("/missing", 0).IsNotFound());
+}
+
+TEST(MemEnvTest, TruncateFileDropsTail) {
+  MemEnv env;
+  ASSERT_TRUE(WriteStringToFile(&env, "abcdef", "/f", false).ok());
+  ASSERT_TRUE(env.TruncateFile("/f", 3).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env, "/f", &data).ok());
+  EXPECT_EQ(data, "abc");
+  EXPECT_TRUE(env.TruncateFile("/f", 10).IsInvalidArgument());
+  EXPECT_TRUE(env.TruncateFile("/missing", 0).IsNotFound());
+}
+
+TEST(MemEnvTest, FailNthReadFiresExactlyOnce) {
+  MemEnv env;
+  ASSERT_TRUE(WriteStringToFile(&env, "payload", "/f", false).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &f).ok());
+  char scratch[16];
+  Slice out;
+  env.FailNthRead(2);
+  EXPECT_TRUE(f->Read(0, 7, &out, scratch).ok());          // 1st read: fine.
+  EXPECT_TRUE(f->Read(0, 7, &out, scratch).IsIOError());   // 2nd read: fault.
+  EXPECT_TRUE(f->Read(0, 7, &out, scratch).ok());          // Fault consumed.
+}
+
+TEST(MemEnvTest, FailNthWriteFiresExactlyOnce) {
+  MemEnv env;
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/f", &f).ok());
+  env.FailNthWrite(1);
+  EXPECT_TRUE(f->Append("lost").IsIOError());
+  EXPECT_TRUE(f->Append("kept").ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env, "/f", &data).ok());
+  EXPECT_EQ(data, "kept");
+}
+
 // ----- SimDiskEnv cost model. -----
 
 class SimDiskTest : public ::testing::Test {
@@ -318,6 +371,29 @@ TEST_F(SimDiskTest, SequentialWriteThroughputMatchesModel) {
   for (int i = 0; i < 12; i++) ASSERT_TRUE(f->Append(chunk).ok());
   // 12 MiB at 120 MB/s = ~104.9 ms + 1 seek.
   EXPECT_NEAR(sim_.SimElapsedMicros(), 104858 + 8000, 2000);
+}
+
+TEST_F(SimDiskTest, FailNthReadAndWriteFireAtSimLayer) {
+  ASSERT_TRUE(WriteStringToFile(&sim_, "payload", "/f", false).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(sim_.NewRandomAccessFile("/f", &f).ok());
+  char scratch[16];
+  Slice out;
+  sim_.ResetSimTime();
+  sim_.FailNthRead(1);
+  EXPECT_TRUE(f->Read(0, 7, &out, scratch).IsIOError());
+  EXPECT_EQ(sim_.SimElapsedMicros(), 0);  // Failed I/O charges no sim time.
+  EXPECT_TRUE(f->Read(0, 7, &out, scratch).ok());
+  EXPECT_EQ(out.ToString(), "payload");
+
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(sim_.NewWritableFile("/w", &w).ok());
+  sim_.FailNthWrite(1);
+  EXPECT_TRUE(w->Append("lost").IsIOError());
+  EXPECT_TRUE(w->Append("kept").ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&sim_, "/w", &data).ok());
+  EXPECT_EQ(data, "kept");
 }
 
 }  // namespace

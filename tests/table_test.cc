@@ -6,6 +6,7 @@
 #include <atomic>
 #include <thread>
 
+#include "core/db.h"
 #include "core/table.h"
 #include "env/mem_env.h"
 #include "tests/test_util.h"
@@ -591,6 +592,190 @@ TEST_F(TableTest, ConcurrentInsertsAndQueries) {
   reader.join();
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(Query(QueryBounds{}).size(), 3000u);
+}
+
+// ----- Corruption recovery: quarantine and fail-closed behavior. -----
+
+class CorruptionRecoveryTest : public TableTest {
+ protected:
+  // Two single-row disk tablets; returns their file paths.
+  std::vector<std::string> TwoTablets() {
+    Timestamp t0 = Now();
+    EXPECT_TRUE(Insert(1, 1, t0, 10).ok());
+    EXPECT_TRUE(table_->FlushAll().ok());
+    EXPECT_TRUE(Insert(1, 2, t0 + 1, 20).ok());
+    EXPECT_TRUE(table_->FlushAll().ok());
+    EXPECT_EQ(table_->NumDiskTablets(), 2u);
+    std::vector<std::string> paths;
+    for (const TabletMeta& m : table_->DiskTablets()) {
+      paths.push_back("/db/usage/" + m.filename);
+    }
+    return paths;
+  }
+
+  void SmashTrailer(const std::string& path) {
+    uint64_t size = 0;
+    ASSERT_TRUE(env_.GetFileSize(path, &size).ok());
+    ASSERT_TRUE(env_.CorruptFile(path, size - 1).ok());
+  }
+};
+
+TEST_F(CorruptionRecoveryTest, QueryQuarantinesCorruptTabletAndServesRest) {
+  std::vector<std::string> paths = TwoTablets();
+  SmashTrailer(paths[0]);
+  Reopen();  // Lazy footers: open succeeds without touching the damage.
+  std::vector<Row> rows = Query(QueryBounds{});
+  ASSERT_EQ(rows.size(), 1u);  // The intact tablet's row, not garbage.
+  EXPECT_EQ(table_->stats().tablets_quarantined.load(), 1u);
+  EXPECT_EQ(table_->NumDiskTablets(), 1u);
+  EXPECT_FALSE(env_.FileExists(paths[0]));
+  EXPECT_TRUE(env_.FileExists(paths[0] + ".corrupt"));
+  // The drop is persisted and the .corrupt file survives orphan cleanup.
+  Reopen();
+  EXPECT_EQ(table_->NumDiskTablets(), 1u);
+  EXPECT_EQ(Query(QueryBounds{}).size(), 1u);
+  EXPECT_TRUE(env_.FileExists(paths[0] + ".corrupt"));
+}
+
+TEST_F(CorruptionRecoveryTest, MissingTabletFileQuarantinedAtOpen) {
+  std::vector<std::string> paths = TwoTablets();
+  ASSERT_TRUE(env_.RemoveFile(paths[1]).ok());
+  Reopen();  // The reader can't even open; quarantined immediately.
+  EXPECT_EQ(table_->NumDiskTablets(), 1u);
+  EXPECT_EQ(table_->stats().tablets_quarantined.load(), 1u);
+  EXPECT_EQ(Query(QueryBounds{}).size(), 1u);
+}
+
+TEST_F(CorruptionRecoveryTest, VerifyOpenQuarantinesEagerly) {
+  std::vector<std::string> paths = TwoTablets();
+  SmashTrailer(paths[0]);
+  opts_.verify_open = true;
+  Reopen();
+  // Quarantined during Open, before any query touches the table.
+  EXPECT_EQ(table_->NumDiskTablets(), 1u);
+  EXPECT_EQ(table_->stats().tablets_quarantined.load(), 1u);
+  EXPECT_TRUE(env_.FileExists(paths[0] + ".corrupt"));
+}
+
+TEST_F(CorruptionRecoveryTest, BlockCorruptionFailsClosedNeverWrongRows) {
+  Timestamp t0 = Now();
+  std::vector<Row> batch;
+  for (int d = 0; d < 1000; d++) {
+    batch.push_back(UsageRow(d / 100, d % 100, t0 + d, d, 0.0));
+  }
+  ASSERT_TRUE(table_->InsertBatch(batch).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  ASSERT_EQ(table_->NumDiskTablets(), 1u);
+  const std::string path = "/db/usage/" + table_->DiskTablets()[0].filename;
+  ASSERT_TRUE(env_.CorruptFile(path, 100).ok());  // Inside the first block.
+  Reopen();
+  QueryResult result;
+  Status s = table_->Query(QueryBounds{}, &result);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  // The footer is intact, so the tablet stays (only its blocks are bad):
+  // the query fails closed instead of returning wrong rows.
+  EXPECT_EQ(table_->stats().tablets_quarantined.load(), 0u);
+  EXPECT_EQ(table_->NumDiskTablets(), 1u);
+}
+
+// ----- DB-level recovery and lifecycle. -----
+
+class DbTest : public ::testing::Test {
+ protected:
+  DbTest() : clock_(std::make_shared<SimClock>(100 * kMicrosPerWeek)) {
+    opts_.background_maintenance = false;
+  }
+
+  Status OpenDb() { return DB::Open(&env_, clock_, "/db", opts_, &db_); }
+
+  MemEnv env_;
+  std::shared_ptr<SimClock> clock_;
+  DbOptions opts_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbTest, RejectsDotOnlyTableNames) {
+  ASSERT_TRUE(OpenDb().ok());
+  // "." and ".." double as directory names and would alias or escape the
+  // database root.
+  EXPECT_TRUE(db_->CreateTable(".", UsageSchema()).IsInvalidArgument());
+  EXPECT_TRUE(db_->CreateTable("..", UsageSchema()).IsInvalidArgument());
+  EXPECT_TRUE(db_->CreateTable("...", UsageSchema()).IsInvalidArgument());
+  EXPECT_TRUE(db_->CreateTable("a/b", UsageSchema()).IsInvalidArgument());
+  EXPECT_TRUE(db_->CreateTable("", UsageSchema()).IsInvalidArgument());
+  // Dots inside an otherwise normal name stay legal.
+  EXPECT_TRUE(db_->CreateTable("v1.usage", UsageSchema()).ok());
+}
+
+TEST_F(DbTest, CloseFlushesBufferedRows) {
+  ASSERT_TRUE(OpenDb().ok());
+  ASSERT_TRUE(db_->CreateTable("usage", UsageSchema()).ok());
+  std::shared_ptr<Table> table = db_->GetTable("usage");
+  ASSERT_TRUE(
+      table->InsertBatch({UsageRow(1, 1, clock_->Now(), 42, 0.0)}).ok());
+  EXPECT_EQ(table->NumDiskTablets(), 0u);  // Still buffered in memory.
+  ASSERT_TRUE(db_->Close().ok());
+  EXPECT_EQ(table->NumDiskTablets(), 1u);  // Close flushed it.
+  ASSERT_TRUE(db_->Close().ok());          // Idempotent.
+  db_.reset();                             // ~DB after Close already ran.
+
+  ASSERT_TRUE(OpenDb().ok());
+  table = db_->GetTable("usage");
+  ASSERT_NE(table, nullptr);
+  QueryResult result;
+  ASSERT_TRUE(table->Query(QueryBounds{}, &result).ok());
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][3].i64(), 42);
+}
+
+TEST_F(DbTest, OpenSkipsUnreadableTable) {
+  ASSERT_TRUE(OpenDb().ok());
+  ASSERT_TRUE(db_->CreateTable("good", UsageSchema()).ok());
+  ASSERT_TRUE(db_->CreateTable("bad", UsageSchema()).ok());
+  ASSERT_TRUE(
+      db_->GetTable("good")->InsertBatch({UsageRow(1, 1, clock_->Now(), 7, 0.0)})
+          .ok());
+  ASSERT_TRUE(db_->Close().ok());
+  db_.reset();
+  // Destroy the bad table's descriptor.
+  ASSERT_TRUE(WriteStringToFile(&env_, "garbage", "/db/bad/DESC", false).ok());
+
+  ASSERT_TRUE(OpenDb().ok());  // Still opens.
+  std::vector<std::string> names = db_->ListTables();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "good");
+  QueryResult result;
+  ASSERT_TRUE(db_->GetTable("good")->Query(QueryBounds{}, &result).ok());
+  EXPECT_EQ(result.rows.size(), 1u);
+}
+
+TEST_F(DbTest, OpenServesRemainingTabletsWhenOneIsCorrupt) {
+  ASSERT_TRUE(OpenDb().ok());
+  ASSERT_TRUE(db_->CreateTable("usage", UsageSchema()).ok());
+  std::shared_ptr<Table> table = db_->GetTable("usage");
+  Timestamp t0 = clock_->Now();
+  ASSERT_TRUE(table->InsertBatch({UsageRow(1, 1, t0, 10, 0.0)}).ok());
+  ASSERT_TRUE(table->FlushAll().ok());
+  ASSERT_TRUE(table->InsertBatch({UsageRow(1, 2, t0 + 1, 20, 0.0)}).ok());
+  ASSERT_TRUE(table->FlushAll().ok());
+  ASSERT_EQ(table->NumDiskTablets(), 2u);
+  const std::string victim =
+      "/db/usage/" + table->DiskTablets()[0].filename;
+  table.reset();
+  db_.reset();
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize(victim, &size).ok());
+  ASSERT_TRUE(env_.CorruptFile(victim, size - 1).ok());  // Trailer magic.
+
+  ASSERT_TRUE(OpenDb().ok());
+  table = db_->GetTable("usage");
+  ASSERT_NE(table, nullptr);
+  QueryResult result;
+  ASSERT_TRUE(table->Query(QueryBounds{}, &result).ok());
+  ASSERT_EQ(result.rows.size(), 1u);  // Survivor served; corrupt one dropped.
+  EXPECT_EQ(result.rows[0][3].i64(), 20);
+  EXPECT_EQ(table->stats().tablets_quarantined.load(), 1u);
+  EXPECT_TRUE(env_.FileExists(victim + ".corrupt"));
 }
 
 }  // namespace

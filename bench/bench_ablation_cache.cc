@@ -1,0 +1,110 @@
+// Ablation: the sharded LRU block cache on the scan path.
+//
+// §3.5 charges every block access one seek plus a CRC check and an lzmini
+// decompress — even when a dashboard re-reads the same hot tablet every few
+// seconds. The block cache keeps verified, decompressed blocks in memory so
+// repeat reads skip all three. This bench writes one ~16 MB tablet, then
+// re-scans it 20 times with the OS page cache dropped before every pass
+// (the dashboard-under-memory-pressure case the paper's §5.1.1 methodology
+// models with explicit cache drops), sweeping the cache capacity:
+//
+//   0      — every scan pays full simulated disk + decompress
+//   4 MB   — cache smaller than the working set: a sequential scan evicts
+//            each block before coming back around (classic LRU thrash)
+//   64 MB  — the whole tablet stays resident after the first pass
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace lt {
+namespace bench {
+namespace {
+
+constexpr int kRows = 32 * 1024;
+constexpr size_t kRowBytes = 512;  // ~16 MB of incompressible row data.
+constexpr int kScans = 20;
+
+struct AblationResult {
+  double rows_per_sec;
+  double hit_rate;
+  uint64_t evictions;
+  int64_t seeks;
+};
+
+AblationResult Run(uint64_t cache_bytes) {
+  DbOptions dopts = BenchEnv::DefaultDb();
+  dopts.block_cache_bytes = cache_bytes;
+  BenchEnv env(BenchEnv::DefaultDisk(), dopts);
+
+  TableOptions topts;
+  topts.flush_bytes = 1ull << 40;  // One flush -> one tablet.
+  topts.bloom_bits_per_key = 0;
+  if (!env.db()->CreateTable("scan", MicroSchema(), &topts).ok()) abort();
+  auto table = env.db()->GetTable("scan");
+
+  Random rng(42);
+  Timestamp base = env.clock()->Now();
+  std::vector<Row> batch;
+  for (int i = 0; i < kRows; i++) {
+    batch.push_back(MicroRow(&rng, i, base + i, kRowBytes));
+    if (batch.size() == 1024) {
+      if (!table->InsertBatch(batch).ok()) abort();
+      batch.clear();
+    }
+  }
+  if (!table->FlushAll().ok()) abort();
+
+  int64_t seeks_before = env.disk()->seek_count();
+  env.StartTimer();
+  for (int scan = 0; scan < kScans; scan++) {
+    // Drop the simulated page cache before every pass: block reads that
+    // miss the block cache pay real (simulated) disk time each time.
+    env.ClearCaches();
+    QueryBounds bounds;
+    bounds.limit = kRows;
+    QueryResult result;
+    if (!table->Query(bounds, &result).ok() ||
+        result.rows.size() != static_cast<size_t>(kRows)) {
+      abort();
+    }
+  }
+  int64_t micros = env.StopTimerMicros();
+
+  AblationResult r;
+  r.rows_per_sec =
+      static_cast<double>(kScans) * kRows / (static_cast<double>(micros) / 1e6);
+  r.hit_rate = table->stats().BlockCacheHitRate();
+  r.evictions = env.db()->block_cache()
+                    ? env.db()->block_cache()->GetStats().evictions
+                    : 0;
+  r.seeks = env.disk()->seek_count() - seeks_before;
+  return r;
+}
+
+void Report(const char* label, const AblationResult& r) {
+  printf("%-10s %-14.0f %-10.1f %-11llu %-8lld\n", label, r.rows_per_sec,
+         100.0 * r.hit_rate, static_cast<unsigned long long>(r.evictions),
+         static_cast<long long>(r.seeks));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lt
+
+int main() {
+  using namespace lt::bench;
+  PrintHeader("Ablation: block cache capacity on the re-scan path",
+              "20 full scans of one ~16 MB tablet, page cache dropped "
+              "between passes");
+  printf("%-10s %-14s %-10s %-11s %-8s\n", "cache", "rows/s", "hit %",
+         "evictions", "seeks");
+  AblationResult none = Run(0);
+  Report("off", none);
+  AblationResult small = Run(4ull << 20);
+  Report("4 MB", small);
+  AblationResult big = Run(64ull << 20);
+  Report("64 MB", big);
+  printf("\nspeedup 64 MB vs off: %.1fx (hit rate %.1f%%)\n",
+         big.rows_per_sec / none.rows_per_sec, 100.0 * big.hit_rate);
+  return 0;
+}

@@ -20,40 +20,50 @@ std::string BlockBuilder::Finish() {
   return out;
 }
 
-Status BlockReader::Parse(const Schema* schema, std::string payload,
-                          BlockReader* out) {
-  if (payload.size() < 4) return Status::Corruption("block too small");
-  uint32_t count = DecodeFixed32(payload.data() + payload.size() - 4);
+Status BlockContents::Parse(std::string in, BlockContents* out) {
+  if (in.size() < 4) return Status::Corruption("block too small");
+  uint32_t count = DecodeFixed32(in.data() + in.size() - 4);
   uint64_t trailer = 4ull + 4ull * count;
-  if (trailer > payload.size()) {
+  if (trailer > in.size()) {
     return Status::Corruption("block row count exceeds payload");
   }
-  out->schema_ = schema;
-  out->payload_ = std::move(payload);
-  out->data_end_ = out->payload_.size() - trailer;
-  out->offsets_.resize(count);
-  const char* p = out->payload_.data() + out->data_end_;
+  out->payload = std::move(in);
+  out->data_end = out->payload.size() - trailer;
+  out->offsets.resize(count);
+  const char* p = out->payload.data() + out->data_end;
   for (uint32_t i = 0; i < count; i++) {
-    out->offsets_[i] = DecodeFixed32(p + 4ull * i);
-    if (out->offsets_[i] > out->data_end_ ||
-        (i > 0 && out->offsets_[i] < out->offsets_[i - 1])) {
+    out->offsets[i] = DecodeFixed32(p + 4ull * i);
+    if (out->offsets[i] > out->data_end ||
+        (i > 0 && out->offsets[i] < out->offsets[i - 1])) {
       return Status::Corruption("block offsets not monotone");
     }
   }
   return Status::OK();
 }
 
+Status BlockReader::Parse(const Schema* schema, std::string payload,
+                          BlockReader* out) {
+  auto contents = std::make_shared<BlockContents>();
+  LT_RETURN_IF_ERROR(BlockContents::Parse(std::move(payload), contents.get()));
+  out->Reset(schema, std::move(contents));
+  return Status::OK();
+}
+
 Status BlockReader::RowAt(size_t i, Row* out) const {
-  if (i >= offsets_.size()) return Status::InvalidArgument("row index");
-  size_t end = i + 1 < offsets_.size() ? offsets_[i + 1] : data_end_;
-  Slice in(payload_.data() + offsets_[i], end - offsets_[i]);
+  if (!contents_ || i >= contents_->offsets.size()) {
+    return Status::InvalidArgument("row index");
+  }
+  const BlockContents& c = *contents_;
+  size_t end = i + 1 < c.offsets.size() ? c.offsets[i + 1] : c.data_end;
+  Slice in(c.payload.data() + c.offsets[i], end - c.offsets[i]);
   return DecodeRow(&in, *schema_, out);
 }
 
 Status BlockReader::KeyCompareAt(size_t i, const Key& prefix, int* cmp) const {
   // Key columns lead the row encoding, so we decode only them.
-  size_t end = i + 1 < offsets_.size() ? offsets_[i + 1] : data_end_;
-  Slice in(payload_.data() + offsets_[i], end - offsets_[i]);
+  const BlockContents& c = *contents_;
+  size_t end = i + 1 < c.offsets.size() ? c.offsets[i + 1] : c.data_end;
+  Slice in(c.payload.data() + c.offsets[i], end - c.offsets[i]);
   *cmp = 0;
   for (size_t c = 0; c < prefix.size() && c < schema_->num_key_columns(); c++) {
     Value v;
@@ -69,7 +79,7 @@ Status BlockReader::KeyCompareAt(size_t i, const Key& prefix, int* cmp) const {
 
 Status BlockReader::SeekFirst(const Key& prefix, bool or_equal,
                               size_t* index) const {
-  size_t lo = 0, hi = offsets_.size();
+  size_t lo = 0, hi = num_rows();
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
     int cmp;

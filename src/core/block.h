@@ -18,6 +18,7 @@
 #ifndef LITTLETABLE_CORE_BLOCK_H_
 #define LITTLETABLE_CORE_BLOCK_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,15 +51,44 @@ class BlockBuilder {
   std::vector<uint32_t> offsets_;
 };
 
-/// Parses one uncompressed block payload and provides row access and
-/// in-block binary search. The payload must outlive the reader.
+/// A verified, decompressed, row-indexed block payload — schema-free, so
+/// one BlockContents can be shared (via the block cache) by every cursor
+/// reading the block, and can outlive the TabletReader that produced it.
+struct BlockContents {
+  std::string payload;
+  std::vector<uint32_t> offsets;  // Start offset of each row in payload.
+  size_t data_end = 0;            // Payload bytes before the offset trailer.
+
+  /// Validates the trailer structure and indexes the rows.
+  static Status Parse(std::string payload, BlockContents* out);
+
+  size_t num_rows() const { return offsets.size(); }
+
+  /// Heap footprint, the block-cache charge for this entry.
+  size_t ApproximateMemoryUsage() const {
+    return sizeof(*this) + payload.capacity() +
+           offsets.capacity() * sizeof(uint32_t);
+  }
+};
+
+/// Row access and in-block binary search over a (possibly shared)
+/// BlockContents, interpreted under a schema. Copyable: copies share the
+/// contents. The shared_ptr's deleter is how cache-resident blocks stay
+/// pinned while a cursor is positioned in them.
 class BlockReader {
  public:
-  /// Validates the trailer structure and indexes the rows.
+  /// Parses `payload` into freshly owned contents.
   static Status Parse(const Schema* schema, std::string payload,
                       BlockReader* out);
 
-  size_t num_rows() const { return offsets_.size(); }
+  /// Points this reader at already-parsed contents (cache hits).
+  void Reset(const Schema* schema,
+             std::shared_ptr<const BlockContents> contents) {
+    schema_ = schema;
+    contents_ = std::move(contents);
+  }
+
+  size_t num_rows() const { return contents_ ? contents_->num_rows() : 0; }
 
   /// Decodes row i (rows are indexed in ascending key order).
   Status RowAt(size_t i, Row* out) const;
@@ -72,9 +102,7 @@ class BlockReader {
   Status KeyCompareAt(size_t i, const Key& prefix, int* cmp) const;
 
   const Schema* schema_ = nullptr;
-  std::string payload_;
-  std::vector<uint32_t> offsets_;
-  size_t data_end_ = 0;
+  std::shared_ptr<const BlockContents> contents_;
 };
 
 /// Compresses and frames a block payload for storage (CRC + lzmini).

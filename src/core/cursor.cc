@@ -1,5 +1,7 @@
 #include "core/cursor.h"
 
+#include <utility>
+
 namespace lt {
 
 MergingCursor::MergingCursor(const Schema* schema,
@@ -12,40 +14,57 @@ MergingCursor::MergingCursor(const Schema* schema,
       return;
     }
   }
-  PickCurrent();
+  heap_.reserve(children_.size());
+  for (size_t i = 0; i < children_.size(); i++) {
+    if (children_[i]->Valid()) heap_.push_back(i);
+  }
+  // Floyd build-heap: O(N), vs. O(N log N) for N pushes.
+  for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
 }
 
-void MergingCursor::PickCurrent() {
-  // Linear scan over children: tablet counts per query are small (half a
-  // dozen per period in practice, §3.4.2), so a heap buys little.
-  current_ = -1;
-  for (size_t i = 0; i < children_.size(); i++) {
-    if (!children_[i]->Valid()) continue;
-    if (current_ < 0) {
-      current_ = static_cast<int>(i);
-      continue;
-    }
-    int cmp = schema_->CompareKeys(children_[i]->row(),
-                                   children_[current_]->row());
-    if (direction_ == Direction::kDescending) cmp = -cmp;
-    if (cmp < 0) current_ = static_cast<int>(i);
+bool MergingCursor::Before(size_t a, size_t b) const {
+  int cmp = schema_->CompareKeys(children_[a]->row(), children_[b]->row());
+  if (direction_ == Direction::kDescending) cmp = -cmp;
+  return cmp < 0;
+}
+
+void MergingCursor::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    size_t best = i;
+    size_t left = 2 * i + 1, right = 2 * i + 2;
+    if (left < n && Before(heap_[left], heap_[best])) best = left;
+    if (right < n && Before(heap_[right], heap_[best])) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
   }
+}
+
+void MergingCursor::Fail(Status s) {
+  status_ = std::move(s);
+  heap_.clear();
 }
 
 Status MergingCursor::Next() {
-  if (current_ < 0) return status_;
-  Status s = children_[current_]->Next();
+  if (heap_.empty()) return status_;
+  Cursor* top = children_[heap_[0]].get();
+  Status s = top->Next();
   if (!s.ok()) {
-    status_ = s;
-    current_ = -1;
-    return s;
-  }
-  if (!children_[current_]->status().ok()) {
-    status_ = children_[current_]->status();
-    current_ = -1;
+    Fail(s);
     return status_;
   }
-  PickCurrent();
+  if (!top->status().ok()) {
+    Fail(top->status());
+    return status_;
+  }
+  if (top->Valid()) {
+    SiftDown(0);  // Re-place the advanced child by its new row.
+  } else {
+    heap_[0] = heap_.back();  // Exhausted: drop it from the tournament.
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
   return Status::OK();
 }
 

@@ -31,6 +31,16 @@ class Cursor {
 
 /// A cursor over an in-memory vector of rows, already sorted ascending by
 /// key; iterates in `direction`.
+///
+/// Position is a signed int64_t rather than size_t on purpose: the
+/// one-before-the-start state of a descending scan over an empty (or
+/// exhausted) vector is pos_ == -1, which a size_t would wrap to 2^64-1 and
+/// (since any size_t comparison against rows_.size() would also have to
+/// wrap) make indistinguishable from a huge in-range index. The invariant
+/// is -1 <= pos_ <= rows_.size(): Valid() is exactly 0 <= pos_ < size, and
+/// Next() clamps at the sentinels so repeated calls past the end cannot
+/// overflow. Rows_ is bounded far below 2^63 (it holds a query result), so
+/// the cast to int64_t never truncates.
 class VectorCursor final : public Cursor {
  public:
   VectorCursor(std::vector<Row> rows, Direction direction)
@@ -43,9 +53,11 @@ class VectorCursor final : public Cursor {
   bool Valid() const override {
     return pos_ >= 0 && pos_ < static_cast<int64_t>(rows_.size());
   }
-  const Row& row() const override { return rows_[pos_]; }
+  const Row& row() const override {
+    return rows_[static_cast<size_t>(pos_)];
+  }
   Status Next() override {
-    pos_ += direction_ == Direction::kAscending ? 1 : -1;
+    if (Valid()) pos_ += direction_ == Direction::kAscending ? 1 : -1;
     return Status::OK();
   }
   Status status() const override { return Status::OK(); }
@@ -56,26 +68,33 @@ class VectorCursor final : public Cursor {
   int64_t pos_;
 };
 
-/// Merge-sorts N child cursors into one stream. Children must share the
-/// direction and never produce duplicate keys (LittleTable enforces key
-/// uniqueness at insert, §3.4.4).
+/// Merge-sorts N child cursors into one stream via an N-way tournament
+/// heap: heap_ holds the indices of the still-valid children, ordered by
+/// their current row's key (direction-adjusted), so advancing costs
+/// O(log N) comparisons instead of the previous O(N) rescan. Children must
+/// share the direction and never produce duplicate keys (LittleTable
+/// enforces key uniqueness at insert, §3.4.4).
 class MergingCursor final : public Cursor {
  public:
   MergingCursor(const Schema* schema, std::vector<std::unique_ptr<Cursor>> children,
                 Direction direction);
 
-  bool Valid() const override { return current_ >= 0; }
-  const Row& row() const override { return children_[current_]->row(); }
+  bool Valid() const override { return !heap_.empty(); }
+  const Row& row() const override { return children_[heap_[0]]->row(); }
   Status Next() override;
   Status status() const override { return status_; }
 
  private:
-  void PickCurrent();
+  /// True if child a's current row precedes child b's in scan direction.
+  bool Before(size_t a, size_t b) const;
+  /// Restores the heap property below heap_[i].
+  void SiftDown(size_t i);
+  void Fail(Status s);
 
   const Schema* schema_;
   std::vector<std::unique_ptr<Cursor>> children_;
   Direction direction_;
-  int current_ = -1;
+  std::vector<size_t> heap_;  // Indices into children_; heap_[0] is next.
   Status status_;
 };
 

@@ -8,7 +8,11 @@ namespace lt {
 DB::DB(Env* env, std::shared_ptr<Clock> clock, std::string root,
        DbOptions options)
     : env_(env), clock_(std::move(clock)), root_(std::move(root)),
-      options_(options) {}
+      options_(options) {
+  if (options_.block_cache_bytes > 0) {
+    block_cache_ = std::make_shared<Cache>(options_.block_cache_bytes);
+  }
+}
 
 DB::~DB() {
   Status s = Close();
@@ -43,7 +47,9 @@ Status DB::Open(Env* env, std::shared_ptr<Clock> clock,
     const std::string dir = root + "/" + child;
     if (!env->FileExists(dir + "/DESC")) continue;  // Not a table directory.
     std::unique_ptr<Table> table;
-    Status s = Table::Open(env, clock, dir, options.table_defaults, &table);
+    TableOptions topts = options.table_defaults;
+    if (!topts.block_cache) topts.block_cache = db->block_cache_;
+    Status s = Table::Open(env, clock, dir, topts, &table);
     if (!s.ok()) {
       // One damaged table (unreadable descriptor) must not keep the whole
       // server down; skip it and serve the rest. Its files are left in
@@ -99,6 +105,7 @@ Status DB::CreateTable(const std::string& name, const Schema& schema,
     return Status::AlreadyExists("table exists: " + name);
   }
   TableOptions topts = options ? *options : options_.table_defaults;
+  if (!topts.block_cache) topts.block_cache = block_cache_;
   std::unique_ptr<Table> table;
   LT_RETURN_IF_ERROR(Table::Create(env_, clock_, TableDir(name), name, schema,
                                    topts, &table));

@@ -66,6 +66,10 @@ class DB {
   const std::shared_ptr<Clock>& clock() const { return clock_; }
   const DbOptions& options() const { return options_; }
 
+  /// The DB-wide decompressed-block cache shared by every table, or null
+  /// when options.block_cache_bytes == 0.
+  const std::shared_ptr<Cache>& block_cache() const { return block_cache_; }
+
  private:
   DB(Env* env, std::shared_ptr<Clock> clock, std::string root,
      DbOptions options);
@@ -81,6 +85,7 @@ class DB {
   std::shared_ptr<Clock> clock_;
   const std::string root_;
   const DbOptions options_;
+  std::shared_ptr<Cache> block_cache_;  // Shared across all tables.
 
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<Table>> tables_;

@@ -6,8 +6,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "core/merge_policy.h"
+#include "util/cache.h"
 #include "util/clock.h"
 
 namespace lt {
@@ -47,11 +49,28 @@ struct TableOptions {
   /// or insert first touches them.
   bool verify_open = false;
 
+  /// Decompressed-block cache consulted by every tablet block read. Null
+  /// means no shared cache; see block_cache_bytes. DB::Open and
+  /// DB::CreateTable inject the DB-wide cache here (one cache across all
+  /// tables) unless the caller supplied their own.
+  std::shared_ptr<Cache> block_cache;
+
+  /// When block_cache is null and this is > 0, the table builds a private
+  /// cache of this many bytes at construction (standalone Table users and
+  /// tests; tables under a DB normally share the DB-wide cache instead).
+  /// 0 disables caching.
+  uint64_t block_cache_bytes = 0;
+
   MergePolicyOptions merge;
 };
 
 struct DbOptions {
   TableOptions table_defaults;
+  /// Capacity of the DB-wide decompressed-block cache shared by every
+  /// table (0 = no cache). Hot blocks — dashboards re-reading the newest
+  /// tablet (§4) — are served without the per-block seek, CRC check, and
+  /// decompress that §3.5's accounting charges on every access.
+  uint64_t block_cache_bytes = 64ull << 20;
   /// Run flush/merge/TTL maintenance on a background thread. Tests and
   /// deterministic benchmarks disable this and call MaintainNow().
   bool background_maintenance = true;

@@ -39,6 +39,20 @@ struct TableStats {
   std::atomic<uint64_t> bloom_tablet_skips{0};
   std::atomic<uint64_t> bloom_tablet_probes{0};
 
+  // Block reads served from / missed by the shared decompressed-block
+  // cache (this table's share of the DB-wide cache traffic). Misses count
+  // reads that went to the Env; a table running without a cache counts
+  // every block read as a miss.
+  std::atomic<uint64_t> block_cache_hits{0};
+  std::atomic<uint64_t> block_cache_misses{0};
+
+  /// Block-cache hit rate so far (0 when the table has read no blocks).
+  double BlockCacheHitRate() const {
+    uint64_t hits = block_cache_hits.load(std::memory_order_relaxed);
+    uint64_t total = hits + block_cache_misses.load(std::memory_order_relaxed);
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+
   /// Write amplification so far: total tablet bytes written / bytes flushed.
   double WriteAmplification() const {
     uint64_t flushed = bytes_flushed.load(std::memory_order_relaxed);

@@ -39,7 +39,13 @@ int CompareFullKeys(const Schema& schema, const Key& a, const Key& b) {
 Table::Table(Env* env, std::shared_ptr<Clock> clock, std::string dir,
              TableOptions options)
     : env_(env), clock_(std::move(clock)), dir_(std::move(dir)),
-      opts_(options) {}
+      opts_(options) {
+  // Standalone tables (no DB-injected shared cache) get a private one when
+  // sized; tables under a DB share the DB-wide cache instead.
+  if (!opts_.block_cache && opts_.block_cache_bytes > 0) {
+    opts_.block_cache = std::make_shared<Cache>(opts_.block_cache_bytes);
+  }
+}
 
 Status Table::Create(Env* env, std::shared_ptr<Clock> clock,
                      const std::string& dir, const std::string& name,
@@ -90,7 +96,8 @@ Status Table::Open(Env* env, std::shared_ptr<Clock> clock,
   std::vector<std::pair<std::string, Status>> doomed;
   for (const TabletMeta& m : table->tablets_) {
     std::shared_ptr<TabletReader> reader;
-    Status s = TabletReader::Open(env, table->TabletPath(m.filename), &reader);
+    Status s = TabletReader::Open(env, table->TabletPath(m.filename), &reader,
+                                  table->opts_.block_cache, &table->stats_);
     if (s.ok() && options.verify_open) s = reader->Load();
     if (!s.ok()) {
       // A missing or corrupt tablet must not brick the whole table: the
@@ -424,8 +431,9 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
     std::lock_guard<std::mutex> lock(mu_);
     for (const TabletMeta& meta : metas) {
       std::shared_ptr<TabletReader> reader;
-      LT_RETURN_IF_ERROR(
-          TabletReader::Open(env_, TabletPath(meta.filename), &reader));
+      LT_RETURN_IF_ERROR(TabletReader::Open(env_, TabletPath(meta.filename),
+                                            &reader, opts_.block_cache,
+                                            &stats_));
       readers_[meta.filename] = std::move(reader);
       tablets_.push_back(meta);
       stats_.flushes.fetch_add(1);
@@ -602,8 +610,8 @@ Status Table::MaybeMerge(Timestamp now) {
     tablets_ = std::move(next);
     if (have_output) {
       std::shared_ptr<TabletReader> reader;
-      LT_RETURN_IF_ERROR(
-          TabletReader::Open(env_, TabletPath(fname), &reader));
+      LT_RETURN_IF_ERROR(TabletReader::Open(env_, TabletPath(fname), &reader,
+                                            opts_.block_cache, &stats_));
       readers_[fname] = std::move(reader);
       tablets_.push_back(out_meta);
     }

@@ -195,10 +195,15 @@ class TabletCursor final : public Cursor {
 };
 
 Status TabletReader::Open(Env* env, const std::string& fname,
-                          std::shared_ptr<TabletReader>* out) {
+                          std::shared_ptr<TabletReader>* out,
+                          std::shared_ptr<Cache> block_cache,
+                          TableStats* stats) {
   std::shared_ptr<TabletReader> reader(new TabletReader());
   reader->env_ = env;
   reader->fname_ = fname;
+  reader->block_cache_ = std::move(block_cache);
+  if (reader->block_cache_) reader->cache_id_ = reader->block_cache_->NewId();
+  reader->stats_ = stats;
   if (!env->FileExists(fname)) return Status::NotFound(fname);
   *out = std::move(reader);
   return Status::OK();
@@ -325,7 +330,45 @@ Status TabletReader::LoadFooter(const std::string& fname) {
   return Status::OK();
 }
 
+namespace {
+
+void DeleteCachedBlock(const Slice& /*key*/, void* value) {
+  delete static_cast<BlockContents*>(value);
+}
+
+// Pins a cache entry for as long as any BlockReader (or copy) references the
+// contents: the aliasing shared_ptr's deleter releases the handle, which
+// keeps the entry alive even if the LRU evicts it meanwhile.
+std::shared_ptr<const BlockContents> PinCached(std::shared_ptr<Cache> cache,
+                                               Cache::Handle* handle) {
+  auto* contents = static_cast<const BlockContents*>(cache->Value(handle));
+  return std::shared_ptr<const BlockContents>(
+      contents, [c = std::move(cache), handle](const BlockContents*) {
+        c->Release(handle);
+      });
+}
+
+}  // namespace
+
 Status TabletReader::ReadBlock(size_t i, BlockReader* out) const {
+  // Cache key: (per-reader id, block index), both fixed64 so keys from
+  // different tablets sharing the DB-wide cache can never collide.
+  std::string cache_key;
+  if (block_cache_) {
+    PutFixed64(&cache_key, cache_id_);
+    PutFixed64(&cache_key, static_cast<uint64_t>(i));
+    if (Cache::Handle* h = block_cache_->Lookup(cache_key)) {
+      if (stats_) {
+        stats_->block_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      out->Reset(&schema_, PinCached(block_cache_, h));
+      return Status::OK();
+    }
+  }
+  if (stats_) {
+    stats_->block_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const IndexEntry& e = index_[i];
   std::string buf(e.stored_len, '\0');
   Slice stored;
@@ -345,7 +388,20 @@ Status TabletReader::ReadBlock(size_t i, BlockReader* out) const {
   if (payload.size() != e.payload_len) {
     return Status::Corruption(fname_ + ": block payload size mismatch");
   }
-  return BlockReader::Parse(&schema_, std::move(payload), out);
+  auto contents = std::make_unique<BlockContents>();
+  LT_RETURN_IF_ERROR(BlockContents::Parse(std::move(payload), contents.get()));
+  // Only verified, fully parsed blocks reach this point, so a corrupt block
+  // is never inserted: every re-read hits the Env and fails the CRC again.
+  if (block_cache_) {
+    size_t charge = contents->ApproximateMemoryUsage();
+    Cache::Handle* h = block_cache_->Insert(cache_key, contents.release(),
+                                            charge, &DeleteCachedBlock);
+    out->Reset(&schema_, PinCached(block_cache_, h));
+  } else {
+    out->Reset(&schema_, std::shared_ptr<const BlockContents>(
+                             contents.release()));
+  }
+  return Status::OK();
 }
 
 size_t TabletReader::SeekBlock(const Key& prefix, bool or_equal) const {

@@ -18,9 +18,11 @@
 #include "core/block.h"
 #include "core/bounds.h"
 #include "core/cursor.h"
+#include "core/stats.h"
 #include "core/tablet_meta.h"
 #include "env/env.h"
 #include "util/bloom.h"
+#include "util/cache.h"
 
 namespace lt {
 
@@ -31,8 +33,16 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
   /// (§3.5), so opening a table with hundreds of tablets costs nothing and
   /// a query pays footer seeks only for the tablets its timestamp range
   /// selects.
+  ///
+  /// `block_cache` (optional) is the shared decompressed-block cache
+  /// consulted before any Env read; the reader claims a fresh cache id so
+  /// its blocks never collide with another tablet's. `stats` (optional)
+  /// receives per-table hit/miss counters and must outlive the reader (the
+  /// owning Table's TableStats does).
   static Status Open(Env* env, const std::string& fname,
-                     std::shared_ptr<TabletReader>* out);
+                     std::shared_ptr<TabletReader>* out,
+                     std::shared_ptr<Cache> block_cache = nullptr,
+                     TableStats* stats = nullptr);
 
   /// Forces the footer load (callers must Load() before using accessors
   /// below; Table does this for the tablets a request actually touches).
@@ -84,7 +94,11 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
 
   Status LoadFooter(const std::string& fname);
   Status LoadLocked() const;
-  /// Reads and decompresses block `i` into `*out`.
+  /// Points `*out` at block `i`: served from the block cache when present
+  /// (pinning the entry for the reader's lifetime), otherwise read from the
+  /// Env, CRC-verified, decompressed, and inserted into the cache. Blocks
+  /// that fail verification are NEVER cached — a corrupt block is
+  /// re-detected on every access.
   Status ReadBlock(size_t i, BlockReader* out) const;
 
   /// Index of the first block that could contain a row with
@@ -93,6 +107,9 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
 
   Env* env_ = nullptr;
   std::string fname_;
+  std::shared_ptr<Cache> block_cache_;  // Null = uncached reads.
+  uint64_t cache_id_ = 0;               // Key-space prefix within the cache.
+  TableStats* stats_ = nullptr;         // Owned by the Table; may be null.
   mutable std::mutex load_mu_;
   mutable bool loaded_ = false;
   mutable Status load_status_;

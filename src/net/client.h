@@ -71,6 +71,12 @@ class Client {
   Status WidenColumn(const std::string& table, const std::string& column);
   Status SetTtl(const std::string& table, Timestamp ttl);
 
+  /// Fetches server counters as a name -> value map: the shared block
+  /// cache's "cache.*" entries, plus `table`'s "table.*" entries when
+  /// `table` is non-empty.
+  Status Stats(const std::string& table,
+               std::map<std::string, uint64_t>* stats);
+
   bool connected() const { return conn_.valid(); }
 
  private:

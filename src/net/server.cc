@@ -194,6 +194,60 @@ void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
       return ReplyStatus(out, db_->DropTable(name));
     }
 
+    // Handled here rather than with the table-addressed requests below
+    // because an empty name is legal: it asks for server-wide counters
+    // (today, the shared block cache) without any table's.
+    case MsgType::kStats: {
+      std::string name;
+      if (!GetName(&body, &name)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      std::vector<std::pair<std::string, uint64_t>> entries;
+      if (const std::shared_ptr<Cache>& cache = db_->block_cache()) {
+        Cache::Stats cs = cache->GetStats();
+        entries.emplace_back("cache.hits", cs.hits);
+        entries.emplace_back("cache.misses", cs.misses);
+        entries.emplace_back("cache.inserts", cs.inserts);
+        entries.emplace_back("cache.evictions", cs.evictions);
+        entries.emplace_back("cache.charge_bytes", cs.charge);
+        entries.emplace_back("cache.capacity_bytes", cs.capacity);
+      }
+      if (!name.empty()) {
+        std::shared_ptr<Table> table = db_->GetTable(name);
+        if (!table) {
+          return ReplyError(out, ErrCode::kNotFound, "no such table: " + name);
+        }
+        const TableStats& ts = table->stats();
+        auto add = [&](const char* key, const std::atomic<uint64_t>& v) {
+          entries.emplace_back(key, v.load(std::memory_order_relaxed));
+        };
+        add("table.insert_batches", ts.insert_batches);
+        add("table.rows_inserted", ts.rows_inserted);
+        add("table.queries", ts.queries);
+        add("table.rows_scanned", ts.rows_scanned);
+        add("table.rows_returned", ts.rows_returned);
+        add("table.flushes", ts.flushes);
+        add("table.bytes_flushed", ts.bytes_flushed);
+        add("table.merges", ts.merges);
+        add("table.tablets_merged", ts.tablets_merged);
+        add("table.bytes_merge_written", ts.bytes_merge_written);
+        add("table.tablets_expired", ts.tablets_expired);
+        add("table.tablets_quarantined", ts.tablets_quarantined);
+        add("table.bloom_tablet_skips", ts.bloom_tablet_skips);
+        add("table.bloom_tablet_probes", ts.bloom_tablet_probes);
+        add("table.block_cache_hits", ts.block_cache_hits);
+        add("table.block_cache_misses", ts.block_cache_misses);
+      }
+      std::string resp;
+      PutVarint32(&resp, static_cast<uint32_t>(entries.size()));
+      for (const auto& [key, value] : entries) {
+        PutLengthPrefixedSlice(&resp, key);
+        PutVarint64(&resp, value);
+      }
+      *out += wire::Frame(MsgType::kStatsResult, resp);
+      return;
+    }
+
     default:
       break;
   }

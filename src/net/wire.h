@@ -43,6 +43,7 @@ enum class MsgType : uint8_t {
   kAppendColumn = 10, // body: name, column
   kWidenColumn = 11,  // body: name, column name
   kSetTtl = 12,       // body: name, ttl
+  kStats = 13,        // body: name ("" = server-wide counters only)
 
   // Responses.
   kOk = 64,
@@ -51,6 +52,7 @@ enum class MsgType : uint8_t {
   kTableInfo = 67,   // body: schema, ttl
   kQueryChunk = 68,  // body: flags, schema version, row count, rows
   kRowResult = 69,   // body: found byte, schema version, row
+  kStatsResult = 70, // body: count, then (name, varint64 value) pairs
 };
 
 /// Error codes carried by kError.

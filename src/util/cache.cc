@@ -1,0 +1,343 @@
+#include "util/cache.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace lt {
+namespace {
+
+// An entry is a variable-length heap allocation: header + key bytes. It
+// lives in one shard's hash table (via next_hash) and, while resident, in
+// that shard's circular LRU list (via prev/next).
+//
+// Lifecycle invariants:
+//   - refs counts one reference for residency (in_cache) plus one per
+//     outstanding Handle.
+//   - in_cache entries with refs == 1 sit in the lru list (evictable);
+//     entries with refs > 1 sit in the in_use list (pinned).
+//   - refs == 0 implies !in_cache; the entry is freed immediately.
+struct LRUHandle {
+  void* value;
+  Cache::Deleter deleter;
+  LRUHandle* next_hash;
+  LRUHandle* next;
+  LRUHandle* prev;
+  size_t charge;
+  size_t key_length;
+  uint32_t refs;
+  uint32_t hash;  // Of key(); avoids rehashing on table resize.
+  bool in_cache;
+  char key_data[1];
+
+  Slice key() const { return Slice(key_data, key_length); }
+};
+
+// Same recipe as Bloom/LevelDB-style byte hashes: a multiplicative mix over
+// 4-byte words with a tail, good enough to spread (file id, block index)
+// keys across shards and buckets.
+uint32_t HashBytes(const char* data, size_t n) {
+  const uint32_t m = 0xc6a4a793u;
+  const uint32_t seed = 0xa02fbe17u;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+  const char* limit = data + n;
+  while (data + 4 <= limit) {
+    uint32_t w;
+    memcpy(&w, data, 4);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= h >> 16;
+  }
+  switch (limit - data) {
+    case 3:
+      h += static_cast<uint8_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint8_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint8_t>(data[0]);
+      h *= m;
+      h ^= h >> 24;
+  }
+  return h;
+}
+
+// Open-hashing table of LRUHandle* chained through next_hash. Grows by
+// doubling so chains stay ~1 entry long.
+class HandleTable {
+ public:
+  HandleTable() { Resize(); }
+  ~HandleTable() { delete[] list_; }
+
+  LRUHandle* Lookup(const Slice& key, uint32_t hash) {
+    return *FindPointer(key, hash);
+  }
+
+  /// Links `h` in; returns the displaced entry with the same key (nullptr
+  /// if none).
+  LRUHandle* Insert(LRUHandle* h) {
+    LRUHandle** ptr = FindPointer(h->key(), h->hash);
+    LRUHandle* old = *ptr;
+    h->next_hash = old == nullptr ? nullptr : old->next_hash;
+    *ptr = h;
+    if (old == nullptr) {
+      elems_++;
+      if (elems_ > length_) Resize();
+    }
+    return old;
+  }
+
+  LRUHandle* Remove(const Slice& key, uint32_t hash) {
+    LRUHandle** ptr = FindPointer(key, hash);
+    LRUHandle* h = *ptr;
+    if (h != nullptr) {
+      *ptr = h->next_hash;
+      elems_--;
+    }
+    return h;
+  }
+
+ private:
+  /// Slot holding the entry for (key, hash), or the end-of-chain slot where
+  /// it would be linked.
+  LRUHandle** FindPointer(const Slice& key, uint32_t hash) {
+    LRUHandle** ptr = &list_[hash & (length_ - 1)];
+    while (*ptr != nullptr &&
+           ((*ptr)->hash != hash || key.compare((*ptr)->key()) != 0)) {
+      ptr = &(*ptr)->next_hash;
+    }
+    return ptr;
+  }
+
+  void Resize() {
+    uint32_t new_length = 16;
+    while (new_length < elems_ * 2) new_length *= 2;
+    LRUHandle** new_list = new LRUHandle*[new_length]();
+    for (uint32_t i = 0; i < length_; i++) {
+      LRUHandle* h = list_[i];
+      while (h != nullptr) {
+        LRUHandle* next = h->next_hash;
+        LRUHandle** ptr = &new_list[h->hash & (new_length - 1)];
+        h->next_hash = *ptr;
+        *ptr = h;
+        h = next;
+      }
+    }
+    delete[] list_;
+    list_ = new_list;
+    length_ = new_length;
+  }
+
+  uint32_t length_ = 0;
+  uint32_t elems_ = 0;
+  LRUHandle** list_ = nullptr;
+};
+
+}  // namespace
+
+// One shard: a mutex, a hash table, and two circular lists — lru_ (resident,
+// unpinned, evictable; lru_.next is the oldest entry) and in_use_ (resident
+// and pinned by at least one handle; unordered).
+class Cache::Shard {
+ public:
+  Shard() {
+    lru_.next = &lru_;
+    lru_.prev = &lru_;
+    in_use_.next = &in_use_;
+    in_use_.prev = &in_use_;
+  }
+
+  ~Shard() {
+    // Callers must have released every handle before destroying the cache.
+    assert(in_use_.next == &in_use_);
+    for (LRUHandle* h = lru_.next; h != &lru_;) {
+      LRUHandle* next = h->next;
+      assert(h->in_cache && h->refs == 1);
+      h->in_cache = false;
+      Unref(h);
+      h = next;
+    }
+  }
+
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  LRUHandle* Insert(const Slice& key, uint32_t hash, void* value,
+                    size_t charge, Deleter deleter) {
+    auto* h = static_cast<LRUHandle*>(
+        malloc(sizeof(LRUHandle) - 1 + key.size()));
+    h->value = value;
+    h->deleter = deleter;
+    h->charge = charge;
+    h->key_length = key.size();
+    h->hash = hash;
+    h->in_cache = true;
+    h->refs = 2;  // One for the cache's residency, one for the caller.
+    memcpy(h->key_data, key.data(), key.size());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    inserts_++;
+    usage_ += charge;
+    ListAppend(&in_use_, h);
+    FinishErase(table_.Insert(h));  // Displace any entry with the same key.
+    while (usage_ > capacity_ && lru_.next != &lru_) {
+      LRUHandle* old = lru_.next;  // Oldest unpinned entry.
+      evictions_++;
+      bool erased = FinishErase(table_.Remove(old->key(), old->hash));
+      assert(erased);
+      (void)erased;
+    }
+    return h;
+  }
+
+  LRUHandle* Lookup(const Slice& key, uint32_t hash) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LRUHandle* h = table_.Lookup(key, hash);
+    if (h == nullptr) {
+      misses_++;
+      return nullptr;
+    }
+    hits_++;
+    Ref(h);
+    return h;
+  }
+
+  void Release(LRUHandle* h) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Unref(h);
+  }
+
+  void Erase(const Slice& key, uint32_t hash) {
+    std::lock_guard<std::mutex> lock(mu_);
+    FinishErase(table_.Remove(key, hash));
+  }
+
+  size_t usage() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return usage_;
+  }
+
+  void AddStats(Stats* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    out->hits += hits_;
+    out->misses += misses_;
+    out->inserts += inserts_;
+    out->evictions += evictions_;
+    out->charge += usage_;
+  }
+
+ private:
+  static void ListRemove(LRUHandle* h) {
+    h->next->prev = h->prev;
+    h->prev->next = h->next;
+  }
+
+  /// Appends before `list` (i.e. at the newest end of an LRU list).
+  static void ListAppend(LRUHandle* list, LRUHandle* h) {
+    h->next = list;
+    h->prev = list->prev;
+    h->prev->next = h;
+    h->next->prev = h;
+  }
+
+  void Ref(LRUHandle* h) {
+    if (h->refs == 1 && h->in_cache) {  // Leaving the evictable list.
+      ListRemove(h);
+      ListAppend(&in_use_, h);
+    }
+    h->refs++;
+  }
+
+  void Unref(LRUHandle* h) {
+    assert(h->refs > 0);
+    h->refs--;
+    if (h->refs == 0) {
+      assert(!h->in_cache);
+      (*h->deleter)(h->key(), h->value);
+      free(h);
+    } else if (h->in_cache && h->refs == 1) {
+      // Fully unpinned but still resident: becomes the newest evictable.
+      ListRemove(h);
+      ListAppend(&lru_, h);
+    }
+  }
+
+  /// Finishes removing `h` from the cache after it has been unlinked from
+  /// the hash table: drops residency. Returns false if h was null.
+  bool FinishErase(LRUHandle* h) {
+    if (h == nullptr) return false;
+    assert(h->in_cache);
+    ListRemove(h);
+    h->in_cache = false;
+    usage_ -= h->charge;
+    Unref(h);
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
+  size_t usage_ = 0;
+  uint64_t hits_ = 0, misses_ = 0, inserts_ = 0, evictions_ = 0;
+  HandleTable table_;
+  LRUHandle lru_;     // Dummy head of the evictable list.
+  LRUHandle in_use_;  // Dummy head of the pinned list.
+};
+
+Cache::Cache(size_t capacity_bytes, int shard_bits)
+    : capacity_(capacity_bytes), shard_bits_(shard_bits) {
+  assert(shard_bits_ >= 0 && shard_bits_ < 20);
+  const size_t n = num_shards();
+  shards_ = new Shard[n];
+  const size_t per_shard = (capacity_bytes + n - 1) / n;
+  for (size_t i = 0; i < n; i++) shards_[i].set_capacity(per_shard);
+}
+
+Cache::~Cache() { delete[] shards_; }
+
+size_t Cache::ShardOf(const Slice& key) const {
+  if (shard_bits_ == 0) return 0;
+  return HashBytes(key.data(), key.size()) >> (32 - shard_bits_);
+}
+
+Cache::Handle* Cache::Insert(const Slice& key, void* value, size_t charge,
+                             Deleter deleter) {
+  const uint32_t hash = HashBytes(key.data(), key.size());
+  return reinterpret_cast<Handle*>(
+      shards_[ShardOf(key)].Insert(key, hash, value, charge, deleter));
+}
+
+Cache::Handle* Cache::Lookup(const Slice& key) {
+  const uint32_t hash = HashBytes(key.data(), key.size());
+  return reinterpret_cast<Handle*>(shards_[ShardOf(key)].Lookup(key, hash));
+}
+
+void* Cache::Value(Handle* handle) {
+  return reinterpret_cast<LRUHandle*>(handle)->value;
+}
+
+void Cache::Release(Handle* handle) {
+  LRUHandle* h = reinterpret_cast<LRUHandle*>(handle);
+  shards_[shard_bits_ == 0 ? 0 : h->hash >> (32 - shard_bits_)].Release(h);
+}
+
+void Cache::Erase(const Slice& key) {
+  const uint32_t hash = HashBytes(key.data(), key.size());
+  shards_[ShardOf(key)].Erase(key, hash);
+}
+
+size_t Cache::TotalCharge() const {
+  size_t total = 0;
+  for (size_t i = 0; i < num_shards(); i++) total += shards_[i].usage();
+  return total;
+}
+
+Cache::Stats Cache::GetStats() const {
+  Stats stats;
+  stats.capacity = capacity_;
+  for (size_t i = 0; i < num_shards(); i++) shards_[i].AddStats(&stats);
+  return stats;
+}
+
+}  // namespace lt

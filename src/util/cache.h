@@ -1,0 +1,111 @@
+// Sharded LRU cache with ref-counted handles — the DB-wide decompressed
+// block cache of the read path (see DESIGN.md, "Read path caching").
+//
+// §3.5 prices every block access at "one more seek" once a tablet's footer
+// is cached; dashboards re-reading the newest tablet pay that seek, a CRC
+// check, and an lzmini decompress for the *same* hot block on every query.
+// This cache sits between TabletReader and the Env so the second and later
+// reads of a hot block cost a hash lookup instead.
+//
+// Design (the LevelDB/Bigtable lineage the paper sits in):
+//   - Entries are (key, value*) pairs with a caller-supplied deleter and a
+//     byte charge; total charge per shard is bounded by capacity/shards.
+//   - 2^shard_bits shards, selected by key hash; each shard has its own
+//     mutex, intrusive doubly-linked LRU list, and open-hash table, so
+//     concurrent readers on different blocks rarely contend.
+//   - Handles are ref-counted: a Lookup/Insert returns a pinned handle and
+//     the entry cannot be freed until every handle is Released, even if the
+//     LRU evicts it meanwhile — in-flight cursors keep their current block
+//     alive across eviction.
+//   - Eviction is strict LRU per shard, triggered by Insert when the
+//     shard's charge exceeds its capacity share. Only unpinned entries are
+//     evictable.
+#ifndef LITTLETABLE_UTIL_CACHE_H_
+#define LITTLETABLE_UTIL_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace lt {
+
+class Cache {
+ public:
+  /// Total capacity in charged bytes, split evenly across 2^shard_bits
+  /// shards. shard_bits = 0 gives one shard (deterministic LRU order —
+  /// used by tests); the production default is 16 shards.
+  explicit Cache(size_t capacity_bytes, int shard_bits = kDefaultShardBits);
+  ~Cache();
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Opaque pinned-entry token; see Insert/Lookup/Release.
+  struct Handle;
+
+  /// Called exactly once per entry, after the entry has been both evicted
+  /// (or erased/replaced) and fully unpinned.
+  using Deleter = void (*)(const Slice& key, void* value);
+
+  /// Inserts a mapping, replacing any existing entry for `key` (the old
+  /// entry is deleted once unpinned). Charges `charge` bytes against the
+  /// shard and evicts LRU entries as needed. Returns a pinned handle to the
+  /// new entry; the caller must Release() it.
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 Deleter deleter);
+
+  /// Returns a pinned handle to the entry for `key`, or nullptr. The caller
+  /// must Release() a non-null result.
+  Handle* Lookup(const Slice& key);
+
+  /// The value of a handle obtained from Insert or Lookup.
+  void* Value(Handle* handle);
+
+  /// Unpins a handle. The entry is freed once it is both unpinned and no
+  /// longer in the cache.
+  void Release(Handle* handle);
+
+  /// Drops the entry for `key` if present (deleted once unpinned).
+  void Erase(const Slice& key);
+
+  /// A process-unique id. Clients sharing one cache prefix their keys with
+  /// an id to partition the key space (TabletReader uses one per tablet).
+  uint64_t NewId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Sum of charges of all resident entries.
+  size_t TotalCharge() const;
+
+  /// Which shard `key` lands in (stable for the life of the process);
+  /// exposed so tests can construct shard-local workloads.
+  size_t ShardOf(const Slice& key) const;
+  size_t num_shards() const { return size_t{1} << shard_bits_; }
+
+  /// Counter snapshot, aggregated across shards.
+  struct Stats {
+    uint64_t hits = 0;        // Lookups that found the key.
+    uint64_t misses = 0;      // Lookups that did not.
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;   // Entries pushed out by capacity pressure.
+    uint64_t charge = 0;      // Current resident bytes.
+    uint64_t capacity = 0;
+  };
+  Stats GetStats() const;
+
+  static constexpr int kDefaultShardBits = 4;  // 16 shards.
+
+ private:
+  class Shard;
+
+  const size_t capacity_;
+  const int shard_bits_;
+  Shard* shards_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_UTIL_CACHE_H_

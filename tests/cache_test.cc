@@ -1,0 +1,238 @@
+// Tests for the sharded LRU block cache: hit/miss behavior, strict LRU
+// eviction order, shard isolation, pinned handles surviving eviction,
+// capacity accounting, and counter snapshots.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/cache.h"
+#include "util/coding.h"
+
+namespace lt {
+namespace {
+
+// Values carry a pointer back to the test's deletion log so the plain
+// function-pointer deleter can record what was freed and in what order.
+struct Tracked {
+  int id;
+  std::vector<int>* deleted;
+};
+
+void TrackedDeleter(const Slice& /*key*/, void* value) {
+  auto* t = static_cast<Tracked*>(value);
+  t->deleted->push_back(t->id);
+  delete t;
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  // Inserts (key -> Tracked{id}) with `charge` bytes and releases the
+  // handle immediately, leaving the entry resident but unpinned.
+  void Insert(Cache* c, const std::string& key, int id, size_t charge) {
+    Cache::Handle* h =
+        c->Insert(key, new Tracked{id, &deleted_}, charge, &TrackedDeleter);
+    c->Release(h);
+  }
+
+  // Returns the entry's id, or -1 on miss.
+  int Get(Cache* c, const std::string& key) {
+    Cache::Handle* h = c->Lookup(key);
+    if (h == nullptr) return -1;
+    int id = static_cast<Tracked*>(c->Value(h))->id;
+    c->Release(h);
+    return id;
+  }
+
+  std::vector<int> deleted_;
+};
+
+TEST_F(CacheTest, HitAndMiss) {
+  Cache c(1000, /*shard_bits=*/0);
+  EXPECT_EQ(Get(&c, "a"), -1);
+  Insert(&c, "a", 1, 100);
+  EXPECT_EQ(Get(&c, "a"), 1);
+  EXPECT_EQ(Get(&c, "b"), -1);
+
+  Cache::Stats s = c.GetStats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.charge, 100u);
+  EXPECT_EQ(s.capacity, 1000u);
+}
+
+TEST_F(CacheTest, InsertReplacesAndDeletesOldEntry) {
+  Cache c(1000, 0);
+  Insert(&c, "a", 1, 100);
+  Insert(&c, "a", 2, 100);
+  EXPECT_EQ(Get(&c, "a"), 2);
+  ASSERT_EQ(deleted_.size(), 1u);
+  EXPECT_EQ(deleted_[0], 1);
+  EXPECT_EQ(c.TotalCharge(), 100u);
+}
+
+TEST_F(CacheTest, EvictionIsStrictLruOrder) {
+  Cache c(300, 0);  // Room for exactly three charge-100 entries.
+  Insert(&c, "a", 1, 100);
+  Insert(&c, "b", 2, 100);
+  Insert(&c, "c", 3, 100);
+  EXPECT_TRUE(deleted_.empty());
+
+  // Touch "a" so "b" becomes least recently used.
+  EXPECT_EQ(Get(&c, "a"), 1);
+  Insert(&c, "d", 4, 100);
+  ASSERT_EQ(deleted_, std::vector<int>({2}));
+  EXPECT_EQ(Get(&c, "b"), -1);
+  EXPECT_EQ(Get(&c, "a"), 1);
+  EXPECT_EQ(Get(&c, "c"), 3);
+  EXPECT_EQ(Get(&c, "d"), 4);
+
+  // One oversized insert flushes everything else, oldest first.
+  Insert(&c, "e", 5, 300);
+  EXPECT_EQ(deleted_, std::vector<int>({2, 1, 3, 4}));
+  EXPECT_EQ(Get(&c, "e"), 5);
+  EXPECT_EQ(c.TotalCharge(), 300u);
+}
+
+TEST_F(CacheTest, PinnedHandleSurvivesRemoval) {
+  // A pinned entry removed from the cache — erased, or displaced by a
+  // re-insert under the same key — stays alive until its last handle is
+  // released (in-flight cursors keep their current block across removal).
+  Cache c(1000, 0);
+  Cache::Handle* pin =
+      c.Insert("a", new Tracked{1, &deleted_}, 100, &TrackedDeleter);
+
+  Insert(&c, "a", 2, 100);     // Displaces the pinned entry.
+  EXPECT_EQ(Get(&c, "a"), 2);  // Lookups now see the replacement...
+  EXPECT_EQ(static_cast<Tracked*>(c.Value(pin))->id, 1);  // ...old is alive.
+  EXPECT_TRUE(deleted_.empty());
+
+  c.Erase("a");  // Drop the (unpinned) replacement: freed immediately.
+  ASSERT_EQ(deleted_, std::vector<int>({2}));
+  EXPECT_EQ(static_cast<Tracked*>(c.Value(pin))->id, 1);
+
+  c.Release(pin);  // Final unpin frees the displaced entry.
+  EXPECT_EQ(deleted_, std::vector<int>({2, 1}));
+}
+
+TEST_F(CacheTest, PinnedEntriesAreNotEvictable) {
+  Cache c(200, 0);
+  Cache::Handle* pin =
+      c.Insert("a", new Tracked{1, &deleted_}, 150, &TrackedDeleter);
+  // "a" is pinned (in use), so inserting past capacity cannot reclaim its
+  // charge; the new entry still lands and usage temporarily overshoots.
+  Insert(&c, "b", 2, 150);
+  EXPECT_EQ(Get(&c, "a"), 1);
+  EXPECT_EQ(Get(&c, "b"), 2);
+  c.Release(pin);
+}
+
+TEST_F(CacheTest, EraseDropsEntryOnce) {
+  Cache c(1000, 0);
+  Insert(&c, "a", 1, 100);
+  c.Erase("a");
+  EXPECT_EQ(Get(&c, "a"), -1);
+  ASSERT_EQ(deleted_, std::vector<int>({1}));
+  c.Erase("a");  // Erasing a missing key is a no-op.
+  EXPECT_EQ(deleted_.size(), 1u);
+  EXPECT_EQ(c.TotalCharge(), 0u);
+}
+
+TEST_F(CacheTest, CapacityAccounting) {
+  Cache c(1000, 0);
+  Insert(&c, "a", 1, 300);
+  Insert(&c, "b", 2, 500);
+  EXPECT_EQ(c.TotalCharge(), 800u);
+  c.Erase("a");
+  EXPECT_EQ(c.TotalCharge(), 500u);
+  Insert(&c, "c", 3, 600);  // 1100 > 1000: evicts "b".
+  EXPECT_EQ(c.TotalCharge(), 600u);
+  EXPECT_EQ(deleted_, std::vector<int>({1, 2}));
+  EXPECT_EQ(c.GetStats().evictions, 1u);
+}
+
+TEST_F(CacheTest, ShardIsolation) {
+  // 16 shards, 100 bytes each. Filling one shard past its share must not
+  // disturb residents of other shards.
+  Cache c(1600, Cache::kDefaultShardBits);
+  ASSERT_EQ(c.num_shards(), 16u);
+
+  // Bucket generated keys by shard.
+  std::map<size_t, std::vector<std::string>> by_shard;
+  for (int i = 0; i < 200; i++) {
+    std::string key = "key" + std::to_string(i);
+    by_shard[c.ShardOf(key)].push_back(key);
+  }
+  ASSERT_GE(by_shard.size(), 2u);
+  auto it = by_shard.begin();
+  const std::vector<std::string>& shard_a = it->second;
+  const std::vector<std::string>& shard_b = (++it)->second;
+  ASSERT_GE(shard_a.size(), 5u);
+
+  Insert(&c, shard_b[0], 1000, 50);
+  // Overflow shard A several times over.
+  for (size_t i = 0; i < 5; i++) {
+    Insert(&c, shard_a[i], static_cast<int>(i), 60);
+  }
+  // Shard A kept only what fits (100 bytes => one 60-byte entry)...
+  EXPECT_EQ(Get(&c, shard_a[4]), 4);
+  EXPECT_GE(c.GetStats().evictions, 4u);
+  // ...while shard B's resident was never under pressure.
+  EXPECT_EQ(Get(&c, shard_b[0]), 1000);
+}
+
+TEST_F(CacheTest, NewIdsAreDistinct) {
+  Cache c(100, 0);
+  uint64_t a = c.NewId();
+  uint64_t b = c.NewId();
+  EXPECT_NE(a, b);
+}
+
+TEST_F(CacheTest, KeysPrefixedByIdDoNotCollide) {
+  // The TabletReader key scheme: Fixed64(id) + Fixed64(block index).
+  Cache c(10000, 0);
+  uint64_t id1 = c.NewId(), id2 = c.NewId();
+  std::string k1, k2;
+  PutFixed64(&k1, id1);
+  PutFixed64(&k1, 0);
+  PutFixed64(&k2, id2);
+  PutFixed64(&k2, 0);
+  Insert(&c, k1, 1, 10);
+  Insert(&c, k2, 2, 10);
+  EXPECT_EQ(Get(&c, k1), 1);
+  EXPECT_EQ(Get(&c, k2), 2);
+}
+
+TEST_F(CacheTest, DestructorFreesResidents) {
+  {
+    Cache c(1000, 0);
+    Cache::Handle* h =
+        c.Insert("a", new Tracked{1, &deleted_}, 100, &TrackedDeleter);
+    c.Release(h);
+    Insert(&c, "b", 2, 100);
+  }
+  EXPECT_EQ(deleted_.size(), 2u);
+}
+
+TEST_F(CacheTest, ZeroChargeEntriesAllowed) {
+  Cache c(100, 0);
+  Insert(&c, "a", 1, 0);
+  EXPECT_EQ(Get(&c, "a"), 1);
+  EXPECT_EQ(c.TotalCharge(), 0u);
+}
+
+TEST_F(CacheTest, ManyEntriesForceTableResize) {
+  Cache c(1u << 20, 0);
+  for (int i = 0; i < 2000; i++) {
+    Insert(&c, "key" + std::to_string(i), i, 16);
+  }
+  for (int i = 0; i < 2000; i++) {
+    EXPECT_EQ(Get(&c, "key" + std::to_string(i)), i) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lt

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
 #include <thread>
 
 #include "core/db.h"
@@ -89,6 +90,39 @@ TEST_F(NetTest, ErrorsMapToStatuses) {
   // Duplicate key insert maps back to AlreadyExists.
   ASSERT_TRUE(client_->Insert("usage", rows).ok());
   EXPECT_TRUE(client_->Insert("usage", rows).IsAlreadyExists());
+}
+
+TEST_F(NetTest, StatsReplyCarriesCacheAndTableCounters) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  Timestamp t = clock_->Now();
+  std::vector<Row> rows;
+  for (int i = 0; i < 50; i++) rows.push_back(UsageRow(1, i, t + i, i, 0.5));
+  ASSERT_TRUE(client_->Insert("usage", rows).ok());
+  // Flush so queries hit disk tablets and exercise the block cache, then
+  // query twice: the second pass should be served from the cache.
+  ASSERT_TRUE(db_->FlushAll().ok());
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+
+  // Server-wide stats (empty table name): cache counters only.
+  std::map<std::string, uint64_t> stats;
+  ASSERT_TRUE(client_->Stats("", &stats).ok());
+  ASSERT_TRUE(stats.count("cache.hits"));
+  ASSERT_TRUE(stats.count("cache.capacity_bytes"));
+  EXPECT_EQ(stats["cache.capacity_bytes"], 64ull << 20);
+  EXPECT_EQ(stats.count("table.queries"), 0u);
+
+  // Per-table stats ride along with the cache's.
+  ASSERT_TRUE(client_->Stats("usage", &stats).ok());
+  EXPECT_EQ(stats["table.rows_inserted"], 50u);
+  EXPECT_EQ(stats["table.queries"], 2u);
+  EXPECT_GT(stats["table.block_cache_misses"], 0u);
+  EXPECT_GT(stats["table.block_cache_hits"], 0u);
+  EXPECT_GT(stats["cache.hits"], 0u);
+  EXPECT_GT(stats["cache.charge_bytes"], 0u);
+
+  EXPECT_TRUE(client_->Stats("nope", &stats).IsNotFound());
 }
 
 TEST_F(NetTest, ServerAssignsOmittedTimestamps) {

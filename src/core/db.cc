@@ -12,12 +12,13 @@ DB::DB(Env* env, std::shared_ptr<Clock> clock, std::string root,
   if (options_.block_cache_bytes > 0) {
     block_cache_ = std::make_shared<Cache>(options_.block_cache_bytes);
   }
+  logger_ = options_.logger ? options_.logger : Logger::Default();
 }
 
 DB::~DB() {
   Status s = Close();
   if (!s.ok()) {
-    fprintf(stderr, "littletable: flush on close: %s\n", s.ToString().c_str());
+    logger_->Error("flush_on_close_failed", {{"status", s}});
   }
 }
 
@@ -49,13 +50,17 @@ Status DB::Open(Env* env, std::shared_ptr<Clock> clock,
     std::unique_ptr<Table> table;
     TableOptions topts = options.table_defaults;
     if (!topts.block_cache) topts.block_cache = db->block_cache_;
+    if (!topts.logger) topts.logger = db->logger_;
+    if (topts.slow_query_micros == 0) {
+      topts.slow_query_micros = options.slow_query_micros;
+    }
     Status s = Table::Open(env, clock, dir, topts, &table);
     if (!s.ok()) {
       // One damaged table (unreadable descriptor) must not keep the whole
       // server down; skip it and serve the rest. Its files are left in
       // place for manual recovery.
-      fprintf(stderr, "littletable: skipping unreadable table %s: %s\n",
-              dir.c_str(), s.ToString().c_str());
+      db->logger_->Error("table_open_failed_skipping",
+                         {{"dir", dir}, {"status", s}});
       continue;
     }
     std::string name = table->name();
@@ -106,6 +111,10 @@ Status DB::CreateTable(const std::string& name, const Schema& schema,
   }
   TableOptions topts = options ? *options : options_.table_defaults;
   if (!topts.block_cache) topts.block_cache = block_cache_;
+  if (!topts.logger) topts.logger = logger_;
+  if (topts.slow_query_micros == 0) {
+    topts.slow_query_micros = options_.slow_query_micros;
+  }
   std::unique_ptr<Table> table;
   LT_RETURN_IF_ERROR(Table::Create(env_, clock_, TableDir(name), name, schema,
                                    topts, &table));

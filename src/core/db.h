@@ -70,6 +70,10 @@ class DB {
   /// when options.block_cache_bytes == 0.
   const std::shared_ptr<Cache>& block_cache() const { return block_cache_; }
 
+  /// The DB-wide structured logger injected into every table (never null;
+  /// defaults to Logger::Default()).
+  const std::shared_ptr<Logger>& logger() const { return logger_; }
+
  private:
   DB(Env* env, std::shared_ptr<Clock> clock, std::string root,
      DbOptions options);
@@ -86,6 +90,7 @@ class DB {
   const std::string root_;
   const DbOptions options_;
   std::shared_ptr<Cache> block_cache_;  // Shared across all tables.
+  std::shared_ptr<Logger> logger_;      // Shared across all tables.
 
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<Table>> tables_;

@@ -11,6 +11,7 @@
 #include "core/merge_policy.h"
 #include "util/cache.h"
 #include "util/clock.h"
+#include "util/logger.h"
 
 namespace lt {
 
@@ -61,6 +62,18 @@ struct TableOptions {
   /// 0 disables caching.
   uint64_t block_cache_bytes = 0;
 
+  /// Structured logger for table events (quarantine, descriptor failures,
+  /// slow queries). Null means Logger::Default() (stderr). DB::Open and
+  /// DB::CreateTable inject the DB-wide logger unless the caller supplied
+  /// their own.
+  std::shared_ptr<Logger> logger;
+
+  /// Queries whose end-to-end latency meets or exceeds this many
+  /// microseconds emit one structured `slow_query` log line with their
+  /// QueryTrace (rows scanned/returned, tablets pruned, blocks read).
+  /// 0 disables the slow-query log.
+  int64_t slow_query_micros = 0;
+
   MergePolicyOptions merge;
 };
 
@@ -76,6 +89,12 @@ struct DbOptions {
   bool background_maintenance = true;
   /// Background scheduler pass interval, in real microseconds.
   Timestamp maintenance_interval = 1 * kMicrosPerSecond;
+  /// DB-wide structured logger, injected into every table that does not set
+  /// its own. Null means Logger::Default() (stderr).
+  std::shared_ptr<Logger> logger;
+  /// DB-wide slow-query threshold, injected into tables whose
+  /// table_defaults leave it 0. See TableOptions::slow_query_micros.
+  int64_t slow_query_micros = 0;
 };
 
 }  // namespace lt

@@ -1,0 +1,51 @@
+// Per-query execution trace: how much work one query did and how much the
+// pruning machinery saved it. Populated by Table::Query (tablet pruning) and
+// TabletReader (block reads / cache hits); a query runs on one thread, so
+// the fields are plain integers — copyable, and free to update on the scan
+// hot path. The rows scanned vs. returned ratio is the paper's Figure 9
+// efficiency metric.
+#ifndef LITTLETABLE_CORE_QUERY_TRACE_H_
+#define LITTLETABLE_CORE_QUERY_TRACE_H_
+
+#include <cstdint>
+
+namespace lt {
+
+struct QueryTrace {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+
+  // Tablet pruning: of `tablets_considered`, how many each check excluded
+  // before any block was read.
+  uint64_t tablets_considered = 0;
+  uint64_t tablets_pruned_time = 0;   // Timestamp bounds vs. tablet range.
+  uint64_t tablets_pruned_key = 0;    // Key bounds vs. tablet key range.
+  uint64_t tablets_pruned_bloom = 0;  // §3.4.5 Bloom filter rejections.
+
+  uint64_t blocks_read = 0;  // Block fetches, from cache or disk.
+  uint64_t cache_hits = 0;   // Of blocks_read, served by the block cache.
+
+  int64_t elapsed_micros = 0;
+
+  uint64_t TabletsPruned() const {
+    return tablets_pruned_time + tablets_pruned_key + tablets_pruned_bloom;
+  }
+
+  /// Accumulates another trace into this one (paginated queries: the SQL
+  /// backend sums per-page traces into the statement's trace).
+  void Merge(const QueryTrace& other) {
+    rows_scanned += other.rows_scanned;
+    rows_returned += other.rows_returned;
+    tablets_considered += other.tablets_considered;
+    tablets_pruned_time += other.tablets_pruned_time;
+    tablets_pruned_key += other.tablets_pruned_key;
+    tablets_pruned_bloom += other.tablets_pruned_bloom;
+    blocks_read += other.blocks_read;
+    cache_hits += other.cache_hits;
+    elapsed_micros += other.elapsed_micros;
+  }
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_CORE_QUERY_TRACE_H_

@@ -6,6 +6,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
+
+#include "util/histogram.h"
 
 namespace lt {
 
@@ -46,6 +49,18 @@ struct TableStats {
   std::atomic<uint64_t> block_cache_hits{0};
   std::atomic<uint64_t> block_cache_misses{0};
 
+  // Latency distributions (microseconds; lock-free recording). insert/query
+  // cover the full user-visible operation; flush/merge cover one maintenance
+  // pass each; block_read covers a cache-miss disk read (seek + CRC +
+  // decompress, the §3.5 per-access cost); cache_lookup covers the shared
+  // cache probe alone.
+  LatencyHistogram insert_micros;
+  LatencyHistogram query_micros;
+  LatencyHistogram flush_micros;
+  LatencyHistogram merge_micros;
+  LatencyHistogram block_read_micros;
+  LatencyHistogram cache_lookup_micros;
+
   /// Block-cache hit rate so far (0 when the table has read no blocks).
   double BlockCacheHitRate() const {
     uint64_t hits = block_cache_hits.load(std::memory_order_relaxed);
@@ -54,12 +69,18 @@ struct TableStats {
   }
 
   /// Write amplification so far: total tablet bytes written / bytes flushed.
+  /// A table that has written nothing reports 1.0 (every byte written once).
+  /// If merges wrote bytes but no flush has been observed — e.g. the stats
+  /// were reset, or the table was reopened with on-disk tablets and then
+  /// merged — the ratio's denominator is unknown, so this reports +infinity
+  /// rather than silently understating amplification as 0.
   double WriteAmplification() const {
     uint64_t flushed = bytes_flushed.load(std::memory_order_relaxed);
-    if (flushed == 0) return 0.0;
-    return static_cast<double>(flushed +
-                               bytes_merge_written.load(
-                                   std::memory_order_relaxed)) /
+    uint64_t merged = bytes_merge_written.load(std::memory_order_relaxed);
+    if (flushed == 0) {
+      return merged == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(flushed + merged) /
            static_cast<double>(flushed);
   }
 };

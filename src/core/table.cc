@@ -7,6 +7,7 @@
 #include "core/merge_policy.h"
 #include "core/row_codec.h"
 #include "core/tablet_writer.h"
+#include "util/logger.h"
 
 namespace lt {
 namespace {
@@ -45,6 +46,7 @@ Table::Table(Env* env, std::shared_ptr<Clock> clock, std::string dir,
   if (!opts_.block_cache && opts_.block_cache_bytes > 0) {
     opts_.block_cache = std::make_shared<Cache>(opts_.block_cache_bytes);
   }
+  if (!opts_.logger) opts_.logger = Logger::Default();
 }
 
 Status Table::Create(Env* env, std::shared_ptr<Clock> clock,
@@ -153,8 +155,8 @@ Timestamp Table::ExpiryCutoffLocked(Timestamp now) const {
 void Table::QuarantineTabletLocked(const std::string& fname,
                                    const Status& why) {
   const std::string path = TabletPath(fname);
-  fprintf(stderr, "littletable: quarantining tablet %s: %s\n", path.c_str(),
-          why.ToString().c_str());
+  opts_.logger->Warn("tablet_quarantined",
+                     {{"table", name_}, {"tablet", fname}, {"status", why}});
   readers_.erase(fname);
   std::vector<TabletMeta> keep;
   keep.reserve(tablets_.size());
@@ -168,8 +170,9 @@ void Table::QuarantineTabletLocked(const std::string& fname,
   // If this write fails, reopening just quarantines again.
   Status s = SaveDescriptorLocked();
   if (!s.ok()) {
-    fprintf(stderr, "littletable: descriptor update after quarantine: %s\n",
-            s.ToString().c_str());
+    opts_.logger->Error(
+        "quarantine_descriptor_update_failed",
+        {{"table", name_}, {"tablet", fname}, {"status", s}});
   }
 }
 
@@ -289,6 +292,7 @@ void Table::SealLocked(std::shared_ptr<MemTablet> mt) {
 
 Status Table::InsertBatch(const std::vector<Row>& rows) {
   if (rows.empty()) return Status::OK();
+  const Timestamp op_start = MonotonicMicros();
   std::lock_guard<std::mutex> insert_lock(insert_mu_);
 
   std::shared_ptr<const Schema> schema = this->schema();
@@ -352,6 +356,8 @@ Status Table::InsertBatch(const std::vector<Row>& rows) {
     }
     LT_RETURN_IF_ERROR(FlushSet({root}));
   }
+  stats_.insert_micros.Record(
+      static_cast<uint64_t>(MonotonicMicros() - op_start));
   return Status::OK();
 }
 
@@ -359,6 +365,7 @@ Status Table::InsertBatch(const std::vector<Row>& rows) {
 // Flushing.
 
 Status Table::FlushSet(std::vector<uint64_t> root_ids) {
+  const Timestamp op_start = MonotonicMicros();
   std::lock_guard<std::mutex> flush_lock(flush_mu_);
   std::vector<std::shared_ptr<MemTablet>> victims;
   {
@@ -444,6 +451,8 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
     LT_RETURN_IF_ERROR(SaveDescriptorLocked());
     for (const auto& mt : victims) must_flush_first_.erase(mt->id());
   }
+  stats_.flush_micros.Record(
+      static_cast<uint64_t>(MonotonicMicros() - op_start));
   return Status::OK();
 }
 
@@ -518,6 +527,7 @@ bool Table::HasMaintenanceWork() {
 }
 
 Status Table::MaybeMerge(Timestamp now) {
+  const Timestamp op_start = MonotonicMicros();
   std::lock_guard<std::mutex> merge_lock(merge_mu_);
   std::vector<TabletMeta> inputs;
   std::vector<std::shared_ptr<TabletReader>> input_readers;
@@ -623,6 +633,8 @@ Status Table::MaybeMerge(Timestamp now) {
     if (have_output) stats_.bytes_merge_written.fetch_add(out_meta.file_bytes);
   }
   for (const TabletMeta& m : inputs) env_->RemoveFile(TabletPath(m.filename));
+  stats_.merge_micros.Record(
+      static_cast<uint64_t>(MonotonicMicros() - op_start));
   return Status::OK();
 }
 
@@ -652,11 +664,18 @@ Status Table::ReclaimExpired(Timestamp now) {
 // ---------------------------------------------------------------------------
 // Queries.
 
-Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
+Status Table::Query(const QueryBounds& user_bounds, QueryResult* result,
+                    QueryTrace* trace) {
   result->rows.clear();
   result->more_available = false;
   result->rows_scanned = 0;
   stats_.queries.fetch_add(1);
+
+  // Trace even when the caller doesn't ask for one: the slow-query log
+  // needs the counts.
+  QueryTrace local_trace;
+  QueryTrace* tr = trace != nullptr ? trace : &local_trace;
+  const Timestamp op_start = MonotonicMicros();
 
   const Timestamp now = clock_->Now();
   QueryBounds bounds = user_bounds;
@@ -675,7 +694,11 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
     }
     std::vector<std::pair<std::string, Status>> doomed;
     for (const TabletMeta& m : tablets_) {
-      if (!bounds.TsOverlaps(m.min_ts, m.max_ts)) continue;
+      tr->tablets_considered++;
+      if (!bounds.TsOverlaps(m.min_ts, m.max_ts)) {
+        tr->tablets_pruned_time++;
+        continue;
+      }
       auto it = readers_.find(m.filename);
       if (it == readers_.end()) {
         return Status::Aborted("internal: no reader for tablet " + m.filename);
@@ -695,12 +718,18 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
       if (bounds.min_key) {
         int c = schema->CompareKeyToPrefix(reader->max_key(),
                                            bounds.min_key->prefix);
-        if (bounds.min_key->inclusive ? c < 0 : c <= 0) continue;
+        if (bounds.min_key->inclusive ? c < 0 : c <= 0) {
+          tr->tablets_pruned_key++;
+          continue;
+        }
       }
       if (bounds.max_key) {
         int c = schema->CompareKeyToPrefix(reader->min_key(),
                                            bounds.max_key->prefix);
-        if (bounds.max_key->inclusive ? c > 0 : c >= 0) continue;
+        if (bounds.max_key->inclusive ? c > 0 : c >= 0) {
+          tr->tablets_pruned_key++;
+          continue;
+        }
       }
       disk.push_back(reader);
     }
@@ -726,7 +755,8 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
   cursors.reserve(disk.size() + mem_snapshots.size());
   for (const auto& reader : disk) {
     std::unique_ptr<Cursor> c;
-    LT_RETURN_IF_ERROR(reader->NewCursor(bounds, schema.get(), &scanned, &c));
+    LT_RETURN_IF_ERROR(
+        reader->NewCursor(bounds, schema.get(), &scanned, &c, tr));
     cursors.push_back(std::move(c));
   }
   for (auto& rows : mem_snapshots) {
@@ -753,11 +783,30 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result) {
   result->rows_scanned = scanned.load();
   stats_.rows_scanned.fetch_add(result->rows_scanned);
   stats_.rows_returned.fetch_add(result->rows.size());
+
+  const int64_t elapsed = MonotonicMicros() - op_start;
+  tr->rows_scanned += result->rows_scanned;
+  tr->rows_returned += result->rows.size();
+  tr->elapsed_micros += elapsed;
+  stats_.query_micros.Record(static_cast<uint64_t>(elapsed));
+  if (opts_.slow_query_micros > 0 && elapsed >= opts_.slow_query_micros) {
+    opts_.logger->Warn(
+        "slow_query",
+        {{"table", name_},
+         {"elapsed_us", elapsed},
+         {"rows_scanned", result->rows_scanned},
+         {"rows_returned", static_cast<uint64_t>(result->rows.size())},
+         {"tablets_considered", tr->tablets_considered},
+         {"tablets_pruned", tr->TabletsPruned()},
+         {"blocks_read", tr->blocks_read},
+         {"cache_hits", tr->cache_hits}});
+  }
   return Status::OK();
 }
 
 Status Table::LatestRowForPrefix(const Key& prefix, Row* row, bool* found) {
   *found = false;
+  const Timestamp op_start = MonotonicMicros();
   const Timestamp now = clock_->Now();
 
   struct Source {
@@ -877,9 +926,11 @@ Status Table::LatestRowForPrefix(const Key& prefix, Row* row, bool* found) {
       *row = std::move(best);
       *found = true;
       stats_.rows_returned.fetch_add(1);
-      return Status::OK();
+      break;
     }
   }
+  stats_.query_micros.Record(
+      static_cast<uint64_t>(MonotonicMicros() - op_start));
   return Status::OK();
 }
 

@@ -30,6 +30,7 @@
 #include "core/descriptor.h"
 #include "core/memtablet.h"
 #include "core/options.h"
+#include "core/query_trace.h"
 #include "core/stats.h"
 #include "core/tablet_reader.h"
 #include "env/env.h"
@@ -72,8 +73,12 @@ class Table {
 
   /// Executes a 2-D bounded scan (§3.1). TTL-expired rows are filtered; the
   /// row limit is min(bounds.limit, server cap), and more_available is set
-  /// if the scan stopped at the limit with rows remaining.
-  Status Query(const QueryBounds& bounds, QueryResult* result);
+  /// if the scan stopped at the limit with rows remaining. `trace`
+  /// (optional) accumulates this query's execution trace — pruning, block
+  /// reads, cache hits, elapsed time; the same trace also feeds the
+  /// slow-query log when TableOptions::slow_query_micros is set.
+  Status Query(const QueryBounds& bounds, QueryResult* result,
+               QueryTrace* trace = nullptr);
 
   /// Finds the row with the largest timestamp whose key begins with
   /// `prefix` (§3.4.5), walking tablet groups backwards through time and

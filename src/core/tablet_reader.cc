@@ -2,6 +2,7 @@
 
 #include "core/row_codec.h"
 #include "core/tablet_writer.h"  // kTabletMagic, kTabletTrailerSize
+#include "util/clock.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/lzmini.h"
@@ -15,10 +16,11 @@ class TabletCursor final : public Cursor {
  public:
   TabletCursor(std::shared_ptr<const TabletReader> reader,
                const QueryBounds& bounds, const Schema* current_schema,
-               std::atomic<uint64_t>* scanned)
+               std::atomic<uint64_t>* scanned, QueryTrace* trace)
       : reader_(std::move(reader)),
         current_schema_(current_schema),
         scanned_(scanned),
+        trace_(trace),
         direction_(bounds.direction),
         min_key_(bounds.min_key),
         max_key_(bounds.max_key) {
@@ -53,7 +55,7 @@ class TabletCursor final : public Cursor {
       if (min_key_) {
         block_idx_ = reader_->SeekBlock(min_key_->prefix, min_key_->inclusive);
         if (block_idx_ >= nblocks) return;
-        Status s = reader_->ReadBlock(block_idx_, &block_);
+        Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
         if (!s.ok()) return Fail(s);
         block_loaded_ = true;
         size_t idx;
@@ -74,13 +76,13 @@ class TabletCursor final : public Cursor {
         end_block = reader_->SeekBlock(max_key_->prefix, or_equal_for_end);
         if (end_block >= nblocks) {
           end_block = nblocks - 1;
-          Status s = reader_->ReadBlock(end_block, &block_);
+          Status s = reader_->ReadBlock(end_block, &block_, trace_);
           if (!s.ok()) return Fail(s);
           block_loaded_ = true;
           block_idx_ = end_block;
           end_row = block_.num_rows();
         } else {
-          Status s = reader_->ReadBlock(end_block, &block_);
+          Status s = reader_->ReadBlock(end_block, &block_, trace_);
           if (!s.ok()) return Fail(s);
           block_loaded_ = true;
           block_idx_ = end_block;
@@ -91,7 +93,7 @@ class TabletCursor final : public Cursor {
         }
       } else {
         end_block = nblocks - 1;
-        Status s = reader_->ReadBlock(end_block, &block_);
+        Status s = reader_->ReadBlock(end_block, &block_, trace_);
         if (!s.ok()) return Fail(s);
         block_loaded_ = true;
         block_idx_ = end_block;
@@ -101,7 +103,7 @@ class TabletCursor final : public Cursor {
       if (end_row == 0) {
         if (block_idx_ == 0) return;  // Nothing before the bound.
         block_idx_--;
-        Status s = reader_->ReadBlock(block_idx_, &block_);
+        Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
         if (!s.ok()) return Fail(s);
         if (block_.num_rows() == 0) return Fail(Status::Corruption("empty block"));
         row_idx_ = block_.num_rows() - 1;
@@ -116,7 +118,7 @@ class TabletCursor final : public Cursor {
   // bound, and translates schemas if needed.
   void LoadCurrentRow() {
     if (!block_loaded_) {
-      Status s = reader_->ReadBlock(block_idx_, &block_);
+      Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
       if (!s.ok()) return Fail(s);
       block_loaded_ = true;
     }
@@ -156,7 +158,7 @@ class TabletCursor final : public Cursor {
           valid_ = false;
           return;
         }
-        Status s = reader_->ReadBlock(block_idx_, &block_);
+        Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
         if (!s.ok()) return Fail(s);
         row_idx_ = 0;
       }
@@ -167,7 +169,7 @@ class TabletCursor final : public Cursor {
           return;
         }
         block_idx_--;
-        Status s = reader_->ReadBlock(block_idx_, &block_);
+        Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
         if (!s.ok()) return Fail(s);
         if (block_.num_rows() == 0) return Fail(Status::Corruption("empty block"));
         row_idx_ = block_.num_rows() - 1;
@@ -181,6 +183,7 @@ class TabletCursor final : public Cursor {
   std::shared_ptr<const TabletReader> reader_;
   const Schema* current_schema_;
   std::atomic<uint64_t>* scanned_;
+  QueryTrace* trace_;
   Direction direction_;
   std::optional<KeyBound> min_key_, max_key_;
   bool needs_translation_ = false;
@@ -350,17 +353,26 @@ std::shared_ptr<const BlockContents> PinCached(std::shared_ptr<Cache> cache,
 
 }  // namespace
 
-Status TabletReader::ReadBlock(size_t i, BlockReader* out) const {
+Status TabletReader::ReadBlock(size_t i, BlockReader* out,
+                               QueryTrace* trace) const {
+  if (trace) trace->blocks_read++;
   // Cache key: (per-reader id, block index), both fixed64 so keys from
   // different tablets sharing the DB-wide cache can never collide.
   std::string cache_key;
   if (block_cache_) {
     PutFixed64(&cache_key, cache_id_);
     PutFixed64(&cache_key, static_cast<uint64_t>(i));
-    if (Cache::Handle* h = block_cache_->Lookup(cache_key)) {
+    Timestamp lookup_start = stats_ ? MonotonicMicros() : 0;
+    Cache::Handle* h = block_cache_->Lookup(cache_key);
+    if (stats_) {
+      stats_->cache_lookup_micros.Record(
+          static_cast<uint64_t>(MonotonicMicros() - lookup_start));
+    }
+    if (h != nullptr) {
       if (stats_) {
         stats_->block_cache_hits.fetch_add(1, std::memory_order_relaxed);
       }
+      if (trace) trace->cache_hits++;
       out->Reset(&schema_, PinCached(block_cache_, h));
       return Status::OK();
     }
@@ -368,6 +380,7 @@ Status TabletReader::ReadBlock(size_t i, BlockReader* out) const {
   if (stats_) {
     stats_->block_cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
+  Timestamp read_start = stats_ ? MonotonicMicros() : 0;
 
   const IndexEntry& e = index_[i];
   std::string buf(e.stored_len, '\0');
@@ -401,6 +414,10 @@ Status TabletReader::ReadBlock(size_t i, BlockReader* out) const {
     out->Reset(&schema_, std::shared_ptr<const BlockContents>(
                              contents.release()));
   }
+  if (stats_) {
+    stats_->block_read_micros.Record(
+        static_cast<uint64_t>(MonotonicMicros() - read_start));
+  }
   return Status::OK();
 }
 
@@ -431,10 +448,11 @@ bool TabletReader::MayContainPrefix(const Key& prefix) const {
 Status TabletReader::NewCursor(const QueryBounds& bounds,
                                const Schema* current_schema,
                                std::atomic<uint64_t>* scanned,
-                               std::unique_ptr<Cursor>* out) {
+                               std::unique_ptr<Cursor>* out,
+                               QueryTrace* trace) {
   LT_RETURN_IF_ERROR(Load());
   auto cursor = std::make_unique<TabletCursor>(shared_from_this(), bounds,
-                                               current_schema, scanned);
+                                               current_schema, scanned, trace);
   Status s = cursor->status();
   if (!s.ok()) return s;
   *out = std::move(cursor);

@@ -18,6 +18,7 @@
 #include "core/block.h"
 #include "core/bounds.h"
 #include "core/cursor.h"
+#include "core/query_trace.h"
 #include "core/stats.h"
 #include "core/tablet_meta.h"
 #include "env/env.h"
@@ -71,10 +72,12 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
   /// Timestamp filtering happens downstream: tablets are selected by
   /// timespan, but their rows generally straddle the exact bounds (§3.2).
   /// `scanned` (optional) is incremented for every row decoded — the
-  /// rows-scanned side of the Figure 9 efficiency ratio.
+  /// rows-scanned side of the Figure 9 efficiency ratio. `trace` (optional)
+  /// accumulates per-query block-read and cache-hit counts; it must outlive
+  /// the cursor and is touched only from the cursor's thread.
   Status NewCursor(const QueryBounds& bounds, const Schema* current_schema,
                    std::atomic<uint64_t>* scanned,
-                   std::unique_ptr<Cursor>* out);
+                   std::unique_ptr<Cursor>* out, QueryTrace* trace = nullptr);
 
   size_t num_blocks() const { return index_.size(); }
 
@@ -98,8 +101,10 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
   /// (pinning the entry for the reader's lifetime), otherwise read from the
   /// Env, CRC-verified, decompressed, and inserted into the cache. Blocks
   /// that fail verification are NEVER cached — a corrupt block is
-  /// re-detected on every access.
-  Status ReadBlock(size_t i, BlockReader* out) const;
+  /// re-detected on every access. Cache-probe and miss-read latencies go to
+  /// `stats_`; per-query counts go to `trace` when non-null.
+  Status ReadBlock(size_t i, BlockReader* out,
+                   QueryTrace* trace = nullptr) const;
 
   /// Index of the first block that could contain a row with
   /// key-compare(prefix) >= 0 (`or_equal`) or > 0; == num_blocks() if none.

@@ -404,4 +404,44 @@ Status Client::Stats(const std::string& table,
   return Status::OK();
 }
 
+Status Client::Stats(const std::string& table, ServerStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string req;
+  PutLengthPrefixedSlice(&req, table);
+  MsgType type;
+  std::string body;
+  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kStatsV2, req, &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
+  if (type != MsgType::kStatsV2Result) {
+    return Status::NetworkError("unexpected response");
+  }
+  Slice in(body);
+  uint32_t count;
+  if (!GetVarint32(&in, &count)) return Status::Corruption("bad stats reply");
+  stats->counters.clear();
+  stats->histograms.clear();
+  for (uint32_t i = 0; i < count; i++) {
+    Slice name;
+    uint64_t value;
+    if (!GetLengthPrefixedSlice(&in, &name) || !GetVarint64(&in, &value)) {
+      return Status::Corruption("bad stats reply");
+    }
+    stats->counters[name.ToString()] = value;
+  }
+  uint32_t nhist;
+  if (!GetVarint32(&in, &nhist)) return Status::Corruption("bad stats reply");
+  for (uint32_t i = 0; i < nhist; i++) {
+    Slice name;
+    HistogramQuantiles q;
+    if (!GetLengthPrefixedSlice(&in, &name) ||
+        !GetVarint64(&in, &q.count) || !GetVarint64(&in, &q.p50) ||
+        !GetVarint64(&in, &q.p90) || !GetVarint64(&in, &q.p99) ||
+        !GetVarint64(&in, &q.p999) || !GetVarint64(&in, &q.max)) {
+      return Status::Corruption("bad stats reply");
+    }
+    stats->histograms[name.ToString()] = q;
+  }
+  return Status::OK();
+}
+
 }  // namespace lt

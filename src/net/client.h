@@ -25,6 +25,23 @@
 
 namespace lt {
 
+/// Quantile summary of one server-side latency histogram (microseconds).
+struct HistogramQuantiles {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+  uint64_t max = 0;
+};
+
+/// Everything a kStatsV2 reply carries: the kStats counter map plus the
+/// server's (and optionally one table's) latency distributions.
+struct ServerStats {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramQuantiles> histograms;
+};
+
 class Client {
  public:
   /// Connects to a LittleTable server.
@@ -73,9 +90,16 @@ class Client {
 
   /// Fetches server counters as a name -> value map: the shared block
   /// cache's "cache.*" entries, plus `table`'s "table.*" entries when
-  /// `table` is non-empty.
+  /// `table` is non-empty. (Legacy kStats request — works against any
+  /// server version.)
   Status Stats(const std::string& table,
                std::map<std::string, uint64_t>* stats);
+
+  /// kStatsV2: the same counters plus "server.*" metrics and latency
+  /// quantiles — per-opcode request latencies (server.op.*.micros) and,
+  /// when `table` is non-empty, the table's insert/query/flush/merge/
+  /// block-read distributions (table.*_micros).
+  Status Stats(const std::string& table, ServerStats* stats);
 
   bool connected() const { return conn_.valid(); }
 

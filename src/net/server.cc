@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include "core/row_codec.h"
+#include "util/clock.h"
 #include "util/coding.h"
 
 namespace lt {
@@ -22,10 +23,44 @@ bool GetName(Slice* in, std::string* name) {
   return true;
 }
 
+// Metric-name suffix for each request opcode ("server.op.<name>.micros").
+const char* OpName(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kListTables: return "list_tables";
+    case MsgType::kGetTable: return "get_table";
+    case MsgType::kCreateTable: return "create_table";
+    case MsgType::kDropTable: return "drop_table";
+    case MsgType::kInsert: return "insert";
+    case MsgType::kQuery: return "query";
+    case MsgType::kLatestRow: return "latest_row";
+    case MsgType::kFlushThrough: return "flush_through";
+    case MsgType::kAppendColumn: return "append_column";
+    case MsgType::kWidenColumn: return "widen_column";
+    case MsgType::kSetTtl: return "set_ttl";
+    case MsgType::kStats: return "stats";
+    case MsgType::kStatsV2: return "stats_v2";
+    default: return nullptr;
+  }
+}
+
 }  // namespace
 
 LittleTableServer::LittleTableServer(DB* db, uint16_t port)
-    : db_(db), port_(port) {}
+    : db_(db), port_(port) {
+  // Resolve every instrument up front: the serve loop then records into
+  // stable pointers with no registry lookups.
+  for (int op = 0; op < 256; op++) {
+    if (const char* name = OpName(static_cast<MsgType>(op))) {
+      op_micros_[op] = metrics_.GetHistogram(std::string("server.op.") + name +
+                                             ".micros");
+    }
+  }
+  connections_ = metrics_.GetCounter("server.connections");
+  active_connections_ = metrics_.GetCounter("server.active_connections");
+  requests_ = metrics_.GetCounter("server.requests");
+  errors_ = metrics_.GetCounter("server.errors");
+}
 
 LittleTableServer::~LittleTableServer() { Stop(); }
 
@@ -103,6 +138,8 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
     std::lock_guard<std::mutex> lock(threads_mu_);
     live_fds_.insert(conn.fd());
   }
+  connections_->Increment();
+  active_connections_->Add(1);
   std::string payload;
   while (!stopping_.load()) {
     char len_buf[4];
@@ -115,9 +152,15 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
     MsgType type = static_cast<MsgType>(payload[0]);
     Slice body(payload.data() + 1, payload.size() - 1);
     std::string response;
+    requests_->Increment();
+    const Timestamp start = MonotonicMicros();
     Dispatch(type, body, &response);
+    if (LatencyHistogram* h = op_micros_[static_cast<uint8_t>(type)]) {
+      h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
+    }
     if (!conn.WriteAll(response.data(), response.size()).ok()) break;
   }
+  active_connections_->Add(-1);
   // Last use of threads_mu_: after this the thread only returns, so the
   // accept loop (or Stop) can join it without deadlock.
   std::lock_guard<std::mutex> lock(threads_mu_);
@@ -127,6 +170,7 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
 
 void LittleTableServer::ReplyError(std::string* out, ErrCode code,
                                    const std::string& message) {
+  errors_->Increment();
   std::string body;
   body.push_back(static_cast<char>(code));
   PutLengthPrefixedSlice(&body, message);
@@ -139,6 +183,45 @@ void LittleTableServer::ReplyStatus(std::string* out, const Status& s) {
   } else {
     ReplyError(out, wire::CodeForStatus(s), s.message());
   }
+}
+
+Status LittleTableServer::CollectCounters(
+    const std::string& name,
+    std::vector<std::pair<std::string, uint64_t>>* out) {
+  if (const std::shared_ptr<Cache>& cache = db_->block_cache()) {
+    Cache::Stats cs = cache->GetStats();
+    out->emplace_back("cache.hits", cs.hits);
+    out->emplace_back("cache.misses", cs.misses);
+    out->emplace_back("cache.inserts", cs.inserts);
+    out->emplace_back("cache.evictions", cs.evictions);
+    out->emplace_back("cache.charge_bytes", cs.charge);
+    out->emplace_back("cache.capacity_bytes", cs.capacity);
+  }
+  if (!name.empty()) {
+    std::shared_ptr<Table> table = db_->GetTable(name);
+    if (!table) return Status::NotFound("no such table: " + name);
+    const TableStats& ts = table->stats();
+    auto add = [&](const char* key, const std::atomic<uint64_t>& v) {
+      out->emplace_back(key, v.load(std::memory_order_relaxed));
+    };
+    add("table.insert_batches", ts.insert_batches);
+    add("table.rows_inserted", ts.rows_inserted);
+    add("table.queries", ts.queries);
+    add("table.rows_scanned", ts.rows_scanned);
+    add("table.rows_returned", ts.rows_returned);
+    add("table.flushes", ts.flushes);
+    add("table.bytes_flushed", ts.bytes_flushed);
+    add("table.merges", ts.merges);
+    add("table.tablets_merged", ts.tablets_merged);
+    add("table.bytes_merge_written", ts.bytes_merge_written);
+    add("table.tablets_expired", ts.tablets_expired);
+    add("table.tablets_quarantined", ts.tablets_quarantined);
+    add("table.bloom_tablet_skips", ts.bloom_tablet_skips);
+    add("table.bloom_tablet_probes", ts.bloom_tablet_probes);
+    add("table.block_cache_hits", ts.block_cache_hits);
+    add("table.block_cache_misses", ts.block_cache_misses);
+  }
+  return Status::OK();
 }
 
 void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
@@ -203,41 +286,8 @@ void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
         return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
       }
       std::vector<std::pair<std::string, uint64_t>> entries;
-      if (const std::shared_ptr<Cache>& cache = db_->block_cache()) {
-        Cache::Stats cs = cache->GetStats();
-        entries.emplace_back("cache.hits", cs.hits);
-        entries.emplace_back("cache.misses", cs.misses);
-        entries.emplace_back("cache.inserts", cs.inserts);
-        entries.emplace_back("cache.evictions", cs.evictions);
-        entries.emplace_back("cache.charge_bytes", cs.charge);
-        entries.emplace_back("cache.capacity_bytes", cs.capacity);
-      }
-      if (!name.empty()) {
-        std::shared_ptr<Table> table = db_->GetTable(name);
-        if (!table) {
-          return ReplyError(out, ErrCode::kNotFound, "no such table: " + name);
-        }
-        const TableStats& ts = table->stats();
-        auto add = [&](const char* key, const std::atomic<uint64_t>& v) {
-          entries.emplace_back(key, v.load(std::memory_order_relaxed));
-        };
-        add("table.insert_batches", ts.insert_batches);
-        add("table.rows_inserted", ts.rows_inserted);
-        add("table.queries", ts.queries);
-        add("table.rows_scanned", ts.rows_scanned);
-        add("table.rows_returned", ts.rows_returned);
-        add("table.flushes", ts.flushes);
-        add("table.bytes_flushed", ts.bytes_flushed);
-        add("table.merges", ts.merges);
-        add("table.tablets_merged", ts.tablets_merged);
-        add("table.bytes_merge_written", ts.bytes_merge_written);
-        add("table.tablets_expired", ts.tablets_expired);
-        add("table.tablets_quarantined", ts.tablets_quarantined);
-        add("table.bloom_tablet_skips", ts.bloom_tablet_skips);
-        add("table.bloom_tablet_probes", ts.bloom_tablet_probes);
-        add("table.block_cache_hits", ts.block_cache_hits);
-        add("table.block_cache_misses", ts.block_cache_misses);
-      }
+      Status s = CollectCounters(name, &entries);
+      if (!s.ok()) return ReplyStatus(out, s);
       std::string resp;
       PutVarint32(&resp, static_cast<uint32_t>(entries.size()));
       for (const auto& [key, value] : entries) {
@@ -245,6 +295,64 @@ void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
         PutVarint64(&resp, value);
       }
       *out += wire::Frame(MsgType::kStatsResult, resp);
+      return;
+    }
+
+    case MsgType::kStatsV2: {
+      std::string name;
+      if (!GetName(&body, &name)) {
+        return ReplyError(out, ErrCode::kInvalidArgument, "bad request");
+      }
+      std::vector<std::pair<std::string, uint64_t>> entries;
+      Status s = CollectCounters(name, &entries);
+      if (!s.ok()) return ReplyStatus(out, s);
+      for (const auto& [key, value] : metrics_.CounterValues()) {
+        entries.emplace_back(key, static_cast<uint64_t>(value));
+      }
+
+      // Histograms: the server's per-opcode distributions, plus the
+      // table's operation latencies when a table was named. Never-recorded
+      // histograms are omitted so the reply stays proportional to actual
+      // traffic.
+      std::vector<std::pair<std::string, HistogramSnapshot>> hists;
+      for (auto& [key, snap] : metrics_.HistogramSnapshots()) {
+        if (snap.count > 0) hists.emplace_back(key, std::move(snap));
+      }
+      if (!name.empty()) {
+        std::shared_ptr<Table> table = db_->GetTable(name);
+        if (!table) {
+          return ReplyError(out, ErrCode::kNotFound, "no such table: " + name);
+        }
+        TableStats& ts = table->stats();
+        auto add_hist = [&](const char* key, const LatencyHistogram& h) {
+          HistogramSnapshot snap = h.Snapshot();
+          if (snap.count > 0) hists.emplace_back(key, std::move(snap));
+        };
+        add_hist("table.insert_micros", ts.insert_micros);
+        add_hist("table.query_micros", ts.query_micros);
+        add_hist("table.flush_micros", ts.flush_micros);
+        add_hist("table.merge_micros", ts.merge_micros);
+        add_hist("table.block_read_micros", ts.block_read_micros);
+        add_hist("table.cache_lookup_micros", ts.cache_lookup_micros);
+      }
+
+      std::string resp;
+      PutVarint32(&resp, static_cast<uint32_t>(entries.size()));
+      for (const auto& [key, value] : entries) {
+        PutLengthPrefixedSlice(&resp, key);
+        PutVarint64(&resp, value);
+      }
+      PutVarint32(&resp, static_cast<uint32_t>(hists.size()));
+      for (const auto& [key, snap] : hists) {
+        PutLengthPrefixedSlice(&resp, key);
+        PutVarint64(&resp, snap.count);
+        PutVarint64(&resp, snap.P50());
+        PutVarint64(&resp, snap.P90());
+        PutVarint64(&resp, snap.P99());
+        PutVarint64(&resp, snap.P999());
+        PutVarint64(&resp, snap.max);
+      }
+      *out += wire::Frame(MsgType::kStatsV2Result, resp);
       return;
     }
 

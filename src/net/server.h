@@ -22,6 +22,7 @@
 #include "core/db.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "util/metrics.h"
 
 namespace lt {
 
@@ -44,6 +45,11 @@ class LittleTableServer {
   /// finished threads; tests assert on this.
   size_t NumConnThreads();
 
+  /// Server-level metrics: per-opcode request latency histograms
+  /// (server.op.<name>.micros) and connection/request/error counters
+  /// (server.*). Exposed for kStatsV2 and for in-process embedding.
+  MetricsRegistry& metrics() { return metrics_; }
+
  private:
   void AcceptLoop();
   void ServeConnection(uint64_t id, net::Socket conn);
@@ -57,7 +63,22 @@ class LittleTableServer {
                   const std::string& message);
   void ReplyStatus(std::string* out, const Status& s);
 
+  /// Collects the kStats counter entries (shared block cache, plus
+  /// `name`'s table counters when non-empty). Returns NotFound for an
+  /// unknown table.
+  Status CollectCounters(const std::string& name,
+                         std::vector<std::pair<std::string, uint64_t>>* out);
+
   DB* const db_;
+  MetricsRegistry metrics_;
+  // Per-opcode request-latency histograms, resolved once at construction
+  // so the serve loop records without touching the registry lock. Indexed
+  // by the request's MsgType byte; null for unused opcodes.
+  LatencyHistogram* op_micros_[256] = {};
+  Counter* connections_ = nullptr;
+  Counter* active_connections_ = nullptr;
+  Counter* requests_ = nullptr;
+  Counter* errors_ = nullptr;
   uint16_t port_;
   net::Socket listener_;
   std::atomic<bool> stopping_{false};

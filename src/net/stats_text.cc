@@ -1,0 +1,65 @@
+#include "net/stats_text.h"
+
+namespace lt {
+namespace {
+
+// "table.insert_micros" -> "littletable_table_insert_micros".
+std::string MetricName(const std::string& raw) {
+  std::string out = "littletable_";
+  for (char c : raw) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+bool IsTableMetric(const std::string& raw) {
+  return raw.rfind("table.", 0) == 0;
+}
+
+// {table="usage"} / {table="usage",quantile="0.99"} / {quantile="0.99"}.
+std::string Labels(const std::string& table, const char* quantile) {
+  if (table.empty() && quantile == nullptr) return "";
+  std::string out = "{";
+  if (!table.empty()) {
+    out += "table=\"" + table + "\"";
+    if (quantile != nullptr) out += ",";
+  }
+  if (quantile != nullptr) {
+    out += "quantile=\"";
+    out += quantile;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void AppendLine(std::string* out, const std::string& name,
+                const std::string& labels, uint64_t value) {
+  *out += name;
+  *out += labels;
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string RenderStatsText(const ServerStats& stats,
+                            const std::string& table) {
+  std::string out;
+  for (const auto& [raw, value] : stats.counters) {
+    const std::string label_table = IsTableMetric(raw) ? table : "";
+    AppendLine(&out, MetricName(raw), Labels(label_table, nullptr), value);
+  }
+  for (const auto& [raw, q] : stats.histograms) {
+    const std::string name = MetricName(raw);
+    const std::string label_table = IsTableMetric(raw) ? table : "";
+    AppendLine(&out, name + "_count", Labels(label_table, nullptr), q.count);
+    AppendLine(&out, name, Labels(label_table, "0.5"), q.p50);
+    AppendLine(&out, name, Labels(label_table, "0.9"), q.p90);
+    AppendLine(&out, name, Labels(label_table, "0.99"), q.p99);
+    AppendLine(&out, name, Labels(label_table, "0.999"), q.p999);
+    AppendLine(&out, name + "_max", Labels(label_table, nullptr), q.max);
+  }
+  return out;
+}
+
+}  // namespace lt

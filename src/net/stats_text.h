@@ -1,0 +1,23 @@
+// Text exposition of ServerStats in the Prometheus line format
+// (`name{label="v"} value`), so `lt_stats` output can be scraped or read
+// directly. Metric names get a `littletable_` prefix with dots mapped to
+// underscores; per-table metrics carry a `table` label; histograms expand
+// to a _count line, one line per exported quantile, and a _max line.
+#ifndef LITTLETABLE_NET_STATS_TEXT_H_
+#define LITTLETABLE_NET_STATS_TEXT_H_
+
+#include <string>
+
+#include "net/client.h"
+
+namespace lt {
+
+/// Renders `stats` as exposition text. `table` (optional) is the table the
+/// stats were fetched for; when non-empty, every `table.*` metric gets a
+/// `{table="<name>"}` label.
+std::string RenderStatsText(const ServerStats& stats,
+                            const std::string& table = "");
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_NET_STATS_TEXT_H_

@@ -44,6 +44,7 @@ enum class MsgType : uint8_t {
   kWidenColumn = 11,  // body: name, column name
   kSetTtl = 12,       // body: name, ttl
   kStats = 13,        // body: name ("" = server-wide counters only)
+  kStatsV2 = 14,      // body: name ("" = server-wide); adds histograms
 
   // Responses.
   kOk = 64,
@@ -53,6 +54,12 @@ enum class MsgType : uint8_t {
   kQueryChunk = 68,  // body: flags, schema version, row count, rows
   kRowResult = 69,   // body: found byte, schema version, row
   kStatsResult = 70, // body: count, then (name, varint64 value) pairs
+  // kStats's counter section followed by latency histograms: varint32
+  // count, then per histogram (name, varint64 count, p50, p90, p99, p999,
+  // max — all microseconds). Old servers answer kStatsV2 with kError
+  // (unknown message type); old clients simply never send kStatsV2, so
+  // both directions stay backward compatible.
+  kStatsV2Result = 71,
 };
 
 /// Error codes carried by kError.

@@ -29,7 +29,7 @@ Status DbBackend::Insert(const std::string& table,
 }
 
 Status DbBackend::QueryAll(const std::string& table, const QueryBounds& bounds,
-                           std::vector<Row>* rows) {
+                           std::vector<Row>* rows, QueryTrace* trace) {
   rows->clear();
   std::shared_ptr<Table> t = db_->GetTable(table);
   if (!t) return Status::NotFound("no such table: " + table);
@@ -39,7 +39,8 @@ Status DbBackend::QueryAll(const std::string& table, const QueryBounds& bounds,
   while (true) {
     if (want > 0) page.limit = want - rows->size();
     QueryResult result;
-    LT_RETURN_IF_ERROR(t->Query(page, &result));
+    // Each continuation page accumulates into the same statement trace.
+    LT_RETURN_IF_ERROR(t->Query(page, &result, trace));
     for (Row& row : result.rows) rows->push_back(std::move(row));
     if (!result.more_available) return Status::OK();
     if (want > 0 && rows->size() >= want) return Status::OK();

@@ -27,8 +27,12 @@ class SqlBackend {
   virtual Status Insert(const std::string& table,
                         const std::vector<Row>& rows) = 0;
   /// Complete result for the bounds (paginating past server limits).
+  /// `trace` (optional) accumulates the query's execution trace when the
+  /// backend can observe it (embedded DB; the wire protocol does not carry
+  /// traces, so the remote backend leaves it untouched).
   virtual Status QueryAll(const std::string& table, const QueryBounds& bounds,
-                          std::vector<Row>* rows) = 0;
+                          std::vector<Row>* rows,
+                          QueryTrace* trace = nullptr) = 0;
   /// Latest row whose key begins with `prefix` (§3.4.5).
   virtual Status LatestRow(const std::string& table, const Key& prefix,
                            Row* row, bool* found) = 0;
@@ -50,7 +54,7 @@ class DbBackend final : public SqlBackend {
   Status DropTable(const std::string& table) override;
   Status Insert(const std::string& table, const std::vector<Row>& rows) override;
   Status QueryAll(const std::string& table, const QueryBounds& bounds,
-                  std::vector<Row>* rows) override;
+                  std::vector<Row>* rows, QueryTrace* trace = nullptr) override;
   Status LatestRow(const std::string& table, const Key& prefix, Row* row,
                    bool* found) override;
   Status FlushThrough(const std::string& table, Timestamp ts) override;
@@ -82,7 +86,9 @@ class ClientBackend final : public SqlBackend {
     return client_->Insert(table, rows);
   }
   Status QueryAll(const std::string& table, const QueryBounds& bounds,
-                  std::vector<Row>* rows) override {
+                  std::vector<Row>* rows,
+                  QueryTrace* trace = nullptr) override {
+    (void)trace;  // The wire protocol does not carry traces.
     return client_->QueryAll(table, bounds, rows);
   }
   Status LatestRow(const std::string& table, const Key& prefix, Row* row,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/wire.h"  // kOmittedTimestamp
+#include "util/clock.h"
 
 namespace lt {
 namespace sql {
@@ -177,6 +178,7 @@ Result<ResultSet> SqlSession::ExecuteInsert(const InsertStmt& stmt) {
 }
 
 Result<ResultSet> SqlSession::ExecuteSelect(const SelectStmt& stmt) {
+  const Timestamp select_start = MonotonicMicros();
   LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
                       backend_->GetSchema(stmt.table));
   const Timestamp now = backend_->Now();
@@ -325,10 +327,17 @@ Result<ResultSet> SqlSession::ExecuteSelect(const SelectStmt& stmt) {
   }
 
   // ---- Fetch and post-process. ----
-  std::vector<Row> raw;
-  LT_RETURN_IF_ERROR(backend_->QueryAll(stmt.table, bounds, &raw));
-
   ResultSet rs;
+  std::vector<Row> raw;
+  LT_RETURN_IF_ERROR(backend_->QueryAll(stmt.table, bounds, &raw, &rs.trace));
+
+  // Statement-level trace fields: the engine reports what it scanned; the
+  // executor reports what the statement actually produced after filtering,
+  // projection, and aggregation.
+  auto finish_trace = [&]() {
+    rs.trace.rows_returned = rs.rows.size();
+    rs.trace.elapsed_micros = MonotonicMicros() - select_start;
+  };
   if (!has_aggregates) {
     // Plain projection.
     std::vector<int> proj;
@@ -357,6 +366,7 @@ Result<ResultSet> SqlSession::ExecuteSelect(const SelectStmt& stmt) {
       rs.rows.push_back(std::move(out));
       if (stmt.limit > 0 && rs.rows.size() >= stmt.limit) break;
     }
+    finish_trace();
     return rs;
   }
 
@@ -498,6 +508,7 @@ Result<ResultSet> SqlSession::ExecuteSelect(const SelectStmt& stmt) {
     emit_group();
   }
   if (stmt.limit > 0 && rs.rows.size() > stmt.limit) rs.rows.resize(stmt.limit);
+  finish_trace();
   return rs;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/query_trace.h"
 #include "sql/ast.h"
 #include "sql/backend.h"
 
@@ -30,6 +31,9 @@ struct ResultSet {
   std::vector<Row> rows;
   /// Rows inserted (INSERT statements).
   uint64_t rows_affected = 0;
+  /// Execution trace (SELECT statements against an embedded backend;
+  /// rows_returned and elapsed_micros are filled for every SELECT).
+  QueryTrace trace;
 
   /// Renders an ASCII table for CLIs and examples.
   std::string ToString() const;

@@ -2,6 +2,12 @@
 
 namespace lt {
 
+Timestamp MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 const std::shared_ptr<SystemClock>& SystemClock::Instance() {
   static const std::shared_ptr<SystemClock> clock =
       std::make_shared<SystemClock>();

@@ -44,6 +44,12 @@ class SystemClock : public Clock {
   static const std::shared_ptr<SystemClock>& Instance();
 };
 
+/// Monotonic microseconds since an arbitrary process-local epoch
+/// (std::chrono::steady_clock). Latency instrumentation uses this rather
+/// than a Clock: operation durations must be real elapsed time, immune to
+/// SimClock jumps and wall-clock adjustments.
+Timestamp MonotonicMicros();
+
 /// A manually advanced clock for tests and simulation benchmarks.
 class SimClock : public Clock {
  public:

@@ -1,6 +1,7 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 
@@ -73,13 +74,96 @@ double Samples::CdfAt(double x) const {
   return static_cast<double>(n) / s.size();
 }
 
-std::string SummaryString(const Samples& s) {
+std::string FormatQuantileSummary(uint64_t n, double mean, double p50,
+                                  double p90, double p99, double min,
+                                  double max) {
   char buf[160];
   snprintf(buf, sizeof(buf),
-           "n=%zu mean=%.3f p50=%.3f p90=%.3f p99=%.3f min=%.3f max=%.3f",
-           s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.9),
-           s.Quantile(0.99), s.Min(), s.Max());
+           "n=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f min=%.3f max=%.3f",
+           static_cast<unsigned long long>(n), mean, p50, p90, p99, min, max);
   return buf;
+}
+
+std::string SummaryString(const Samples& s) {
+  return FormatQuantileSummary(s.Count(), s.Mean(), s.Quantile(0.5),
+                               s.Quantile(0.9), s.Quantile(0.99), s.Min(),
+                               s.Max());
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram.
+
+size_t LatencyHistogram::BucketFor(uint64_t v) {
+  if (v < kSubBucketCount) return static_cast<size_t>(v);
+  // v has bit width k >= kSubBucketBits + 1; its top (kSubBucketBits + 1)
+  // bits select the sub-bucket within the power-of-two range.
+  int k = 64 - std::countl_zero(v);
+  uint64_t sub = (v >> (k - 1 - kSubBucketBits)) - kSubBucketCount;
+  return static_cast<size_t>(k - kSubBucketBits) * kSubBucketCount +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::BucketValue(size_t bucket) {
+  if (bucket < kSubBucketCount) return bucket;
+  uint64_t power = bucket / kSubBucketCount;  // >= 1.
+  uint64_t sub = bucket % kSubBucketCount;
+  uint64_t lo = (kSubBucketCount + sub) << (power - 1);
+  uint64_t width = 1ull << (power - 1);
+  return lo + (width >> 1);
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  if (micros == 0) micros = 1;
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (micros > prev &&
+         !max_.compare_exchange_weak(prev, micros,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::Count() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = c;
+    snap.count += c;
+    if (c > 0 && snap.min == 0) snap.min = BucketValue(i);
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * count));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); i++) {
+    seen += buckets[i];
+    if (seen >= target) {
+      // The top bucket's midpoint can overshoot the true maximum; clamp.
+      return std::min(LatencyHistogram::BucketValue(i), max);
+    }
+  }
+  return max;
+}
+
+std::string HistogramSnapshot::ToString() const {
+  return FormatQuantileSummary(
+      count, Mean(), static_cast<double>(P50()), static_cast<double>(P90()),
+      static_cast<double>(P99()), static_cast<double>(min),
+      static_cast<double>(max));
 }
 
 }  // namespace lt

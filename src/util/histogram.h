@@ -1,9 +1,14 @@
-// Sample accumulator used by the benchmark harness: means, confidence
-// intervals (Student's t, as §5.1.1 specifies for the paper's error bars),
-// and CDF quantiles for the §5.2 production-metrics figures.
+// Sample accumulator used by the benchmark harness (means, confidence
+// intervals per §5.1.1, CDF quantiles for the §5.2 production-metrics
+// figures) plus LatencyHistogram, the fixed-memory concurrent histogram the
+// serving layers record into. The paper's evaluation is built from latency
+// distributions collected off live shards; LatencyHistogram is the substrate
+// that makes those distributions observable on a running server.
 #ifndef LITTLETABLE_UTIL_HISTOGRAM_H_
 #define LITTLETABLE_UTIL_HISTOGRAM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +45,73 @@ class Samples {
 
 /// Renders "p50=… p90=… mean=…" for logging.
 std::string SummaryString(const Samples& s);
+
+/// The one quantile-summary format shared by bench output (Samples) and
+/// server stats (HistogramSnapshot), so both render identically.
+std::string FormatQuantileSummary(uint64_t n, double mean, double p50,
+                                  double p90, double p99, double min,
+                                  double max);
+
+/// Point-in-time copy of a LatencyHistogram. Quantiles are resolved against
+/// the log-bucketed counts: each reported value is its bucket's midpoint, so
+/// the relative error is bounded by the sub-bucket width (~±3%).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;  // Total recorded microseconds.
+  uint64_t min = 0;  // Representative value of the lowest occupied bucket.
+  uint64_t max = 0;  // Exact largest recorded value.
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+  /// q in [0,1]; smallest bucket value v such that >= ceil(q*count) recorded
+  /// values are <= v.
+  uint64_t ValueAtQuantile(double q) const;
+  uint64_t P50() const { return ValueAtQuantile(0.50); }
+  uint64_t P90() const { return ValueAtQuantile(0.90); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+  uint64_t P999() const { return ValueAtQuantile(0.999); }
+
+  /// Same line format as SummaryString(Samples).
+  std::string ToString() const;
+};
+
+/// Thread-safe, fixed-memory latency histogram (HdrHistogram-style): values
+/// bucket by power of two, each power split into 2^kSubBucketBits linear
+/// sub-buckets, every count an independent relaxed atomic — recording is
+/// lock-free and wait-free on the hot path, ~8 kB per histogram, full uint64
+/// microsecond range.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr uint64_t kSubBucketCount = 1ull << kSubBucketBits;
+  static constexpr size_t kNumBuckets =
+      (64 - kSubBucketBits + 1) * kSubBucketCount;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one latency measurement. Sub-microsecond measurements count as
+  /// 1 µs so quantiles of very hot operations stay nonzero.
+  void Record(uint64_t micros);
+
+  /// Consistent-enough copy under concurrent recording: each bucket is read
+  /// atomically; the snapshot may miss records racing with it.
+  HistogramSnapshot Snapshot() const;
+
+  uint64_t Count() const;
+
+  /// Bucket index for a value (exact below kSubBucketCount, log-linear
+  /// above).
+  static size_t BucketFor(uint64_t v);
+  /// Representative (midpoint) value of a bucket.
+  static uint64_t BucketValue(size_t bucket);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
 
 }  // namespace lt
 

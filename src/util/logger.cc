@@ -1,0 +1,125 @@
+#include "util/logger.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+#include "util/clock.h"
+
+namespace lt {
+namespace {
+
+// ts=2026-08-06T12:34:56.123456Z — UTC wall time with microseconds.
+std::string FormatWallTime() {
+  using namespace std::chrono;
+  auto now = system_clock::now();
+  auto micros = duration_cast<microseconds>(now.time_since_epoch()).count();
+  time_t secs = static_cast<time_t>(micros / 1000000);
+  int64_t frac = micros % 1000000;
+  struct tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  size_t n = strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  snprintf(buf + n, sizeof(buf) - n, ".%06lldZ",
+           static_cast<long long>(frac));
+  return buf;
+}
+
+void AppendQuoted(std::string* out, const std::string& v) {
+  out->push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)), quoted(false) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+
+void StderrLogSink::Write(const std::string& line) {
+  // One fputs per line; POSIX stdio locks the stream, so concurrent lines
+  // never interleave mid-line.
+  std::string with_newline = line;
+  with_newline.push_back('\n');
+  fputs(with_newline.c_str(), stderr);
+}
+
+void CaptureLogSink::Write(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(line);
+}
+
+std::vector<std::string> CaptureLogSink::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+Logger::Logger(LogLevel min_level, std::shared_ptr<LogSink> sink)
+    : min_level_(static_cast<int>(min_level)), sink_(std::move(sink)) {
+  if (!sink_) sink_ = std::make_shared<StderrLogSink>();
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  if (!Enabled(level)) return;
+  std::string line;
+  line.reserve(128);
+  line.append("ts=");
+  line.append(FormatWallTime());
+  line.append(" mono_us=");
+  line.append(std::to_string(MonotonicMicros()));
+  line.append(" level=");
+  line.append(LogLevelName(level));
+  line.append(" event=");
+  line.append(event);
+  for (const LogField& f : fields) {
+    line.push_back(' ');
+    line.append(f.key);
+    line.push_back('=');
+    if (f.quoted) {
+      AppendQuoted(&line, f.value);
+    } else {
+      line.append(f.value);
+    }
+  }
+  sink_->Write(line);
+}
+
+const std::shared_ptr<Logger>& Logger::Default() {
+  static const std::shared_ptr<Logger>* kDefault =
+      new std::shared_ptr<Logger>(std::make_shared<Logger>());
+  return *kDefault;
+}
+
+}  // namespace lt

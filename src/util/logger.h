@@ -1,0 +1,124 @@
+// Leveled structured logger. Every line is machine-parseable key=value
+// fields with both a wall-clock timestamp (correlating with external
+// systems) and a monotonic microsecond timestamp (ordering within the
+// process, immune to clock steps):
+//
+//   ts=2026-08-06T12:34:56.123456Z mono_us=8214722 level=warn
+//       event=tablet_quarantined table="usage" tablet="000007.tab"
+//       status="Corruption: ..."   (all on one line)
+//
+// The sink is pluggable (stderr by default; tests capture lines in memory).
+// Field formatting is only paid for enabled levels.
+#ifndef LITTLETABLE_UTIL_LOGGER_H_
+#define LITTLETABLE_UTIL_LOGGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Lowercase level name ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+/// One key=value pair. String values are quoted (with escaping) on output;
+/// numeric and boolean values are emitted bare.
+struct LogField {
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)), quoted(true) {}
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), value(v), quoted(true) {}
+  LogField(std::string k, int64_t v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, int v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+  LogField(std::string k, const Status& s)
+      : key(std::move(k)), value(s.ToString()), quoted(true) {}
+
+  std::string key;
+  std::string value;
+  bool quoted;
+};
+
+/// Destination for formatted lines (no trailing newline). Write must be
+/// thread-safe.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const std::string& line) = 0;
+};
+
+/// Appends lines to stderr.
+class StderrLogSink final : public LogSink {
+ public:
+  void Write(const std::string& line) override;
+};
+
+/// Collects lines in memory (tests).
+class CaptureLogSink final : public LogSink {
+ public:
+  void Write(const std::string& line) override;
+  std::vector<std::string> lines() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+class Logger {
+ public:
+  /// Null sink means stderr.
+  explicit Logger(LogLevel min_level = LogLevel::kInfo,
+                  std::shared_ptr<LogSink> sink = nullptr);
+
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// Emits one structured line if `level` is enabled.
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields);
+
+  void Debug(std::string_view event, std::initializer_list<LogField> fields) {
+    Log(LogLevel::kDebug, event, fields);
+  }
+  void Info(std::string_view event, std::initializer_list<LogField> fields) {
+    Log(LogLevel::kInfo, event, fields);
+  }
+  void Warn(std::string_view event, std::initializer_list<LogField> fields) {
+    Log(LogLevel::kWarn, event, fields);
+  }
+  void Error(std::string_view event, std::initializer_list<LogField> fields) {
+    Log(LogLevel::kError, event, fields);
+  }
+
+  /// Shared process-wide stderr logger at kInfo — the default destination
+  /// for components given no explicit logger.
+  static const std::shared_ptr<Logger>& Default();
+
+ private:
+  std::atomic<int> min_level_;
+  std::shared_ptr<LogSink> sink_;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_UTIL_LOGGER_H_

@@ -1,0 +1,60 @@
+// MetricsRegistry: names and owns the process's counters and latency
+// histograms so serving layers share one instrument per metric name and the
+// stats exposition (kStatsV2, lt_stats text) can enumerate everything that
+// exists. Lookup takes a lock; the returned pointers are stable for the
+// registry's lifetime, so hot paths resolve their instruments once and then
+// record lock-free.
+#ifndef LITTLETABLE_UTIL_METRICS_H_
+#define LITTLETABLE_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace lt {
+
+/// A monotonically named (not necessarily monotonically valued) integer
+/// metric. Increment/Add are relaxed atomics — safe from any thread.
+/// Gauge-like uses (active connections) Add(+1)/Add(-1).
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter/histogram registered under `name`, creating it on
+  /// first use. Pointers remain valid until the registry is destroyed.
+  Counter* GetCounter(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Name-sorted snapshots for exposition.
+  std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramSnapshots()
+      const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace lt
+
+#endif  // LITTLETABLE_UTIL_METRICS_H_

@@ -11,6 +11,7 @@
 #include "env/mem_env.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/stats_text.h"
 #include "tests/test_util.h"
 
 namespace lt {
@@ -123,6 +124,102 @@ TEST_F(NetTest, StatsReplyCarriesCacheAndTableCounters) {
   EXPECT_GT(stats["cache.charge_bytes"], 0u);
 
   EXPECT_TRUE(client_->Stats("nope", &stats).IsNotFound());
+}
+
+TEST_F(NetTest, StatsV2ReturnsLatencyQuantiles) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  Timestamp t = clock_->Now();
+  std::vector<Row> rows;
+  for (int i = 0; i < 50; i++) rows.push_back(UsageRow(1, i, t + i, i, 0.5));
+  ASSERT_TRUE(client_->Insert("usage", rows).ok());
+  ASSERT_TRUE(db_->FlushAll().ok());
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+
+  // Per-table kStatsV2: counters ride along and per-table latency
+  // histograms report nonzero quantiles for the operations just performed.
+  ServerStats stats;
+  ASSERT_TRUE(client_->Stats("usage", &stats).ok());
+  EXPECT_EQ(stats.counters["table.rows_inserted"], 50u);
+  EXPECT_EQ(stats.counters["table.queries"], 2u);
+  ASSERT_TRUE(stats.histograms.count("table.insert_micros"));
+  ASSERT_TRUE(stats.histograms.count("table.query_micros"));
+  const HistogramQuantiles& ins = stats.histograms["table.insert_micros"];
+  EXPECT_EQ(ins.count, 1u);  // One InsertBatch.
+  EXPECT_GE(ins.p50, 1u);    // Sub-microsecond records clamp to 1.
+  EXPECT_GE(ins.p99, ins.p50);
+  EXPECT_GE(ins.max, ins.p999);
+  const HistogramQuantiles& qry = stats.histograms["table.query_micros"];
+  EXPECT_EQ(qry.count, 2u);
+  EXPECT_GE(qry.p50, 1u);
+  EXPECT_GE(qry.p99, 1u);
+  ASSERT_TRUE(stats.histograms.count("table.flush_micros"));
+  EXPECT_GE(stats.histograms["table.flush_micros"].count, 1u);
+
+  // Server-wide kStatsV2: per-opcode request histograms.
+  ServerStats server_stats;
+  ASSERT_TRUE(client_->Stats("", &server_stats).ok());
+  EXPECT_GT(server_stats.counters["server.requests"], 0u);
+  EXPECT_GT(server_stats.counters["server.connections"], 0u);
+  ASSERT_TRUE(server_stats.histograms.count("server.op.insert.micros"));
+  EXPECT_EQ(server_stats.histograms["server.op.insert.micros"].count, 1u);
+  ASSERT_TRUE(server_stats.histograms.count("server.op.query.micros"));
+  EXPECT_GE(server_stats.histograms["server.op.query.micros"].count, 2u);
+  EXPECT_EQ(server_stats.histograms.count("table.query_micros"), 0u);
+
+  // Unknown tables map to NotFound, as with legacy kStats.
+  ServerStats bad;
+  EXPECT_TRUE(client_->Stats("nope", &bad).IsNotFound());
+
+  // The legacy kStats opcode still answers old clients.
+  std::map<std::string, uint64_t> legacy;
+  ASSERT_TRUE(client_->Stats("usage", &legacy).ok());
+  EXPECT_EQ(legacy["table.queries"], 2u);
+}
+
+TEST_F(NetTest, RenderStatsTextPrometheusFormat) {
+  ServerStats stats;
+  stats.counters["server.requests"] = 17;
+  stats.counters["table.rows_inserted"] = 50;
+  HistogramQuantiles q;
+  q.count = 2;
+  q.p50 = 120;
+  q.p90 = 450;
+  q.p99 = 451;
+  q.p999 = 451;
+  q.max = 452;
+  stats.histograms["table.query_micros"] = q;
+
+  std::string text = RenderStatsText(stats, "usage");
+  // Counters: table-scoped metrics get the table label, server-wide do not.
+  EXPECT_NE(text.find("littletable_server_requests 17\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("littletable_table_rows_inserted{table=\"usage\"} 50\n"),
+            std::string::npos)
+      << text;
+  // Histograms: _count, per-quantile lines, _max.
+  EXPECT_NE(
+      text.find("littletable_table_query_micros_count{table=\"usage\"} 2\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("littletable_table_query_micros{table=\"usage\","
+                      "quantile=\"0.99\"} 451\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("littletable_table_query_micros_max{table=\"usage\"} 452\n"),
+      std::string::npos)
+      << text;
+
+  // Without a table name there is no label set at all on counters.
+  std::string bare = RenderStatsText(stats);
+  EXPECT_NE(bare.find("littletable_table_rows_inserted 50\n"),
+            std::string::npos)
+      << bare;
+  EXPECT_NE(bare.find("littletable_table_query_micros{quantile=\"0.5\"} 120\n"),
+            std::string::npos)
+      << bare;
 }
 
 TEST_F(NetTest, ServerAssignsOmittedTimestamps) {

@@ -308,6 +308,37 @@ TEST_F(SqlExecTest, ResultSetToStringRenders) {
   EXPECT_NE(rendered.find("'hello'"), std::string::npos);
 }
 
+TEST_F(SqlExecTest, SelectPopulatesQueryTrace) {
+  Exec(
+      "CREATE TABLE usage (network INT64, device INT64, ts TIMESTAMP, "
+      "bytes INT64, PRIMARY KEY (network, device, ts))");
+  for (int i = 0; i < 20; i++) {
+    Exec("INSERT INTO usage VALUES (1, " + std::to_string(i) + ", " +
+         std::to_string(100 + i) + ", " + std::to_string(i) + ")");
+  }
+  ASSERT_TRUE(db_->FlushAll().ok());
+
+  // Embedded backend: the engine-side trace rides up through QueryAll.
+  ResultSet rs = Exec("SELECT * FROM usage WHERE bytes >= 10");
+  ASSERT_EQ(rs.rows.size(), 10u);
+  EXPECT_EQ(rs.trace.rows_scanned, 20u);   // Engine scanned everything...
+  EXPECT_EQ(rs.trace.rows_returned, 10u);  // ...executor filtered to 10.
+  EXPECT_GE(rs.trace.tablets_considered, 1u);
+  EXPECT_GE(rs.trace.blocks_read, 1u);
+  EXPECT_GE(rs.trace.elapsed_micros, 0);
+
+  // Aggregation reports the emitted rows, not the scanned ones.
+  ResultSet agg = Exec("SELECT COUNT(*) FROM usage");
+  ASSERT_EQ(agg.rows.size(), 1u);
+  EXPECT_EQ(agg.trace.rows_returned, 1u);
+  EXPECT_EQ(agg.trace.rows_scanned, 20u);
+
+  // Non-SELECT statements leave the trace untouched.
+  ResultSet ins = Exec("INSERT INTO usage VALUES (2, 0, 100, 0)");
+  EXPECT_EQ(ins.trace.rows_scanned, 0u);
+  EXPECT_EQ(ins.trace.elapsed_micros, 0);
+}
+
 // ----- The same SQL, over the wire (the paper's adaptor topology). -----
 
 TEST(SqlOverWireTest, EndToEnd) {

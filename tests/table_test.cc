@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 #include "core/db.h"
 #include "core/table.h"
 #include "env/mem_env.h"
 #include "tests/test_util.h"
+#include "util/logger.h"
 #include "util/random.h"
 
 namespace lt {
@@ -776,6 +778,120 @@ TEST_F(DbTest, OpenServesRemainingTabletsWhenOneIsCorrupt) {
   EXPECT_EQ(result.rows[0][3].i64(), 20);
   EXPECT_EQ(table->stats().tablets_quarantined.load(), 1u);
   EXPECT_TRUE(env_.FileExists(victim + ".corrupt"));
+}
+
+// ----- Observability. -----
+
+TEST_F(TableTest, WriteAmplificationSentinels) {
+  // Nothing written yet: every byte (vacuously) written once.
+  EXPECT_DOUBLE_EQ(table_->stats().WriteAmplification(), 1.0);
+  // Merge bytes with no observed flush (reopened table, reset stats): the
+  // denominator is unknown — +inf, not a silent 0.
+  table_->stats().bytes_merge_written.fetch_add(1000);
+  EXPECT_TRUE(std::isinf(table_->stats().WriteAmplification()));
+  EXPECT_GT(table_->stats().WriteAmplification(), 0.0);
+  // With both observed, the usual (flushed + merged) / flushed ratio.
+  table_->stats().bytes_flushed.fetch_add(500);
+  EXPECT_DOUBLE_EQ(table_->stats().WriteAmplification(), 3.0);
+}
+
+TEST_F(TableTest, OperationLatencyHistogramsRecord) {
+  ASSERT_TRUE(Insert(1, 1, Now()).ok());
+  ASSERT_TRUE(Insert(1, 2, Now() + 1).ok());
+  ASSERT_TRUE(Insert(1, 3, Now() + 2).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  Query(QueryBounds{});
+  Query(QueryBounds{});
+
+  TableStats& stats = table_->stats();
+  EXPECT_EQ(stats.insert_micros.Count(), 3u);  // One per InsertBatch.
+  EXPECT_EQ(stats.query_micros.Count(), 2u);
+  EXPECT_GE(stats.flush_micros.Count(), 1u);
+  // Sub-microsecond operations clamp to 1 µs, so quantiles stay nonzero.
+  EXPECT_GE(stats.insert_micros.Snapshot().P50(), 1u);
+  EXPECT_GE(stats.query_micros.Snapshot().P99(), 1u);
+}
+
+TEST_F(TableTest, QueryTracePopulated) {
+  Timestamp t0 = Now();
+  for (int i = 0; i < 100; i++) ASSERT_TRUE(Insert(1, i, t0 + i).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  clock_->Advance(kMicrosPerWeek);
+  Timestamp t1 = Now();
+  for (int i = 0; i < 50; i++) ASSERT_TRUE(Insert(2, i, t1 + i).ok());
+
+  // Full scan: the disk tablet is considered (mem tablets are snapshotted,
+  // not counted), all rows scanned, disk blocks read.
+  QueryTrace trace;
+  QueryResult result;
+  ASSERT_TRUE(table_->Query(QueryBounds{}, &result, &trace).ok());
+  EXPECT_EQ(trace.tablets_considered, 1u);
+  EXPECT_EQ(trace.TabletsPruned(), 0u);
+  EXPECT_EQ(trace.rows_scanned, 150u);
+  EXPECT_EQ(trace.rows_returned, 150u);
+  EXPECT_GE(trace.blocks_read, 1u);
+  EXPECT_GE(trace.elapsed_micros, 0);
+
+  // Time-bounded scan: the disk tablet's range ends before min_ts, so it is
+  // pruned by timestamp without being opened.
+  QueryBounds recent;
+  recent.min_ts = t1;
+  QueryTrace pruned;
+  QueryResult recent_result;
+  ASSERT_TRUE(table_->Query(recent, &recent_result, &pruned).ok());
+  EXPECT_EQ(recent_result.rows.size(), 50u);
+  EXPECT_GE(pruned.tablets_pruned_time, 1u);
+  EXPECT_EQ(pruned.blocks_read, 0u);
+
+  // A second query into the same trace accumulates (pagination pattern).
+  ASSERT_TRUE(table_->Query(recent, &recent_result, &pruned).ok());
+  EXPECT_EQ(pruned.rows_returned, 100u);
+}
+
+TEST_F(TableTest, SlowQueryLogEmitsOneStructuredLine) {
+  auto sink = std::make_shared<CaptureLogSink>();
+  opts_.logger = std::make_shared<Logger>(LogLevel::kDebug, sink);
+  opts_.slow_query_micros = 1;  // Everything is slow.
+  Recreate();
+  // Enough work that the query measurably takes >= 1 µs on any machine.
+  for (int i = 0; i < 500; i++) ASSERT_TRUE(Insert(1, i, Now() + i, i).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+  Query(QueryBounds{});
+
+  auto slow_lines = [&] {
+    std::vector<std::string> out;
+    for (const std::string& line : sink->lines()) {
+      if (line.find(" event=slow_query") != std::string::npos)
+        out.push_back(line);
+    }
+    return out;
+  };
+  std::vector<std::string> slow = slow_lines();
+  ASSERT_EQ(slow.size(), 1u);  // Exactly one line per slow query.
+  const std::string& line = slow[0];
+  EXPECT_NE(line.find(" table=\"usage\""), std::string::npos) << line;
+  EXPECT_NE(line.find(" elapsed_us="), std::string::npos) << line;
+  EXPECT_NE(line.find(" rows_scanned=500"), std::string::npos) << line;
+  EXPECT_NE(line.find(" rows_returned=500"), std::string::npos) << line;
+  EXPECT_NE(line.find(" tablets_considered=1"), std::string::npos) << line;
+  EXPECT_NE(line.find(" tablets_pruned=0"), std::string::npos) << line;
+  EXPECT_NE(line.find(" blocks_read="), std::string::npos) << line;
+  EXPECT_NE(line.find(" cache_hits="), std::string::npos) << line;
+
+  Query(QueryBounds{});
+  EXPECT_EQ(slow_lines().size(), 2u);
+}
+
+TEST_F(TableTest, SlowQueryLogOffByDefault) {
+  auto sink = std::make_shared<CaptureLogSink>();
+  opts_.logger = std::make_shared<Logger>(LogLevel::kDebug, sink);
+  ASSERT_EQ(opts_.slow_query_micros, 0);  // Default: disabled.
+  Recreate();
+  ASSERT_TRUE(Insert(1, 1, Now()).ok());
+  Query(QueryBounds{});
+  for (const std::string& line : sink->lines()) {
+    EXPECT_EQ(line.find("slow_query"), std::string::npos) << line;
+  }
 }
 
 }  // namespace

@@ -1,11 +1,16 @@
 // Tests for the byte-level substrate: Slice, Status, coding, CRC32C,
-// Random, SimClock, and the Samples accumulator.
+// Random, SimClock, the Samples accumulator, LatencyHistogram, the metrics
+// registry, and the structured logger.
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "util/clock.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/histogram.h"
+#include "util/logger.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -250,6 +255,152 @@ TEST(SamplesTest, EmptyIsSafe) {
   EXPECT_EQ(s.Mean(), 0);
   EXPECT_EQ(s.Quantile(0.5), 0);
   EXPECT_EQ(s.ConfidenceInterval95(), 0);
+}
+
+TEST(LatencyHistogramTest, BucketsExactBelowSubBucketCount) {
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBucketCount; v++) {
+    EXPECT_EQ(LatencyHistogram::BucketFor(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketValue(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketMidpointsRoundTrip) {
+  // Every bucket's representative value maps back to that bucket, across
+  // the full uint64 range.
+  for (size_t b = 0; b < LatencyHistogram::kNumBuckets; b++) {
+    uint64_t v = LatencyHistogram::BucketValue(b);
+    EXPECT_EQ(LatencyHistogram::BucketFor(v), b) << "bucket " << b;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketErrorBoundedBySubBucketWidth) {
+  // A bucket's midpoint is within 1/kSubBucketCount of the recorded value —
+  // the ±~3% quantile accuracy the snapshot documents.
+  Random rng(11);
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = rng.Next() >> (rng.Uniform(63));
+    uint64_t rep = LatencyHistogram::BucketValue(LatencyHistogram::BucketFor(v));
+    double err = std::abs(static_cast<double>(rep) - static_cast<double>(v));
+    EXPECT_LE(err, static_cast<double>(v) / LatencyHistogram::kSubBucketCount + 1)
+        << "v=" << v << " rep=" << rep;
+  }
+}
+
+TEST(LatencyHistogramTest, ZeroRecordsAsOneMicro) {
+  LatencyHistogram h;
+  h.Record(0);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 1u);
+  EXPECT_EQ(snap.P50(), 1u);
+}
+
+TEST(LatencyHistogramTest, QuantilesTrackUniformData) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; v++) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 500.5);  // Sum is exact.
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 1000u);  // Max is exact.
+  EXPECT_NEAR(snap.P50(), 500, 500 * 0.07);
+  EXPECT_NEAR(snap.P90(), 900, 900 * 0.07);
+  EXPECT_NEAR(snap.P99(), 990, 990 * 0.07);
+  EXPECT_LE(snap.ValueAtQuantile(1.0), 1000u);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero) {
+  LatencyHistogram h;
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Mean(), 0.0);
+  EXPECT_EQ(snap.P50(), 0u);
+  EXPECT_EQ(snap.P999(), 0u);
+}
+
+TEST(FormatQuantileSummaryTest, PinnedFormat) {
+  // Both bench output (SummaryString) and server stats
+  // (HistogramSnapshot::ToString) render through this one format; pin it.
+  EXPECT_EQ(FormatQuantileSummary(5, 1.5, 2, 3, 4, 0.5, 9),
+            "n=5 mean=1.500 p50=2.000 p90=3.000 p99=4.000 min=0.500 max=9.000");
+}
+
+TEST(FormatQuantileSummaryTest, SamplesAndSnapshotRenderIdentically) {
+  // One value, exactly representable in both: the two summaries must agree
+  // byte for byte.
+  Samples s;
+  s.Add(8);
+  LatencyHistogram h;
+  h.Record(8);
+  EXPECT_EQ(SummaryString(s), h.Snapshot().ToString());
+  EXPECT_EQ(SummaryString(s),
+            "n=1 mean=8.000 p50=8.000 p90=8.000 p99=8.000 min=8.000 max=8.000");
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("server.requests");
+  EXPECT_EQ(a, reg.GetCounter("server.requests"));
+  a->Increment();
+  a->Add(4);
+  EXPECT_EQ(a->Value(), 5);
+  reg.GetCounter("server.errors")->Add(2);
+
+  auto counters = reg.CounterValues();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "server.errors");  // Name-sorted.
+  EXPECT_EQ(counters[0].second, 2);
+  EXPECT_EQ(counters[1].first, "server.requests");
+  EXPECT_EQ(counters[1].second, 5);
+
+  LatencyHistogram* h = reg.GetHistogram("server.op.query.micros");
+  EXPECT_EQ(h, reg.GetHistogram("server.op.query.micros"));
+  h->Record(42);
+  auto snaps = reg.HistogramSnapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].first, "server.op.query.micros");
+  EXPECT_EQ(snaps[0].second.count, 1u);
+}
+
+TEST(LoggerTest, StructuredLineFormat) {
+  auto sink = std::make_shared<CaptureLogSink>();
+  Logger log(LogLevel::kDebug, sink);
+  log.Warn("tablet_quarantined",
+           {{"table", std::string("usage")},
+            {"n", 7},
+            {"ok", false},
+            {"status", Status::Corruption("bad \"block\"")}});
+  auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
+  EXPECT_NE(line.find(" mono_us="), std::string::npos) << line;
+  EXPECT_NE(line.find(" level=warn"), std::string::npos) << line;
+  EXPECT_NE(line.find(" event=tablet_quarantined"), std::string::npos) << line;
+  // Strings quoted (with escaping); numerics and booleans bare.
+  EXPECT_NE(line.find(" table=\"usage\""), std::string::npos) << line;
+  EXPECT_NE(line.find(" n=7"), std::string::npos) << line;
+  EXPECT_NE(line.find(" ok=false"), std::string::npos) << line;
+  EXPECT_NE(line.find(" status=\"Corruption: bad \\\"block\\\"\""),
+            std::string::npos)
+      << line;
+}
+
+TEST(LoggerTest, MinLevelFilters) {
+  auto sink = std::make_shared<CaptureLogSink>();
+  Logger log(LogLevel::kWarn, sink);
+  EXPECT_FALSE(log.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.Enabled(LogLevel::kWarn));
+  log.Debug("d", {});
+  log.Info("i", {});
+  EXPECT_TRUE(sink->lines().empty());
+  log.Error("e", {});
+  EXPECT_EQ(sink->lines().size(), 1u);
+  log.set_min_level(LogLevel::kDebug);
+  log.Debug("d", {});
+  EXPECT_EQ(sink->lines().size(), 2u);
 }
 
 }  // namespace

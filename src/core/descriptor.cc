@@ -4,6 +4,7 @@
 
 #include "util/coding.h"
 #include "util/crc32c.h"
+#include "util/fault.h"
 
 namespace lt {
 namespace {
@@ -91,8 +92,17 @@ Status TableDescriptor::Decode(const Slice& data, TableDescriptor* out) {
 
 Status TableDescriptor::Save(Env* env, const std::string& path) const {
   const std::string tmp = path + ".tmp";
+  // Crash points bracket the commit protocol: before the tmp write (nothing
+  // durable yet) and before the rename (tmp written but not yet the live
+  // descriptor). There is deliberately no point *after* the rename inside
+  // Save — once the rename succeeds the new descriptor rules, and callers
+  // must not roll back files it references.
+  LT_CRASH_POINT("descriptor:tmp_write");
   LT_RETURN_IF_ERROR(WriteStringToFile(env, Encode(), tmp, /*sync=*/true));
-  return env->RenameFile(tmp, path);
+  LT_CRASH_POINT("descriptor:rename");
+  Status s = env->RenameFile(tmp, path);
+  if (!s.ok()) env->RemoveFile(tmp);
+  return s;
 }
 
 Status TableDescriptor::Load(Env* env, const std::string& path,

@@ -43,6 +43,18 @@ struct TableOptions {
   /// flushing (the 100-tablet limit of the §5.1.3 experiment).
   size_t max_unflushed_tablets = 100;
 
+  /// When a flush or merge fails (ENOSPC, injected fault), the failed
+  /// tablets stay queued and retries back off exponentially from this
+  /// delay up to the cap, so a sick disk isn't hammered while the table
+  /// keeps serving reads and absorbing inserts in memory.
+  Timestamp flush_retry_backoff = 1 * kMicrosPerSecond;
+  Timestamp flush_retry_max_backoff = 60 * kMicrosPerSecond;
+
+  /// Hard cap on sealed tablets queued while flushes are failing: past it,
+  /// inserts are rejected with Unavailable instead of growing memory
+  /// without bound. 0 means 2 * max_unflushed_tablets.
+  size_t max_sealed_tablets_hard = 0;
+
   /// Eagerly load (and checksum-verify) every tablet footer at open,
   /// quarantining unreadable tablets immediately. Off by default: footers
   /// load lazily on first use (§3.5), so opening a table with hundreds of

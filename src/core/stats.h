@@ -32,6 +32,15 @@ struct TableStats {
   std::atomic<uint64_t> bytes_merge_written{0};
   std::atomic<uint64_t> tablets_expired{0};
 
+  // Fault-recovery counters: flush/merge attempts that failed (the sealed
+  // tablets stay queued; partial output was deleted), and flush attempts
+  // made while retrying after a failure. A healthy table shows zeros; a
+  // disk-full incident shows failures accumulating until space frees, then
+  // one successful retry.
+  std::atomic<uint64_t> flush_failures{0};
+  std::atomic<uint64_t> flush_retries{0};
+  std::atomic<uint64_t> merge_failures{0};
+
   // Tablets whose footer could not be read (corrupt or missing file) and
   // were renamed to `<name>.corrupt` and dropped from the descriptor so the
   // rest of the table keeps serving.

@@ -7,6 +7,7 @@
 #include "core/merge_policy.h"
 #include "core/row_codec.h"
 #include "core/tablet_writer.h"
+#include "util/fault.h"
 #include "util/logger.h"
 
 namespace lt {
@@ -176,14 +177,42 @@ void Table::QuarantineTabletLocked(const std::string& fname,
   }
 }
 
-Status Table::SaveDescriptorLocked() {
+Status Table::SaveDescriptorLocked() { return SaveDescriptorWithLocked(tablets_); }
+
+Status Table::SaveDescriptorWithLocked(const std::vector<TabletMeta>& tablets) {
   TableDescriptor desc;
   desc.table_name = name_;
   desc.schema = *schema_;
   desc.ttl = ttl_;
   desc.next_file_seq = next_file_seq_;
-  desc.tablets = tablets_;
+  desc.tablets = tablets;
   return desc.Save(env_, DescriptorPath());
+}
+
+void Table::RecordFlushFailureLocked(Timestamp now) {
+  stats_.flush_failures.fetch_add(1);
+  Timestamp delay = opts_.flush_retry_backoff;
+  for (uint32_t i = 0; i < flush_failure_streak_ &&
+                       delay < opts_.flush_retry_max_backoff;
+       i++) {
+    delay *= 2;
+  }
+  delay = std::min(delay, opts_.flush_retry_max_backoff);
+  flush_backoff_until_ = now + delay;
+  flush_failure_streak_++;
+}
+
+void Table::RecordMergeFailureLocked(Timestamp now) {
+  stats_.merge_failures.fetch_add(1);
+  Timestamp delay = opts_.flush_retry_backoff;
+  for (uint32_t i = 0; i < merge_failure_streak_ &&
+                       delay < opts_.flush_retry_max_backoff;
+       i++) {
+    delay *= 2;
+  }
+  delay = std::min(delay, opts_.flush_retry_max_backoff);
+  merge_backoff_until_ = now + delay;
+  merge_failure_streak_++;
 }
 
 // ---------------------------------------------------------------------------
@@ -295,6 +324,18 @@ Status Table::InsertBatch(const std::vector<Row>& rows) {
   const Timestamp op_start = MonotonicMicros();
   std::lock_guard<std::mutex> insert_lock(insert_mu_);
 
+  // While flushes are failing, memory absorbs inserts past the normal
+  // backpressure threshold — but only up to a hard cap, rejected here
+  // *before* any row applies so the caller sees a clean all-or-nothing.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sealed_.size() >= HardSealedCapLocked() &&
+        clock_->Now() < flush_backoff_until_) {
+      return Status::Unavailable(
+          "too many unflushed tablets while flushes are failing");
+    }
+  }
+
   std::shared_ptr<const Schema> schema = this->schema();
   for (const Row& r : rows) {
     if (!schema->RowMatches(r)) {
@@ -346,15 +387,18 @@ Status Table::InsertBatch(const std::vector<Row>& rows) {
   }
 
   // Backpressure: once too many sealed tablets await flushing, the insert
-  // path does the flushing itself and becomes disk-bound (§5.1.3).
+  // path does the flushing itself and becomes disk-bound (§5.1.3). During
+  // a failure backoff window the flush is skipped — the rows are already
+  // applied and served from memory; maintenance retries the flush later.
   while (true) {
     uint64_t root = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (sealed_.size() <= opts_.max_unflushed_tablets) break;
+      if (clock_->Now() < flush_backoff_until_) break;
       root = sealed_.front()->id();
     }
-    LT_RETURN_IF_ERROR(FlushSet({root}));
+    if (!FlushSet({root}).ok()) break;
   }
   stats_.insert_micros.Record(
       static_cast<uint64_t>(MonotonicMicros() - op_start));
@@ -368,8 +412,10 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
   const Timestamp op_start = MonotonicMicros();
   std::lock_guard<std::mutex> flush_lock(flush_mu_);
   std::vector<std::shared_ptr<MemTablet>> victims;
+  bool is_retry = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    is_retry = flush_failure_streak_ > 0;
     // Transitive closure over the dependency graph (which may have cycles).
     std::set<uint64_t> want(root_ids.begin(), root_ids.end());
     std::deque<uint64_t> work(root_ids.begin(), root_ids.end());
@@ -401,12 +447,28 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
     }
   }
   if (victims.empty()) return Status::OK();
+  if (is_retry) stats_.flush_retries.fetch_add(1);
   std::sort(victims.begin(), victims.end(),
             [](const auto& a, const auto& b) { return a->id() < b->id(); });
 
   const Timestamp now = clock_->Now();
-  std::vector<TabletMeta> metas;
-  for (const auto& mt : victims) {
+
+  // Write one tablet per non-empty victim, in id order. Dependency edges
+  // always point from newer ids to older ones and the want-set is closed
+  // under them, so every id-ordered prefix of the victims is itself
+  // dependency-closed: on a write failure the successfully written prefix
+  // commits (preserving §3.4.3 prefix durability) while the failed victim
+  // and everything after it return to the flush queue, sealed and intact,
+  // for a backed-off retry. No victim is ever stranded or dropped.
+  struct Written {
+    TabletMeta meta;
+    std::shared_ptr<TabletReader> reader;
+  };
+  std::vector<Written> written;
+  size_t committed_victims = victims.size();  // victims[0..this) commit.
+  Status fail;
+  for (size_t vi = 0; vi < victims.size(); vi++) {
+    const std::shared_ptr<MemTablet>& mt = victims[vi];
     if (mt->empty()) continue;
     std::string fname;
     {
@@ -426,31 +488,92 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
     TabletMeta meta;
     if (s.ok()) s = writer.Finish(&meta);
     if (!s.ok()) {
-      writer.Abandon();
-      return s;
+      writer.Abandon();  // The partial output file is deleted.
+      fail = s;
+      committed_victims = vi;
+      break;
     }
     meta.filename = fname;
     meta.flushed_at = now;
-    metas.push_back(std::move(meta));
+    std::shared_ptr<TabletReader> reader;
+    s = TabletReader::Open(env_, TabletPath(fname), &reader,
+                           opts_.block_cache, &stats_);
+    if (!s.ok()) {
+      env_->RemoveFile(TabletPath(fname));
+      fail = s;
+      committed_victims = vi;
+      break;
+    }
+    written.push_back({std::move(meta), std::move(reader)});
   }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const TabletMeta& meta : metas) {
-      std::shared_ptr<TabletReader> reader;
-      LT_RETURN_IF_ERROR(TabletReader::Open(env_, TabletPath(meta.filename),
-                                            &reader, opts_.block_cache,
-                                            &stats_));
-      readers_[meta.filename] = std::move(reader);
-      tablets_.push_back(meta);
-      stats_.flushes.fetch_add(1);
-      stats_.bytes_flushed.fetch_add(meta.file_bytes);
+    if (!written.empty()) {
+      // One atomic descriptor update covers the committed prefix (§3.4.3).
+      // Commit durably first, then mutate in-memory state, so a descriptor
+      // failure rolls back to exactly the pre-flush picture.
+      std::vector<TabletMeta> next_tablets = tablets_;
+      for (const Written& w : written) next_tablets.push_back(w.meta);
+      SortMetas(&next_tablets);
+      Status cs = SaveDescriptorWithLocked(next_tablets);
+      if (!cs.ok()) {
+        // The old descriptor still rules: delete the unreferenced tablet
+        // files and requeue every victim so the retry rewrites cleanly.
+        for (const Written& w : written) {
+          env_->RemoveFile(TabletPath(w.meta.filename));
+        }
+        written.clear();
+        committed_victims = 0;
+        if (fail.ok()) fail = cs;
+      } else {
+        for (Written& w : written) {
+          stats_.flushes.fetch_add(1);
+          stats_.bytes_flushed.fetch_add(w.meta.file_bytes);
+          readers_[w.meta.filename] = std::move(w.reader);
+          tablets_.push_back(std::move(w.meta));
+        }
+        SortMetas(&tablets_);
+      }
+    } else if (!fail.ok()) {
+      committed_victims = 0;
     }
-    SortMetas(&tablets_);
-    // One atomic descriptor update covers the whole closure (§3.4.3).
-    LT_RETURN_IF_ERROR(SaveDescriptorLocked());
-    for (const auto& mt : victims) must_flush_first_.erase(mt->id());
+    // Committed victims leave the dependency graph entirely — including
+    // edges that name them from still-queued tablets, which are satisfied
+    // now that the dependency is durable. (Erasing only the victims' own
+    // entries leaked those satisfied edges forever.)
+    std::set<uint64_t> committed_ids;
+    for (size_t vi = 0; vi < committed_victims; vi++) {
+      committed_ids.insert(victims[vi]->id());
+    }
+    for (uint64_t id : committed_ids) must_flush_first_.erase(id);
+    for (auto it = must_flush_first_.begin(); it != must_flush_first_.end();) {
+      for (uint64_t id : committed_ids) it->second.erase(id);
+      it = it->second.empty() ? must_flush_first_.erase(it) : std::next(it);
+    }
+    // Unflushed victims return to the front of the flush queue (reverse id
+    // order keeps the oldest first); their rows stay served from memory.
+    for (size_t vi = victims.size(); vi-- > committed_victims;) {
+      sealed_.push_front(victims[vi]);
+    }
+    if (!fail.ok()) {
+      RecordFlushFailureLocked(clock_->Now());
+    } else {
+      flush_failure_streak_ = 0;
+      flush_backoff_until_ = 0;
+    }
   }
+  if (!fail.ok()) {
+    opts_.logger->Warn(
+        "flush_failed",
+        {{"table", name_},
+         {"committed", static_cast<uint64_t>(committed_victims)},
+         {"requeued",
+          static_cast<uint64_t>(victims.size() - committed_victims)},
+         {"status", fail}});
+    return fail;
+  }
+  LT_CRASH_POINT("flush:after_commit");
   stats_.flush_micros.Record(
       static_cast<uint64_t>(MonotonicMicros() - op_start));
   return Status::OK();
@@ -495,18 +618,27 @@ Status Table::MaintainNow() {
     }
     for (const auto& mt : aged) SealLocked(mt);
   }
+  Status flush_status;
   while (true) {
     uint64_t root = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (sealed_.empty()) break;
+      if (clock_->Now() < flush_backoff_until_) break;  // Retry later.
       root = sealed_.front()->id();
     }
-    LT_RETURN_IF_ERROR(FlushSet({root}));
+    flush_status = FlushSet({root});
+    if (!flush_status.ok()) break;
   }
-  LT_RETURN_IF_ERROR(MaybeMerge(now));
-  if (ttl() > 0) LT_RETURN_IF_ERROR(ReclaimExpired(now));
-  return Status::OK();
+  // A failed flush must not starve the rest of maintenance: merging and TTL
+  // reclamation still run (reclamation in particular frees the disk space a
+  // full disk needs before the flush retry can succeed).
+  Status merge_status = MaybeMerge(now);
+  Status ttl_status;
+  if (ttl() > 0) ttl_status = ReclaimExpired(now);
+  LT_RETURN_IF_ERROR(flush_status);
+  LT_RETURN_IF_ERROR(merge_status);
+  return ttl_status;
 }
 
 bool Table::HasMaintenanceWork() {
@@ -535,6 +667,7 @@ Status Table::MaybeMerge(Timestamp now) {
   Timestamp cutoff;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (now < merge_backoff_until_) return Status::OK();  // Retry later.
     MergePick pick = PickMerge(tablets_, now, name_, opts_.merge);
     if (!pick.valid()) return Status::OK();
     for (size_t i = pick.begin; i < pick.end; i++) {
@@ -577,61 +710,83 @@ Status Table::MaybeMerge(Timestamp now) {
         QuarantineTabletLocked(inputs[i].filename, s);
         return Status::OK();
       }
+      std::lock_guard<std::mutex> lock(mu_);
+      RecordMergeFailureLocked(clock_->Now());
       return s;
     }
     cursors.push_back(std::move(c));
   }
+  // Any failure from here on abandons the partial output, backs off, and
+  // leaves the inputs untouched: a merge is pure rewrite, so failing it
+  // loses nothing — the next attempt re-picks the same inputs.
   MergingCursor merged(schema.get(), std::move(cursors), Direction::kAscending);
+  Status ws;
   while (merged.Valid()) {
     const Row& row = merged.row();
     if (row[schema->ts_index()].AsInt() >= cutoff) {
-      Status s = writer.Add(row);
-      if (!s.ok()) {
-        writer.Abandon();
-        return s;
-      }
+      ws = writer.Add(row);
+      if (!ws.ok()) break;
     }
-    Status s = merged.Next();
-    if (!s.ok()) {
-      writer.Abandon();
-      return s;
-    }
+    ws = merged.Next();
+    if (!ws.ok()) break;
   }
 
   TabletMeta out_meta;
-  bool have_output = writer.rows_added() > 0;
+  bool have_output = ws.ok() && writer.rows_added() > 0;
   if (have_output) {
-    LT_RETURN_IF_ERROR(writer.Finish(&out_meta));
+    ws = writer.Finish(&out_meta);
     out_meta.filename = fname;
     out_meta.flushed_at = now;
-  } else {
-    writer.Abandon();
+  }
+  if (!ws.ok() || !have_output) writer.Abandon();
+  if (!ws.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RecordMergeFailureLocked(clock_->Now());
+    return ws;
   }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Commit durably before mutating in-memory state: open the output
+    // reader and write the descriptor first, so a failure at either step
+    // rolls back to exactly the pre-merge picture (inputs still live).
+    std::shared_ptr<TabletReader> out_reader;
+    if (have_output) {
+      Status s = TabletReader::Open(env_, TabletPath(fname), &out_reader,
+                                    opts_.block_cache, &stats_);
+      if (!s.ok()) {
+        env_->RemoveFile(TabletPath(fname));
+        RecordMergeFailureLocked(clock_->Now());
+        return s;
+      }
+    }
     std::set<std::string> gone;
     for (const TabletMeta& m : inputs) gone.insert(m.filename);
     std::vector<TabletMeta> next;
     next.reserve(tablets_.size());
-    for (TabletMeta& m : tablets_) {
-      if (!gone.count(m.filename)) next.push_back(std::move(m));
+    for (const TabletMeta& m : tablets_) {
+      if (!gone.count(m.filename)) next.push_back(m);
+    }
+    if (have_output) next.push_back(out_meta);
+    SortMetas(&next);
+    Status s = SaveDescriptorWithLocked(next);
+    if (!s.ok()) {
+      if (have_output) env_->RemoveFile(TabletPath(fname));
+      RecordMergeFailureLocked(clock_->Now());
+      return s;
     }
     tablets_ = std::move(next);
-    if (have_output) {
-      std::shared_ptr<TabletReader> reader;
-      LT_RETURN_IF_ERROR(TabletReader::Open(env_, TabletPath(fname), &reader,
-                                            opts_.block_cache, &stats_));
-      readers_[fname] = std::move(reader);
-      tablets_.push_back(out_meta);
-    }
-    SortMetas(&tablets_);
-    LT_RETURN_IF_ERROR(SaveDescriptorLocked());
+    if (have_output) readers_[fname] = std::move(out_reader);
     for (const std::string& f : gone) readers_.erase(f);
     stats_.merges.fetch_add(1);
     stats_.tablets_merged.fetch_add(inputs.size());
     if (have_output) stats_.bytes_merge_written.fetch_add(out_meta.file_bytes);
+    merge_failure_streak_ = 0;
+    merge_backoff_until_ = 0;
   }
+  // The descriptor no longer references the inputs; a crash here merely
+  // leaves orphaned files that the next Open sweeps away.
+  LT_CRASH_POINT("merge:after_commit");
   for (const TabletMeta& m : inputs) env_->RemoveFile(TabletPath(m.filename));
   stats_.merge_micros.Record(
       static_cast<uint64_t>(MonotonicMicros() - op_start));

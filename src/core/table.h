@@ -162,6 +162,20 @@ class Table {
   }
 
   Status SaveDescriptorLocked();
+  /// Saves a descriptor naming `tablets` instead of tablets_, so flush and
+  /// merge can commit durably before mutating in-memory state. mu_ held.
+  Status SaveDescriptorWithLocked(const std::vector<TabletMeta>& tablets);
+
+  /// Hard insert-rejection threshold while flushes are failing. mu_ held.
+  size_t HardSealedCapLocked() const {
+    return opts_.max_sealed_tablets_hard > 0
+               ? opts_.max_sealed_tablets_hard
+               : 2 * opts_.max_unflushed_tablets;
+  }
+  /// Records a flush/merge failure: bumps the counter and advances the
+  /// exponential retry backoff. mu_ held.
+  void RecordFlushFailureLocked(Timestamp now);
+  void RecordMergeFailureLocked(Timestamp now);
 
   Env* const env_;
   std::shared_ptr<Clock> clock_;
@@ -178,6 +192,13 @@ class Table {
 
   std::map<Timestamp, std::shared_ptr<MemTablet>> filling_;  // By period start.
   std::deque<std::shared_ptr<MemTablet>> sealed_;
+  // Retry state after flush/merge failures (guarded by mu_): attempts are
+  // skipped until the backoff deadline passes; consecutive failures double
+  // the delay up to flush_retry_max_backoff.
+  Timestamp flush_backoff_until_ = 0;
+  uint32_t flush_failure_streak_ = 0;
+  Timestamp merge_backoff_until_ = 0;
+  uint32_t merge_failure_streak_ = 0;
   // must_flush_first_[t'] = tablets that must flush before (or with) t'.
   std::map<uint64_t, std::set<uint64_t>> must_flush_first_;
   uint64_t last_insert_tablet_ = 0;

@@ -2,6 +2,7 @@
 
 #include "util/coding.h"
 #include "util/crc32c.h"
+#include "util/fault.h"
 #include "util/lzmini.h"
 
 namespace lt {
@@ -76,6 +77,7 @@ Status TabletWriter::FlushBlock() {
   std::string stored = StoreBlock(payload);
   entry.stored_len = static_cast<uint32_t>(stored.size());
   entry.crc = crc32c::Mask(crc32c::Value(stored.data(), stored.size()));
+  LT_CRASH_POINT("tablet_writer:block_append");
   LT_RETURN_IF_ERROR(file_->Append(stored));
   file_offset_ += stored.size();
   index_.push_back(std::move(entry));
@@ -117,6 +119,7 @@ Status TabletWriter::Finish(TabletMeta* meta) {
   std::string compressed;
   lzmini::Compress(footer, &compressed);
   const uint64_t footer_offset = file_offset_;
+  LT_CRASH_POINT("tablet_writer:footer");
   LT_RETURN_IF_ERROR(file_->Append(compressed));
   file_offset_ += compressed.size();
 
@@ -127,10 +130,13 @@ Status TabletWriter::Finish(TabletMeta* meta) {
   PutFixed64(&trailer, footer_offset);
   PutFixed64(&trailer,
              opts_.format_version >= 1 ? kTabletMagicV2 : kTabletMagic);
+  LT_CRASH_POINT("tablet_writer:trailer");
   LT_RETURN_IF_ERROR(file_->Append(trailer));
   file_offset_ += trailer.size();
 
+  LT_CRASH_POINT("tablet_writer:sync");
   if (opts_.sync) LT_RETURN_IF_ERROR(file_->Sync());
+  LT_CRASH_POINT("tablet_writer:close");
   LT_RETURN_IF_ERROR(file_->Close());
 
   meta->filename = fname_;

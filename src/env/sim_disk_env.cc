@@ -79,6 +79,9 @@ class SimWritableFile final : public WritableFile {
     if (env_->ConsumeWriteFault()) {
       return Status::IOError("injected write fault");
     }
+    if (!env_->ConsumeDiskSpace(data.size())) {
+      return Status::IOError("no space left on device");
+    }
     {
       std::lock_guard<std::mutex> lock(env_->mu_);
       env_->ChargeWriteLocked(fname_, pos_, data.size());
@@ -87,7 +90,12 @@ class SimWritableFile final : public WritableFile {
     return base_->Append(data);
   }
 
-  Status Sync() override { return base_->Sync(); }
+  Status Sync() override {
+    LT_RETURN_IF_ERROR(base_->Sync());
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    env_->synced_len_[fname_] = pos_;
+    return Status::OK();
+  }
   Status Close() override { return base_->Close(); }
 
  private:
@@ -137,6 +145,7 @@ Status SimDiskEnv::NewWritableFile(const std::string& fname,
     CacheEraseFileLocked(fname);
     extents_.erase(fname);
     inode_cache_.insert(fname);
+    synced_len_[fname] = 0;  // Nothing durable until the first Sync.
   }
   result->reset(new SimWritableFile(this, fname, std::move(file)));
   return Status::OK();
@@ -156,6 +165,7 @@ Status SimDiskEnv::RemoveFile(const std::string& fname) {
     CacheEraseFileLocked(fname);
     extents_.erase(fname);
     inode_cache_.erase(fname);
+    synced_len_.erase(fname);
   }
   return base_->RemoveFile(fname);
 }
@@ -172,6 +182,11 @@ Status SimDiskEnv::RenameFile(const std::string& src, const std::string& dst) {
     }
     inode_cache_.erase(src);
     inode_cache_.insert(dst);
+    auto sit = synced_len_.find(src);
+    if (sit != synced_len_.end()) {
+      synced_len_[dst] = sit->second;
+      synced_len_.erase(sit);
+    }
   }
   return base_->RenameFile(src, dst);
 }
@@ -240,6 +255,45 @@ bool SimDiskEnv::ConsumeWriteFault() {
     if (fail_write_countdown_.compare_exchange_weak(v, v - 1)) return v == 1;
   }
   return false;
+}
+
+bool SimDiskEnv::ConsumeDiskSpace(size_t n) {
+  int64_t free = disk_free_.load();
+  while (free >= 0) {
+    if (free < static_cast<int64_t>(n)) return false;
+    if (disk_free_.compare_exchange_weak(free, free - static_cast<int64_t>(n))) {
+      return true;
+    }
+  }
+  return true;  // Negative budget = unlimited space.
+}
+
+Status SimDiskEnv::PowerCut() {
+  std::map<std::string, uint64_t> synced;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    synced = synced_len_;
+  }
+  for (const auto& [fname, len] : synced) {
+    if (!base_->FileExists(fname)) continue;
+    if (len == 0) {
+      // Never synced: nothing of it survives the power cut.
+      LT_RETURN_IF_ERROR(base_->RemoveFile(fname));
+      continue;
+    }
+    uint64_t size = 0;
+    LT_RETURN_IF_ERROR(base_->GetFileSize(fname, &size));
+    if (size <= len) continue;
+    // Unsynced tail beyond the last Sync is lost. Rewrite through base_
+    // directly so the truncation itself is exempt from sim accounting and
+    // injected faults.
+    std::string data;
+    LT_RETURN_IF_ERROR(ReadFileToString(base_, fname, &data));
+    data.resize(len);
+    LT_RETURN_IF_ERROR(WriteStringToFile(base_, data, fname, /*sync=*/true));
+  }
+  ClearCaches();
+  return Status::OK();
 }
 
 uint64_t SimDiskEnv::ExtentStartLocked(const std::string& fname) {

@@ -100,6 +100,19 @@ class SimDiskEnv final : public Env {
   void FailNthRead(int n) { fail_read_countdown_.store(n); }
   void FailNthWrite(int n) { fail_write_countdown_.store(n); }
 
+  // Disk-full injection: after `bytes` more bytes are appended through this
+  // env, every further append fails with IOError("no space left on device")
+  // until ClearDiskFull() — modeling ENOSPC on a filling disk.
+  void SetDiskFullAfter(int64_t bytes) { disk_free_.store(bytes); }
+  void ClearDiskFull() { disk_free_.store(-1); }
+
+  /// Simulates pulling the plug: every file written through this env is
+  /// truncated back to its last-synced length (files never synced at all
+  /// disappear), and all simulated caches are dropped. Files the env never
+  /// wrote are untouched. Reopen the table afterwards to exercise crash
+  /// recovery.
+  Status PowerCut();
+
  private:
   friend class SimSequentialFile;
   friend class SimRandomAccessFile;
@@ -120,6 +133,8 @@ class SimDiskEnv final : public Env {
   void CacheEraseFileLocked(const std::string& fname);
   bool ConsumeReadFault();
   bool ConsumeWriteFault();
+  /// False once the disk-full budget is exhausted (the write must fail).
+  bool ConsumeDiskSpace(size_t n);
 
   Env* const base_;
   SimDiskOptions opts_;
@@ -147,8 +162,13 @@ class SimDiskEnv final : public Env {
   // Files read recently, to divide the drive cache between streams.
   std::list<std::string> recent_files_;
 
+  // Durability tracking for PowerCut(): bytes of each written file known to
+  // have reached stable storage (advanced by Sync, moved by rename).
+  std::map<std::string, uint64_t> synced_len_;
+
   std::atomic<int> fail_read_countdown_{0};   // 0 = no fault armed.
   std::atomic<int> fail_write_countdown_{0};
+  std::atomic<int64_t> disk_free_{-1};        // -1 = unlimited space.
 };
 
 }  // namespace lt

@@ -1,5 +1,9 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "core/row_codec.h"
 #include "util/coding.h"
 
@@ -10,11 +14,67 @@ using wire::MsgType;
 
 Status Client::Connect(const std::string& host, uint16_t port,
                        std::unique_ptr<Client>* out) {
-  std::unique_ptr<Client> client(new Client());
-  LT_RETURN_IF_ERROR(net::Connect(host, port, &client->conn_));
+  return Connect(host, port, ClientOptions(), out);
+}
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       const ClientOptions& options,
+                       std::unique_ptr<Client>* out) {
+  std::unique_ptr<Client> client(new Client(options));
+  client->host_ = host;
+  client->port_ = port;
   LT_RETURN_IF_ERROR(client->Ping());
   *out = std::move(client);
   return Status::OK();
+}
+
+Status Client::EnsureConnectedLocked() {
+  if (conn_.valid()) return Status::OK();
+  net::Socket sock;
+  LT_RETURN_IF_ERROR(
+      net::Connect(host_, port_, &sock, opts_.connect_timeout_ms));
+  sock.set_read_timeout_ms(opts_.read_timeout_ms);
+  sock.set_write_timeout_ms(opts_.write_timeout_ms);
+  conn_ = std::move(sock);
+  connect_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Client::BackoffLocked(int attempt) {
+  int64_t delay = opts_.backoff_initial_ms;
+  for (int i = 0; i < attempt && delay < opts_.backoff_max_ms; i++) {
+    delay *= 2;
+  }
+  delay = std::min<int64_t>(delay, opts_.backoff_max_ms);
+  if (delay <= 0) return;
+  // Uniform jitter in [delay/2, delay] decorrelates clients retrying
+  // against a recovering server.
+  delay = delay / 2 + static_cast<int64_t>(rng_.Uniform(
+                          static_cast<uint64_t>(delay / 2 + 1)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+bool Client::IsConnectionError(const Status& s) {
+  return s.IsNetworkError() || s.IsUnavailable() || s.IsDeadlineExceeded();
+}
+
+template <typename Fn>
+Status Client::WithRetriesLocked(Fn&& fn) {
+  Status s;
+  for (int attempt = 0;; attempt++) {
+    s = EnsureConnectedLocked();
+    if (s.ok()) {
+      s = fn();
+      if (s.ok() || !IsConnectionError(s)) return s;
+      // The connection may be desynced (half-read frame) — drop it so the
+      // next attempt starts from a clean handshake.
+      conn_.Close();
+    } else if (!IsConnectionError(s)) {
+      return s;
+    }
+    if (attempt >= opts_.max_retries) return s;
+    BackoffLocked(attempt);
+  }
 }
 
 Status Client::ReadFrame(MsgType* type, std::string* body) {
@@ -25,7 +85,14 @@ Status Client::ReadFrame(MsgType* type, std::string* body) {
     return Status::NetworkError("bad frame length");
   }
   std::string payload(len, '\0');
-  LT_RETURN_IF_ERROR(conn_.ReadAll(payload.data(), len));
+  Status s = conn_.ReadAll(payload.data(), len);
+  if (!s.ok()) {
+    // A close after the header is a torn frame, not a clean goodbye.
+    if (s.IsUnavailable()) {
+      return Status::NetworkError("connection closed mid-frame");
+    }
+    return s;
+  }
   *type = static_cast<MsgType>(payload[0]);
   body->assign(payload, 1, payload.size() - 1);
   return Status::OK();
@@ -42,41 +109,51 @@ Status Client::ErrorFromBody(Slice body) {
 
 Status Client::RoundTrip(MsgType type, const std::string& body,
                          MsgType* resp_type, std::string* resp_body) {
+  LT_RETURN_IF_ERROR(EnsureConnectedLocked());
   std::string frame = wire::Frame(type, body);
-  LT_RETURN_IF_ERROR(conn_.WriteAll(frame.data(), frame.size()));
-  return ReadFrame(resp_type, resp_body);
+  Status s = conn_.WriteAll(frame.data(), frame.size());
+  if (s.ok()) s = ReadFrame(resp_type, resp_body);
+  if (!s.ok()) conn_.Close();
+  return s;
 }
 
-Status Client::Ping() {
-  std::lock_guard<std::mutex> lock(mu_);
+Status Client::PingLocked() {
   MsgType type;
   std::string body;
   LT_RETURN_IF_ERROR(RoundTrip(MsgType::kPing, "", &type, &body));
+  if (type == MsgType::kError) return ErrorFromBody(body);
   if (type != MsgType::kOk) return Status::NetworkError("bad ping response");
   return Status::OK();
 }
 
+Status Client::Ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WithRetriesLocked([&] { return PingLocked(); });
+}
+
 Status Client::ListTables(std::vector<std::string>* names) {
   std::lock_guard<std::mutex> lock(mu_);
-  MsgType type;
-  std::string body;
-  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kListTables, "", &type, &body));
-  if (type == MsgType::kError) return ErrorFromBody(body);
-  if (type != MsgType::kTableList) {
-    return Status::NetworkError("unexpected response");
-  }
-  Slice in(body);
-  uint32_t count;
-  if (!GetVarint32(&in, &count)) return Status::Corruption("bad table list");
-  names->clear();
-  for (uint32_t i = 0; i < count; i++) {
-    Slice name;
-    if (!GetLengthPrefixedSlice(&in, &name)) {
-      return Status::Corruption("bad table list");
+  return WithRetriesLocked([&] {
+    MsgType type;
+    std::string body;
+    LT_RETURN_IF_ERROR(RoundTrip(MsgType::kListTables, "", &type, &body));
+    if (type == MsgType::kError) return ErrorFromBody(body);
+    if (type != MsgType::kTableList) {
+      return Status::NetworkError("unexpected response");
     }
-    names->push_back(name.ToString());
-  }
-  return Status::OK();
+    Slice in(body);
+    uint32_t count;
+    if (!GetVarint32(&in, &count)) return Status::Corruption("bad table list");
+    names->clear();
+    for (uint32_t i = 0; i < count; i++) {
+      Slice name;
+      if (!GetLengthPrefixedSlice(&in, &name)) {
+        return Status::Corruption("bad table list");
+      }
+      names->push_back(name.ToString());
+    }
+    return Status::OK();
+  });
 }
 
 Status Client::CreateTable(const std::string& table, const Schema& schema,
@@ -108,22 +185,24 @@ Status Client::DropTable(const std::string& table) {
 Status Client::GetTableInfo(const std::string& table, Schema* schema,
                             Timestamp* ttl) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string req;
-  PutLengthPrefixedSlice(&req, table);
-  MsgType type;
-  std::string body;
-  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kGetTable, req, &type, &body));
-  if (type == MsgType::kError) return ErrorFromBody(body);
-  if (type != MsgType::kTableInfo) {
-    return Status::NetworkError("unexpected response");
-  }
-  Slice in(body);
-  LT_RETURN_IF_ERROR(Schema::DecodeFrom(&in, schema));
-  uint64_t ttl_u;
-  if (!GetVarint64(&in, &ttl_u)) return Status::Corruption("bad table info");
-  if (ttl != nullptr) *ttl = static_cast<Timestamp>(ttl_u);
-  schema_cache_[table] = std::make_shared<const Schema>(*schema);
-  return Status::OK();
+  return WithRetriesLocked([&] {
+    std::string req;
+    PutLengthPrefixedSlice(&req, table);
+    MsgType type;
+    std::string body;
+    LT_RETURN_IF_ERROR(RoundTrip(MsgType::kGetTable, req, &type, &body));
+    if (type == MsgType::kError) return ErrorFromBody(body);
+    if (type != MsgType::kTableInfo) {
+      return Status::NetworkError("unexpected response");
+    }
+    Slice in(body);
+    LT_RETURN_IF_ERROR(Schema::DecodeFrom(&in, schema));
+    uint64_t ttl_u;
+    if (!GetVarint64(&in, &ttl_u)) return Status::Corruption("bad table info");
+    if (ttl != nullptr) *ttl = static_cast<Timestamp>(ttl_u);
+    schema_cache_[table] = std::make_shared<const Schema>(*schema);
+    return Status::OK();
+  });
 }
 
 Result<std::shared_ptr<const Schema>> Client::SchemaLocked(
@@ -151,7 +230,15 @@ Result<std::shared_ptr<const Schema>> Client::SchemaLocked(
 Result<std::shared_ptr<const Schema>> Client::TableSchema(
     const std::string& table) {
   std::lock_guard<std::mutex> lock(mu_);
-  return SchemaLocked(table);
+  std::shared_ptr<const Schema> schema;
+  Status s = WithRetriesLocked([&]() -> Status {
+    auto r = SchemaLocked(table);
+    if (!r.ok()) return r.status();
+    schema = std::move(*r);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return schema;
 }
 
 void Client::InvalidateSchema(const std::string& table) {
@@ -194,6 +281,12 @@ Status Client::Insert(const std::string& table, const std::vector<Row>& rows) {
 Status Client::Query(const std::string& table, const QueryBounds& bounds,
                      QueryResult* result) {
   std::lock_guard<std::mutex> lock(mu_);
+  return WithRetriesLocked(
+      [&] { return QueryLocked(table, bounds, result); });
+}
+
+Status Client::QueryLocked(const std::string& table, const QueryBounds& bounds,
+                           QueryResult* result) {
   result->rows.clear();
   result->more_available = false;
   for (int attempt = 0; attempt < 2; attempt++) {
@@ -283,6 +376,12 @@ Status Client::QueryAll(const std::string& table, const QueryBounds& bounds,
 Status Client::LatestRow(const std::string& table, const Key& prefix,
                          Row* row, bool* found) {
   std::lock_guard<std::mutex> lock(mu_);
+  return WithRetriesLocked(
+      [&] { return LatestRowLocked(table, prefix, row, found); });
+}
+
+Status Client::LatestRowLocked(const std::string& table, const Key& prefix,
+                               Row* row, bool* found) {
   *found = false;
   for (int attempt = 0; attempt < 2; attempt++) {
     LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
@@ -326,14 +425,17 @@ Status Client::LatestRow(const std::string& table, const Key& prefix,
 
 Status Client::FlushThrough(const std::string& table, Timestamp ts) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string req;
-  PutLengthPrefixedSlice(&req, table);
-  PutVarint64(&req, ZigZagEncode(ts));
-  MsgType type;
-  std::string body;
-  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kFlushThrough, req, &type, &body));
-  if (type == MsgType::kError) return ErrorFromBody(body);
-  return Status::OK();
+  // Idempotent: flushing through the same timestamp twice is a no-op.
+  return WithRetriesLocked([&] {
+    std::string req;
+    PutLengthPrefixedSlice(&req, table);
+    PutVarint64(&req, ZigZagEncode(ts));
+    MsgType type;
+    std::string body;
+    LT_RETURN_IF_ERROR(RoundTrip(MsgType::kFlushThrough, req, &type, &body));
+    if (type == MsgType::kError) return ErrorFromBody(body);
+    return Status::OK();
+  });
 }
 
 Status Client::AppendColumn(const std::string& table, const Column& column) {
@@ -380,68 +482,78 @@ Status Client::SetTtl(const std::string& table, Timestamp ttl) {
 Status Client::Stats(const std::string& table,
                      std::map<std::string, uint64_t>* stats) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string req;
-  PutLengthPrefixedSlice(&req, table);
-  MsgType type;
-  std::string body;
-  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kStats, req, &type, &body));
-  if (type == MsgType::kError) return ErrorFromBody(body);
-  if (type != MsgType::kStatsResult) {
-    return Status::NetworkError("unexpected response");
-  }
-  Slice in(body);
-  uint32_t count;
-  if (!GetVarint32(&in, &count)) return Status::Corruption("bad stats reply");
-  stats->clear();
-  for (uint32_t i = 0; i < count; i++) {
-    Slice name;
-    uint64_t value;
-    if (!GetLengthPrefixedSlice(&in, &name) || !GetVarint64(&in, &value)) {
+  return WithRetriesLocked([&] {
+    std::string req;
+    PutLengthPrefixedSlice(&req, table);
+    MsgType type;
+    std::string body;
+    LT_RETURN_IF_ERROR(RoundTrip(MsgType::kStats, req, &type, &body));
+    if (type == MsgType::kError) return ErrorFromBody(body);
+    if (type != MsgType::kStatsResult) {
+      return Status::NetworkError("unexpected response");
+    }
+    Slice in(body);
+    uint32_t count;
+    if (!GetVarint32(&in, &count)) {
       return Status::Corruption("bad stats reply");
     }
-    (*stats)[name.ToString()] = value;
-  }
-  return Status::OK();
+    stats->clear();
+    for (uint32_t i = 0; i < count; i++) {
+      Slice name;
+      uint64_t value;
+      if (!GetLengthPrefixedSlice(&in, &name) || !GetVarint64(&in, &value)) {
+        return Status::Corruption("bad stats reply");
+      }
+      (*stats)[name.ToString()] = value;
+    }
+    return Status::OK();
+  });
 }
 
 Status Client::Stats(const std::string& table, ServerStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string req;
-  PutLengthPrefixedSlice(&req, table);
-  MsgType type;
-  std::string body;
-  LT_RETURN_IF_ERROR(RoundTrip(MsgType::kStatsV2, req, &type, &body));
-  if (type == MsgType::kError) return ErrorFromBody(body);
-  if (type != MsgType::kStatsV2Result) {
-    return Status::NetworkError("unexpected response");
-  }
-  Slice in(body);
-  uint32_t count;
-  if (!GetVarint32(&in, &count)) return Status::Corruption("bad stats reply");
-  stats->counters.clear();
-  stats->histograms.clear();
-  for (uint32_t i = 0; i < count; i++) {
-    Slice name;
-    uint64_t value;
-    if (!GetLengthPrefixedSlice(&in, &name) || !GetVarint64(&in, &value)) {
+  return WithRetriesLocked([&] {
+    std::string req;
+    PutLengthPrefixedSlice(&req, table);
+    MsgType type;
+    std::string body;
+    LT_RETURN_IF_ERROR(RoundTrip(MsgType::kStatsV2, req, &type, &body));
+    if (type == MsgType::kError) return ErrorFromBody(body);
+    if (type != MsgType::kStatsV2Result) {
+      return Status::NetworkError("unexpected response");
+    }
+    Slice in(body);
+    uint32_t count;
+    if (!GetVarint32(&in, &count)) {
       return Status::Corruption("bad stats reply");
     }
-    stats->counters[name.ToString()] = value;
-  }
-  uint32_t nhist;
-  if (!GetVarint32(&in, &nhist)) return Status::Corruption("bad stats reply");
-  for (uint32_t i = 0; i < nhist; i++) {
-    Slice name;
-    HistogramQuantiles q;
-    if (!GetLengthPrefixedSlice(&in, &name) ||
-        !GetVarint64(&in, &q.count) || !GetVarint64(&in, &q.p50) ||
-        !GetVarint64(&in, &q.p90) || !GetVarint64(&in, &q.p99) ||
-        !GetVarint64(&in, &q.p999) || !GetVarint64(&in, &q.max)) {
+    stats->counters.clear();
+    stats->histograms.clear();
+    for (uint32_t i = 0; i < count; i++) {
+      Slice name;
+      uint64_t value;
+      if (!GetLengthPrefixedSlice(&in, &name) || !GetVarint64(&in, &value)) {
+        return Status::Corruption("bad stats reply");
+      }
+      stats->counters[name.ToString()] = value;
+    }
+    uint32_t nhist;
+    if (!GetVarint32(&in, &nhist)) {
       return Status::Corruption("bad stats reply");
     }
-    stats->histograms[name.ToString()] = q;
-  }
-  return Status::OK();
+    for (uint32_t i = 0; i < nhist; i++) {
+      Slice name;
+      HistogramQuantiles q;
+      if (!GetLengthPrefixedSlice(&in, &name) ||
+          !GetVarint64(&in, &q.count) || !GetVarint64(&in, &q.p50) ||
+          !GetVarint64(&in, &q.p90) || !GetVarint64(&in, &q.p99) ||
+          !GetVarint64(&in, &q.p999) || !GetVarint64(&in, &q.max)) {
+        return Status::Corruption("bad stats reply");
+      }
+      stats->histograms[name.ToString()] = q;
+    }
+    return Status::OK();
+  });
 }
 
 }  // namespace lt

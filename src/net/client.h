@@ -11,9 +11,19 @@
 // Thread safety: a Client serializes its requests internally; use one
 // Client per concurrent stream (as the paper's one-process-per-grabber
 // model does naturally).
+//
+// Fault tolerance: every socket operation carries a poll(2) deadline, so a
+// hung server yields Status::DeadlineExceeded instead of blocking forever.
+// On connection errors (peer gone, deadline expired, server draining) the
+// client reconnects with capped exponential backoff + jitter and retries —
+// but only idempotent requests (ping, queries, stats, schema fetches,
+// flush-through). Inserts are NEVER blind-retried: a connection that died
+// mid-insert leaves the outcome unknown, and the paper's §3.1 recovery
+// story (clients re-read recent data from the device) owns that case.
 #ifndef LITTLETABLE_NET_CLIENT_H_
 #define LITTLETABLE_NET_CLIENT_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,8 +32,27 @@
 #include "core/table.h"  // QueryResult
 #include "net/socket.h"
 #include "net/wire.h"
+#include "util/random.h"
 
 namespace lt {
+
+/// Deadlines and retry policy for a Client. Zero/negative timeouts block
+/// forever (not recommended outside tests).
+struct ClientOptions {
+  int connect_timeout_ms = 5000;
+  int read_timeout_ms = 30000;
+  int write_timeout_ms = 30000;
+
+  /// Reconnect-and-retry attempts after a connection error, for idempotent
+  /// requests only (0 disables retries).
+  int max_retries = 3;
+  /// Exponential backoff between retries: initial delay, doubling per
+  /// attempt, capped, with uniform jitter in [delay/2, delay].
+  int backoff_initial_ms = 20;
+  int backoff_max_ms = 1000;
+  /// Seed for the jitter PRNG (deterministic for tests).
+  uint64_t backoff_seed = 1;
+};
 
 /// Quantile summary of one server-side latency histogram (microseconds).
 struct HistogramQuantiles {
@@ -44,8 +73,12 @@ struct ServerStats {
 
 class Client {
  public:
-  /// Connects to a LittleTable server.
+  /// Connects to a LittleTable server with default options.
   static Status Connect(const std::string& host, uint16_t port,
+                        std::unique_ptr<Client>* out);
+  /// Connects with explicit deadlines and retry policy.
+  static Status Connect(const std::string& host, uint16_t port,
+                        const ClientOptions& options,
                         std::unique_ptr<Client>* out);
 
   Status Ping();
@@ -103,10 +136,30 @@ class Client {
 
   bool connected() const { return conn_.valid(); }
 
- private:
-  Client() = default;
+  /// Number of TCP connects performed (1 for the initial connect; each
+  /// reconnect adds one). Exposed for tests and monitoring.
+  uint64_t connect_count() const {
+    return connect_count_.load(std::memory_order_relaxed);
+  }
 
-  /// Sends one frame and reads one response frame.
+ private:
+  explicit Client(const ClientOptions& options)
+      : opts_(options), rng_(options.backoff_seed) {}
+
+  /// Opens the TCP connection if it is not currently open.
+  Status EnsureConnectedLocked();
+  /// Sleeps the backoff delay for the given (0-based) retry attempt.
+  void BackoffLocked(int attempt);
+  /// True for errors where reconnect + retry may help: the peer vanished,
+  /// a deadline expired, or the server said busy/shutting down.
+  static bool IsConnectionError(const Status& s);
+  /// Runs one request attempt `fn`, reconnecting and retrying on
+  /// connection errors per the retry policy. Only for idempotent requests.
+  template <typename Fn>
+  Status WithRetriesLocked(Fn&& fn);
+
+  /// Sends one frame and reads one response frame; closes the connection
+  /// on any transport error so the next request reconnects cleanly.
   Status RoundTrip(wire::MsgType type, const std::string& body,
                    wire::MsgType* resp_type, std::string* resp_body);
   Status ReadFrame(wire::MsgType* type, std::string* body);
@@ -115,8 +168,18 @@ class Client {
   /// Drops the cached schema for `table` (on kSchemaChanged).
   void InvalidateSchema(const std::string& table);
   Result<std::shared_ptr<const Schema>> SchemaLocked(const std::string& table);
+  Status PingLocked();
+  Status QueryLocked(const std::string& table, const QueryBounds& bounds,
+                     QueryResult* result);
+  Status LatestRowLocked(const std::string& table, const Key& prefix,
+                         Row* row, bool* found);
 
   std::mutex mu_;
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions opts_;
+  Random rng_;
+  std::atomic<uint64_t> connect_count_{0};
   net::Socket conn_;
   std::map<std::string, std::shared_ptr<const Schema>> schema_cache_;
 };

@@ -2,6 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
+
 #include "core/row_codec.h"
 #include "util/clock.h"
 #include "util/coding.h"
@@ -47,7 +49,14 @@ const char* OpName(MsgType type) {
 }  // namespace
 
 LittleTableServer::LittleTableServer(DB* db, uint16_t port)
-    : db_(db), port_(port) {
+    : LittleTableServer(db, [port] {
+        ServerOptions o;
+        o.port = port;
+        return o;
+      }()) {}
+
+LittleTableServer::LittleTableServer(DB* db, const ServerOptions& options)
+    : db_(db), opts_(options), port_(options.port) {
   // Resolve every instrument up front: the serve loop then records into
   // stable pointers with no registry lookups.
   for (int op = 0; op < 256; op++) {
@@ -60,6 +69,9 @@ LittleTableServer::LittleTableServer(DB* db, uint16_t port)
   active_connections_ = metrics_.GetCounter("server.active_connections");
   requests_ = metrics_.GetCounter("server.requests");
   errors_ = metrics_.GetCounter("server.errors");
+  idle_disconnects_ = metrics_.GetCounter("server.idle_disconnects");
+  busy_rejects_ = metrics_.GetCounter("server.busy_rejects");
+  shutdown_rejects_ = metrics_.GetCounter("server.shutdown_rejects");
 }
 
 LittleTableServer::~LittleTableServer() { Stop(); }
@@ -71,7 +83,20 @@ Status LittleTableServer::Start() {
 }
 
 void LittleTableServer::Stop() {
-  if (stopping_.exchange(true)) return;
+  if (stop_called_.exchange(true)) return;
+  // Phase 1 — drain: requests already being served run to completion (the
+  // response is written before the request is counted done); any frame
+  // arriving meanwhile, including on brand-new connections, is answered
+  // with kShuttingDown. Bounded by drain_timeout_ms.
+  draining_.store(true);
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_timeout_ms),
+                       [this] { return active_requests_ == 0; });
+  }
+  // Phase 2 — stop: close the listener and force remaining connections
+  // shut.
+  stopping_.store(true);
   // Closing the listener wakes the accept loop; poking it with a connect
   // guarantees wake-up on platforms where close doesn't interrupt accept.
   {
@@ -126,6 +151,18 @@ void LittleTableServer::AcceptLoop() {
     // accepted.
     ReapFinished();
     std::lock_guard<std::mutex> lock(threads_mu_);
+    if (opts_.max_connections > 0 &&
+        conn_threads_.size() >= opts_.max_connections) {
+      // Over the cap: tell the client to back off, then close. Written
+      // inline from the accept thread — no thread is spawned for a
+      // rejected connection.
+      busy_rejects_->Increment();
+      std::string reject;
+      ReplyError(&reject, ErrCode::kServerBusy, "server busy: connection cap");
+      conn.set_write_timeout_ms(opts_.poll_interval_ms);
+      conn.WriteAll(reject.data(), reject.size());
+      continue;
+    }
     uint64_t id = next_conn_id_++;
     conn_threads_.emplace(id, std::thread([this, id, c = std::move(conn)]() mutable {
       ServeConnection(id, std::move(c));
@@ -140,8 +177,26 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
   }
   connections_->Increment();
   active_connections_->Add(1);
+  // Once a frame has started arriving, bound how long a stalled peer can
+  // pin this thread; responses get the same write deadline.
+  conn.set_read_timeout_ms(opts_.io_timeout_ms);
+  conn.set_write_timeout_ms(opts_.io_timeout_ms);
   std::string payload;
+  int64_t idle_ms = 0;
   while (!stopping_.load()) {
+    // Wait for the next frame in short poll slices so the thread notices
+    // stop/drain promptly even on an idle connection.
+    bool ready = false;
+    if (!conn.WaitReadable(opts_.poll_interval_ms, &ready).ok()) break;
+    if (!ready) {
+      idle_ms += opts_.poll_interval_ms;
+      if (opts_.idle_timeout_ms > 0 && idle_ms >= opts_.idle_timeout_ms) {
+        idle_disconnects_->Increment();
+        break;
+      }
+      continue;
+    }
+    idle_ms = 0;
     char len_buf[4];
     if (!conn.ReadAll(len_buf, 4).ok()) break;  // Client disconnected.
     uint32_t len = DecodeFixed32(len_buf);
@@ -149,16 +204,39 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
     payload.resize(len);
     if (!conn.ReadAll(payload.data(), len).ok()) break;
 
+    if (draining_.load()) {
+      // Shutting down: this frame arrived after the drain began, so it is
+      // rejected rather than served — the client should reconnect to a
+      // healthy server.
+      shutdown_rejects_->Increment();
+      std::string response;
+      ReplyError(&response, ErrCode::kShuttingDown, "server shutting down");
+      conn.WriteAll(response.data(), response.size());
+      break;
+    }
+
     MsgType type = static_cast<MsgType>(payload[0]);
     Slice body(payload.data() + 1, payload.size() - 1);
     std::string response;
     requests_->Increment();
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      active_requests_++;
+    }
     const Timestamp start = MonotonicMicros();
     Dispatch(type, body, &response);
     if (LatencyHistogram* h = op_micros_[static_cast<uint8_t>(type)]) {
       h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
     }
-    if (!conn.WriteAll(response.data(), response.size()).ok()) break;
+    // The response write is part of the in-flight request: a drain waits
+    // until the client has its answer.
+    bool write_ok = conn.WriteAll(response.data(), response.size()).ok();
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      active_requests_--;
+    }
+    drain_cv_.notify_all();
+    if (!write_ok) break;
   }
   active_connections_->Add(-1);
   // Last use of threads_mu_: after this the thread only returns, so the
@@ -210,6 +288,9 @@ Status LittleTableServer::CollectCounters(
     add("table.rows_scanned", ts.rows_scanned);
     add("table.rows_returned", ts.rows_returned);
     add("table.flushes", ts.flushes);
+    add("table.flush_failures", ts.flush_failures);
+    add("table.flush_retries", ts.flush_retries);
+    add("table.merge_failures", ts.merge_failures);
     add("table.bytes_flushed", ts.bytes_flushed);
     add("table.merges", ts.merges);
     add("table.tablets_merged", ts.tablets_merged);

@@ -11,6 +11,7 @@
 #define LITTLETABLE_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -26,16 +27,42 @@
 
 namespace lt {
 
+/// Robustness knobs for the server's connection handling.
+struct ServerOptions {
+  /// Port to bind (0 = ephemeral).
+  uint16_t port = 0;
+  /// Maximum simultaneous client connections; further connects receive a
+  /// kServerBusy error frame and are closed (0 = unlimited).
+  size_t max_connections = 256;
+  /// Disconnect a client after this long with no request (0 = never).
+  int idle_timeout_ms = 0;
+  /// How long Stop() waits for in-flight requests to finish before
+  /// force-closing connections.
+  int drain_timeout_ms = 5000;
+  /// Granularity at which idle connection threads recheck the stop/drain
+  /// flags while waiting for the next frame.
+  int poll_interval_ms = 50;
+  /// Deadline for reading the rest of a frame once its first bytes have
+  /// arrived, and for writing responses; guards against stalled peers
+  /// pinning connection threads (0 = no deadline).
+  int io_timeout_ms = 30000;
+};
+
 class LittleTableServer {
  public:
-  /// Serves `db` (not owned) on 127.0.0.1:`port` (0 = ephemeral).
+  /// Serves `db` (not owned) on 127.0.0.1:`port` (0 = ephemeral) with
+  /// default options.
   LittleTableServer(DB* db, uint16_t port = 0);
+  LittleTableServer(DB* db, const ServerOptions& options);
   ~LittleTableServer();
 
   /// Binds, listens, and starts the accept thread.
   Status Start();
 
-  /// Stops accepting, closes the listener, and joins all threads.
+  /// Graceful drain, then stop: in-flight requests get up to
+  /// drain_timeout_ms to finish (frames arriving meanwhile are answered
+  /// with kShuttingDown), after which the listener closes, remaining
+  /// connections are shut down, and all threads are joined.
   void Stop();
 
   uint16_t port() const { return port_; }
@@ -70,6 +97,7 @@ class LittleTableServer {
                          std::vector<std::pair<std::string, uint64_t>>* out);
 
   DB* const db_;
+  const ServerOptions opts_;
   MetricsRegistry metrics_;
   // Per-opcode request-latency histograms, resolved once at construction
   // so the serve loop records without touching the registry lock. Indexed
@@ -79,9 +107,20 @@ class LittleTableServer {
   Counter* active_connections_ = nullptr;
   Counter* requests_ = nullptr;
   Counter* errors_ = nullptr;
+  Counter* idle_disconnects_ = nullptr;
+  Counter* busy_rejects_ = nullptr;
+  Counter* shutdown_rejects_ = nullptr;
   uint16_t port_;
   net::Socket listener_;
+  // Shutdown is two-phase: draining_ (answer new frames with
+  // kShuttingDown, let in-flight requests finish) then stopping_ (close
+  // everything). stop_called_ makes Stop() idempotent.
+  std::atomic<bool> stop_called_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int active_requests_ = 0;  // guarded by drain_mu_
   std::thread accept_thread_;
   std::mutex threads_mu_;
   std::map<uint64_t, std::thread> conn_threads_;

@@ -1,13 +1,17 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "util/clock.h"
 
 namespace lt {
 namespace net {
@@ -17,12 +21,22 @@ Status Errno(const std::string& what) {
   return Status::NetworkError(what + ": " + strerror(errno));
 }
 
+// Milliseconds left until `deadline_micros` (monotonic); -1 if no deadline.
+int RemainingMs(int64_t deadline_micros) {
+  if (deadline_micros < 0) return -1;
+  int64_t left = deadline_micros - MonotonicMicros();
+  if (left <= 0) return 0;
+  return static_cast<int>((left + 999) / 1000);
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    read_timeout_ms_ = other.read_timeout_ms_;
+    write_timeout_ms_ = other.write_timeout_ms_;
     other.fd_ = -1;
   }
   return *this;
@@ -35,11 +49,47 @@ void Socket::Close() {
   }
 }
 
+Status Socket::Wait(short events, int timeout_ms, bool* ready) {
+  *ready = false;
+  pollfd p{};
+  p.fd = fd_;
+  p.events = events;
+  while (true) {
+    int r = poll(&p, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    // POLLERR/POLLHUP count as ready: the subsequent recv/send reports the
+    // actual condition (EOF or error).
+    *ready = r > 0;
+    return Status::OK();
+  }
+}
+
+Status Socket::WaitReadable(int timeout_ms, bool* ready) {
+  return Wait(POLLIN, timeout_ms, ready);
+}
+
 Status Socket::WriteAll(const char* data, size_t n) {
+  const int64_t deadline =
+      write_timeout_ms_ > 0 ? MonotonicMicros() + write_timeout_ms_ * 1000
+                            : -1;
   while (n > 0) {
+    if (deadline >= 0) {
+      int wait_ms = RemainingMs(deadline);
+      bool ready = false;
+      LT_RETURN_IF_ERROR(Wait(POLLOUT, wait_ms, &ready));
+      if (!ready) {
+        return Status::DeadlineExceeded(
+            "write timed out after " + std::to_string(write_timeout_ms_) +
+            " ms");
+      }
+    }
     ssize_t w = send(fd_, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Errno("send");
     }
     data += w;
@@ -49,13 +99,33 @@ Status Socket::WriteAll(const char* data, size_t n) {
 }
 
 Status Socket::ReadAll(char* data, size_t n) {
+  const size_t want = n;
+  const int64_t deadline =
+      read_timeout_ms_ > 0 ? MonotonicMicros() + read_timeout_ms_ * 1000 : -1;
   while (n > 0) {
+    if (deadline >= 0) {
+      int wait_ms = RemainingMs(deadline);
+      bool ready = false;
+      LT_RETURN_IF_ERROR(Wait(POLLIN, wait_ms, &ready));
+      if (!ready) {
+        return Status::DeadlineExceeded(
+            "read timed out after " + std::to_string(read_timeout_ms_) +
+            " ms (" + std::to_string(want - n) + "/" + std::to_string(want) +
+            " bytes)");
+      }
+    }
     ssize_t r = recv(fd_, data, n, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Errno("recv");
     }
-    if (r == 0) return Status::NetworkError("connection closed");
+    if (r == 0) {
+      if (n == want) return Status::Unavailable("connection closed by peer");
+      return Status::NetworkError("connection closed mid-read (" +
+                                  std::to_string(want - n) + "/" +
+                                  std::to_string(want) + " bytes)");
+    }
     data += r;
     n -= static_cast<size_t>(r);
   }
@@ -101,7 +171,8 @@ Status Accept(const Socket& listener, Socket* conn) {
   }
 }
 
-Status Connect(const std::string& host, uint16_t port, Socket* conn) {
+Status Connect(const std::string& host, uint16_t port, Socket* conn,
+               int timeout_ms) {
   int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   Socket sock(fd);
@@ -111,8 +182,45 @@ Status Connect(const std::string& host, uint16_t port, Socket* conn) {
   if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return Status::InvalidArgument("bad address: " + host);
   }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    return Errno("connect " + host + ":" + std::to_string(port));
+  const std::string where = host + ":" + std::to_string(port);
+  if (timeout_ms > 0) {
+    // Nonblocking connect bounded by poll: start the handshake, wait for
+    // writability, then read SO_ERROR for the outcome.
+    int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      return Errno("connect " + where);
+    }
+    if (rc != 0) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLOUT;
+      int pr;
+      do {
+        pr = poll(&p, 1, timeout_ms);
+      } while (pr < 0 && errno == EINTR);
+      if (pr < 0) return Errno("poll");
+      if (pr == 0) {
+        return Status::DeadlineExceeded("connect " + where +
+                                        " timed out after " +
+                                        std::to_string(timeout_ms) + " ms");
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+        return Errno("getsockopt");
+      }
+      if (err != 0) {
+        return Status::NetworkError("connect " + where + ": " +
+                                    strerror(err));
+      }
+    }
+    fcntl(fd, F_SETFL, flags);
+  } else {
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Errno("connect " + where);
+    }
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -1,4 +1,11 @@
 // Minimal TCP socket helpers for the server and client (loopback or LAN).
+//
+// All blocking calls support deadlines via poll(2): a socket carries
+// optional per-call read/write timeouts, and Connect() accepts a connect
+// timeout. Deadline expiry surfaces as Status::DeadlineExceeded; a peer
+// that closed the connection before any byte of a read surfaces as
+// Status::Unavailable, so callers can tell "hung peer" from "gone peer"
+// and retry accordingly.
 #ifndef LITTLETABLE_NET_SOCKET_H_
 #define LITTLETABLE_NET_SOCKET_H_
 
@@ -17,7 +24,12 @@ class Socket {
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
 
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_),
+        read_timeout_ms_(other.read_timeout_ms_),
+        write_timeout_ms_(other.write_timeout_ms_) {
+    other.fd_ = -1;
+  }
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -26,13 +38,33 @@ class Socket {
   int fd() const { return fd_; }
   void Close();
 
-  /// Writes all of `data` (handles partial writes).
+  /// Per-call deadlines for ReadAll/WriteAll in milliseconds; <= 0 means
+  /// block forever (the default).
+  void set_read_timeout_ms(int ms) { read_timeout_ms_ = ms; }
+  void set_write_timeout_ms(int ms) { write_timeout_ms_ = ms; }
+
+  /// Waits up to timeout_ms for the socket to become readable (a negative
+  /// timeout waits forever). On return *ready is false iff the wait timed
+  /// out. Lets a server poll in short slices and check shutdown flags
+  /// between them.
+  Status WaitReadable(int timeout_ms, bool* ready);
+
+  /// Writes all of `data` (handles partial writes). Honors the write
+  /// timeout as a deadline for the entire call.
   Status WriteAll(const char* data, size_t n);
-  /// Reads exactly n bytes; a clean EOF mid-read is a NetworkError.
+  /// Reads exactly n bytes. Honors the read timeout as a deadline for the
+  /// entire call (DeadlineExceeded on expiry). EOF before the first byte is
+  /// Unavailable ("connection closed by peer"); EOF mid-read is a
+  /// NetworkError (torn frame).
   Status ReadAll(char* data, size_t n);
 
  private:
+  /// Polls for `events` until the deadline; *ready=false on timeout.
+  Status Wait(short events, int timeout_ms, bool* ready);
+
   int fd_ = -1;
+  int read_timeout_ms_ = 0;
+  int write_timeout_ms_ = 0;
 };
 
 /// Binds and listens on 127.0.0.1:port (port 0 picks an ephemeral port;
@@ -42,8 +74,10 @@ Status Listen(uint16_t port, Socket* listener, uint16_t* bound_port);
 /// Accepts one connection.
 Status Accept(const Socket& listener, Socket* conn);
 
-/// Connects to host:port.
-Status Connect(const std::string& host, uint16_t port, Socket* conn);
+/// Connects to host:port. A positive timeout_ms bounds the TCP handshake
+/// (DeadlineExceeded on expiry); <= 0 blocks.
+Status Connect(const std::string& host, uint16_t port, Socket* conn,
+               int timeout_ms = 0);
 
 }  // namespace net
 }  // namespace lt

@@ -91,6 +91,9 @@ ErrCode CodeForStatus(const Status& s) {
     case Status::Code::kInvalidArgument: return ErrCode::kInvalidArgument;
     case Status::Code::kCorruption: return ErrCode::kCorruption;
     case Status::Code::kIOError: return ErrCode::kIOError;
+    // Server-side kUnavailable means overload (e.g. flush backlog at the
+    // hard cap): tell the client to back off.
+    case Status::Code::kUnavailable: return ErrCode::kServerBusy;
     default: return ErrCode::kGeneric;
   }
 }
@@ -103,6 +106,11 @@ Status StatusForCode(ErrCode code, const std::string& message) {
     case ErrCode::kSchemaChanged: return Status::Aborted(message);
     case ErrCode::kCorruption: return Status::Corruption(message);
     case ErrCode::kIOError: return Status::IOError(message);
+    case ErrCode::kServerBusy:
+      return Status::Unavailable(message.empty() ? "server busy" : message);
+    case ErrCode::kShuttingDown:
+      return Status::Unavailable(message.empty() ? "server shutting down"
+                                                 : message);
     case ErrCode::kGeneric: break;
   }
   return Status::NetworkError(message);

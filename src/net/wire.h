@@ -71,6 +71,9 @@ enum class ErrCode : uint8_t {
   kSchemaChanged = 4,  // Client must refetch the table schema and retry.
   kCorruption = 5,
   kIOError = 6,
+  kServerBusy = 7,     // Connection cap reached or ingest backlogged; retry
+                       // with backoff.
+  kShuttingDown = 8,   // Server is draining; reconnect elsewhere/later.
 };
 
 /// kQueryChunk flags.

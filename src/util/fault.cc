@@ -1,0 +1,96 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace lt {
+namespace fault {
+namespace {
+
+// 0 = disarmed fast path: one relaxed load per crash point in production.
+std::atomic<bool> g_armed{false};
+std::atomic<int64_t> g_hits{0};
+// > 0: decremented per hit; fires when it reaches 0.
+std::atomic<int64_t> g_countdown{0};
+
+std::mutex g_mu;
+std::string g_armed_name;  // guarded by g_mu
+std::string g_last_fired;  // guarded by g_mu
+
+void ArmFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* name = std::getenv("LT_CRASH_POINT");
+    if (name != nullptr && name[0] != '\0') ArmNamedCrashPoint(name);
+  });
+}
+
+void RecordFired(const char* name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_last_fired = name;
+}
+
+}  // namespace
+
+bool CrashPointFire(const char* name) {
+  ArmFromEnvOnce();
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!g_armed_name.empty() && g_armed_name == name) {
+      g_last_fired = name;
+      return true;
+    }
+  }
+  int64_t c = g_countdown.load(std::memory_order_relaxed);
+  while (c > 0) {
+    if (g_countdown.compare_exchange_weak(c, c - 1,
+                                          std::memory_order_acq_rel)) {
+      if (c == 1) {
+        RecordFired(name);
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void ArmNthCrashPoint(int64_t n) {
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_armed_name.clear();
+  }
+  g_countdown.store(n, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void ArmNamedCrashPoint(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_armed_name = name;
+  }
+  g_countdown.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void DisarmCrashPoints() {
+  g_armed.store(false, std::memory_order_release);
+  g_countdown.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed_name.clear();
+}
+
+int64_t CrashPointHits() { return g_hits.load(std::memory_order_relaxed); }
+
+void ResetCrashPointHits() { g_hits.store(0, std::memory_order_relaxed); }
+
+std::string LastFiredCrashPoint() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_last_fired;
+}
+
+}  // namespace fault
+}  // namespace lt

@@ -1,0 +1,65 @@
+// Crash-point fault injection for the flush/merge/descriptor-commit
+// protocol.
+//
+// The storage layer is sprinkled with named LT_CRASH_POINT(...) markers at
+// every step that touches disk state (block append, footer/trailer write,
+// sync, descriptor tmp write, rename, post-commit cleanup). In production
+// builds a disarmed crash point is a single relaxed atomic load. Tests arm
+// the registry — "fail at the Nth crash point hit from now" or "fail at
+// every hit of this named point" — and the marked function returns
+// Status::IOError as if the process had died there. Combined with
+// MemEnv::DropUnsynced() (or SimDiskEnv::PowerCut()) and a table reopen,
+// this deterministically simulates a kill at each step of the protocol and
+// lets the crash-recovery harness assert the paper's §2.3 durability
+// contract: every row synced before the crash survives recovery.
+//
+// The environment variable LT_CRASH_POINT=<name> arms a named point at
+// process startup, for crashing real binaries from the outside.
+#ifndef LITTLETABLE_UTIL_FAULT_H_
+#define LITTLETABLE_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace lt {
+namespace fault {
+
+/// Returns true if this hit should simulate a crash. Every call increments
+/// the global hit counter (armed or not).
+bool CrashPointFire(const char* name);
+
+/// Arms the registry to fire at the n-th crash point hit from now
+/// (1-based). Replaces any previous arming.
+void ArmNthCrashPoint(int64_t n);
+
+/// Arms the registry to fire at every hit of the named point.
+void ArmNamedCrashPoint(const std::string& name);
+
+/// Disarms everything (named and countdown).
+void DisarmCrashPoints();
+
+/// Crash point hits since the last ResetCrashPointHits(), armed or not.
+/// A clean (disarmed) run of an operation measures how many kill sites the
+/// crash-recovery harness must iterate over.
+int64_t CrashPointHits();
+void ResetCrashPointHits();
+
+/// Name of the most recently fired crash point ("" if none fired yet).
+std::string LastFiredCrashPoint();
+
+}  // namespace fault
+}  // namespace lt
+
+/// Marks one step of a crash-consistent protocol. When the registry is
+/// armed for this hit, returns Status::IOError from the enclosing function,
+/// simulating a process death at this instruction.
+#define LT_CRASH_POINT(point)                                              \
+  do {                                                                     \
+    if (::lt::fault::CrashPointFire(point)) {                              \
+      return ::lt::Status::IOError(std::string("crash point: ") + point);  \
+    }                                                                      \
+  } while (0)
+
+#endif  // LITTLETABLE_UTIL_FAULT_H_

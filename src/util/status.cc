@@ -31,6 +31,12 @@ std::string Status::ToString() const {
     case Code::kNetworkError:
       name = "NetworkError";
       break;
+    case Code::kDeadlineExceeded:
+      name = "DeadlineExceeded";
+      break;
+    case Code::kUnavailable:
+      name = "Unavailable";
+      break;
   }
   std::string out = name;
   if (!msg_.empty()) {

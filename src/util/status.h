@@ -31,6 +31,8 @@ class Status {
     kNotSupported,
     kAborted,
     kNetworkError,
+    kDeadlineExceeded,
+    kUnavailable,
   };
 
   /// Constructs an OK status.
@@ -61,6 +63,17 @@ class Status {
   static Status NetworkError(std::string msg) {
     return Status(Code::kNetworkError, std::move(msg));
   }
+  /// An operation did not complete within its deadline (e.g. a socket read
+  /// against a hung peer). Retrying later may succeed.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// The service is temporarily unable to handle the request (peer closed
+  /// the connection, server draining or over capacity, flush backlog at its
+  /// hard cap). Safe to retry idempotent operations with backoff.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -71,6 +84,8 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNetworkError() const { return code_ == Code::kNetworkError; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -4,9 +4,12 @@
 
 #include <cstdlib>
 
+#include "core/tablet_reader.h"
+#include "core/tablet_writer.h"
 #include "env/env.h"
 #include "env/mem_env.h"
 #include "env/sim_disk_env.h"
+#include "tests/test_util.h"
 
 namespace lt {
 namespace {
@@ -394,6 +397,149 @@ TEST_F(SimDiskTest, FailNthReadAndWriteFireAtSimLayer) {
   std::string data;
   ASSERT_TRUE(ReadFileToString(&sim_, "/w", &data).ok());
   EXPECT_EQ(data, "kept");
+}
+
+// ----- Disk-full and power-cut injection. -----
+
+TEST_F(SimDiskTest, DiskFullBudgetFailsAppendsThenClears) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(sim_.NewWritableFile("/full", &f).ok());
+  sim_.SetDiskFullAfter(10);
+  ASSERT_TRUE(f->Append("12345").ok());       // 5 of 10 bytes used.
+  ASSERT_TRUE(f->Append("67890").ok());       // Budget exactly exhausted.
+  Status s = f->Append("x");
+  ASSERT_TRUE(s.IsIOError());
+  EXPECT_NE(s.ToString().find("no space"), std::string::npos);
+  sim_.ClearDiskFull();
+  ASSERT_TRUE(f->Append("more").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&sim_, "/full", &data).ok());
+  EXPECT_EQ(data, "1234567890more");
+}
+
+TEST_F(SimDiskTest, PowerCutTruncatesToLastSync) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(sim_.NewWritableFile("/p", &f).ok());
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("lost-tail").ok());
+  ASSERT_TRUE(sim_.PowerCut().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&sim_, "/p", &data).ok());
+  EXPECT_EQ(data, "durable");
+}
+
+TEST_F(SimDiskTest, PowerCutRemovesNeverSyncedFiles) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(sim_.NewWritableFile("/never", &f).ok());
+  ASSERT_TRUE(f->Append("all volatile").ok());
+  ASSERT_TRUE(sim_.PowerCut().ok());
+  EXPECT_FALSE(sim_.FileExists("/never"));
+}
+
+// ----- TabletWriter under injected storage faults. -----
+//
+// The invariant the flush protocol depends on: whatever fault fires, the
+// writer yields either a complete, readable tablet or no tablet file at
+// all — never a surviving partial file.
+
+// Writes `rows` rows through a TabletWriter (small blocks, so multi-block
+// tablets exercise many appends); Abandons on any failure, as Table does.
+Status WriteTablet(Env* env, const std::string& fname, int rows, bool sync) {
+  Schema schema = testutil::UsageSchema();
+  TabletWriterOptions wopts;
+  wopts.block_bytes = 256;
+  wopts.sync = sync;
+  TabletWriter writer(env, fname, &schema, wopts);
+  Status s;
+  for (int i = 0; i < rows && s.ok(); i++) {
+    s = writer.Add(testutil::UsageRow(1, i, 1000000 + i, i, 0.5));
+  }
+  TabletMeta meta;
+  if (s.ok()) s = writer.Finish(&meta);
+  if (!s.ok()) writer.Abandon();
+  return s;
+}
+
+// Asserts the all-or-nothing postcondition for one injected-fault run.
+void CheckCompleteOrAbsent(Env* env, const std::string& fname,
+                           const Status& write_status, int rows) {
+  if (!write_status.ok()) {
+    EXPECT_FALSE(env->FileExists(fname))
+        << "failed write left a partial file (" << write_status.ToString()
+        << ")";
+    return;
+  }
+  std::shared_ptr<TabletReader> reader;
+  ASSERT_TRUE(TabletReader::Open(env, fname, &reader).ok());
+  ASSERT_TRUE(reader->Load().ok());
+  EXPECT_EQ(reader->row_count(), static_cast<uint64_t>(rows));
+}
+
+TEST(TabletWriterFaultTest, FailNthWriteMatrix) {
+  const int kRows = 200;
+  // Sweep the failing write index past the total number of appends a clean
+  // run issues (multiple blocks + footer + trailer), so every append site
+  // fails in some iteration and late iterations complete cleanly.
+  for (int k = 1; k <= 40; k++) {
+    SCOPED_TRACE("fail write #" + std::to_string(k));
+    MemEnv env;
+    env.FailNthWrite(k);
+    Status s = WriteTablet(&env, "/t", kRows, /*sync=*/true);
+    env.FailNthWrite(0);
+    CheckCompleteOrAbsent(&env, "/t", s, kRows);
+  }
+}
+
+TEST(TabletWriterFaultTest, DiskFullBudgetMatrix) {
+  const int kRows = 200;
+  for (int64_t budget : {0l, 100l, 1000l, 4000l, 8000l, 1l << 30}) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    MemEnv mem;
+    SimDiskEnv sim(&mem, SimDiskOptions{});
+    sim.SetDiskFullAfter(budget);
+    Status s = WriteTablet(&sim, "/t", kRows, /*sync=*/true);
+    sim.ClearDiskFull();
+    CheckCompleteOrAbsent(&sim, "/t", s, kRows);
+  }
+}
+
+TEST(TabletWriterFaultTest, PowerCutAfterSyncedFinishKeepsTablet) {
+  MemEnv mem;
+  SimDiskEnv sim(&mem, SimDiskOptions{});
+  const int kRows = 200;
+  ASSERT_TRUE(WriteTablet(&sim, "/t", kRows, /*sync=*/true).ok());
+  ASSERT_TRUE(sim.PowerCut().ok());
+  std::shared_ptr<TabletReader> reader;
+  ASSERT_TRUE(TabletReader::Open(&sim, "/t", &reader).ok());
+  ASSERT_TRUE(reader->Load().ok());
+  EXPECT_EQ(reader->row_count(), static_cast<uint64_t>(kRows));
+}
+
+TEST(TabletWriterFaultTest, PowerCutBeforeSyncLosesWholeTablet) {
+  // sync=false means Finish never reaches stable storage: a power cut
+  // erases the file entirely — "no tablet", not a torn one.
+  MemEnv mem;
+  SimDiskEnv sim(&mem, SimDiskOptions{});
+  ASSERT_TRUE(WriteTablet(&sim, "/t", 200, /*sync=*/false).ok());
+  ASSERT_TRUE(sim.PowerCut().ok());
+  EXPECT_FALSE(sim.FileExists("/t"));
+}
+
+TEST(TabletWriterFaultTest, TornTabletIsDetectedNotServed) {
+  // If a torn tablet *did* survive (e.g. a partial sync at the device
+  // layer), the reader must reject it as corrupt rather than serve it.
+  MemEnv env;
+  ASSERT_TRUE(WriteTablet(&env, "/t", 200, /*sync=*/true).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env.GetFileSize("/t", &size).ok());
+  ASSERT_TRUE(env.TruncateFile("/t", size / 2).ok());
+  std::shared_ptr<TabletReader> reader;
+  Status open = TabletReader::Open(&env, "/t", &reader);
+  if (open.ok()) {
+    EXPECT_FALSE(reader->Load().ok());
+  }
 }
 
 }  // namespace

@@ -3,14 +3,18 @@
 // timestamps, schema-change retry, and error mapping.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <thread>
 
 #include "core/db.h"
 #include "env/mem_env.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/socket.h"
 #include "net/stats_text.h"
 #include "tests/test_util.h"
 
@@ -432,6 +436,342 @@ TEST_F(NetTest, FinishedConnectionThreadsAreReaped) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_LT(tracked, 10u);
+}
+
+TEST_F(NetTest, StatsExposeFlushFailureCounters) {
+  ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+  std::map<std::string, uint64_t> stats;
+  ASSERT_TRUE(client_->Stats("usage", &stats).ok());
+  ASSERT_TRUE(stats.count("table.flush_failures"));
+  ASSERT_TRUE(stats.count("table.flush_retries"));
+  ASSERT_TRUE(stats.count("table.merge_failures"));
+  EXPECT_EQ(stats["table.flush_failures"], 0u);
+
+  ServerStats v2;
+  ASSERT_TRUE(client_->Stats("usage", &v2).ok());
+  std::string text = RenderStatsText(v2, "usage");
+  EXPECT_NE(
+      text.find("littletable_table_flush_failures{table=\"usage\"} 0\n"),
+      std::string::npos)
+      << text;
+}
+
+// ----- Fault-tolerant wire layer: deadlines, reconnect, drain, caps. -----
+
+int64_t CounterValue(LittleTableServer* server, const std::string& name) {
+  for (const auto& [key, value] : server->metrics().CounterValues()) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+// An Env whose random-access reads block while a gate is closed. Lets the
+// drain test hold a query provably in flight while the server shuts down,
+// with no reliance on timing.
+class GateEnv final : public Env {
+ public:
+  explicit GateEnv(Env* base) : base_(base) {}
+
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = false;
+    }
+    cv_.notify_all();
+  }
+  // Blocks until at least one reader is parked at the closed gate.
+  void WaitForBlockedReader() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return waiting_ > 0; });
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::unique_ptr<RandomAccessFile> file;
+    LT_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &file));
+    result->reset(new GatedFile(std::move(file), this));
+    return Status::OK();
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    return base_->NewWritableFile(fname, result);
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    return base_->RenameFile(src, dst);
+  }
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    return base_->CreateDirIfMissing(dirname);
+  }
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dirname, result);
+  }
+
+ private:
+  class GatedFile final : public RandomAccessFile {
+   public:
+    GatedFile(std::unique_ptr<RandomAccessFile> base, GateEnv* env)
+        : base_(std::move(base)), env_(env) {}
+    Status Read(uint64_t offset, size_t n, Slice* result,
+                char* scratch) const override {
+      {
+        std::unique_lock<std::mutex> lock(env_->mu_);
+        if (env_->closed_) {
+          env_->waiting_++;
+          env_->cv_.notify_all();
+          env_->cv_.wait(lock, [this] { return !env_->closed_; });
+          env_->waiting_--;
+        }
+      }
+      return base_->Read(offset, n, result, scratch);
+    }
+    Status Size(uint64_t* size) const override { return base_->Size(size); }
+
+   private:
+    std::unique_ptr<RandomAccessFile> base_;
+    GateEnv* const env_;
+  };
+
+  Env* const base_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  int waiting_ = 0;
+};
+
+TEST(NetRobustnessTest, ClientDeadlineOnHungServer) {
+  // A listener that never accepts: the TCP handshake completes via the
+  // backlog but no byte ever comes back. The client must give up within
+  // its read deadline, not hang.
+  net::Socket listener;
+  uint16_t port = 0;
+  ASSERT_TRUE(net::Listen(0, &listener, &port).ok());
+
+  ClientOptions copts;
+  copts.connect_timeout_ms = 2000;
+  copts.read_timeout_ms = 200;
+  copts.max_retries = 0;
+  std::unique_ptr<Client> client;
+  auto start = std::chrono::steady_clock::now();
+  Status s = Client::Connect("127.0.0.1", port, copts, &client);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+TEST(NetRobustnessTest, ClientReconnectsWithBackoffAfterServerRestart) {
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, clock, "/srv", dopts, &db).ok());
+
+  auto server1 = std::make_unique<LittleTableServer>(db.get());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port = server1->port();
+
+  ClientOptions copts;
+  copts.max_retries = 8;
+  copts.backoff_initial_ms = 20;
+  copts.backoff_max_ms = 100;
+  copts.read_timeout_ms = 2000;
+  std::unique_ptr<Client> client;
+  ASSERT_TRUE(Client::Connect("127.0.0.1", port, copts, &client).ok());
+  ASSERT_TRUE(client->Ping().ok());
+  EXPECT_EQ(client->connect_count(), 1u);
+
+  // The server dies and a replacement comes up on the same port a little
+  // later; an idempotent request rides the retry/backoff loop across the
+  // outage without surfacing an error.
+  server1->Stop();
+  std::unique_ptr<LittleTableServer> server2;
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ServerOptions sopts;
+    sopts.port = port;
+    server2 = std::make_unique<LittleTableServer>(db.get(), sopts);
+    ASSERT_TRUE(server2->Start().ok());
+  });
+  Status s = client->Ping();
+  restarter.join();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(client->connect_count(), 2u);
+  client.reset();
+  server2->Stop();
+}
+
+TEST(NetRobustnessTest, StopDrainsInFlightQueryAndRejectsNewFrames) {
+  MemEnv mem;
+  GateEnv env(&mem);
+  auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  dopts.block_cache_bytes = 0;  // Every block read hits the gated env.
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, clock, "/srv", dopts, &db).ok());
+  ASSERT_TRUE(db->CreateTable("usage", UsageSchema(), nullptr).ok());
+  auto table = db->GetTable("usage");
+  std::vector<Row> rows;
+  Timestamp t = clock->Now();
+  for (int i = 0; i < 2000; i++) rows.push_back(UsageRow(1, i, t + i, i, 0.5));
+  ASSERT_TRUE(table->InsertBatch(rows).ok());
+  ASSERT_TRUE(db->FlushAll().ok());
+
+  ServerOptions sopts;
+  sopts.poll_interval_ms = 10;
+  LittleTableServer server(db.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::unique_ptr<Client> querier;
+  ASSERT_TRUE(Client::Connect("127.0.0.1", server.port(), &querier).ok());
+  // Close the gate so the query parks mid-scan; it is provably in flight
+  // when Stop() begins, with no reliance on timing.
+  env.CloseGate();
+  std::atomic<bool> query_ok{false};
+  std::atomic<size_t> got_rows{0};
+  std::thread query_thread([&] {
+    std::vector<Row> got;
+    Status s = querier->QueryAll("usage", QueryBounds{}, &got);
+    query_ok = s.ok();
+    got_rows = got.size();
+  });
+  env.WaitForBlockedReader();
+  std::thread stop_thread([&] { server.Stop(); });
+  // Give Stop() a moment to enter the drain phase (draining_ is set before
+  // it waits on active requests).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // A fresh request during the drain is turned away with kShuttingDown.
+  ClientOptions copts;
+  copts.max_retries = 0;
+  std::unique_ptr<Client> late;
+  Status s = Client::Connect("127.0.0.1", server.port(), copts, &late);
+  EXPECT_FALSE(s.ok());
+  if (!s.ok()) {
+    EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+    EXPECT_NE(s.ToString().find("shutting down"), std::string::npos)
+        << s.ToString();
+  }
+
+  // Release the parked query; the drain lets it run to completion.
+  env.OpenGate();
+  query_thread.join();
+  stop_thread.join();
+  // The in-flight query completed in full despite the concurrent Stop().
+  EXPECT_TRUE(query_ok.load());
+  EXPECT_EQ(got_rows.load(), 2000u);
+  EXPECT_EQ(server.NumConnThreads(), 0u);
+  EXPECT_GE(CounterValue(&server, "server.shutdown_rejects"), 1);
+}
+
+TEST(NetRobustnessTest, ConnectionCapRejectsWithServerBusy) {
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, clock, "/srv", dopts, &db).ok());
+  ServerOptions sopts;
+  sopts.max_connections = 1;
+  LittleTableServer server(db.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.max_retries = 0;
+  std::unique_ptr<Client> holder;
+  ASSERT_TRUE(Client::Connect("127.0.0.1", server.port(), copts, &holder).ok());
+
+  std::unique_ptr<Client> extra;
+  Status s = Client::Connect("127.0.0.1", server.port(), copts, &extra);
+  EXPECT_FALSE(s.ok());
+  if (!s.ok()) {
+    EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+    EXPECT_NE(s.ToString().find("busy"), std::string::npos) << s.ToString();
+  }
+  EXPECT_GE(CounterValue(&server, "server.busy_rejects"), 1);
+
+  // Freeing the slot lets the next client in (once the server reaps the
+  // finished connection thread).
+  holder.reset();
+  bool connected = false;
+  for (int attempt = 0; attempt < 200 && !connected; attempt++) {
+    std::unique_ptr<Client> next;
+    connected = Client::Connect("127.0.0.1", server.port(), copts, &next).ok();
+    if (!connected) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(connected);
+  server.Stop();
+}
+
+TEST(NetRobustnessTest, IdleConnectionsAreDisconnected) {
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, clock, "/srv", dopts, &db).ok());
+  ServerOptions sopts;
+  sopts.idle_timeout_ms = 100;
+  sopts.poll_interval_ms = 10;
+  LittleTableServer server(db.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.max_retries = 0;
+  std::unique_ptr<Client> client;
+  ASSERT_TRUE(Client::Connect("127.0.0.1", server.port(), copts, &client).ok());
+  ASSERT_TRUE(client->Ping().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // The server hung up on the idle connection; without retries the next
+  // request surfaces the dead socket.
+  EXPECT_FALSE(client->Ping().ok());
+  EXPECT_GE(CounterValue(&server, "server.idle_disconnects"), 1);
+  server.Stop();
+}
+
+TEST(NetRobustnessTest, RetryingClientSurvivesIdleDisconnect) {
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, clock, "/srv", dopts, &db).ok());
+  ServerOptions sopts;
+  sopts.idle_timeout_ms = 100;
+  sopts.poll_interval_ms = 10;
+  LittleTableServer server(db.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::unique_ptr<Client> client;
+  ASSERT_TRUE(Client::Connect("127.0.0.1", server.port(), &client).ok());
+  ASSERT_TRUE(client->Ping().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // With the default retry policy the client reconnects transparently.
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_GE(client->connect_count(), 2u);
+  server.Stop();
 }
 
 }  // namespace

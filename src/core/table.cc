@@ -453,14 +453,17 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
 
   const Timestamp now = clock_->Now();
 
-  // Write one tablet per non-empty victim, in id order. Dependency edges
-  // always point from newer ids to older ones and the want-set is closed
-  // under them, so every id-ordered prefix of the victims is itself
-  // dependency-closed: on a write failure the successfully written prefix
-  // commits (preserving §3.4.3 prefix durability) while the failed victim
-  // and everything after it return to the flush queue, sealed and intact,
-  // for a backed-off retry. No victim is ever stranded or dropped.
+  // Write one tablet per non-empty victim, in id order. Id order is only a
+  // heuristic: InsertBatch adds an edge from the current filling tablet to
+  // the previous one, so inserts alternating between period tablets create
+  // edges from an OLDER id to a NEWER one (even cycles). On a write failure
+  // the candidate prefix is therefore trimmed below — under mu_, against
+  // the real edge set — until it is dependency-closed before anything
+  // commits; the failed victim and everything dropped by the trim return to
+  // the flush queue, sealed and intact, for a backed-off retry. No victim
+  // is ever stranded or dropped.
   struct Written {
+    size_t vi;  // Index into `victims`.
     TabletMeta meta;
     std::shared_ptr<TabletReader> reader;
   };
@@ -504,13 +507,59 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
       committed_victims = vi;
       break;
     }
-    written.push_back({std::move(meta), std::move(reader)});
+    written.push_back({vi, std::move(meta), std::move(reader)});
   }
 
+  size_t committed_count = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // commit[vi] — does victims[vi] commit this round? Start from the
+    // written prefix, then trim it until it is closed under the real
+    // dependency edges: a victim whose must-flush-first set names a
+    // requeued victim must itself be requeued, transitively (id order does
+    // not imply closure — see the write-loop comment above). Committing a
+    // non-closed set would durably persist a tablet whose earlier-inserted
+    // dependency is still memory-only, breaking §3.4.3 prefix durability
+    // on the next crash.
+    std::vector<char> commit(victims.size(), 1);
+    for (size_t vi = committed_victims; vi < victims.size(); vi++) {
+      commit[vi] = 0;
+    }
+    if (committed_victims < victims.size()) {
+      std::map<uint64_t, size_t> index_of;
+      for (size_t vi = 0; vi < victims.size(); vi++) {
+        index_of[victims[vi]->id()] = vi;
+      }
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (size_t vi = 0; vi < victims.size(); vi++) {
+          if (!commit[vi]) continue;
+          auto dep_it = must_flush_first_.find(victims[vi]->id());
+          if (dep_it == must_flush_first_.end()) continue;
+          for (uint64_t dep : dep_it->second) {
+            auto ix = index_of.find(dep);
+            if (ix != index_of.end() && !commit[ix->second]) {
+              commit[vi] = 0;
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+      // Output already written for trimmed victims must not reach the
+      // descriptor: delete it so the retry rewrites it cleanly.
+      for (auto it = written.begin(); it != written.end();) {
+        if (!commit[it->vi]) {
+          env_->RemoveFile(TabletPath(it->meta.filename));
+          it = written.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     if (!written.empty()) {
-      // One atomic descriptor update covers the committed prefix (§3.4.3).
+      // One atomic descriptor update covers the committed set (§3.4.3).
       // Commit durably first, then mutate in-memory state, so a descriptor
       // failure rolls back to exactly the pre-flush picture.
       std::vector<TabletMeta> next_tablets = tablets_;
@@ -524,7 +573,7 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
           env_->RemoveFile(TabletPath(w.meta.filename));
         }
         written.clear();
-        committed_victims = 0;
+        std::fill(commit.begin(), commit.end(), 0);
         if (fail.ok()) fail = cs;
       } else {
         for (Written& w : written) {
@@ -536,15 +585,17 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
         SortMetas(&tablets_);
       }
     } else if (!fail.ok()) {
-      committed_victims = 0;
+      // Nothing reached disk: requeue everything (empty victims included)
+      // and leave the dependency graph untouched.
+      std::fill(commit.begin(), commit.end(), 0);
     }
     // Committed victims leave the dependency graph entirely — including
     // edges that name them from still-queued tablets, which are satisfied
     // now that the dependency is durable. (Erasing only the victims' own
     // entries leaked those satisfied edges forever.)
     std::set<uint64_t> committed_ids;
-    for (size_t vi = 0; vi < committed_victims; vi++) {
-      committed_ids.insert(victims[vi]->id());
+    for (size_t vi = 0; vi < victims.size(); vi++) {
+      if (commit[vi]) committed_ids.insert(victims[vi]->id());
     }
     for (uint64_t id : committed_ids) must_flush_first_.erase(id);
     for (auto it = must_flush_first_.begin(); it != must_flush_first_.end();) {
@@ -553,9 +604,10 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
     }
     // Unflushed victims return to the front of the flush queue (reverse id
     // order keeps the oldest first); their rows stay served from memory.
-    for (size_t vi = victims.size(); vi-- > committed_victims;) {
-      sealed_.push_front(victims[vi]);
+    for (size_t vi = victims.size(); vi-- > 0;) {
+      if (!commit[vi]) sealed_.push_front(victims[vi]);
     }
+    committed_count = committed_ids.size();
     if (!fail.ok()) {
       RecordFlushFailureLocked(clock_->Now());
     } else {
@@ -567,9 +619,9 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
     opts_.logger->Warn(
         "flush_failed",
         {{"table", name_},
-         {"committed", static_cast<uint64_t>(committed_victims)},
+         {"committed", static_cast<uint64_t>(committed_count)},
          {"requeued",
-          static_cast<uint64_t>(victims.size() - committed_victims)},
+          static_cast<uint64_t>(victims.size() - committed_count)},
          {"status", fail}});
     return fail;
   }

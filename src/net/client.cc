@@ -40,17 +40,21 @@ Status Client::EnsureConnectedLocked() {
   return Status::OK();
 }
 
-void Client::BackoffLocked(int attempt) {
+void Client::Backoff(int attempt) {
   int64_t delay = opts_.backoff_initial_ms;
   for (int i = 0; i < attempt && delay < opts_.backoff_max_ms; i++) {
     delay *= 2;
   }
   delay = std::min<int64_t>(delay, opts_.backoff_max_ms);
   if (delay <= 0) return;
-  // Uniform jitter in [delay/2, delay] decorrelates clients retrying
-  // against a recovering server.
-  delay = delay / 2 + static_cast<int64_t>(rng_.Uniform(
-                          static_cast<uint64_t>(delay / 2 + 1)));
+  {
+    // Uniform jitter in [delay/2, delay] decorrelates clients retrying
+    // against a recovering server. rng_ is guarded by mu_; the sleep
+    // itself happens unlocked.
+    std::lock_guard<std::mutex> lock(mu_);
+    delay = delay / 2 + static_cast<int64_t>(rng_.Uniform(
+                            static_cast<uint64_t>(delay / 2 + 1)));
+  }
   std::this_thread::sleep_for(std::chrono::milliseconds(delay));
 }
 
@@ -59,21 +63,28 @@ bool Client::IsConnectionError(const Status& s) {
 }
 
 template <typename Fn>
-Status Client::WithRetriesLocked(Fn&& fn) {
+Status Client::WithRetries(Fn&& fn) {
   Status s;
   for (int attempt = 0;; attempt++) {
-    s = EnsureConnectedLocked();
-    if (s.ok()) {
-      s = fn();
-      if (s.ok() || !IsConnectionError(s)) return s;
-      // The connection may be desynced (half-read frame) — drop it so the
-      // next attempt starts from a clean handshake.
-      conn_.Close();
-    } else if (!IsConnectionError(s)) {
-      return s;
+    {
+      // mu_ covers one whole attempt (connect + round trip) but is
+      // released before the backoff sleep — otherwise one failing request
+      // would stall every other thread's call on this Client for up to
+      // max_retries * (timeout + backoff).
+      std::lock_guard<std::mutex> lock(mu_);
+      s = EnsureConnectedLocked();
+      if (s.ok()) {
+        s = fn();
+        if (s.ok() || !IsConnectionError(s)) return s;
+        // The connection may be desynced (half-read frame) — drop it so
+        // the next attempt starts from a clean handshake.
+        conn_.Close();
+      } else if (!IsConnectionError(s)) {
+        return s;
+      }
     }
     if (attempt >= opts_.max_retries) return s;
-    BackoffLocked(attempt);
+    Backoff(attempt);
   }
 }
 
@@ -127,13 +138,11 @@ Status Client::PingLocked() {
 }
 
 Status Client::Ping() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WithRetriesLocked([&] { return PingLocked(); });
+  return WithRetries([&] { return PingLocked(); });
 }
 
 Status Client::ListTables(std::vector<std::string>* names) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WithRetriesLocked([&] {
+  return WithRetries([&] {
     MsgType type;
     std::string body;
     LT_RETURN_IF_ERROR(RoundTrip(MsgType::kListTables, "", &type, &body));
@@ -184,8 +193,7 @@ Status Client::DropTable(const std::string& table) {
 
 Status Client::GetTableInfo(const std::string& table, Schema* schema,
                             Timestamp* ttl) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WithRetriesLocked([&] {
+  return WithRetries([&] {
     std::string req;
     PutLengthPrefixedSlice(&req, table);
     MsgType type;
@@ -229,9 +237,8 @@ Result<std::shared_ptr<const Schema>> Client::SchemaLocked(
 
 Result<std::shared_ptr<const Schema>> Client::TableSchema(
     const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<const Schema> schema;
-  Status s = WithRetriesLocked([&]() -> Status {
+  Status s = WithRetries([&]() -> Status {
     auto r = SchemaLocked(table);
     if (!r.ok()) return r.status();
     schema = std::move(*r);
@@ -280,9 +287,7 @@ Status Client::Insert(const std::string& table, const std::vector<Row>& rows) {
 
 Status Client::Query(const std::string& table, const QueryBounds& bounds,
                      QueryResult* result) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WithRetriesLocked(
-      [&] { return QueryLocked(table, bounds, result); });
+  return WithRetries([&] { return QueryLocked(table, bounds, result); });
 }
 
 Status Client::QueryLocked(const std::string& table, const QueryBounds& bounds,
@@ -375,8 +380,7 @@ Status Client::QueryAll(const std::string& table, const QueryBounds& bounds,
 
 Status Client::LatestRow(const std::string& table, const Key& prefix,
                          Row* row, bool* found) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WithRetriesLocked(
+  return WithRetries(
       [&] { return LatestRowLocked(table, prefix, row, found); });
 }
 
@@ -424,9 +428,8 @@ Status Client::LatestRowLocked(const std::string& table, const Key& prefix,
 }
 
 Status Client::FlushThrough(const std::string& table, Timestamp ts) {
-  std::lock_guard<std::mutex> lock(mu_);
   // Idempotent: flushing through the same timestamp twice is a no-op.
-  return WithRetriesLocked([&] {
+  return WithRetries([&] {
     std::string req;
     PutLengthPrefixedSlice(&req, table);
     PutVarint64(&req, ZigZagEncode(ts));
@@ -481,8 +484,7 @@ Status Client::SetTtl(const std::string& table, Timestamp ttl) {
 
 Status Client::Stats(const std::string& table,
                      std::map<std::string, uint64_t>* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WithRetriesLocked([&] {
+  return WithRetries([&] {
     std::string req;
     PutLengthPrefixedSlice(&req, table);
     MsgType type;
@@ -511,8 +513,7 @@ Status Client::Stats(const std::string& table,
 }
 
 Status Client::Stats(const std::string& table, ServerStats* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WithRetriesLocked([&] {
+  return WithRetries([&] {
     std::string req;
     PutLengthPrefixedSlice(&req, table);
     MsgType type;

@@ -149,14 +149,19 @@ class Client {
   /// Opens the TCP connection if it is not currently open.
   Status EnsureConnectedLocked();
   /// Sleeps the backoff delay for the given (0-based) retry attempt.
-  void BackoffLocked(int attempt);
+  /// Called WITHOUT mu_ held: the sleep must not stall other threads'
+  /// requests on this Client.
+  void Backoff(int attempt);
   /// True for errors where reconnect + retry may help: the peer vanished,
   /// a deadline expired, or the server said busy/shutting down.
   static bool IsConnectionError(const Status& s);
-  /// Runs one request attempt `fn`, reconnecting and retrying on
+  /// Runs request attempts of `fn`, reconnecting and retrying on
   /// connection errors per the retry policy. Only for idempotent requests.
+  /// Acquires mu_ around each attempt (callers must NOT hold it) and
+  /// releases it for the backoff sleep, so one caller's retry storm does
+  /// not block every other thread sharing this Client.
   template <typename Fn>
-  Status WithRetriesLocked(Fn&& fn);
+  Status WithRetries(Fn&& fn);
 
   /// Sends one frame and reads one response frame; closes the connection
   /// on any transport error so the next request reconnects cleanly.

@@ -88,9 +88,15 @@ void LittleTableServer::Stop() {
   // response is written before the request is counted done); any frame
   // arriving meanwhile, including on brand-new connections, is answered
   // with kShuttingDown. Bounded by drain_timeout_ms.
-  draining_.store(true);
   {
+    // The flag is set under drain_mu_, and connection threads check it and
+    // register the request in one drain_mu_ critical section — so every
+    // request either observes draining_ and is rejected, or is already
+    // counted in active_requests_ before the wait below reads it. Without
+    // that pairing a request could slip between the check and the count
+    // and have its socket shut down mid-dispatch.
     std::unique_lock<std::mutex> lock(drain_mu_);
+    draining_.store(true);
     drain_cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_timeout_ms),
                        [this] { return active_requests_ == 0; });
   }
@@ -204,7 +210,18 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
     payload.resize(len);
     if (!conn.ReadAll(payload.data(), len).ok()) break;
 
-    if (draining_.load()) {
+    // Reject-or-register, atomically with the drain flag: either this
+    // request registers in active_requests_ before Stop() starts waiting
+    // (so the drain waits for its response), or it observes draining_ and
+    // is rejected — never a half-dispatched request whose socket the
+    // "finished" drain shuts down.
+    bool draining;
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      draining = draining_.load();
+      if (!draining) active_requests_++;
+    }
+    if (draining) {
       // Shutting down: this frame arrived after the drain began, so it is
       // rejected rather than served — the client should reconnect to a
       // healthy server.
@@ -219,10 +236,6 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
     Slice body(payload.data() + 1, payload.size() - 1);
     std::string response;
     requests_->Increment();
-    {
-      std::lock_guard<std::mutex> lock(drain_mu_);
-      active_requests_++;
-    }
     const Timestamp start = MonotonicMicros();
     Dispatch(type, body, &response);
     if (LatencyHistogram* h = op_micros_[static_cast<uint8_t>(type)]) {

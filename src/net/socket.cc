@@ -75,27 +75,45 @@ Status Socket::WriteAll(const char* data, size_t n) {
   const int64_t deadline =
       write_timeout_ms_ > 0 ? MonotonicMicros() + write_timeout_ms_ * 1000
                             : -1;
+  // A deadline requires a nonblocking fd: a blocking send() does not return
+  // until the WHOLE buffer is queued, so once the socket buffer fills a
+  // stalled peer would pin this thread past any deadline. Toggle O_NONBLOCK
+  // for the duration and pace partial writes through the poll loop, which
+  // re-checks the deadline between sends.
+  int restore_flags = -1;
+  if (deadline >= 0) {
+    int flags = fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0 && !(flags & O_NONBLOCK) &&
+        fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0) {
+      restore_flags = flags;
+    }
+  }
+  Status s;
   while (n > 0) {
     if (deadline >= 0) {
       int wait_ms = RemainingMs(deadline);
       bool ready = false;
-      LT_RETURN_IF_ERROR(Wait(POLLOUT, wait_ms, &ready));
+      s = Wait(POLLOUT, wait_ms, &ready);
+      if (!s.ok()) break;
       if (!ready) {
-        return Status::DeadlineExceeded(
+        s = Status::DeadlineExceeded(
             "write timed out after " + std::to_string(write_timeout_ms_) +
             " ms");
+        break;
       }
     }
     ssize_t w = send(fd_, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return Errno("send");
+      s = Errno("send");
+      break;
     }
     data += w;
     n -= static_cast<size_t>(w);
   }
-  return Status::OK();
+  if (restore_flags >= 0) fcntl(fd_, F_SETFL, restore_flags);
+  return s;
 }
 
 Status Socket::ReadAll(char* data, size_t n) {

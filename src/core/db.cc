@@ -80,11 +80,34 @@ Status DB::Close() {
     if (stopping_) return Status::OK();
     stopping_ = true;
   }
+  // Stand maintenance down and cancel retry backoffs BEFORE joining: an
+  // in-flight background pass cuts itself short at the next table, and the
+  // final flush below is not skipped by a pending backoff window.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, table] : tables_) table->BeginShutdown();
+  }
   bg_cv_.notify_all();
   if (background_.joinable()) background_.join();
   // With maintenance stopped, persist whatever is still buffered; without
   // this, rows inserted since the last flush silently vanish on shutdown.
   return FlushAll();
+}
+
+void DB::Abandon() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, table] : tables_) table->BeginShutdown();
+  }
+  bg_cv_.notify_all();
+  if (background_.joinable()) background_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.clear();  // No flush: buffered rows die with the "process".
 }
 
 void DB::BackgroundLoop() {

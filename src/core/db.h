@@ -59,8 +59,18 @@ class DB {
   /// Stops the background thread, then flushes every table's buffered rows
   /// so a clean shutdown never loses acknowledged inserts (crash loss stays
   /// bounded by §3.4.1; orderly exit loses nothing). Idempotent: later calls
-  /// (including the destructor's) return OK without re-flushing.
+  /// (including the destructor's) return OK without re-flushing. Close is
+  /// bounded: tables are told to BeginShutdown first, which cancels any
+  /// flush/merge retry backoff and stops maintenance from starting new
+  /// work, so Close never waits out a backoff window.
   Status Close();
+
+  /// Simulated-crash close: stops the background thread and releases every
+  /// table WITHOUT the final flush, as a process kill would. Crash
+  /// harnesses call this, then discard unsynced file state
+  /// (MemEnv::DropUnsynced / SimDiskEnv::PowerCut) and reopen to exercise
+  /// recovery. After Abandon, Close (and the destructor) are no-ops.
+  void Abandon();
 
   Env* env() const { return env_; }
   const std::shared_ptr<Clock>& clock() const { return clock_; }

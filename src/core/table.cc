@@ -394,6 +394,7 @@ Status Table::InsertBatch(const std::vector<Row>& rows) {
     uint64_t root = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (closing_) break;  // Shutdown's FlushAll will persist these rows.
       if (sealed_.size() <= opts_.max_unflushed_tablets) break;
       if (clock_->Now() < flush_backoff_until_) break;
       root = sealed_.front()->id();
@@ -660,10 +661,20 @@ Status Table::FlushThrough(Timestamp ts) {
 // ---------------------------------------------------------------------------
 // Maintenance: age-based flushing, merging, TTL.
 
+void Table::BeginShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closing_ = true;
+  // A pending retry backoff must not delay shutdown: the close-time flush
+  // is the last chance to persist, so it runs immediately.
+  flush_backoff_until_ = 0;
+  merge_backoff_until_ = 0;
+}
+
 Status Table::MaintainNow() {
   const Timestamp now = clock_->Now();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closing_) return Status::OK();  // Shutdown owns the final flush.
     std::vector<std::shared_ptr<MemTablet>> aged;
     for (const auto& [start, mt] : filling_) {
       if (now - mt->created_at() >= opts_.max_memtablet_age) aged.push_back(mt);
@@ -675,6 +686,7 @@ Status Table::MaintainNow() {
     uint64_t root = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (closing_) break;
       if (sealed_.empty()) break;
       if (clock_->Now() < flush_backoff_until_) break;  // Retry later.
       root = sealed_.front()->id();
@@ -719,6 +731,7 @@ Status Table::MaybeMerge(Timestamp now) {
   Timestamp cutoff;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closing_) return Status::OK();
     if (now < merge_backoff_until_) return Status::OK();  // Retry later.
     MergePick pick = PickMerge(tablets_, now, name_, opts_.merge);
     if (!pick.valid()) return Status::OK();

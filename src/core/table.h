@@ -98,6 +98,13 @@ class Table {
   /// periodically; deterministic tests call it directly.
   Status MaintainNow();
 
+  /// Marks the table as shutting down: maintenance passes become no-ops
+  /// (no new flush loops, merges, or TTL scans start) and any pending
+  /// flush/merge retry-backoff window is cancelled so the close-time
+  /// FlushAll runs immediately instead of waiting out the backoff. Explicit
+  /// flushes (FlushAll/FlushThrough) still work — DB::Close relies on that.
+  void BeginShutdown();
+
   /// True if a maintenance pass would do work right now.
   bool HasMaintenanceWork();
 
@@ -199,6 +206,7 @@ class Table {
   uint32_t flush_failure_streak_ = 0;
   Timestamp merge_backoff_until_ = 0;
   uint32_t merge_failure_streak_ = 0;
+  bool closing_ = false;  // BeginShutdown called; maintenance stands down.
   // must_flush_first_[t'] = tablets that must flush before (or with) t'.
   std::map<uint64_t, std::set<uint64_t>> must_flush_first_;
   uint64_t last_insert_tablet_ = 0;

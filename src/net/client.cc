@@ -28,14 +28,21 @@ Status Client::Connect(const std::string& host, uint16_t port,
   return Status::OK();
 }
 
+Client::Client(const ClientOptions& options)
+    : opts_(options),
+      transport_(options.transport ? options.transport
+                                   : net::Transport::Tcp()),
+      retry_clock_(options.clock ? options.clock : SystemClock::Instance()),
+      rng_(options.backoff_seed) {}
+
 Status Client::EnsureConnectedLocked() {
-  if (conn_.valid()) return Status::OK();
-  net::Socket sock;
+  if (conn_) return Status::OK();
+  std::unique_ptr<net::Connection> conn;
   LT_RETURN_IF_ERROR(
-      net::Connect(host_, port_, &sock, opts_.connect_timeout_ms));
-  sock.set_read_timeout_ms(opts_.read_timeout_ms);
-  sock.set_write_timeout_ms(opts_.write_timeout_ms);
-  conn_ = std::move(sock);
+      transport_->Connect(host_, port_, opts_.connect_timeout_ms, &conn));
+  conn->set_read_timeout_ms(opts_.read_timeout_ms);
+  conn->set_write_timeout_ms(opts_.write_timeout_ms);
+  conn_ = std::move(conn);
   connect_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -55,7 +62,11 @@ void Client::Backoff(int attempt) {
     delay = delay / 2 + static_cast<int64_t>(rng_.Uniform(
                             static_cast<uint64_t>(delay / 2 + 1)));
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  if (opts_.backoff_sleep) {
+    opts_.backoff_sleep(delay);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
 }
 
 bool Client::IsConnectionError(const Status& s) {
@@ -64,6 +75,13 @@ bool Client::IsConnectionError(const Status& s) {
 
 template <typename Fn>
 Status Client::WithRetries(Fn&& fn) {
+  // The total deadline caps the whole logical request — every attempt and
+  // every backoff sleep — so a caller with an end-to-end budget is not held
+  // for max_retries * (timeout + backoff).
+  const Timestamp deadline =
+      opts_.total_deadline_ms > 0
+          ? retry_clock_->Now() + opts_.total_deadline_ms * 1000
+          : 0;
   Status s;
   for (int attempt = 0;; attempt++) {
     {
@@ -78,25 +96,26 @@ Status Client::WithRetries(Fn&& fn) {
         if (s.ok() || !IsConnectionError(s)) return s;
         // The connection may be desynced (half-read frame) — drop it so
         // the next attempt starts from a clean handshake.
-        conn_.Close();
+        conn_.reset();
       } else if (!IsConnectionError(s)) {
         return s;
       }
     }
     if (attempt >= opts_.max_retries) return s;
+    if (deadline != 0 && retry_clock_->Now() >= deadline) return s;
     Backoff(attempt);
   }
 }
 
 Status Client::ReadFrame(MsgType* type, std::string* body) {
   char len_buf[4];
-  LT_RETURN_IF_ERROR(conn_.ReadAll(len_buf, 4));
+  LT_RETURN_IF_ERROR(conn_->ReadAll(len_buf, 4));
   uint32_t len = DecodeFixed32(len_buf);
   if (len == 0 || len > wire::kMaxFrameBytes) {
     return Status::NetworkError("bad frame length");
   }
   std::string payload(len, '\0');
-  Status s = conn_.ReadAll(payload.data(), len);
+  Status s = conn_->ReadAll(payload.data(), len);
   if (!s.ok()) {
     // A close after the header is a torn frame, not a clean goodbye.
     if (s.IsUnavailable()) {
@@ -122,9 +141,9 @@ Status Client::RoundTrip(MsgType type, const std::string& body,
                          MsgType* resp_type, std::string* resp_body) {
   LT_RETURN_IF_ERROR(EnsureConnectedLocked());
   std::string frame = wire::Frame(type, body);
-  Status s = conn_.WriteAll(frame.data(), frame.size());
+  Status s = conn_->WriteAll(frame.data(), frame.size());
   if (s.ok()) s = ReadFrame(resp_type, resp_body);
-  if (!s.ok()) conn_.Close();
+  if (!s.ok()) conn_.reset();
   return s;
 }
 
@@ -303,7 +322,7 @@ Status Client::QueryLocked(const std::string& table, const QueryBounds& bounds,
     wire::EncodeBounds(&req, *schema, bounds);
 
     std::string frame = wire::Frame(MsgType::kQuery, req);
-    LT_RETURN_IF_ERROR(conn_.WriteAll(frame.data(), frame.size()));
+    LT_RETURN_IF_ERROR(conn_->WriteAll(frame.data(), frame.size()));
 
     result->rows.clear();
     bool schema_changed = false;

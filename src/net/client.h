@@ -24,14 +24,16 @@
 #define LITTLETABLE_NET_CLIENT_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "core/table.h"  // QueryResult
-#include "net/socket.h"
+#include "net/transport.h"
 #include "net/wire.h"
+#include "util/clock.h"
 #include "util/random.h"
 
 namespace lt {
@@ -52,6 +54,21 @@ struct ClientOptions {
   int backoff_max_ms = 1000;
   /// Seed for the jitter PRNG (deterministic for tests).
   uint64_t backoff_seed = 1;
+  /// Overall budget for one logical request including every reconnect
+  /// attempt and backoff sleep, measured on `clock` (0 = no budget, retry
+  /// policy alone decides). Once the budget is exhausted no further retry
+  /// is attempted and the last connection error is returned.
+  int total_deadline_ms = 0;
+
+  /// Clock the total deadline is measured on; null = the system clock.
+  /// Tests inject a SimClock and advance it from backoff_sleep.
+  std::shared_ptr<Clock> clock;
+  /// Called to sleep a backoff delay (milliseconds); null = a real
+  /// std::this_thread sleep. The simulation harness injects a hook that
+  /// advances SimClock instead, so retry storms cost no wall time.
+  std::function<void(int64_t)> backoff_sleep;
+  /// Transport to connect over; null means real TCP.
+  net::Transport* transport = nullptr;
 };
 
 /// Quantile summary of one server-side latency histogram (microseconds).
@@ -134,19 +151,18 @@ class Client {
   /// block-read distributions (table.*_micros).
   Status Stats(const std::string& table, ServerStats* stats);
 
-  bool connected() const { return conn_.valid(); }
+  bool connected() const { return conn_ != nullptr; }
 
-  /// Number of TCP connects performed (1 for the initial connect; each
-  /// reconnect adds one). Exposed for tests and monitoring.
+  /// Number of transport connects performed (1 for the initial connect;
+  /// each reconnect adds one). Exposed for tests and monitoring.
   uint64_t connect_count() const {
     return connect_count_.load(std::memory_order_relaxed);
   }
 
  private:
-  explicit Client(const ClientOptions& options)
-      : opts_(options), rng_(options.backoff_seed) {}
+  explicit Client(const ClientOptions& options);
 
-  /// Opens the TCP connection if it is not currently open.
+  /// Opens the transport connection if it is not currently open.
   Status EnsureConnectedLocked();
   /// Sleeps the backoff delay for the given (0-based) retry attempt.
   /// Called WITHOUT mu_ held: the sleep must not stall other threads'
@@ -183,9 +199,11 @@ class Client {
   std::string host_;
   uint16_t port_ = 0;
   ClientOptions opts_;
+  net::Transport* transport_;
+  std::shared_ptr<Clock> retry_clock_;
   Random rng_;
   std::atomic<uint64_t> connect_count_{0};
-  net::Socket conn_;
+  std::unique_ptr<net::Connection> conn_;
   std::map<std::string, std::shared_ptr<const Schema>> schema_cache_;
 };
 

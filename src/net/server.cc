@@ -1,7 +1,5 @@
 #include "net/server.h"
 
-#include <sys/socket.h>
-
 #include <chrono>
 
 #include "core/row_codec.h"
@@ -56,7 +54,11 @@ LittleTableServer::LittleTableServer(DB* db, uint16_t port)
       }()) {}
 
 LittleTableServer::LittleTableServer(DB* db, const ServerOptions& options)
-    : db_(db), opts_(options), port_(options.port) {
+    : db_(db),
+      opts_(options),
+      port_(options.port),
+      transport_(options.transport ? options.transport
+                                   : net::Transport::Tcp()) {
   // Resolve every instrument up front: the serve loop then records into
   // stable pointers with no registry lookups.
   for (int op = 0; op < 256; op++) {
@@ -77,7 +79,8 @@ LittleTableServer::LittleTableServer(DB* db, const ServerOptions& options)
 LittleTableServer::~LittleTableServer() { Stop(); }
 
 Status LittleTableServer::Start() {
-  LT_RETURN_IF_ERROR(net::Listen(port_, &listener_, &port_));
+  LT_RETURN_IF_ERROR(transport_->Listen(port_, &listener_));
+  port_ = listener_->port();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -103,22 +106,19 @@ void LittleTableServer::Stop() {
   // Phase 2 — stop: close the listener and force remaining connections
   // shut.
   stopping_.store(true);
-  // Closing the listener wakes the accept loop; poking it with a connect
-  // guarantees wake-up on platforms where close doesn't interrupt accept.
-  {
-    net::Socket poke;
-    net::Connect("127.0.0.1", port_, &poke);
-  }
+  // Closing the listener wakes a blocked Accept, which then returns non-OK
+  // and ends the accept loop.
+  if (listener_) listener_->Close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.Close();
+  listener_.reset();  // Releases the port.
   std::map<uint64_t, std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
     threads.swap(conn_threads_);
     finished_ids_.clear();
-    // Connection threads may be blocked in recv on idle-but-live client
-    // connections; shut those sockets down so the threads observe EOF.
-    for (int fd : live_fds_) shutdown(fd, SHUT_RDWR);
+    // Connection threads may be blocked reading idle-but-live client
+    // connections; shut those down so the threads observe EOF.
+    for (auto& [id, conn] : live_conns_) conn->Shutdown();
   }
   for (auto& [id, t] : threads) {
     if (t.joinable()) t.join();
@@ -149,8 +149,8 @@ void LittleTableServer::ReapFinished() {
 
 void LittleTableServer::AcceptLoop() {
   while (!stopping_.load()) {
-    net::Socket conn;
-    if (!net::Accept(listener_, &conn).ok()) break;
+    std::unique_ptr<net::Connection> conn;
+    if (!listener_->Accept(&conn).ok()) break;
     if (stopping_.load()) break;
     // Reap threads whose connections have closed; without this a
     // long-lived server leaks one zombie thread per connection ever
@@ -165,8 +165,8 @@ void LittleTableServer::AcceptLoop() {
       busy_rejects_->Increment();
       std::string reject;
       ReplyError(&reject, ErrCode::kServerBusy, "server busy: connection cap");
-      conn.set_write_timeout_ms(opts_.poll_interval_ms);
-      conn.WriteAll(reject.data(), reject.size());
+      conn->set_write_timeout_ms(opts_.poll_interval_ms);
+      conn->WriteAll(reject.data(), reject.size());
       continue;
     }
     uint64_t id = next_conn_id_++;
@@ -176,24 +176,25 @@ void LittleTableServer::AcceptLoop() {
   }
 }
 
-void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
+void LittleTableServer::ServeConnection(uint64_t id,
+                                        std::unique_ptr<net::Connection> conn) {
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
-    live_fds_.insert(conn.fd());
+    live_conns_[id] = conn.get();
   }
   connections_->Increment();
   active_connections_->Add(1);
   // Once a frame has started arriving, bound how long a stalled peer can
   // pin this thread; responses get the same write deadline.
-  conn.set_read_timeout_ms(opts_.io_timeout_ms);
-  conn.set_write_timeout_ms(opts_.io_timeout_ms);
+  conn->set_read_timeout_ms(opts_.io_timeout_ms);
+  conn->set_write_timeout_ms(opts_.io_timeout_ms);
   std::string payload;
   int64_t idle_ms = 0;
   while (!stopping_.load()) {
     // Wait for the next frame in short poll slices so the thread notices
     // stop/drain promptly even on an idle connection.
     bool ready = false;
-    if (!conn.WaitReadable(opts_.poll_interval_ms, &ready).ok()) break;
+    if (!conn->WaitReadable(opts_.poll_interval_ms, &ready).ok()) break;
     if (!ready) {
       idle_ms += opts_.poll_interval_ms;
       if (opts_.idle_timeout_ms > 0 && idle_ms >= opts_.idle_timeout_ms) {
@@ -204,11 +205,11 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
     }
     idle_ms = 0;
     char len_buf[4];
-    if (!conn.ReadAll(len_buf, 4).ok()) break;  // Client disconnected.
+    if (!conn->ReadAll(len_buf, 4).ok()) break;  // Client disconnected.
     uint32_t len = DecodeFixed32(len_buf);
     if (len == 0 || len > wire::kMaxFrameBytes) break;
     payload.resize(len);
-    if (!conn.ReadAll(payload.data(), len).ok()) break;
+    if (!conn->ReadAll(payload.data(), len).ok()) break;
 
     // Reject-or-register, atomically with the drain flag: either this
     // request registers in active_requests_ before Stop() starts waiting
@@ -228,7 +229,7 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
       shutdown_rejects_->Increment();
       std::string response;
       ReplyError(&response, ErrCode::kShuttingDown, "server shutting down");
-      conn.WriteAll(response.data(), response.size());
+      conn->WriteAll(response.data(), response.size());
       break;
     }
 
@@ -243,7 +244,7 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
     }
     // The response write is part of the in-flight request: a drain waits
     // until the client has its answer.
-    bool write_ok = conn.WriteAll(response.data(), response.size()).ok();
+    bool write_ok = conn->WriteAll(response.data(), response.size()).ok();
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
       active_requests_--;
@@ -253,9 +254,11 @@ void LittleTableServer::ServeConnection(uint64_t id, net::Socket conn) {
   }
   active_connections_->Add(-1);
   // Last use of threads_mu_: after this the thread only returns, so the
-  // accept loop (or Stop) can join it without deadlock.
+  // accept loop (or Stop) can join it without deadlock. Deregistering here
+  // (before `conn` is destroyed at return) keeps Stop()'s Shutdown calls
+  // off freed connections.
   std::lock_guard<std::mutex> lock(threads_mu_);
-  live_fds_.erase(conn.fd());
+  live_conns_.erase(id);
   finished_ids_.push_back(id);
 }
 

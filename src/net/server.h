@@ -16,12 +16,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <thread>
 #include <vector>
 
 #include "core/db.h"
-#include "net/socket.h"
+#include "net/transport.h"
 #include "net/wire.h"
 #include "util/metrics.h"
 
@@ -31,6 +30,10 @@ namespace lt {
 struct ServerOptions {
   /// Port to bind (0 = ephemeral).
   uint16_t port = 0;
+  /// Transport to listen on; null means real TCP. The simulation harness
+  /// injects a sim::SimTransport here to run the server with no real
+  /// sockets.
+  net::Transport* transport = nullptr;
   /// Maximum simultaneous client connections; further connects receive a
   /// kServerBusy error frame and are closed (0 = unlimited).
   size_t max_connections = 256;
@@ -79,7 +82,7 @@ class LittleTableServer {
 
  private:
   void AcceptLoop();
-  void ServeConnection(uint64_t id, net::Socket conn);
+  void ServeConnection(uint64_t id, std::unique_ptr<net::Connection> conn);
   /// Joins connection threads that have already announced completion.
   /// threads_mu_ must NOT be held.
   void ReapFinished();
@@ -111,7 +114,8 @@ class LittleTableServer {
   Counter* busy_rejects_ = nullptr;
   Counter* shutdown_rejects_ = nullptr;
   uint16_t port_;
-  net::Socket listener_;
+  net::Transport* const transport_;
+  std::unique_ptr<net::Listener> listener_;
   // Shutdown is two-phase: draining_ (answer new frames with
   // kShuttingDown, let in-flight requests finish) then stopping_ (close
   // everything). stop_called_ makes Stop() idempotent.
@@ -129,8 +133,10 @@ class LittleTableServer {
   // a listed thread can never deadlock.
   std::vector<uint64_t> finished_ids_;
   uint64_t next_conn_id_ = 1;
-  // Live connection fds, so Stop() can shut down blocked reads.
-  std::set<int> live_fds_;
+  // Live connections by id, so Stop() can shut down blocked reads. Each
+  // pointer is valid while registered: a connection thread erases its entry
+  // (under threads_mu_) before destroying the connection.
+  std::map<uint64_t, net::Connection*> live_conns_;
 };
 
 }  // namespace lt

@@ -1,0 +1,104 @@
+#include "net/transport.h"
+
+#include <sys/socket.h>
+
+#include <atomic>
+
+#include "net/socket.h"
+
+namespace lt {
+namespace net {
+namespace {
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(Socket sock) : sock_(std::move(sock)) {}
+
+  void set_read_timeout_ms(int ms) override { sock_.set_read_timeout_ms(ms); }
+  void set_write_timeout_ms(int ms) override { sock_.set_write_timeout_ms(ms); }
+
+  Status WaitReadable(int timeout_ms, bool* ready) override {
+    return sock_.WaitReadable(timeout_ms, ready);
+  }
+  Status WriteAll(const char* data, size_t n) override {
+    return sock_.WriteAll(data, n);
+  }
+  Status ReadAll(char* data, size_t n) override {
+    return sock_.ReadAll(data, n);
+  }
+
+  void Shutdown() override {
+    // Blocked reads observe EOF; the fd itself is closed by the destructor
+    // (the owning thread), never concurrently with in-flight I/O.
+    if (sock_.valid()) shutdown(sock_.fd(), SHUT_RDWR);
+  }
+
+ private:
+  Socket sock_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(Socket sock, uint16_t port)
+      : sock_(std::move(sock)), port_(port) {}
+
+  Status Accept(std::unique_ptr<Connection>* conn) override {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Aborted("listener closed");
+    }
+    Socket s;
+    LT_RETURN_IF_ERROR(net::Accept(sock_, &s));
+    // Close() wakes a blocked accept(2) by connecting to the port; that
+    // poke connection (and any client racing the shutdown) is discarded.
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Aborted("listener closed");
+    }
+    *conn = std::make_unique<TcpConnection>(std::move(s));
+    return Status::OK();
+  }
+
+  void Close() override {
+    if (closed_.exchange(true)) return;
+    // close(2) on the listening fd does not reliably interrupt a blocked
+    // accept(2); a loopback connect does. The fd stays open until the
+    // destructor so the accept thread never touches a closed fd.
+    Socket poke;
+    net::Connect("127.0.0.1", port_, &poke);
+  }
+
+  uint16_t port() const override { return port_; }
+
+ private:
+  Socket sock_;
+  const uint16_t port_;
+  std::atomic<bool> closed_{false};
+};
+
+class TcpTransport final : public Transport {
+ public:
+  Status Listen(uint16_t port, std::unique_ptr<Listener>* listener) override {
+    Socket sock;
+    uint16_t bound = 0;
+    LT_RETURN_IF_ERROR(net::Listen(port, &sock, &bound));
+    *listener = std::make_unique<TcpListener>(std::move(sock), bound);
+    return Status::OK();
+  }
+
+  Status Connect(const std::string& host, uint16_t port, int timeout_ms,
+                 std::unique_ptr<Connection>* conn) override {
+    Socket sock;
+    LT_RETURN_IF_ERROR(net::Connect(host, port, &sock, timeout_ms));
+    *conn = std::make_unique<TcpConnection>(std::move(sock));
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Transport* Transport::Tcp() {
+  static TcpTransport* tcp = new TcpTransport();
+  return tcp;
+}
+
+}  // namespace net
+}  // namespace lt

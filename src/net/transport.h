@@ -1,0 +1,91 @@
+// Transport abstraction: the byte-stream interface Server and Client speak,
+// decoupled from real TCP so the whole system can run inside one
+// deterministic process.
+//
+// Connection/Listener/Transport mirror the Socket helpers exactly — same
+// deadline semantics, same EOF taxonomy (Unavailable before the first byte,
+// NetworkError mid-read) — so porting callers is mechanical. Two
+// implementations exist:
+//   - Transport::Tcp(): wraps net::Socket (production);
+//   - sim::SimTransport: an in-process network under SimClock with fault
+//     injection (delays, partitions, resets, truncation, reordered
+//     accepts), used by the deterministic simulation harness (lt_sim).
+#ifndef LITTLETABLE_NET_TRANSPORT_H_
+#define LITTLETABLE_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace lt {
+namespace net {
+
+/// One bidirectional byte stream (the Socket contract, virtualized).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Per-call deadlines for ReadAll/WriteAll in milliseconds; <= 0 means
+  /// block forever.
+  virtual void set_read_timeout_ms(int ms) = 0;
+  virtual void set_write_timeout_ms(int ms) = 0;
+
+  /// Waits up to timeout_ms for data (negative = forever). On return *ready
+  /// is false iff the wait timed out.
+  virtual Status WaitReadable(int timeout_ms, bool* ready) = 0;
+
+  /// Writes all of `data`; the write timeout bounds the entire call.
+  virtual Status WriteAll(const char* data, size_t n) = 0;
+
+  /// Reads exactly n bytes. DeadlineExceeded on timeout; EOF before the
+  /// first byte is Unavailable, EOF mid-read is a NetworkError (torn frame).
+  virtual Status ReadAll(char* data, size_t n) = 0;
+
+  /// Wakes any thread blocked in ReadAll/WaitReadable on this connection
+  /// and makes further I/O fail — shutdown(2) semantics. Safe to call from
+  /// another thread while I/O is in flight; the server uses this to unblock
+  /// connection threads during Stop().
+  virtual void Shutdown() = 0;
+};
+
+/// A bound, listening endpoint.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks until a connection arrives or the listener is closed (then
+  /// returns a non-OK status).
+  virtual Status Accept(std::unique_ptr<Connection>* conn) = 0;
+
+  /// Makes any blocked (and every future) Accept return promptly with a
+  /// non-OK status. Safe to call from another thread. The port is released
+  /// when the Listener is destroyed.
+  virtual void Close() = 0;
+
+  /// The actual bound port (resolves port 0 to the ephemeral pick).
+  virtual uint16_t port() const = 0;
+};
+
+/// Factory for listeners and outbound connections.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Binds and listens on `port` (0 = pick an ephemeral port).
+  virtual Status Listen(uint16_t port, std::unique_ptr<Listener>* listener) = 0;
+
+  /// Connects to host:port. A positive timeout_ms bounds the handshake
+  /// (DeadlineExceeded on expiry); <= 0 blocks.
+  virtual Status Connect(const std::string& host, uint16_t port,
+                         int timeout_ms, std::unique_ptr<Connection>* conn) = 0;
+
+  /// The process-wide real-TCP transport (loopback/LAN via net::Socket).
+  static Transport* Tcp();
+};
+
+}  // namespace net
+}  // namespace lt
+
+#endif  // LITTLETABLE_NET_TRANSPORT_H_

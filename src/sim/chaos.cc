@@ -1,0 +1,753 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "apps/device_sim.h"
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "env/sim_disk_env.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sim/sim_transport.h"
+#include "util/fault.h"
+#include "util/random.h"
+
+namespace lt {
+namespace sim {
+namespace {
+
+// Fixed simulated epoch (no real time may leak into the simulation).
+constexpr Timestamp kEpoch = Timestamp{1700000000} * 1000000;
+constexpr uint16_t kPort = 7711;
+constexpr char kTable[] = "events";
+constexpr char kRoot[] = "chaos";
+
+Schema EventsSchema() {
+  return Schema({Column("device", ColumnType::kInt64),
+                 Column("id", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("kind", ColumnType::kString),
+                 Column("detail", ColumnType::kString)},
+                /*num_key_columns=*/3);
+}
+
+/// One client->Insert call and what the model knows about its outcome.
+struct InsertRecord {
+  enum State {
+    kCertain,     // The server acknowledged (or a probe later confirmed).
+    kUnresolved,  // The RPC failed; the batch may or may not have applied.
+    kDropped,     // Confirmed never-applied (or fully lost in a crash).
+  };
+  int64_t device = 0;
+  std::vector<apps::SimEvent> events;  // Ascending ids, ascending ts.
+  State state = kCertain;
+  /// Leading events guaranteed durable: covered by a successful
+  /// FlushThrough, or already read back from disk after a crash. A later
+  /// crash losing any of them is an oracle violation.
+  size_t durable = 0;
+};
+
+struct DeviceCursor {
+  int64_t last_id = 0;  // Highest event id the model believes is inserted.
+  /// A failed insert leaves the outcome unknown; the next insert for this
+  /// device must first resolve it with a LatestRow probe.
+  bool dirty = false;
+};
+
+class ChaosRun {
+ public:
+  ChaosRun(const ChaosOptions& opts, ChaosReport* report)
+      : opts_(opts), report_(report), rng_(opts.seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  Status Run();
+
+ private:
+  void Log(const std::string& line) {
+    report_->event_log.push_back("t=" + std::to_string(clock_->Now() - kEpoch) +
+                                 " " + line);
+  }
+  void Count(const std::string& key) { report_->counters[key]++; }
+  /// Records the first oracle violation and stops the run.
+  void Violation(const std::string& what) {
+    if (!report_->ok) return;
+    report_->ok = false;
+    report_->failure = what;
+    Log("ORACLE VIOLATION: " + what);
+  }
+
+  Status Setup();
+  Status OpenDb();
+  Status StartServer();
+  Status ConnectClient();
+
+  void MaybeInjectFault();
+  void DoOneOp();
+  void DoInsert();
+  void DoQuery();
+  void DoLatestRow();
+  void DoFlushThrough();
+  void DoMaintain();
+  void DoStats();
+  void CrashAndRestart();
+
+  /// Resolves `device`'s unknown-outcome inserts against the id the server
+  /// reports as its latest. Returns false on an oracle violation.
+  bool ResolveFromLatest(int64_t device, int64_t latest);
+  /// True if `row` matches the model's event with its (device, id); flags a
+  /// violation otherwise.
+  bool CheckRowContent(const Row& row);
+  /// Finds the model event for (device, id) among non-dropped records.
+  const apps::SimEvent* FindEvent(int64_t device, int64_t id) const;
+  int64_t MaxCertainId(int64_t device) const;
+  /// The post-crash model check; returns false on violation.
+  bool OracleCheckAfterCrash();
+
+  const ChaosOptions opts_;
+  ChaosReport* const report_;
+  Random rng_;
+
+  std::shared_ptr<SimClock> clock_;
+  std::unique_ptr<MemEnv> mem_env_;
+  std::unique_ptr<SimDiskEnv> sim_disk_;  // Null for plain-MemEnv runs.
+  Env* env_ = nullptr;                    // The env the DB runs on.
+  std::unique_ptr<SimTransport> transport_;
+  std::unique_ptr<DB> db_;
+  std::unique_ptr<LittleTableServer> server_;
+  std::unique_ptr<Client> client_;
+  std::unique_ptr<apps::DeviceFleet> fleet_;
+
+  std::vector<InsertRecord> records_;  // Global insert order.
+  std::map<int64_t, DeviceCursor> cursors_;
+  int partition_ops_left_ = 0;
+  int disk_full_ops_left_ = 0;
+};
+
+Status ChaosRun::Setup() {
+  clock_ = std::make_shared<SimClock>();
+  clock_->Set(kEpoch);
+
+  mem_env_ = std::make_unique<MemEnv>();
+  const bool use_sim_disk = rng_.Bernoulli(0.5);
+  if (use_sim_disk) {
+    SimDiskOptions dopts;
+    dopts.page_cache_bytes = 8ull << 20;
+    sim_disk_ = std::make_unique<SimDiskEnv>(mem_env_.get(), dopts);
+    env_ = sim_disk_.get();
+  } else {
+    env_ = mem_env_.get();
+  }
+  Log(std::string("setup env=") + (use_sim_disk ? "sim_disk" : "mem"));
+
+  SimTransportOptions topts;
+  topts.clock = clock_;
+  transport_ = std::make_unique<SimTransport>(topts);
+
+  LT_RETURN_IF_ERROR(OpenDb());
+  LT_RETURN_IF_ERROR(
+      db_->CreateTable(kTable, EventsSchema(), /*options=*/nullptr));
+
+  apps::DeviceSimOptions fopts;
+  fopts.seed = opts_.seed;
+  fopts.birth = kEpoch;
+  fopts.event_interval_sec = 20;
+  fopts.unreachable_hour_prob = 0;  // Reachability is the grabber's problem.
+  fleet_ = std::make_unique<apps::DeviceFleet>(fopts);
+  for (int d = 1; d <= opts_.devices; d++) {
+    fleet_->AddDevice(static_cast<apps::DeviceId>(d));
+    cursors_[d] = DeviceCursor{};
+  }
+
+  LT_RETURN_IF_ERROR(StartServer());
+  return ConnectClient();
+}
+
+Status ChaosRun::OpenDb() {
+  DbOptions dopts;
+  dopts.background_maintenance = false;  // The schedule drives maintenance.
+  dopts.block_cache_bytes = 4ull << 20;
+  // Injected faults make flush failures routine; swallow the log chatter
+  // (stderr output would also differ run-to-run and is not part of the
+  // deterministic event log).
+  dopts.logger = std::make_shared<Logger>(LogLevel::kError,
+                                          std::make_shared<CaptureLogSink>());
+  dopts.table_defaults.flush_bytes = 16 * 1024;  // Seal often: more commits.
+  dopts.table_defaults.max_memtablet_age = 60 * kMicrosPerSecond;
+  dopts.table_defaults.flush_retry_backoff = 1 * kMicrosPerSecond;
+  dopts.table_defaults.flush_retry_max_backoff = 30 * kMicrosPerSecond;
+  return DB::Open(env_, clock_, kRoot, dopts, &db_);
+}
+
+Status ChaosRun::StartServer() {
+  ServerOptions sopts;
+  sopts.port = kPort;
+  sopts.transport = transport_.get();
+  sopts.poll_interval_ms = 5;
+  sopts.io_timeout_ms = 2000;
+  sopts.drain_timeout_ms = 200;
+  server_ = std::make_unique<LittleTableServer>(db_.get(), sopts);
+  return server_->Start();
+}
+
+Status ChaosRun::ConnectClient() {
+  ClientOptions copts;
+  copts.transport = transport_.get();
+  copts.clock = clock_;
+  copts.connect_timeout_ms = 1000;
+  copts.read_timeout_ms = 1000;
+  copts.write_timeout_ms = 1000;
+  copts.max_retries = 3;
+  copts.backoff_seed = opts_.seed;
+  copts.backoff_sleep = [clock = clock_](int64_t ms) {
+    clock->Advance(ms * 1000);  // Backoff burns simulated, not real, time.
+  };
+  return Client::Connect("sim", kPort, copts, &client_);
+}
+
+const apps::SimEvent* ChaosRun::FindEvent(int64_t device, int64_t id) const {
+  for (const InsertRecord& rec : records_) {
+    if (rec.device != device || rec.state == InsertRecord::kDropped) continue;
+    for (const apps::SimEvent& ev : rec.events) {
+      if (ev.id == id) return &ev;
+    }
+  }
+  return nullptr;
+}
+
+int64_t ChaosRun::MaxCertainId(int64_t device) const {
+  int64_t max_id = 0;
+  for (const InsertRecord& rec : records_) {
+    if (rec.device != device || rec.state != InsertRecord::kCertain) continue;
+    if (!rec.events.empty()) {
+      max_id = std::max(max_id, rec.events.back().id);
+    }
+  }
+  return max_id;
+}
+
+bool ChaosRun::CheckRowContent(const Row& row) {
+  if (row.size() != 5) {
+    Violation("row has " + std::to_string(row.size()) + " columns");
+    return false;
+  }
+  const int64_t device = row[0].AsInt();
+  const int64_t id = row[1].AsInt();
+  const apps::SimEvent* ev = FindEvent(device, id);
+  if (ev == nullptr) {
+    Violation("phantom row: device=" + std::to_string(device) +
+              " id=" + std::to_string(id) + " was never (or never certainly) "
+              "inserted");
+    return false;
+  }
+  if (row[2].AsInt() != ev->ts || row[3].bytes() != ev->kind ||
+      row[4].bytes() != ev->detail) {
+    Violation("row content mismatch: device=" + std::to_string(device) +
+              " id=" + std::to_string(id));
+    return false;
+  }
+  return true;
+}
+
+bool ChaosRun::ResolveFromLatest(int64_t device, int64_t latest) {
+  for (InsertRecord& rec : records_) {
+    if (rec.device != device) continue;
+    if (rec.state == InsertRecord::kDropped || rec.events.empty()) continue;
+    const int64_t first = rec.events.front().id;
+    const int64_t last = rec.events.back().id;
+    if (rec.state == InsertRecord::kUnresolved) {
+      if (latest >= last) {
+        rec.state = InsertRecord::kCertain;
+      } else if (latest < first) {
+        rec.state = InsertRecord::kDropped;
+      } else {
+        Violation("partial batch application: device=" +
+                  std::to_string(device) + " latest=" + std::to_string(latest) +
+                  " inside batch [" + std::to_string(first) + "," +
+                  std::to_string(last) + "]");
+        return false;
+      }
+    } else if (latest < last) {  // kCertain
+      Violation("latest row id " + std::to_string(latest) +
+                " behind acknowledged insert through " + std::to_string(last) +
+                " for device " + std::to_string(device));
+      return false;
+    }
+  }
+  const int64_t expect = MaxCertainId(device);
+  if (latest != expect) {
+    Violation("latest row mismatch for device " + std::to_string(device) +
+              ": got " + std::to_string(latest) + " want " +
+              std::to_string(expect));
+    return false;
+  }
+  cursors_[device].last_id = latest;
+  cursors_[device].dirty = false;
+  return true;
+}
+
+void ChaosRun::DoInsert() {
+  const int64_t device = 1 + static_cast<int64_t>(rng_.Uniform(opts_.devices));
+  DeviceCursor& cur = cursors_[device];
+  if (cur.dirty) {
+    // Unknown outcome pending: the grabber's crash-recovery move is to ask
+    // the server where it got to before resending (§3.1).
+    Row row;
+    bool found = false;
+    Status s = client_->LatestRow(kTable, Key{Value::Int64(device)}, &row,
+                                 &found);
+    Log("resync dev=" + std::to_string(device) + " status=" + s.ToString());
+    if (!s.ok()) return;  // Still dirty; retry on a later insert.
+    Count("resyncs");
+    if (found && !CheckRowContent(row)) return;
+    if (!ResolveFromLatest(device, found ? row[1].AsInt() : 0)) return;
+  }
+  const size_t batch = 1 + rng_.Uniform(4);
+  std::vector<apps::SimEvent> events =
+      fleet_->Get(static_cast<apps::DeviceId>(device))
+          ->EventsAfter(cur.last_id, clock_->Now(), batch);
+  if (events.empty()) {
+    Log("insert dev=" + std::to_string(device) + " no_events");
+    return;
+  }
+  std::vector<Row> rows;
+  rows.reserve(events.size());
+  for (const apps::SimEvent& ev : events) {
+    rows.push_back({Value::Int64(device), Value::Int64(ev.id),
+                    Value::Ts(ev.ts), Value::String(ev.kind),
+                    Value::String(ev.detail)});
+  }
+  Status s = client_->Insert(kTable, rows);
+  InsertRecord rec;
+  rec.device = device;
+  rec.events = std::move(events);
+  Log("insert dev=" + std::to_string(device) + " ids=[" +
+      std::to_string(rec.events.front().id) + "," +
+      std::to_string(rec.events.back().id) + "] status=" + s.ToString());
+  if (s.ok()) {
+    rec.state = InsertRecord::kCertain;
+    cur.last_id = rec.events.back().id;
+    Count("inserts_ok");
+  } else {
+    // The batch may have applied before the connection died. Record the
+    // uncertainty; a later probe or crash-scan resolves it.
+    rec.state = InsertRecord::kUnresolved;
+    cur.dirty = true;
+    Count("inserts_unresolved");
+  }
+  records_.push_back(std::move(rec));
+}
+
+void ChaosRun::DoQuery() {
+  const int64_t device = 1 + static_cast<int64_t>(rng_.Uniform(opts_.devices));
+  std::vector<Row> rows;
+  Status s = client_->QueryAll(
+      kTable, QueryBounds::ForPrefix(Key{Value::Int64(device)}), &rows);
+  Log("query dev=" + std::to_string(device) + " rows=" +
+      std::to_string(rows.size()) + " status=" + s.ToString());
+  if (!s.ok()) return;
+  Count("queries_ok");
+  std::set<int64_t> returned;
+  for (const Row& row : rows) {
+    if (!CheckRowContent(row)) return;
+    if (row[0].AsInt() != device) {
+      Violation("query for device " + std::to_string(device) +
+                " returned device " + std::to_string(row[0].AsInt()));
+      return;
+    }
+    if (!returned.insert(row[1].AsInt()).second) {
+      Violation("duplicate row id " + std::to_string(row[1].AsInt()) +
+                " for device " + std::to_string(device));
+      return;
+    }
+  }
+  // The query is a complete, settled snapshot (the harness is
+  // single-threaded): acknowledged batches must be fully present, and
+  // unknown-outcome batches resolve to fully-present or fully-absent.
+  for (InsertRecord& rec : records_) {
+    if (rec.device != device || rec.state == InsertRecord::kDropped) continue;
+    size_t present = 0;
+    for (const apps::SimEvent& ev : rec.events) present += returned.count(ev.id);
+    if (rec.state == InsertRecord::kCertain) {
+      if (present != rec.events.size()) {
+        Violation("query missing acknowledged rows: device=" +
+                  std::to_string(device) + " batch through id " +
+                  std::to_string(rec.events.back().id));
+        return;
+      }
+    } else if (present == rec.events.size()) {
+      rec.state = InsertRecord::kCertain;
+    } else if (present == 0) {
+      rec.state = InsertRecord::kDropped;
+    } else {
+      Violation("partial batch visible: device=" + std::to_string(device));
+      return;
+    }
+  }
+  cursors_[device].last_id = MaxCertainId(device);
+  cursors_[device].dirty = false;
+}
+
+void ChaosRun::DoLatestRow() {
+  const int64_t device = 1 + static_cast<int64_t>(rng_.Uniform(opts_.devices));
+  Row row;
+  bool found = false;
+  Status s =
+      client_->LatestRow(kTable, Key{Value::Int64(device)}, &row, &found);
+  Log("latest dev=" + std::to_string(device) + " found=" +
+      std::to_string(found ? 1 : 0) + " status=" + s.ToString());
+  if (!s.ok()) return;
+  Count("latest_ok");
+  if (found && !CheckRowContent(row)) return;
+  ResolveFromLatest(device, found ? row[1].AsInt() : 0);
+}
+
+void ChaosRun::DoFlushThrough() {
+  const Timestamp t = clock_->Now();
+  Status s = client_->FlushThrough(kTable, t);
+  Log("flush_through status=" + s.ToString());
+  if (!s.ok()) return;
+  Count("flush_through_ok");
+  // §4.1.2: everything acknowledged with ts <= t is now guaranteed to
+  // survive any crash. Batches with unknown outcomes get no guarantee.
+  for (InsertRecord& rec : records_) {
+    if (rec.state != InsertRecord::kCertain) continue;
+    size_t durable = 0;
+    while (durable < rec.events.size() && rec.events[durable].ts <= t) {
+      durable++;
+    }
+    rec.durable = std::max(rec.durable, durable);
+  }
+}
+
+void ChaosRun::DoMaintain() {
+  Status s = db_->MaintainNow();
+  Log("maintain status=" + s.ToString());
+  if (s.ok()) Count("maintain_ok");
+}
+
+void ChaosRun::DoStats() {
+  std::map<std::string, uint64_t> stats;
+  Status s = client_->Stats(kTable, &stats);
+  Log("stats status=" + s.ToString());
+}
+
+bool ChaosRun::OracleCheckAfterCrash() {
+  std::shared_ptr<Table> table = db_->GetTable(kTable);
+  if (!table) {
+    Violation("table missing after reopen");
+    return false;
+  }
+  QueryBounds all;
+  QueryResult res;
+  Status s = table->Query(all, &res);
+  if (!s.ok()) {
+    Violation("post-crash scan failed: " + s.ToString());
+    return false;
+  }
+  if (res.more_available) {
+    Violation("post-crash scan truncated by row limit");
+    return false;
+  }
+  std::map<std::pair<int64_t, int64_t>, const Row*> present;
+  for (const Row& row : res.rows) {
+    if (row.size() != 5) {
+      Violation("post-crash row has wrong arity");
+      return false;
+    }
+    auto key = std::make_pair(row[0].AsInt(), row[1].AsInt());
+    if (!present.emplace(key, &row).second) {
+      Violation("duplicate surviving row: device=" +
+                std::to_string(key.first) + " id=" +
+                std::to_string(key.second));
+      return false;
+    }
+  }
+
+  // Resolve unknown-outcome batches by presence. A batch that applied and
+  // was then entirely lost in the crash is indistinguishable from one that
+  // never applied; both are treated as never-applied, which is sound for
+  // every check below (absent rows cannot break prefix monotonicity).
+  for (InsertRecord& rec : records_) {
+    if (rec.state != InsertRecord::kUnresolved) continue;
+    size_t n = 0;
+    for (const apps::SimEvent& ev : rec.events) {
+      n += present.count({rec.device, ev.id});
+    }
+    rec.state = n > 0 ? InsertRecord::kCertain : InsertRecord::kDropped;
+  }
+
+  // Prefix durability (§3.1): in global insert order, the surviving rows
+  // form a prefix — once one row is lost, every later row is lost too.
+  bool lost_one = false;
+  for (const InsertRecord& rec : records_) {
+    if (rec.state == InsertRecord::kDropped) continue;
+    for (const apps::SimEvent& ev : rec.events) {
+      const bool here = present.count({rec.device, ev.id}) != 0;
+      if (here && lost_one) {
+        Violation("prefix durability violated: device=" +
+                  std::to_string(rec.device) + " id=" + std::to_string(ev.id) +
+                  " survived although an earlier row was lost");
+        return false;
+      }
+      if (!here) lost_one = true;
+    }
+  }
+
+  // FlushThrough guarantees and re-read durability from earlier crashes.
+  for (const InsertRecord& rec : records_) {
+    if (rec.state == InsertRecord::kDropped) continue;
+    for (size_t i = 0; i < rec.durable; i++) {
+      if (!present.count({rec.device, rec.events[i].id})) {
+        Violation("durable row lost: device=" + std::to_string(rec.device) +
+                  " id=" + std::to_string(rec.events[i].id) +
+                  " was flushed through (or previously recovered)");
+        return false;
+      }
+    }
+  }
+
+  // Content equality and phantom detection for every surviving row.
+  for (const auto& [key, row] : present) {
+    if (!CheckRowContent(*row)) return false;
+  }
+
+  // Per-device contiguity: surviving ids are exactly 1..k.
+  std::map<int64_t, std::pair<int64_t, int64_t>> by_dev;  // max id, count.
+  for (const auto& [key, row] : present) {
+    auto& [max_id, n] = by_dev[key.first];
+    max_id = std::max(max_id, key.second);
+    n++;
+  }
+  for (const auto& [device, mc] : by_dev) {
+    if (mc.first != mc.second) {
+      Violation("event ids not contiguous for device " +
+                std::to_string(device) + ": max=" + std::to_string(mc.first) +
+                " count=" + std::to_string(mc.second));
+      return false;
+    }
+  }
+
+  // No orphan files: the table directory holds exactly the descriptor,
+  // the tablets the descriptor names, and quarantined (.corrupt) tablets.
+  std::set<std::string> allowed = {"DESC"};
+  for (const TabletMeta& m : table->DiskTablets()) allowed.insert(m.filename);
+  std::vector<std::string> children;
+  s = env_->GetChildren(std::string(kRoot) + "/" + kTable, &children);
+  if (!s.ok()) {
+    Violation("listing table dir failed: " + s.ToString());
+    return false;
+  }
+  for (const std::string& child : children) {
+    if (allowed.count(child) || child.ends_with(".corrupt")) continue;
+    Violation("orphan file after recovery: " + child);
+    return false;
+  }
+
+  // The model adopts the post-crash truth: trim each batch to its
+  // surviving prefix (rows beyond it are gone for good), and everything
+  // that survived is on disk now — durable against the next crash too.
+  for (InsertRecord& rec : records_) {
+    if (rec.state == InsertRecord::kDropped) continue;
+    size_t n = 0;
+    while (n < rec.events.size() &&
+           present.count({rec.device, rec.events[n].id})) {
+      n++;
+    }
+    rec.events.resize(n);
+    rec.durable = n;
+    if (n == 0) rec.state = InsertRecord::kDropped;
+  }
+  for (auto& [device, cur] : cursors_) {
+    cur.last_id = by_dev.count(device) ? by_dev[device].first : 0;
+    cur.dirty = false;
+  }
+  Count("crashes_survived");
+  return true;
+}
+
+void ChaosRun::CrashAndRestart() {
+  Log("crash");
+  Count("crashes");
+  if (partition_ops_left_ > 0) {
+    partition_ops_left_ = 0;
+    transport_->SetPartitioned(false);
+    Log("partition heal (crash)");
+  }
+  // Order matters: sever connections (client sees resets, not hangs), drop
+  // the client, stop the server, then abandon the DB without flushing —
+  // the process is "gone"; only synced bytes survive.
+  transport_->ResetAllConnections();
+  client_.reset();
+  server_->Stop();
+  server_.reset();
+  db_->Abandon();
+  db_.reset();
+  if (sim_disk_) {
+    sim_disk_->PowerCut();
+    sim_disk_->ClearDiskFull();
+    sim_disk_->FailNthRead(0);
+    sim_disk_->FailNthWrite(0);
+  } else {
+    mem_env_->DropUnsynced();
+    mem_env_->FailNthRead(0);
+    mem_env_->FailNthWrite(0);
+  }
+  disk_full_ops_left_ = 0;
+  fault::DisarmCrashPoints();
+
+  Status s = OpenDb();
+  if (!s.ok()) {
+    Violation("reopen after crash failed: " + s.ToString());
+    return;
+  }
+  if (!OracleCheckAfterCrash()) return;
+  s = StartServer();
+  if (!s.ok()) {
+    Violation("server restart failed: " + s.ToString());
+    return;
+  }
+  s = ConnectClient();
+  Log("restart status=" + s.ToString());
+  if (!s.ok()) Violation("client reconnect after restart failed");
+}
+
+void ChaosRun::MaybeInjectFault() {
+  if (partition_ops_left_ > 0 && --partition_ops_left_ == 0) {
+    transport_->SetPartitioned(false);
+    Log("partition heal");
+  }
+  if (disk_full_ops_left_ > 0 && --disk_full_ops_left_ == 0 && sim_disk_) {
+    sim_disk_->ClearDiskFull();
+    Log("disk full heal");
+  }
+  if (!rng_.Bernoulli(opts_.fault_rate)) return;
+  Count("faults");
+  switch (rng_.Uniform(8)) {
+    case 0:
+      CrashAndRestart();
+      break;
+    case 1:
+      Log("fault reset_all");
+      transport_->ResetAllConnections();
+      break;
+    case 2:
+      if (partition_ops_left_ == 0) {
+        partition_ops_left_ = 1 + static_cast<int>(rng_.Uniform(4));
+        transport_->SetPartitioned(true);
+        Log("fault partition ops=" + std::to_string(partition_ops_left_));
+      }
+      break;
+    case 3: {
+      const size_t keep = rng_.Uniform(17);
+      transport_->TruncateNextServerWrite(keep);
+      Log("fault truncate keep=" + std::to_string(keep));
+      break;
+    }
+    case 4: {
+      const Timestamp delay = (1 + rng_.Uniform(1000)) * 1000;  // 1ms..1s.
+      transport_->DelayNextWrite(delay);
+      Log("fault delay micros=" + std::to_string(delay));
+      break;
+    }
+    case 5:
+      if (sim_disk_) {
+        const int64_t budget = 4096 + rng_.Uniform(128 * 1024);
+        sim_disk_->SetDiskFullAfter(budget);
+        disk_full_ops_left_ = 2 + static_cast<int>(rng_.Uniform(6));
+        Log("fault disk_full budget=" + std::to_string(budget) +
+            " ops=" + std::to_string(disk_full_ops_left_));
+      } else {
+        const int n = 1 + static_cast<int>(rng_.Uniform(5));
+        mem_env_->FailNthWrite(n);
+        Log("fault fail_write n=" + std::to_string(n));
+      }
+      break;
+    case 6: {
+      const int n = 1 + static_cast<int>(rng_.Uniform(8));
+      fault::ArmNthCrashPoint(n);
+      Log("fault crash_point n=" + std::to_string(n));
+      break;
+    }
+    case 7: {
+      const int n = 1 + static_cast<int>(rng_.Uniform(4));
+      if (sim_disk_) {
+        sim_disk_->FailNthRead(n);
+      } else {
+        mem_env_->FailNthRead(n);
+      }
+      Log("fault fail_read n=" + std::to_string(n));
+      break;
+    }
+  }
+}
+
+void ChaosRun::DoOneOp() {
+  const uint64_t pick = rng_.Uniform(100);
+  if (pick < 50) {
+    DoInsert();
+  } else if (pick < 70) {
+    DoQuery();
+  } else if (pick < 80) {
+    DoLatestRow();
+  } else if (pick < 88) {
+    DoFlushThrough();
+  } else if (pick < 98) {
+    DoMaintain();
+  } else {
+    DoStats();
+  }
+}
+
+Status ChaosRun::Run() {
+  fault::DisarmCrashPoints();  // Global state; start from a clean slate.
+  LT_RETURN_IF_ERROR(Setup());
+  for (int i = 0; i < opts_.ops && report_->ok; i++) {
+    clock_->Advance((1 + rng_.Uniform(30)) * kMicrosPerSecond);
+    MaybeInjectFault();
+    if (!report_->ok) break;
+    DoOneOp();
+  }
+  // Final verdict: crash once more and run the full oracle, so every run
+  // ends with a durability check even if the schedule drew no crash.
+  if (report_->ok) CrashAndRestart();
+  if (report_->ok) {
+    uint64_t durable_rows = 0;
+    for (const InsertRecord& rec : records_) {
+      if (rec.state == InsertRecord::kCertain) durable_rows += rec.events.size();
+    }
+    report_->counters["durable_rows"] = durable_rows;
+    const SimTransportStats ts = transport_->stats();
+    report_->counters["transport_connects"] = ts.connects;
+    report_->counters["transport_resets"] = ts.resets_injected;
+    Log("done durable_rows=" + std::to_string(durable_rows));
+  }
+  // Tear down in dependency order before the envs go away.
+  client_.reset();
+  if (server_) server_->Stop();
+  server_.reset();
+  if (db_) db_->Abandon();
+  db_.reset();
+  fault::DisarmCrashPoints();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunChaos(const ChaosOptions& options, ChaosReport* report) {
+  *report = ChaosReport();
+  if (options.ops < 0 || options.devices < 1) {
+    return Status::InvalidArgument("ops must be >= 0 and devices >= 1");
+  }
+  if (options.fault_rate < 0.0 || options.fault_rate > 1.0) {
+    return Status::InvalidArgument("fault_rate must be in [0, 1]");
+  }
+  ChaosRun run(options, report);
+  return run.Run();
+}
+
+}  // namespace sim
+}  // namespace lt

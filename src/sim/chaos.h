@@ -1,0 +1,84 @@
+// Seeded whole-system chaos simulation with an oracle-checked model.
+//
+// RunChaos builds a complete LittleTable deployment in one process — a DB
+// on a simulated disk, a server, and a client speaking the real wire
+// protocol over SimTransport — and drives a DeviceSim-style events workload
+// while a seeded scheduler composes every fault surface the codebase has:
+//
+//   - process crashes: connections reset, server stopped, DB abandoned
+//     without flushing, unsynced file bytes dropped (MemEnv::DropUnsynced /
+//     SimDiskEnv::PowerCut), then reopen + restart on the same port;
+//   - storage faults: ENOSPC budgets, failed reads/writes, armed
+//     LT_CRASH_POINT countdowns in the flush/merge/descriptor protocol;
+//   - network faults: partitions (blackholed writes, timed-out reads),
+//     connection resets, truncated (torn) response frames, delayed
+//     delivery, refused and reordered connects.
+//
+// After every simulated crash + reopen an in-memory oracle checks the
+// paper's §3.1 contract against a model of what was inserted:
+//   - prefix durability: walking every inserted row in insert order, the
+//     surviving set is a prefix — once one row is lost, no later row
+//     survives (the flush dependency closure at row granularity);
+//   - FlushThrough (§4.1.2): rows at or before a successfully flushed-
+//     through timestamp always survive;
+//   - per-device event ids stay contiguous from 1, and every surviving
+//     row's content equals what the deterministic device generated;
+//   - no orphan files: the table directory holds exactly the descriptor
+//     plus the tablets the descriptor names.
+//
+// Queries double as oracle probes: a successful query must return exactly
+// the model's rows for that device, and in doing so resolves
+// unknown-outcome inserts (a failed insert RPC whose batch may or may not
+// have applied) to applied or not-applied.
+//
+// Everything — workload, faults, clock — is a pure function of the seed:
+// two runs with the same seed produce byte-identical event logs, so any
+// oracle failure is reproducible with `lt_sim --seed=N`.
+#ifndef LITTLETABLE_SIM_CHAOS_H_
+#define LITTLETABLE_SIM_CHAOS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lt {
+namespace sim {
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  /// Workload operations to run (inserts, queries, flushes, maintenance).
+  int ops = 200;
+  /// Probability that a fault is injected before an operation.
+  double fault_rate = 0.25;
+  /// Simulated devices feeding the events table.
+  int devices = 3;
+};
+
+struct ChaosReport {
+  /// False if the oracle detected a contract violation.
+  bool ok = true;
+  /// Human-readable description of the first violation ("" when ok).
+  std::string failure;
+  /// One line per simulated action, deterministic from the seed. Two runs
+  /// with the same seed must produce identical logs (lt_sim --verify-seed
+  /// and sim_test assert exactly that).
+  std::vector<std::string> event_log;
+  /// Deterministic counters: ops by kind, faults injected, crashes
+  /// survived, rows confirmed durable.
+  std::map<std::string, uint64_t> counters;
+};
+
+/// Runs one seeded chaos schedule. Returns a non-OK status only for
+/// harness-level failures (e.g. the initial server refusing to start);
+/// oracle violations come back as report->ok == false with the log
+/// preserved. Uses process-global crash-point state: not reentrant, one
+/// run at a time per process.
+Status RunChaos(const ChaosOptions& options, ChaosReport* report);
+
+}  // namespace sim
+}  // namespace lt
+
+#endif  // LITTLETABLE_SIM_CHAOS_H_

@@ -1,6 +1,7 @@
 #include "util/fault.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
@@ -18,12 +19,22 @@ std::mutex g_mu;
 std::string g_armed_name;  // guarded by g_mu
 std::string g_last_fired;  // guarded by g_mu
 
+void ArmFromEnv() {
+  const char* spec = std::getenv("LT_CRASH_POINT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  Status s = ArmCrashPointFromSpec(spec);
+  if (!s.ok()) {
+    // Arming an unknown name would make the intended crash never happen
+    // and the test of it vacuously pass. Die where the operator can see.
+    std::fprintf(stderr, "fatal: LT_CRASH_POINT: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+
 void ArmFromEnvOnce() {
   static std::once_flag once;
-  std::call_once(once, [] {
-    const char* name = std::getenv("LT_CRASH_POINT");
-    if (name != nullptr && name[0] != '\0') ArmNamedCrashPoint(name);
-  });
+  std::call_once(once, ArmFromEnv);
 }
 
 void RecordFired(const char* name) {
@@ -91,6 +102,61 @@ std::string LastFiredCrashPoint() {
   std::lock_guard<std::mutex> lock(g_mu);
   return g_last_fired;
 }
+
+const std::vector<std::string>& KnownCrashPoints() {
+  static const std::vector<std::string>* kPoints = new std::vector<std::string>{
+      "flush:after_commit",
+      "merge:after_commit",
+      "descriptor:tmp_write",
+      "descriptor:rename",
+      "tablet_writer:block_append",
+      "tablet_writer:footer",
+      "tablet_writer:trailer",
+      "tablet_writer:sync",
+      "tablet_writer:close",
+  };
+  return *kPoints;
+}
+
+bool IsKnownCrashPoint(const std::string& name) {
+  for (const std::string& known : KnownCrashPoints()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+Status ArmCrashPointFromSpec(const std::string& spec) {
+  if (!spec.empty() && spec.find_first_not_of("0123456789") ==
+                           std::string::npos) {
+    int64_t n = 0;
+    for (char c : spec) {
+      n = n * 10 + (c - '0');
+      if (n > 1000000000) {
+        return Status::InvalidArgument("crash point countdown out of range: " +
+                                       spec);
+      }
+    }
+    if (n == 0) {
+      return Status::InvalidArgument(
+          "crash point countdown must be positive (got 0)");
+    }
+    ArmNthCrashPoint(n);
+    return Status::OK();
+  }
+  if (!IsKnownCrashPoint(spec)) {
+    std::string known;
+    for (const std::string& name : KnownCrashPoints()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::InvalidArgument("unknown crash point \"" + spec +
+                                   "\" (known: " + known + ")");
+  }
+  ArmNamedCrashPoint(spec);
+  return Status::OK();
+}
+
+void ReArmFromEnvForTest() { ArmFromEnv(); }
 
 }  // namespace fault
 }  // namespace lt

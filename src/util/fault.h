@@ -13,13 +13,18 @@
 // lets the crash-recovery harness assert the paper's §2.3 durability
 // contract: every row synced before the crash survives recovery.
 //
-// The environment variable LT_CRASH_POINT=<name> arms a named point at
-// process startup, for crashing real binaries from the outside.
+// The environment variable LT_CRASH_POINT=<spec> arms the registry at
+// process startup, for crashing real binaries from the outside. <spec> is
+// either a known point name or a positive integer N ("fire at the Nth hit
+// from now"). A misspelled name used to arm silently and never fire —
+// turning a crash test into a no-op that passes; now an unknown spec
+// aborts the process with the list of known names.
 #ifndef LITTLETABLE_UTIL_FAULT_H_
 #define LITTLETABLE_UTIL_FAULT_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -48,6 +53,24 @@ void ResetCrashPointHits();
 
 /// Name of the most recently fired crash point ("" if none fired yet).
 std::string LastFiredCrashPoint();
+
+/// Every crash point name compiled into the storage layer. New
+/// LT_CRASH_POINT sites must be added here (crash_recovery tests verify
+/// the registry and the code agree).
+const std::vector<std::string>& KnownCrashPoints();
+
+/// True if `name` is a registered crash point name.
+bool IsKnownCrashPoint(const std::string& name);
+
+/// Arms from a spec string: a known point name (ArmNamedCrashPoint) or a
+/// positive integer N (ArmNthCrashPoint). Returns InvalidArgument naming
+/// the known points for anything else — an unknown name would otherwise
+/// arm a point that never fires and silently vacuous-pass a crash test.
+Status ArmCrashPointFromSpec(const std::string& spec);
+
+/// Re-runs LT_CRASH_POINT env arming (normally done once at first hit).
+/// Aborts the process on an invalid spec, exactly like startup. Test-only.
+void ReArmFromEnvForTest();
 
 }  // namespace fault
 }  // namespace lt

@@ -1,0 +1,128 @@
+// Connection-scaling benchmark for the event-loop server.
+//
+// The thread-per-connection server needed one OS thread per client, so
+// 10k mostly-idle pollers (the CPE fleet shape from §2.1) meant 10k
+// threads. The event-loop server holds every connection in one poller and
+// executes requests on a fixed worker pool, so the thread count stays
+// constant while connections scale.
+//
+// This benchmark runs the real server over SimTransport (no kernel fd
+// limits, no ephemeral-port exhaustion) and sweeps the connection count:
+// each connection sends pipelined ping bursts, and we report aggregate
+// request throughput plus the process thread count at peak — the number
+// that used to grow linearly.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "sim/sim_transport.h"
+#include "util/coding.h"
+
+namespace {
+
+// Threads in this process, from /proc (Linux); -1 if unreadable.
+int CountThreads() {
+  FILE* f = fopen("/proc/self/status", "r");
+  if (!f) return -1;
+  char line[256];
+  int n = -1;
+  while (fgets(line, sizeof(line), f)) {
+    if (sscanf(line, "Threads:\t%d", &n) == 1) break;
+  }
+  fclose(f);
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lt;
+  using namespace lt::bench;
+  std::vector<size_t> sweep = {1000, 5000, 10000};
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--full") == 0) sweep.push_back(100000);
+  }
+  constexpr int kPipelineDepth = 4;  // Pings per burst, per connection.
+  constexpr int kWaves = 2;
+
+  PrintHeader("Connections", "Request throughput vs. simulated connections");
+  printf("(event-loop server, %d worker threads; pipelined pings, depth %d)\n\n",
+         4, kPipelineDepth);
+  printf("%-12s %-12s %-14s %-14s %-10s\n", "connections", "requests",
+         "wall ms", "req/s", "threads");
+
+  const int threads_baseline = CountThreads();
+  for (size_t n : sweep) {
+    sim::SimTransport transport;
+    MemEnv env;
+    auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+    DbOptions dopts;
+    dopts.background_maintenance = false;
+    std::unique_ptr<DB> db;
+    if (!DB::Open(&env, clock, "/srv", dopts, &db).ok()) abort();
+
+    ServerOptions sopts;
+    sopts.port = 7600;
+    sopts.transport = &transport;
+    sopts.max_connections = 0;  // The sweep is the cap experiment.
+    LittleTableServer server(db.get(), sopts);
+    if (!server.Start().ok()) abort();
+
+    std::vector<std::unique_ptr<net::Connection>> conns;
+    conns.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+      std::unique_ptr<net::Connection> c;
+      if (!transport.Connect("sim", 7600, 1000, &c).ok()) abort();
+      conns.push_back(std::move(c));
+    }
+
+    const std::string burst = [&] {
+      std::string b;
+      for (int i = 0; i < kPipelineDepth; i++) {
+        b += wire::Frame(wire::MsgType::kPing, "");
+      }
+      return b;
+    }();
+
+    int threads_peak = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (int wave = 0; wave < kWaves; wave++) {
+      for (auto& c : conns) {
+        if (!c->WriteAll(burst.data(), burst.size()).ok()) abort();
+      }
+      threads_peak = std::max(threads_peak, CountThreads());
+      for (auto& c : conns) {
+        for (int i = 0; i < kPipelineDepth; i++) {
+          char len_buf[4];
+          if (!c->ReadAll(len_buf, 4).ok()) abort();
+          uint32_t len = DecodeFixed32(len_buf);
+          std::string payload(len, '\0');
+          if (!c->ReadAll(payload.data(), len).ok()) abort();
+          if (static_cast<uint8_t>(payload[0]) !=
+              static_cast<uint8_t>(wire::MsgType::kOk)) {
+            abort();
+          }
+        }
+      }
+    }
+    auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+    const size_t requests = n * kPipelineDepth * kWaves;
+    printf("%-12zu %-12zu %-14.1f %-14.0f %-10d\n", n, requests,
+           wall_us / 1e3, requests / (wall_us / 1e6), threads_peak);
+
+    conns.clear();
+    server.Stop();
+  }
+  printf("\nthreads before any server: %d (fixed pool: thread count does not "
+         "scale with connections)\n",
+         threads_baseline);
+  return 0;
+}

@@ -15,6 +15,11 @@ namespace lt {
 struct TableStats {
   std::atomic<uint64_t> insert_batches{0};
   std::atomic<uint64_t> rows_inserted{0};
+  // Group-commit critical sections. Each group coalesces one or more
+  // concurrent InsertBatch calls into a single insert_mu_ acquisition, so
+  // insert_batches / insert_groups is the coalescing factor (1.0 = no
+  // concurrency, higher = amortized ingest).
+  std::atomic<uint64_t> insert_groups{0};
   std::atomic<uint64_t> queries{0};
   std::atomic<uint64_t> rows_scanned{0};
   std::atomic<uint64_t> rows_returned{0};

@@ -319,77 +319,168 @@ void Table::SealLocked(std::shared_ptr<MemTablet> mt) {
   sealed_.push_back(std::move(mt));
 }
 
+namespace {
+// Group-commit bound: a leader stops claiming followers once the group
+// holds this many rows, keeping the critical section (and any follower's
+// worst-case wait) proportionate.
+constexpr size_t kMaxInsertGroupRows = 65536;
+}  // namespace
+
 Status Table::InsertBatch(const std::vector<Row>& rows) {
   if (rows.empty()) return Status::OK();
   const Timestamp op_start = MonotonicMicros();
+
+  // Group commit: enqueue, then either wait for a leader to carry this
+  // batch or become the leader at the queue front. Latency is recorded per
+  // caller — a follower's wait is part of its user-visible insert time.
+  InsertWaiter me(&rows);
+  std::unique_lock<std::mutex> lock(writers_mu_);
+  writers_.push_back(&me);
+  while (!me.done && &me != writers_.front()) {
+    me.cv.wait(lock);
+  }
+  if (me.done) {
+    lock.unlock();
+    stats_.insert_micros.Record(
+        static_cast<uint64_t>(MonotonicMicros() - op_start));
+    return me.status;
+  }
+
+  // Leader: claim a bounded prefix of the queue as this commit group.
+  std::vector<InsertWaiter*> group;
+  size_t group_rows = 0;
+  for (InsertWaiter* w : writers_) {
+    if (!group.empty() && group_rows + w->rows->size() > kMaxInsertGroupRows) {
+      break;
+    }
+    group.push_back(w);
+    group_rows += w->rows->size();
+  }
+  lock.unlock();
+
+  RunInsertGroup(group);
+
+  lock.lock();
+  for (InsertWaiter* w : group) {
+    writers_.pop_front();
+    w->done = true;
+    if (w != &me) w->cv.notify_one();
+  }
+  // Promote the next queued writer to leader.
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  lock.unlock();
+
+  stats_.insert_micros.Record(
+      static_cast<uint64_t>(MonotonicMicros() - op_start));
+  return me.status;
+}
+
+void Table::RunInsertGroup(const std::vector<InsertWaiter*>& group) {
   std::lock_guard<std::mutex> insert_lock(insert_mu_);
+  stats_.insert_groups.fetch_add(1);
 
   // While flushes are failing, memory absorbs inserts past the normal
   // backpressure threshold — but only up to a hard cap, rejected here
-  // *before* any row applies so the caller sees a clean all-or-nothing.
+  // *before* any row applies so each caller sees a clean all-or-nothing.
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (sealed_.size() >= HardSealedCapLocked() &&
         clock_->Now() < flush_backoff_until_) {
-      return Status::Unavailable(
+      Status reject = Status::Unavailable(
           "too many unflushed tablets while flushes are failing");
+      for (InsertWaiter* w : group) w->status = reject;
+      return;
     }
   }
 
   std::shared_ptr<const Schema> schema = this->schema();
-  for (const Row& r : rows) {
-    if (!schema->RowMatches(r)) {
-      return Status::InvalidArgument("row does not match table schema");
+
+  // Validate and uniqueness-check each batch independently. group_keys
+  // accumulates the keys of batches already accepted in this group: they
+  // are not yet in any memtablet, so CheckUnique's fast paths cannot see
+  // them, and a cross-batch duplicate must be caught here exactly as it
+  // would have been had the batches run serially (earlier queue position
+  // wins). A rejected batch's keys are rolled back so it cannot shadow a
+  // later batch.
+  std::set<std::string> group_keys;
+  std::vector<InsertWaiter*> accepted;
+  size_t accepted_rows = 0;
+  for (InsertWaiter* w : group) {
+    Status s;
+    for (const Row& r : *w->rows) {
+      if (!schema->RowMatches(r)) {
+        s = Status::InvalidArgument("row does not match table schema");
+        break;
+      }
+    }
+    std::vector<std::string> added;
+    if (s.ok()) {
+      for (const Row& r : *w->rows) {
+        s = CheckUnique(r, group_keys);
+        if (!s.ok()) break;
+        std::string enc;
+        EncodeKey(&enc, *schema, schema->KeyOf(r));
+        if (group_keys.insert(enc).second) added.push_back(std::move(enc));
+      }
+    }
+    w->status = s;
+    if (s.ok()) {
+      accepted.push_back(w);
+      accepted_rows += w->rows->size();
+    } else {
+      for (const std::string& enc : added) group_keys.erase(enc);
     }
   }
 
-  // Pre-check every key so the batch applies atomically or not at all.
-  std::set<std::string> batch_keys;
-  for (const Row& r : rows) {
-    LT_RETURN_IF_ERROR(CheckUnique(r, batch_keys));
-    std::string enc;
-    EncodeKey(&enc, *schema, schema->KeyOf(r));
-    batch_keys.insert(std::move(enc));
-  }
-
-  {
+  if (!accepted.empty()) {
+    // One mu_ critical section applies every accepted batch, in queue
+    // order — the coalescing that turns many small device batches into
+    // amortized work.
     std::lock_guard<std::mutex> lock(mu_);
     const Timestamp now = clock_->Now();
-    for (const Row& r : rows) {
-      Timestamp ts = r[schema->ts_index()].AsInt();
-      Period p = PeriodFor(ts, now);
-      std::shared_ptr<MemTablet> mt;
-      auto it = filling_.find(p.start);
-      if (it != filling_.end() && it->second->period() == p) {
-        mt = it->second;
-      } else {
-        // Missing, or a stale tablet whose period has since rolled over
-        // into a larger bin sharing the same start: seal the stale one.
-        if (it != filling_.end()) SealLocked(it->second);
-        mt = std::make_shared<MemTablet>(next_memtablet_id_++, schema_, p, now);
-        filling_[p.start] = mt;
+    for (InsertWaiter* w : accepted) {
+      for (const Row& r : *w->rows) {
+        Timestamp ts = r[schema->ts_index()].AsInt();
+        Period p = PeriodFor(ts, now);
+        std::shared_ptr<MemTablet> mt;
+        auto it = filling_.find(p.start);
+        if (it != filling_.end() && it->second->period() == p) {
+          mt = it->second;
+        } else {
+          // Missing, or a stale tablet whose period has since rolled over
+          // into a larger bin sharing the same start: seal the stale one.
+          if (it != filling_.end()) SealLocked(it->second);
+          mt = std::make_shared<MemTablet>(next_memtablet_id_++, schema_, p,
+                                           now);
+          filling_[p.start] = mt;
+        }
+        if (!mt->Insert(r)) {
+          w->status = Status::Aborted("uniqueness race despite insert lock");
+          break;
+        }
+        // Flush dependency (§3.4.3): switching filling tablets means the
+        // previous one holds earlier rows and must flush first (or with
+        // us).
+        if (last_insert_tablet_ != 0 && last_insert_tablet_ != mt->id()) {
+          must_flush_first_[mt->id()].insert(last_insert_tablet_);
+        }
+        last_insert_tablet_ = mt->id();
+        if (!has_rows_ || ts > max_row_ts_) max_row_ts_ = ts;
+        has_rows_ = true;
+        if (mt->ApproximateBytes() >= opts_.flush_bytes) SealLocked(mt);
       }
-      if (!mt->Insert(r)) {
-        return Status::Aborted("uniqueness race despite insert lock");
+      if (w->status.ok()) {
+        stats_.insert_batches.fetch_add(1);
+        stats_.rows_inserted.fetch_add(w->rows->size());
       }
-      // Flush dependency (§3.4.3): switching filling tablets means the
-      // previous one holds earlier rows and must flush first (or with us).
-      if (last_insert_tablet_ != 0 && last_insert_tablet_ != mt->id()) {
-        must_flush_first_[mt->id()].insert(last_insert_tablet_);
-      }
-      last_insert_tablet_ = mt->id();
-      if (!has_rows_ || ts > max_row_ts_) max_row_ts_ = ts;
-      has_rows_ = true;
-      if (mt->ApproximateBytes() >= opts_.flush_bytes) SealLocked(mt);
     }
-    stats_.insert_batches.fetch_add(1);
-    stats_.rows_inserted.fetch_add(rows.size());
   }
 
   // Backpressure: once too many sealed tablets await flushing, the insert
-  // path does the flushing itself and becomes disk-bound (§5.1.3). During
-  // a failure backoff window the flush is skipped — the rows are already
-  // applied and served from memory; maintenance retries the flush later.
+  // path does the flushing itself and becomes disk-bound (§5.1.3) — one
+  // pass for the whole group. During a failure backoff window the flush is
+  // skipped: the rows are already applied and served from memory;
+  // maintenance retries the flush later.
   while (true) {
     uint64_t root = 0;
     {
@@ -401,9 +492,6 @@ Status Table::InsertBatch(const std::vector<Row>& rows) {
     }
     if (!FlushSet({root}).ok()) break;
   }
-  stats_.insert_micros.Record(
-      static_cast<uint64_t>(MonotonicMicros() - op_start));
-  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #ifndef LITTLETABLE_CORE_TABLE_H_
 #define LITTLETABLE_CORE_TABLE_H_
 
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
@@ -69,6 +70,13 @@ class Table {
   /// Inserts a batch of rows (each matching the current schema, timestamps
   /// already assigned). Rejects the whole batch atomically if any key
   /// duplicates an existing row or another row in the batch.
+  ///
+  /// Concurrent callers are group-committed: batches queued while another
+  /// insert holds the critical section are coalesced into one insert_mu_
+  /// acquisition and one memtablet/flush-accounting pass, with each batch
+  /// keeping its own all-or-nothing status (a rejected batch never blocks
+  /// the others in its group). Equivalent to some serial order of the
+  /// batches — queue order — so durable state matches serial execution.
   Status InsertBatch(const std::vector<Row>& rows);
 
   /// Executes a 2-D bounded scan (§3.1). TTL-expired rows are filtered; the
@@ -117,6 +125,13 @@ class Table {
   TableStats& stats() { return stats_; }
 
   // Introspection (tests and benchmarks).
+  /// InsertBatch calls currently queued or committing (the group-commit
+  /// writer queue, leader included). Lets tests park a leader and verify
+  /// followers pile up behind it before releasing the group.
+  size_t PendingInserts() const {
+    std::lock_guard<std::mutex> lock(writers_mu_);
+    return writers_.size();
+  }
   size_t NumDiskTablets() const;
   size_t NumMemTablets() const;
   uint64_t DiskBytes() const;
@@ -141,6 +156,21 @@ class Table {
   /// Uniqueness check for one row (§3.4.4); `batch_keys` carries encoded
   /// keys earlier in the same batch. May read from disk (slow path).
   Status CheckUnique(const Row& row, const std::set<std::string>& batch_keys);
+
+  /// One queued InsertBatch call awaiting (or leading) a commit group.
+  struct InsertWaiter {
+    explicit InsertWaiter(const std::vector<Row>* r) : rows(r) {}
+    const std::vector<Row>* rows;
+    Status status;
+    bool done = false;  // Guarded by writers_mu_.
+    std::condition_variable cv;
+  };
+
+  /// Executes one commit group under insert_mu_: per-batch validation and
+  /// uniqueness (cross-batch duplicates within the group included), one
+  /// mu_ application pass for every accepted batch, one backpressure flush
+  /// pass. Sets each waiter's status.
+  void RunInsertGroup(const std::vector<InsertWaiter*>& group);
 
   /// Seals `mt` and moves it from filling_ to the flush queue. mu_ held.
   /// Takes the pointer by value: callers often pass the shared_ptr living
@@ -217,6 +247,13 @@ class Table {
   std::mutex insert_mu_;  // Serializes inserts; queries take only mu_.
   std::mutex flush_mu_;   // Serializes flush I/O.
   std::mutex merge_mu_;   // One merge at a time.
+
+  // Group-commit writer queue (LevelDB-style): the front waiter leads,
+  // claiming a bounded prefix of the queue as its group and running it
+  // under insert_mu_; followers sleep on their own cv until the leader
+  // hands back their status or the lead role.
+  mutable std::mutex writers_mu_;
+  std::deque<InsertWaiter*> writers_;
 
   TableStats stats_;
 };

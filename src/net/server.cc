@@ -1,9 +1,9 @@
 #include "net/server.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "core/row_codec.h"
-#include "util/clock.h"
 #include "util/coding.h"
 
 namespace lt {
@@ -16,6 +16,12 @@ namespace {
 // Rows per kQueryChunk frame.
 constexpr size_t kChunkRows = 512;
 
+// Bytes one PumpConnection call will read before yielding back to the
+// event loop, so a firehosing client cannot starve the other connections.
+// Unconsumed bytes stay queued in the transport; the next Wait reports the
+// connection ready again immediately.
+constexpr size_t kMaxPumpBytes = 256 * 1024;
+
 bool GetName(Slice* in, std::string* name) {
   Slice s;
   if (!GetLengthPrefixedSlice(in, &s)) return false;
@@ -24,6 +30,9 @@ bool GetName(Slice* in, std::string* name) {
 }
 
 // Metric-name suffix for each request opcode ("server.op.<name>.micros").
+// Also the registry of known request opcodes: a frame whose (normalized)
+// type byte has no name here is rejected with kBadRequest, never
+// dispatched.
 const char* OpName(MsgType type) {
   switch (type) {
     case MsgType::kPing: return "ping";
@@ -56,6 +65,7 @@ LittleTableServer::LittleTableServer(DB* db, uint16_t port)
 LittleTableServer::LittleTableServer(DB* db, const ServerOptions& options)
     : db_(db),
       opts_(options),
+      idle_clock_(options.clock ? options.clock : SystemClock::Instance()),
       port_(options.port),
       transport_(options.transport ? options.transport
                                    : net::Transport::Tcp()) {
@@ -81,70 +91,71 @@ LittleTableServer::~LittleTableServer() { Stop(); }
 Status LittleTableServer::Start() {
   LT_RETURN_IF_ERROR(transport_->Listen(port_, &listener_));
   port_ = listener_->port();
+  LT_RETURN_IF_ERROR(transport_->NewPoller(&poller_));
+  size_t n = opts_.worker_threads > 0 ? opts_.worker_threads : 1;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  event_thread_ = std::thread([this] { EventLoop(); });
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void LittleTableServer::Stop() {
   if (stop_called_.exchange(true)) return;
-  // Phase 1 — drain: requests already being served run to completion (the
+  // Phase 1 — drain: requests already received run to completion (the
   // response is written before the request is counted done); any frame
   // arriving meanwhile, including on brand-new connections, is answered
   // with kShuttingDown. Bounded by drain_timeout_ms.
   {
-    // The flag is set under drain_mu_, and connection threads check it and
-    // register the request in one drain_mu_ critical section — so every
+    // The flag is set under drain_mu_, and the event loop checks it and
+    // registers each request in one drain_mu_ critical section — so every
     // request either observes draining_ and is rejected, or is already
     // counted in active_requests_ before the wait below reads it. Without
     // that pairing a request could slip between the check and the count
-    // and have its socket shut down mid-dispatch.
+    // and have its connection shut down mid-dispatch.
     std::unique_lock<std::mutex> lock(drain_mu_);
     draining_.store(true);
     drain_cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_timeout_ms),
                        [this] { return active_requests_ == 0; });
   }
-  // Phase 2 — stop: close the listener and force remaining connections
-  // shut.
+  // Phase 2 — stop: close the listener, stop the event loop, force
+  // remaining connections shut, and join the worker pool.
   stopping_.store(true);
   // Closing the listener wakes a blocked Accept, which then returns non-OK
   // and ends the accept loop.
   if (listener_) listener_->Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.reset();  // Releases the port.
-  std::map<uint64_t, std::thread> threads;
+  if (poller_) poller_->Wakeup();
+  if (event_thread_.joinable()) event_thread_.join();
+  // The event loop is gone, so conns_ is safe to walk from this thread.
+  // Workers may be mid-write on a stalled peer; Shutdown unblocks them
+  // (Connection::Shutdown is safe concurrent with in-flight I/O).
   {
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    threads.swap(conn_threads_);
-    finished_ids_.clear();
-    // Connection threads may be blocked reading idle-but-live client
-    // connections; shut those down so the threads observe EOF.
-    for (auto& [id, conn] : live_conns_) conn->Shutdown();
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    workers_stop_ = true;
+    run_queue_.clear();
   }
-  for (auto& [id, t] : threads) {
-    if (t.joinable()) t.join();
-  }
-}
-
-size_t LittleTableServer::NumConnThreads() {
-  std::lock_guard<std::mutex> lock(threads_mu_);
-  return conn_threads_.size();
-}
-
-void LittleTableServer::ReapFinished() {
-  std::vector<std::thread> done;
+  sched_cv_.notify_all();
+  for (auto& [id, cs] : conns_) cs->conn->Shutdown();
   {
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    for (uint64_t id : finished_ids_) {
-      auto it = conn_threads_.find(id);
-      if (it == conn_threads_.end()) continue;
-      done.push_back(std::move(it->second));
-      conn_threads_.erase(it);
-    }
-    finished_ids_.clear();
+    std::lock_guard<std::mutex> lock(accepted_mu_);
+    for (auto& c : accepted_) c->Shutdown();
   }
-  for (std::thread& t : done) {
-    if (t.joinable()) t.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
   }
+  workers_.clear();
+  for (auto& [id, cs] : conns_) active_connections_->Add(-1);
+  conns_.clear();  // Destroys the connections (closes them).
+  {
+    std::lock_guard<std::mutex> lock(accepted_mu_);
+    accepted_.clear();
+  }
+  conn_count_.store(0);
+  poller_.reset();
 }
 
 void LittleTableServer::AcceptLoop() {
@@ -152,114 +163,282 @@ void LittleTableServer::AcceptLoop() {
     std::unique_ptr<net::Connection> conn;
     if (!listener_->Accept(&conn).ok()) break;
     if (stopping_.load()) break;
-    // Reap threads whose connections have closed; without this a
-    // long-lived server leaks one zombie thread per connection ever
-    // accepted.
-    ReapFinished();
-    std::lock_guard<std::mutex> lock(threads_mu_);
     if (opts_.max_connections > 0 &&
-        conn_threads_.size() >= opts_.max_connections) {
+        conn_count_.load(std::memory_order_relaxed) >= opts_.max_connections) {
       // Over the cap: tell the client to back off, then close. Written
-      // inline from the accept thread — no thread is spawned for a
-      // rejected connection.
+      // inline from the accept thread — no state is created for a rejected
+      // connection. The write deadline is the I/O timeout: a
+      // slow-but-healthy client still deserves the full reject frame.
       busy_rejects_->Increment();
       std::string reject;
       ReplyError(&reject, ErrCode::kServerBusy, "server busy: connection cap");
-      conn->set_write_timeout_ms(opts_.poll_interval_ms);
+      conn->set_write_timeout_ms(opts_.io_timeout_ms);
       conn->WriteAll(reject.data(), reject.size());
       continue;
     }
-    uint64_t id = next_conn_id_++;
-    conn_threads_.emplace(id, std::thread([this, id, c = std::move(conn)]() mutable {
-      ServeConnection(id, std::move(c));
-    }));
+    conn_count_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(accepted_mu_);
+      accepted_.push_back(std::move(conn));
+    }
+    poller_->Wakeup();  // The event loop registers it.
   }
 }
 
-void LittleTableServer::ServeConnection(uint64_t id,
-                                        std::unique_ptr<net::Connection> conn) {
-  {
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    live_conns_[id] = conn.get();
-  }
-  connections_->Increment();
-  active_connections_->Add(1);
-  // Once a frame has started arriving, bound how long a stalled peer can
-  // pin this thread; responses get the same write deadline.
-  conn->set_read_timeout_ms(opts_.io_timeout_ms);
-  conn->set_write_timeout_ms(opts_.io_timeout_ms);
-  std::string payload;
-  int64_t idle_ms = 0;
+void LittleTableServer::EventLoop() {
+  std::vector<uint64_t> ready;
   while (!stopping_.load()) {
-    // Wait for the next frame in short poll slices so the thread notices
-    // stop/drain promptly even on an idle connection.
-    bool ready = false;
-    if (!conn->WaitReadable(opts_.poll_interval_ms, &ready).ok()) break;
-    if (!ready) {
-      idle_ms += opts_.poll_interval_ms;
-      if (opts_.idle_timeout_ms > 0 && idle_ms >= opts_.idle_timeout_ms) {
-        idle_disconnects_->Increment();
-        break;
-      }
+    Status ws = poller_->Wait(opts_.poll_interval_ms, &ready);
+    if (stopping_.load()) break;
+    if (!ws.ok()) {
+      // Poll failures are transient (resource pressure); don't spin.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts_.poll_interval_ms));
       continue;
     }
-    idle_ms = 0;
-    char len_buf[4];
-    if (!conn->ReadAll(len_buf, 4).ok()) break;  // Client disconnected.
-    uint32_t len = DecodeFixed32(len_buf);
-    if (len == 0 || len > wire::kMaxFrameBytes) break;
-    payload.resize(len);
-    if (!conn->ReadAll(payload.data(), len).ok()) break;
+    // Register connections handed off by the accept thread.
+    std::deque<std::unique_ptr<net::Connection>> fresh;
+    {
+      std::lock_guard<std::mutex> lock(accepted_mu_);
+      fresh.swap(accepted_);
+    }
+    for (std::unique_ptr<net::Connection>& c : fresh) {
+      auto cs = std::make_shared<ConnState>();
+      cs->id = next_conn_id_++;
+      cs->conn = std::move(c);
+      // Response writes get the I/O deadline so a stalled peer cannot pin
+      // a worker forever. Reads are non-blocking (ReadSome) and need none.
+      cs->conn->set_write_timeout_ms(opts_.io_timeout_ms);
+      cs->last_activity = idle_clock_->Now();
+      poller_->Add(cs->conn.get(), cs->id);
+      conns_[cs->id] = cs;
+      connections_->Increment();
+      active_connections_->Add(1);
+    }
+    // Pump ready connections: read, reassemble frames, enqueue requests.
+    for (uint64_t tag : ready) {
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;
+      const std::shared_ptr<ConnState>& cs = it->second;
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        if (cs->dead) continue;
+      }
+      if (!PumpConnection(cs)) {
+        {
+          std::lock_guard<std::mutex> lock(sched_mu_);
+          cs->dead = true;
+        }
+        // Stop watching; queued responses still flush, then IdleTick (or
+        // the finishing worker's wakeup) reaps the connection.
+        poller_->Remove(cs->conn.get());
+      }
+    }
+    IdleTick();
+  }
+}
 
+bool LittleTableServer::PumpConnection(const std::shared_ptr<ConnState>& cs) {
+  char buf[16384];
+  size_t pumped = 0;
+  while (pumped < kMaxPumpBytes) {
+    size_t got = 0;
+    if (!cs->conn->ReadSome(buf, sizeof(buf), &got).ok()) {
+      return false;  // EOF or reset; any partial frame in inbuf is dropped.
+    }
+    if (got == 0) break;  // Drained for now.
+    pumped += got;
+    // Idle time is measured from the clock at the last received byte —
+    // never inferred from poll-slice counts.
+    cs->last_activity = idle_clock_->Now();
+    cs->inbuf.append(buf, got);
+    // Reassemble and hand off every complete frame.
+    size_t off = 0;
+    bool keep = true;
+    while (cs->inbuf.size() - off >= 4) {
+      uint32_t len = DecodeFixed32(cs->inbuf.data() + off);
+      if (len == 0 || len > wire::kMaxFrameBytes) {
+        keep = false;  // Unframeable garbage; drop the connection.
+        break;
+      }
+      if (cs->inbuf.size() - off < 4 + static_cast<size_t>(len)) break;
+      std::string payload = cs->inbuf.substr(off + 4, len);
+      off += 4 + len;
+      if (!HandleFrame(cs, std::move(payload))) {
+        keep = false;
+        break;
+      }
+    }
+    if (off > 0) cs->inbuf.erase(0, off);
+    if (!keep) return false;
+  }
+  return true;
+}
+
+bool LittleTableServer::HandleFrame(const std::shared_ptr<ConnState>& cs,
+                                    std::string payload) {
+  if (payload.empty()) return false;  // Unreachable: frames have len >= 1.
+  // Normalize the opcode byte exactly once. payload[0] is a (possibly
+  // signed) char: a frame byte >= 0x80 must become 128..255, not a
+  // negative enum value.
+  const uint8_t op = static_cast<uint8_t>(payload[0]);
+  const bool known = OpName(static_cast<MsgType>(op)) != nullptr;
+
+  Task task;
+  bool draining;
+  {
     // Reject-or-register, atomically with the drain flag: either this
     // request registers in active_requests_ before Stop() starts waiting
     // (so the drain waits for its response), or it observes draining_ and
-    // is rejected — never a half-dispatched request whose socket the
+    // is rejected — never a half-dispatched request whose connection the
     // "finished" drain shuts down.
-    bool draining;
-    {
-      std::lock_guard<std::mutex> lock(drain_mu_);
-      draining = draining_.load();
-      if (!draining) active_requests_++;
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    draining = draining_.load();
+    if (!draining && known) {
+      active_requests_++;
+      task.registered = true;
     }
-    if (draining) {
-      // Shutting down: this frame arrived after the drain began, so it is
-      // rejected rather than served — the client should reconnect to a
-      // healthy server.
-      shutdown_rejects_->Increment();
-      std::string response;
-      ReplyError(&response, ErrCode::kShuttingDown, "server shutting down");
-      conn->WriteAll(response.data(), response.size());
-      break;
-    }
+  }
+  if (draining) {
+    // Shutting down: this frame arrived after the drain began, so it is
+    // rejected rather than served — the client should reconnect to a
+    // healthy server. The reject rides the ordered response path (behind
+    // any in-flight responses), then the connection closes.
+    shutdown_rejects_->Increment();
+    ReplyError(&task.canned, ErrCode::kShuttingDown, "server shutting down");
+    EnqueueTask(cs, std::move(task));
+    return false;
+  }
+  requests_->Increment();
+  if (!known) {
+    // Unknown opcode: answer with kBadRequest instead of dispatching. The
+    // framing is intact, so the connection stays usable.
+    char hex[8];
+    snprintf(hex, sizeof(hex), "0x%02x", op);
+    ReplyError(&task.canned, ErrCode::kBadRequest,
+               std::string("unknown message type ") + hex);
+    EnqueueTask(cs, std::move(task));
+    return true;
+  }
+  task.payload = std::move(payload);
+  EnqueueTask(cs, std::move(task));
+  return true;
+}
 
-    MsgType type = static_cast<MsgType>(payload[0]);
-    Slice body(payload.data() + 1, payload.size() - 1);
+void LittleTableServer::EnqueueTask(const std::shared_ptr<ConnState>& cs,
+                                    Task task) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    cs->tasks.push_back(std::move(task));
+    // Invariant: a connection with runnable work (front task, no worker on
+    // it) sits in run_queue_ exactly once. It enters here on the
+    // empty→nonempty transition and re-enters when a worker finishes with
+    // tasks left.
+    if (!cs->running && cs->tasks.size() == 1 && !workers_stop_) {
+      run_queue_.push_back(cs);
+      schedule = true;
+    }
+  }
+  if (schedule) sched_cv_.notify_one();
+}
+
+void LittleTableServer::IdleTick() {
+  const Timestamp now = idle_clock_->Now();
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    const std::shared_ptr<ConnState>& cs = it->second;
+    bool reap = false;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      const bool busy = cs->running || !cs->tasks.empty();
+      if (cs->dead) {
+        reap = !busy;  // Responses flushed; safe to destroy.
+      } else if (opts_.idle_timeout_ms > 0 && !busy &&
+                 now - cs->last_activity >=
+                     Timestamp{opts_.idle_timeout_ms} * 1000) {
+        idle_disconnects_->Increment();
+        cs->dead = true;
+        reap = true;
+      }
+    }
+    if (reap) {
+      poller_->Remove(cs->conn.get());
+      active_connections_->Add(-1);
+      conn_count_.fetch_sub(1, std::memory_order_relaxed);
+      it = conns_.erase(it);  // Last owner (bar a worker) closes the conn.
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LittleTableServer::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<ConnState> cs;
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      sched_cv_.wait(lock,
+                     [this] { return workers_stop_ || !run_queue_.empty(); });
+      if (workers_stop_) return;
+      cs = std::move(run_queue_.front());
+      run_queue_.pop_front();
+      cs->running = true;
+    }
+    // Only this worker touches the front task while running is set, and
+    // the event loop only push_backs (which never invalidates deque
+    // references), so the pointer is stable without the lock.
+    Task& task = cs->tasks.front();
     std::string response;
-    requests_->Increment();
-    const Timestamp start = MonotonicMicros();
-    Dispatch(type, body, &response);
-    if (LatencyHistogram* h = op_micros_[static_cast<uint8_t>(type)]) {
-      h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
+    if (!task.canned.empty()) {
+      response = std::move(task.canned);
+    } else {
+      const uint8_t op = static_cast<uint8_t>(task.payload[0]);
+      Slice body(task.payload.data() + 1, task.payload.size() - 1);
+      const Timestamp start = MonotonicMicros();
+      Dispatch(static_cast<MsgType>(op), body, &response);
+      if (LatencyHistogram* h = op_micros_[op]) {
+        h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
+      }
     }
     // The response write is part of the in-flight request: a drain waits
-    // until the client has its answer.
-    bool write_ok = conn->WriteAll(response.data(), response.size()).ok();
+    // until the client has its answer. One worker per connection at a
+    // time, executing the FIFO front, is what keeps pipelined responses in
+    // request order.
+    const bool write_ok =
+        cs->conn->WriteAll(response.data(), response.size()).ok();
+    const bool was_registered = task.registered;
+    int dropped_registered = 0;
+    bool conn_finished = false;
     {
-      std::lock_guard<std::mutex> lock(drain_mu_);
-      active_requests_--;
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      cs->tasks.pop_front();
+      cs->running = false;
+      if (!write_ok) {
+        // The peer can't receive responses; abandon the rest of the
+        // pipeline but give the drain back their registrations.
+        cs->dead = true;
+        for (const Task& t : cs->tasks) {
+          if (t.registered) dropped_registered++;
+        }
+        cs->tasks.clear();
+      }
+      if (!cs->tasks.empty() && !workers_stop_) {
+        run_queue_.push_back(cs);
+        sched_cv_.notify_one();
+      }
+      conn_finished = cs->dead && cs->tasks.empty();
     }
-    drain_cv_.notify_all();
-    if (!write_ok) break;
+    if (was_registered || dropped_registered > 0) {
+      {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        active_requests_ -= (was_registered ? 1 : 0) + dropped_registered;
+      }
+      drain_cv_.notify_all();
+    }
+    // A dead connection with a drained pipeline is ready to reap; poke the
+    // event loop rather than waiting out its poll slice.
+    if (conn_finished && !stopping_.load()) poller_->Wakeup();
   }
-  active_connections_->Add(-1);
-  // Last use of threads_mu_: after this the thread only returns, so the
-  // accept loop (or Stop) can join it without deadlock. Deregistering here
-  // (before `conn` is destroyed at return) keeps Stop()'s Shutdown calls
-  // off freed connections.
-  std::lock_guard<std::mutex> lock(threads_mu_);
-  live_conns_.erase(id);
-  finished_ids_.push_back(id);
 }
 
 void LittleTableServer::ReplyError(std::string* out, ErrCode code,
@@ -299,6 +478,7 @@ Status LittleTableServer::CollectCounters(
       out->emplace_back(key, v.load(std::memory_order_relaxed));
     };
     add("table.insert_batches", ts.insert_batches);
+    add("table.insert_groups", ts.insert_groups);
     add("table.rows_inserted", ts.rows_inserted);
     add("table.queries", ts.queries);
     add("table.rows_scanned", ts.rows_scanned);
@@ -504,6 +684,8 @@ void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
         }
         rows.push_back(std::move(row));
       }
+      // Concurrent inserts from other connections' workers group-commit
+      // inside InsertBatch (one critical section, statuses fanned out).
       return ReplyStatus(out, table->InsertBatch(rows));
     }
 
@@ -602,7 +784,9 @@ void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
     }
 
     default:
-      return ReplyError(out, ErrCode::kInvalidArgument, "unknown message type");
+      // Unreachable: unknown opcodes are rejected at decode with
+      // kBadRequest, before Dispatch.
+      return ReplyError(out, ErrCode::kBadRequest, "unknown message type");
   }
 }
 

@@ -1,5 +1,15 @@
 // LittleTableServer: runs a DB as an independent server process reachable
-// over TCP (§3.1), one thread per client connection.
+// over TCP (§3.1), built around an event loop.
+//
+// Threading model: one accept thread (blocking Accept, inline kServerBusy
+// rejects past the connection cap), one event-loop thread that owns a
+// Poller over every live connection and does all frame reassembly, and a
+// fixed pool of worker threads that execute decoded requests. A connection
+// may have many requests in flight (pipelining); per connection, requests
+// execute one at a time in arrival order and responses are written back in
+// that order, so pipelined clients keep read-your-writes semantics.
+// Cross-connection requests run in parallel on the pool — which is what
+// feeds the Table-level group-commit insert coalescing.
 //
 // Inserts are acknowledged as soon as rows land in in-memory tablets — the
 // server deliberately provides no way to learn whether data reached stable
@@ -13,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,6 +33,7 @@
 #include "core/db.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "util/clock.h"
 #include "util/metrics.h"
 
 namespace lt {
@@ -42,13 +54,19 @@ struct ServerOptions {
   /// How long Stop() waits for in-flight requests to finish before
   /// force-closing connections.
   int drain_timeout_ms = 5000;
-  /// Granularity at which idle connection threads recheck the stop/drain
-  /// flags while waiting for the next frame.
+  /// Granularity of the event loop's housekeeping tick (idle-timeout
+  /// checks, closed-connection reaping) when no I/O is ready.
   int poll_interval_ms = 50;
-  /// Deadline for reading the rest of a frame once its first bytes have
-  /// arrived, and for writing responses; guards against stalled peers
-  /// pinning connection threads (0 = no deadline).
+  /// Deadline for response writes; guards against stalled peers pinning
+  /// worker threads (0 = no deadline).
   int io_timeout_ms = 30000;
+  /// Request-execution threads. Decoded requests from all connections are
+  /// executed by this fixed pool — connection count does not add threads.
+  size_t worker_threads = 4;
+  /// Clock for idle-timeout accounting (elapsed time between requests on a
+  /// connection). Null = the real system clock; tests over SimTransport can
+  /// inject the SimClock so idleness is simulated time.
+  std::shared_ptr<Clock> clock;
 };
 
 class LittleTableServer {
@@ -59,7 +77,8 @@ class LittleTableServer {
   LittleTableServer(DB* db, const ServerOptions& options);
   ~LittleTableServer();
 
-  /// Binds, listens, and starts the accept thread.
+  /// Binds, listens, and starts the accept thread, event loop, and worker
+  /// pool.
   Status Start();
 
   /// Graceful drain, then stop: in-flight requests get up to
@@ -70,10 +89,17 @@ class LittleTableServer {
 
   uint16_t port() const { return port_; }
 
-  /// Connection threads currently tracked (live plus not-yet-reaped).
-  /// Stays bounded under connection churn because the accept loop joins
-  /// finished threads; tests assert on this.
-  size_t NumConnThreads();
+  /// Live connections currently tracked by the event loop (including those
+  /// handed off by accept but not yet registered). Converges to the number
+  /// of open clients: the event loop reaps closed connections on its idle
+  /// tick, so an idle server does not accumulate dead entries.
+  size_t ConnectionCount() const {
+    return conn_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Historical alias for ConnectionCount(), from the thread-per-connection
+  /// server. Connections no longer own threads; the worker pool is fixed.
+  size_t NumConnThreads() { return ConnectionCount(); }
 
   /// Server-level metrics: per-opcode request latency histograms
   /// (server.op.<name>.micros) and connection/request/error counters
@@ -81,11 +107,49 @@ class LittleTableServer {
   MetricsRegistry& metrics() { return metrics_; }
 
  private:
+  // One request decoded from a connection's byte stream, or a canned
+  // (precomputed) response that must still flow through the per-connection
+  // FIFO so pipelined responses stay in order.
+  struct Task {
+    std::string payload;   // Frame payload (type byte + body); empty if canned.
+    std::string canned;    // Prebuilt response frames (shutdown/bad-opcode).
+    bool registered = false;  // Counted in active_requests_ for the drain.
+  };
+
+  // Per-connection state. The event loop owns conn I/O state (inbuf,
+  // last_activity, poller registration); the scheduling fields are guarded
+  // by sched_mu_. Held by shared_ptr: the conns_ map keeps one reference,
+  // an executing worker another, so the connection object outlives any
+  // in-flight response write.
+  struct ConnState {
+    uint64_t id = 0;
+    std::unique_ptr<net::Connection> conn;
+    std::string inbuf;            // Reassembly buffer (event loop only).
+    Timestamp last_activity = 0;  // Idle clock reading (event loop only).
+    // --- Guarded by sched_mu_. ---
+    std::deque<Task> tasks;   // Decoded, not yet completed; front may run.
+    bool running = false;     // A worker is executing this conn's front task.
+    bool dead = false;        // No more reads; close once tasks drain.
+  };
+
   void AcceptLoop();
-  void ServeConnection(uint64_t id, std::unique_ptr<net::Connection> conn);
-  /// Joins connection threads that have already announced completion.
-  /// threads_mu_ must NOT be held.
-  void ReapFinished();
+  void EventLoop();
+  void WorkerLoop();
+
+  /// Reads whatever is available on `cs`, reassembles complete frames, and
+  /// enqueues tasks. Returns false when the connection is finished (EOF,
+  /// error, oversized frame) and should be marked dead.
+  bool PumpConnection(const std::shared_ptr<ConnState>& cs);
+  /// Handles one complete frame payload: drain check, opcode
+  /// normalization, task enqueue. Returns false to kill the connection.
+  bool HandleFrame(const std::shared_ptr<ConnState>& cs, std::string payload);
+  /// Enqueues `task` on `cs` and schedules the connection on the worker
+  /// run queue if no worker is already serving it.
+  void EnqueueTask(const std::shared_ptr<ConnState>& cs, Task task);
+  /// Event-loop housekeeping: idle-timeout disconnects and reaping of dead
+  /// connections whose tasks have drained.
+  void IdleTick();
+
   /// Handles one request; appends response frames to `*out`.
   void Dispatch(wire::MsgType type, Slice body, std::string* out);
 
@@ -101,6 +165,7 @@ class LittleTableServer {
 
   DB* const db_;
   const ServerOptions opts_;
+  const std::shared_ptr<Clock> idle_clock_;
   MetricsRegistry metrics_;
   // Per-opcode request-latency histograms, resolved once at construction
   // so the serve loop records without touching the registry lock. Indexed
@@ -116,6 +181,7 @@ class LittleTableServer {
   uint16_t port_;
   net::Transport* const transport_;
   std::unique_ptr<net::Listener> listener_;
+  std::unique_ptr<net::Poller> poller_;
   // Shutdown is two-phase: draining_ (answer new frames with
   // kShuttingDown, let in-flight requests finish) then stopping_ (close
   // everything). stop_called_ makes Stop() idempotent.
@@ -125,18 +191,28 @@ class LittleTableServer {
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   int active_requests_ = 0;  // guarded by drain_mu_
+
   std::thread accept_thread_;
-  std::mutex threads_mu_;
-  std::map<uint64_t, std::thread> conn_threads_;
-  // Ids of connection threads that have finished serving; pushing its own
-  // id is a ServeConnection thread's last use of threads_mu_, so joining
-  // a listed thread can never deadlock.
-  std::vector<uint64_t> finished_ids_;
+  std::thread event_thread_;
+  std::vector<std::thread> workers_;
+
+  // Accepted connections waiting for the event loop to register them.
+  std::mutex accepted_mu_;
+  std::deque<std::unique_ptr<net::Connection>> accepted_;
+
+  // Connections registered with the poller; event-loop thread only.
+  std::map<uint64_t, std::shared_ptr<ConnState>> conns_;
   uint64_t next_conn_id_ = 1;
-  // Live connections by id, so Stop() can shut down blocked reads. Each
-  // pointer is valid while registered: a connection thread erases its entry
-  // (under threads_mu_) before destroying the connection.
-  std::map<uint64_t, net::Connection*> live_conns_;
+  std::atomic<size_t> conn_count_{0};  // conns_ plus the accepted_ handoff.
+
+  // Worker scheduling: connections with a runnable front task. A
+  // connection appears at most once (running=false ∧ !tasks.empty() ⇒
+  // queued), which is what serializes its tasks and keeps responses in
+  // order.
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::deque<std::shared_ptr<ConnState>> run_queue_;
+  bool workers_stop_ = false;  // guarded by sched_mu_
 };
 
 }  // namespace lt

@@ -1,8 +1,14 @@
 #include "net/transport.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <mutex>
 
 #include "net/socket.h"
 
@@ -27,14 +33,112 @@ class TcpConnection final : public Connection {
     return sock_.ReadAll(data, n);
   }
 
+  Status ReadSome(char* data, size_t n, size_t* got) override {
+    *got = 0;
+    if (!sock_.valid()) return Status::NetworkError("connection shut down");
+    ssize_t r = recv(sock_.fd(), data, n, MSG_DONTWAIT);
+    if (r > 0) {
+      *got = static_cast<size_t>(r);
+      return Status::OK();
+    }
+    if (r == 0) return Status::Unavailable("connection closed by peer");
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return Status::OK();
+    }
+    return Status::NetworkError(std::string("recv: ") + strerror(errno));
+  }
+
   void Shutdown() override {
     // Blocked reads observe EOF; the fd itself is closed by the destructor
     // (the owning thread), never concurrently with in-flight I/O.
     if (sock_.valid()) shutdown(sock_.fd(), SHUT_RDWR);
   }
 
+  int fd() const { return sock_.fd(); }
+
  private:
   Socket sock_;
+};
+
+// poll(2) over the registered connections' fds, with a self-pipe for
+// cross-thread wakeups.
+class TcpPoller final : public Poller {
+ public:
+  static Status Make(std::unique_ptr<Poller>* out) {
+    int fds[2];
+    if (pipe(fds) != 0) {
+      return Status::IOError(std::string("pipe: ") + strerror(errno));
+    }
+    // Both ends non-blocking: draining stops at empty instead of blocking,
+    // and a full pipe drops the (already pending) wakeup byte.
+    fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    out->reset(new TcpPoller(fds[0], fds[1]));
+    return Status::OK();
+  }
+
+  ~TcpPoller() override {
+    close(wake_rd_);
+    close(wake_wr_);
+  }
+
+  void Add(Connection* conn, uint64_t tag) override {
+    entries_.push_back({static_cast<TcpConnection*>(conn), tag});
+  }
+
+  void Remove(Connection* conn) override {
+    for (size_t i = 0; i < entries_.size(); i++) {
+      if (entries_[i].conn == conn) {
+        entries_[i] = entries_.back();
+        entries_.pop_back();
+        return;
+      }
+    }
+  }
+
+  Status Wait(int timeout_ms, std::vector<uint64_t>* ready) override {
+    ready->clear();
+    pfds_.clear();
+    pfds_.push_back({wake_rd_, POLLIN, 0});
+    for (const Entry& e : entries_) {
+      pfds_.push_back({e.conn->fd(), POLLIN, 0});
+    }
+    int r;
+    do {
+      r = poll(pfds_.data(), pfds_.size(), timeout_ms < 0 ? -1 : timeout_ms);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) return Status::IOError(std::string("poll: ") + strerror(errno));
+    if (pfds_[0].revents != 0) {
+      // Drain every queued wakeup byte; the wakeup itself reports no tags.
+      char buf[64];
+      while (read(wake_rd_, buf, sizeof(buf)) == sizeof(buf)) {
+      }
+    }
+    for (size_t i = 0; i < entries_.size(); i++) {
+      if (pfds_[i + 1].revents & (POLLIN | POLLERR | POLLHUP)) {
+        ready->push_back(entries_[i].tag);
+      }
+    }
+    return Status::OK();
+  }
+
+  void Wakeup() override {
+    char b = 1;
+    ssize_t ignored = write(wake_wr_, &b, 1);
+    (void)ignored;
+  }
+
+ private:
+  TcpPoller(int wake_rd, int wake_wr) : wake_rd_(wake_rd), wake_wr_(wake_wr) {}
+
+  struct Entry {
+    TcpConnection* conn;
+    uint64_t tag;
+  };
+  std::vector<Entry> entries_;
+  std::vector<struct pollfd> pfds_;
+  const int wake_rd_;
+  const int wake_wr_;
 };
 
 class TcpListener final : public Listener {
@@ -90,6 +194,10 @@ class TcpTransport final : public Transport {
     LT_RETURN_IF_ERROR(net::Connect(host, port, &sock, timeout_ms));
     *conn = std::make_unique<TcpConnection>(std::move(sock));
     return Status::OK();
+  }
+
+  Status NewPoller(std::unique_ptr<Poller>* poller) override {
+    return TcpPoller::Make(poller);
   }
 };
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -43,6 +44,13 @@ class Connection {
   /// first byte is Unavailable, EOF mid-read is a NetworkError (torn frame).
   virtual Status ReadAll(char* data, size_t n) = 0;
 
+  /// Non-blocking read of up to n bytes: whatever is available right now is
+  /// copied into `data` and *got reports the count. OK with *got == 0 means
+  /// nothing available yet (never end-of-stream). EOF surfaces as
+  /// Unavailable; a reset as NetworkError. Used with a Poller by the
+  /// event-loop server, which never wants to block on one connection.
+  virtual Status ReadSome(char* data, size_t n, size_t* got) = 0;
+
   /// Wakes any thread blocked in ReadAll/WaitReadable on this connection
   /// and makes further I/O fail — shutdown(2) semantics. Safe to call from
   /// another thread while I/O is in flight; the server uses this to unblock
@@ -68,6 +76,31 @@ class Listener {
   virtual uint16_t port() const = 0;
 };
 
+/// Readiness multiplexer: one blocking Wait covers many connections, so a
+/// single event-loop thread can own frame reassembly for every client.
+/// Add/Remove/Wait belong to that one thread; only Wakeup is thread-safe.
+/// A Poller may only watch connections created by the Transport that built
+/// it (the TCP poller needs fds, the sim poller needs sim pipes).
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers `conn` (not owned; must stay alive until Remove). `tag` is
+  /// returned from Wait when the connection is ready.
+  virtual void Add(Connection* conn, uint64_t tag) = 0;
+  virtual void Remove(Connection* conn) = 0;
+
+  /// Blocks until at least one registered connection is ready — data
+  /// readable, or a pending EOF/reset that the next ReadSome will report —
+  /// the timeout expires (negative = forever), or Wakeup is called.
+  /// Appends ready tags to *ready (cleared first); empty on timeout/wakeup.
+  virtual Status Wait(int timeout_ms, std::vector<uint64_t>* ready) = 0;
+
+  /// Wakes a concurrent Wait early (thread-safe; sticky until the next
+  /// Wait returns).
+  virtual void Wakeup() = 0;
+};
+
 /// Factory for listeners and outbound connections.
 class Transport {
  public:
@@ -80,6 +113,9 @@ class Transport {
   /// (DeadlineExceeded on expiry); <= 0 blocks.
   virtual Status Connect(const std::string& host, uint16_t port,
                          int timeout_ms, std::unique_ptr<Connection>* conn) = 0;
+
+  /// Creates a readiness multiplexer for this transport's connections.
+  virtual Status NewPoller(std::unique_ptr<Poller>* poller) = 0;
 
   /// The process-wide real-TCP transport (loopback/LAN via net::Socket).
   static Transport* Tcp();

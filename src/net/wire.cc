@@ -111,6 +111,9 @@ Status StatusForCode(ErrCode code, const std::string& message) {
     case ErrCode::kShuttingDown:
       return Status::Unavailable(message.empty() ? "server shutting down"
                                                  : message);
+    case ErrCode::kBadRequest:
+      return Status::InvalidArgument(message.empty() ? "bad request"
+                                                     : message);
     case ErrCode::kGeneric: break;
   }
   return Status::NetworkError(message);

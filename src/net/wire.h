@@ -74,6 +74,9 @@ enum class ErrCode : uint8_t {
   kServerBusy = 7,     // Connection cap reached or ingest backlogged; retry
                        // with backoff.
   kShuttingDown = 8,   // Server is draining; reconnect elsewhere/later.
+  kBadRequest = 9,     // Malformed frame: unknown opcode byte. The request
+                       // was never dispatched; retrying it verbatim fails
+                       // the same way.
 };
 
 /// kQueryChunk flags.

@@ -1,8 +1,10 @@
 #include "sim/sim_transport.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -135,7 +137,18 @@ class SimConnection final : public net::Connection {
     if (pipe_->reset) {
       return Status::NetworkError("connection reset by peer");
     }
-    if (peer_gone()) return Status::NetworkError("broken pipe");
+    if (peer_gone()) {
+      // TCP semantics: the first write after the peer's close is accepted
+      // locally (the bytes go nowhere; the peer answers with a reset);
+      // only writes after that reset fail. This matters for inline reject
+      // frames — a client that races a ping write against the server's
+      // reject-and-close must still be able to read the buffered reject.
+      if (pipe_->reset) return Status::NetworkError("broken pipe");
+      pipe_->reset = true;
+      inner_->stats.bytes_blackholed += n;
+      inner_->cv.notify_all();
+      return Status::OK();
+    }
     if (inner_->partitioned) {
       // A partition silently eats the bytes; like TCP buffering, the
       // writer cannot tell. The reader's deadline discovers the loss.
@@ -241,9 +254,54 @@ class SimConnection final : public net::Connection {
     return Status::OK();
   }
 
+  Status ReadSome(char* data, size_t n, size_t* got) override {
+    *got = 0;
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    if (shut_) return Status::NetworkError("connection shut down");
+    HalfPipe& in = incoming();
+    while (*got < n && !in.empty() &&
+           in.chunks.front().deliver_at <= inner_->clock->Now()) {
+      HalfPipe::Chunk& front = in.chunks.front();
+      size_t take = std::min(front.data.size() - in.offset, n - *got);
+      std::memcpy(data + *got, front.data.data() + in.offset, take);
+      *got += take;
+      in.offset += take;
+      if (in.offset == front.data.size()) {
+        in.chunks.pop_front();
+        in.offset = 0;
+      }
+    }
+    if (*got > 0) return Status::OK();
+    if (in.empty()) {
+      // Deliverable data always wins over error reporting (matches
+      // ReadAll): the reset/EOF surfaces only once the pipe is drained.
+      if (pipe_->reset) {
+        return Status::NetworkError("connection reset by peer");
+      }
+      if (in.closed) return Status::Unavailable("connection closed by peer");
+    }
+    return Status::OK();  // Nothing deliverable yet (delayed or empty).
+  }
+
   void Shutdown() override {
     std::lock_guard<std::mutex> lock(inner_->mu);
     ShutdownLocked();
+  }
+
+  /// Poller-side readiness probe; inner_->mu held. True when the next
+  /// ReadSome would make progress (data, EOF, reset, or shutdown). When the
+  /// only pending data is delayed delivery, lowers *earliest to its
+  /// delivery time so the poller can leap the clock.
+  bool PollReadyLocked(Timestamp now, Timestamp* earliest) {
+    if (shut_) return true;
+    HalfPipe& in = incoming();
+    if (!in.empty()) {
+      Timestamp at = in.chunks.front().deliver_at;
+      if (at <= now) return true;
+      if (at < *earliest) *earliest = at;
+      return false;
+    }
+    return pipe_->reset || in.closed;
   }
 
  private:
@@ -272,6 +330,81 @@ class SimConnection final : public net::Connection {
   bool shut_ = false;
   int read_timeout_ms_ = 0;
   int write_timeout_ms_ = 0;
+};
+
+// Scans the registered connections under the shared monitor. When nothing
+// is ready but some connection holds delayed-delivery data, leaps SimClock
+// to the earliest delivery time (mirroring WaitReadable) so delayed writes
+// never cost real time.
+class SimPoller final : public net::Poller {
+ public:
+  explicit SimPoller(std::shared_ptr<SimTransport::Inner> inner)
+      : inner_(std::move(inner)) {}
+
+  void Add(net::Connection* conn, uint64_t tag) override {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    entries_.push_back({static_cast<SimConnection*>(conn), tag});
+  }
+
+  void Remove(net::Connection* conn) override {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    for (size_t i = 0; i < entries_.size(); i++) {
+      if (entries_[i].conn == conn) {
+        entries_[i] = entries_.back();
+        entries_.pop_back();
+        return;
+      }
+    }
+  }
+
+  Status Wait(int timeout_ms, std::vector<uint64_t>* ready) override {
+    ready->clear();
+    std::unique_lock<std::mutex> lock(inner_->mu);
+    const auto deadline = timeout_ms >= 0
+                              ? std::chrono::steady_clock::now() +
+                                    std::chrono::milliseconds(timeout_ms)
+                              : std::chrono::steady_clock::time_point::max();
+    while (true) {
+      if (wakeup_) {
+        wakeup_ = false;
+        return Status::OK();
+      }
+      Timestamp earliest = std::numeric_limits<Timestamp>::max();
+      const Timestamp now = inner_->clock->Now();
+      for (const Entry& e : entries_) {
+        if (e.conn->PollReadyLocked(now, &earliest)) ready->push_back(e.tag);
+      }
+      if (!ready->empty()) return Status::OK();
+      if (earliest != std::numeric_limits<Timestamp>::max() &&
+          inner_->auto_advance) {
+        inner_->LeapTo(earliest);
+        inner_->cv.notify_all();
+        continue;  // Re-scan: the leap made that data deliverable.
+      }
+      if (timeout_ms >= 0) {
+        if (inner_->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+          return Status::OK();  // *ready stays empty.
+        }
+      } else {
+        inner_->cv.wait(lock);
+      }
+    }
+  }
+
+  void Wakeup() override {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    wakeup_ = true;
+    inner_->cv.notify_all();
+  }
+
+ private:
+  struct Entry {
+    SimConnection* conn;
+    uint64_t tag;
+  };
+  std::shared_ptr<SimTransport::Inner> inner_;
+  std::vector<Entry> entries_;  // Guarded by inner_->mu.
+  bool wakeup_ = false;         // Guarded by inner_->mu; sticky until Wait.
 };
 
 class SimListener final : public net::Listener {
@@ -396,6 +529,11 @@ Status SimTransport::Connect(const std::string& host, uint16_t port,
   // never come — the hung-server scenario).
   *conn = std::make_unique<SimConnection>(inner_, std::move(pipe),
                                           /*is_server=*/false);
+  return Status::OK();
+}
+
+Status SimTransport::NewPoller(std::unique_ptr<net::Poller>* poller) {
+  *poller = std::make_unique<SimPoller>(inner_);
   return Status::OK();
 }
 

@@ -64,6 +64,11 @@ class SimTransport final : public net::Transport {
                 std::unique_ptr<net::Listener>* listener) override;
   Status Connect(const std::string& host, uint16_t port, int timeout_ms,
                  std::unique_ptr<net::Connection>* conn) override;
+  /// Readiness multiplexer over simulated connections. When every watched
+  /// connection's pending data is delayed delivery, Wait leaps SimClock to
+  /// the earliest delivery time (under auto_advance_clock) instead of
+  /// sleeping — the same time-leap WaitReadable performs.
+  Status NewPoller(std::unique_ptr<net::Poller>* poller) override;
 
   // --- Fault injection (thread-safe) ------------------------------------
 

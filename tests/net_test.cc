@@ -17,6 +17,7 @@
 #include "net/socket.h"
 #include "net/stats_text.h"
 #include "tests/test_util.h"
+#include "util/coding.h"
 
 namespace lt {
 namespace {
@@ -438,6 +439,71 @@ TEST_F(NetTest, FinishedConnectionThreadsAreReaped) {
   EXPECT_LT(tracked, 10u);
 }
 
+// Reads one response frame off a raw socket and returns its payload (type
+// byte + body). Fails the test on any framing error.
+std::string ReadRawFrame(net::Socket* sock) {
+  char len_buf[4];
+  EXPECT_TRUE(sock->ReadAll(len_buf, 4).ok());
+  uint32_t len = DecodeFixed32(len_buf);
+  EXPECT_GT(len, 0u);
+  EXPECT_LE(len, wire::kMaxFrameBytes);
+  std::string payload(len, '\0');
+  EXPECT_TRUE(sock->ReadAll(payload.data(), len).ok());
+  return payload;
+}
+
+TEST_F(NetTest, PipelinedRequestsAnswerInOrder) {
+  // A raw client writes a burst of requests without reading between them;
+  // the server executes them one at a time per connection and writes the
+  // responses back in request order, so the alternating request types must
+  // come back as alternating response types.
+  net::Socket raw;
+  ASSERT_TRUE(net::Connect("127.0.0.1", server_->port(), &raw).ok());
+  constexpr int kDepth = 64;
+  std::string burst;
+  for (int i = 0; i < kDepth; i++) {
+    burst += wire::Frame(
+        i % 2 == 0 ? wire::MsgType::kPing : wire::MsgType::kListTables, "");
+  }
+  ASSERT_TRUE(raw.WriteAll(burst.data(), burst.size()).ok());
+  for (int i = 0; i < kDepth; i++) {
+    std::string payload = ReadRawFrame(&raw);
+    ASSERT_FALSE(payload.empty());
+    const uint8_t type = static_cast<uint8_t>(payload[0]);
+    EXPECT_EQ(type, static_cast<uint8_t>(i % 2 == 0
+                                             ? wire::MsgType::kOk
+                                             : wire::MsgType::kTableList))
+        << "response " << i << " out of order";
+  }
+}
+
+TEST_F(NetTest, UnknownOpcodeRejectedWithoutDroppingConnection) {
+  // Frames whose type byte names no request — including bytes >= 0x80,
+  // which a signed-char read would turn into negative enum values — get a
+  // kBadRequest error. The framing is intact, so the connection survives.
+  net::Socket raw;
+  ASSERT_TRUE(net::Connect("127.0.0.1", server_->port(), &raw).ok());
+  for (uint8_t op : {0x00, 0x3f, 0x7f, 0x80, 0xcc, 0xff}) {
+    std::string frame =
+        wire::Frame(static_cast<wire::MsgType>(op), "junk body");
+    ASSERT_TRUE(raw.WriteAll(frame.data(), frame.size()).ok());
+    std::string payload = ReadRawFrame(&raw);
+    ASSERT_GE(payload.size(), 2u);
+    EXPECT_EQ(static_cast<uint8_t>(payload[0]),
+              static_cast<uint8_t>(wire::MsgType::kError));
+    EXPECT_EQ(static_cast<uint8_t>(payload[1]),
+              static_cast<uint8_t>(wire::ErrCode::kBadRequest))
+        << "opcode " << static_cast<int>(op);
+  }
+  // The same connection still serves well-formed requests.
+  std::string ping = wire::Frame(wire::MsgType::kPing, "");
+  ASSERT_TRUE(raw.WriteAll(ping.data(), ping.size()).ok());
+  std::string payload = ReadRawFrame(&raw);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]),
+            static_cast<uint8_t>(wire::MsgType::kOk));
+}
+
 TEST_F(NetTest, StatsExposeFlushFailureCounters) {
   ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
   std::map<std::string, uint64_t> stats;
@@ -665,6 +731,82 @@ TEST(NetRobustnessTest, ConnectionCapRejectsWithServerBusy) {
     }
   }
   EXPECT_TRUE(connected);
+  server.Stop();
+}
+
+TEST(NetRobustnessTest, IdleServerReapsClosedConnections) {
+  // Regression: finished connections used to be reaped only from the
+  // accept path, so a server that stopped receiving connects accumulated
+  // zombies forever. The event loop now reaps them on its own tick:
+  // ConnectionCount() must converge to zero with no further accepts.
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, clock, "/srv", dopts, &db).ok());
+  ServerOptions sopts;
+  sopts.poll_interval_ms = 10;
+  LittleTableServer server(db.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    std::vector<std::unique_ptr<Client>> clients;
+    for (int i = 0; i < 8; i++) {
+      std::unique_ptr<Client> c;
+      ASSERT_TRUE(Client::Connect("127.0.0.1", server.port(), &c).ok());
+      ASSERT_TRUE(c->Ping().ok());
+      clients.push_back(std::move(c));
+    }
+    EXPECT_EQ(server.ConnectionCount(), 8u);
+  }  // All eight close here; the server sees only EOFs, never an accept.
+
+  bool drained = false;
+  for (int i = 0; i < 500 && !drained; i++) {
+    drained = server.ConnectionCount() == 0;
+    if (!drained) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(drained) << "still tracking " << server.ConnectionCount()
+                       << " connections";
+  server.Stop();
+}
+
+TEST(NetRobustnessTest, BusyRejectReachesASlowReader) {
+  // Regression: the inline kServerBusy reject used poll_interval_ms as its
+  // write deadline, so with a fast housekeeping tick a client that was not
+  // already parked in read() could lose the frame to a 1 ms timeout. The
+  // reject now gets the io_timeout_ms deadline like any response write: a
+  // client that connects and only starts reading later must still receive
+  // the complete frame.
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, clock, "/srv", dopts, &db).ok());
+  ServerOptions sopts;
+  sopts.max_connections = 1;
+  sopts.poll_interval_ms = 1;  // Far shorter than the reader's delay.
+  sopts.io_timeout_ms = 5000;
+  LittleTableServer server(db.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.max_retries = 0;
+  std::unique_ptr<Client> holder;
+  ASSERT_TRUE(Client::Connect("127.0.0.1", server.port(), copts, &holder).ok());
+
+  net::Socket raw;
+  ASSERT_TRUE(net::Connect("127.0.0.1", server.port(), &raw).ok());
+  // Dawdle for many poll intervals before reading the reject.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::string payload = ReadRawFrame(&raw);
+  ASSERT_GE(payload.size(), 2u);
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]),
+            static_cast<uint8_t>(wire::MsgType::kError));
+  EXPECT_EQ(static_cast<uint8_t>(payload[1]),
+            static_cast<uint8_t>(wire::ErrCode::kServerBusy));
+  EXPECT_GE(CounterValue(&server, "server.busy_rejects"), 1);
   server.Stop();
 }
 

@@ -69,6 +69,53 @@ double RunInsert(size_t row_bytes, size_t batch_bytes, size_t total_bytes) {
   return result;
 }
 
+// On-disk bytes after inserting `rows` paper-schema (Figure 1) usage rows
+// at the given tablet format and flushing. The usage shape — regular
+// timestamps, monotone counters, slowly moving rates — is where the v2
+// per-column encodings pay; MicroSchema's incompressible padding is not.
+uint64_t UsageTableDiskBytes(uint32_t format_version, size_t rows) {
+  BenchEnv env;
+  Schema usage({Column("network", ColumnType::kInt64),
+                Column("device", ColumnType::kInt64),
+                Column("ts", ColumnType::kTimestamp),
+                Column("bytes", ColumnType::kInt64),
+                Column("rate", ColumnType::kDouble)},
+               3);
+  TableOptions topts;
+  topts.flush_bytes = 1ull << 40;
+  topts.merge.min_tablet_age = 1ull << 40;
+  topts.format_version = format_version;
+  if (!env.db()->CreateTable("usage", usage, &topts).ok()) abort();
+  auto table = env.db()->GetTable("usage");
+  Random rng(2);
+  std::vector<Row> batch;
+  int64_t ctr = 0;
+  for (size_t i = 0; i < rows; i++) {
+    ctr += static_cast<int64_t>(rng.Uniform(1500));
+    batch.push_back(
+        {Value::Int64(static_cast<int64_t>(i / 5000)),
+         Value::Int64(static_cast<int64_t>((i / 50) % 100)),
+         Value::Ts(1700000000000000LL + static_cast<int64_t>(i % 50) * 20000000),
+         Value::Int64(ctr),
+         Value::Double(98.5 + static_cast<double>(rng.Uniform(64)) * 0.125)});
+    if (batch.size() == 4096 || i + 1 == rows) {
+      if (!table->InsertBatch(batch).ok()) abort();
+      batch.clear();
+    }
+  }
+  if (!table->FlushAll().ok()) abort();
+  uint64_t total = 0;
+  std::vector<std::string> children;
+  if (!env.disk()->GetChildren("/bench/usage", &children).ok()) abort();
+  for (const std::string& name : children) {
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".tab") continue;
+    uint64_t bytes = 0;
+    if (!env.disk()->GetFileSize("/bench/usage/" + name, &bytes).ok()) abort();
+    total += bytes;
+  }
+  return total;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace lt
@@ -96,5 +143,14 @@ int main(int argc, char** argv) {
     printf("%-12zu %-14.1f %-18.1f\n", row, mbps,
            100.0 * mbps / (kDiskBytesPerSec / 1e6));
   }
+
+  printf("\n[format v2] on-disk tablet bytes, paper usage schema\n");
+  const size_t usage_rows = 200000;
+  uint64_t v1 = UsageTableDiskBytes(1, usage_rows);
+  uint64_t v2 = UsageTableDiskBytes(2, usage_rows);
+  printf("%-10s %-14s %-14s %-8s\n", "rows", "v1 bytes", "v2 bytes", "v1/v2");
+  printf("%-10zu %-14llu %-14llu %-8.2f\n", usage_rows,
+         (unsigned long long)v1, (unsigned long long)v2,
+         static_cast<double>(v1) / static_cast<double>(v2));
   return 0;
 }

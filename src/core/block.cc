@@ -6,18 +6,129 @@
 
 namespace lt {
 
+namespace {
+
+// Defensive caps for directory fields. Real blocks hold ~64 kB of row data,
+// so both are far above anything a writer produces; they exist to bound
+// allocations when a fuzzer (or a disk) hands ParseColumnar garbage.
+constexpr uint32_t kMaxBlockRows = 1u << 22;
+constexpr uint32_t kMaxBlockColumns = 1u << 12;
+constexpr uint32_t kMaxChunkRawLen = 1u << 26;
+
+}  // namespace
+
 void BlockBuilder::Add(const Row& row) {
   offsets_.push_back(static_cast<uint32_t>(buffer_.size()));
   EncodeRow(&buffer_, *schema_, row);
+  num_rows_++;
+  if (format_version_ < 2) return;
+
+  if (cols_.empty()) {
+    cols_.resize(schema_->num_columns());
+    for (size_t c = 0; c < cols_.size(); c++) {
+      switch (schema_->columns()[c].type) {
+        case ColumnType::kInt32:
+        case ColumnType::kInt64:
+        case ColumnType::kTimestamp:
+          cols_[c].arm = ColumnValues::Arm::kInt;
+          break;
+        case ColumnType::kDouble:
+          cols_[c].arm = ColumnValues::Arm::kDouble;
+          break;
+        case ColumnType::kString:
+        case ColumnType::kBlob:
+          cols_[c].arm = ColumnValues::Arm::kBytes;
+          break;
+      }
+    }
+  }
+  for (size_t c = 0; c < cols_.size(); c++) {
+    const Value& v = row[c];
+    switch (cols_[c].arm) {
+      case ColumnValues::Arm::kInt:
+        cols_[c].ints.push_back(v.AsInt());
+        break;
+      case ColumnValues::Arm::kDouble:
+        cols_[c].dbls.push_back(v.dbl());
+        break;
+      case ColumnValues::Arm::kBytes:
+        cols_[c].strs.push_back(v.bytes());
+        break;
+      case ColumnValues::Arm::kNone:
+        break;
+    }
+  }
 }
 
 std::string BlockBuilder::Finish() {
+  if (format_version_ >= 2) return FinishColumnar();
   for (uint32_t off : offsets_) PutFixed32(&buffer_, off);
   PutFixed32(&buffer_, static_cast<uint32_t>(offsets_.size()));
   std::string out = std::move(buffer_);
   buffer_.clear();
   offsets_.clear();
+  num_rows_ = 0;
   return out;
+}
+
+std::string BlockBuilder::FinishColumnar() {
+  const size_t ncols = cols_.size();
+  std::vector<std::string> stored(ncols);
+  std::vector<uint8_t> encodings(ncols), markers(ncols);
+  std::vector<uint32_t> raw_lens(ncols);
+  for (size_t c = 0; c < ncols; c++) {
+    std::string chunk;
+    switch (cols_[c].arm) {
+      case ColumnValues::Arm::kInt: {
+        ChunkEncoding enc = ChooseIntEncoding(cols_[c].ints);
+        EncodeIntChunk(cols_[c].ints, enc, &chunk);
+        encodings[c] = static_cast<uint8_t>(enc);
+        break;
+      }
+      case ColumnValues::Arm::kDouble:
+        EncodeDoubleChunk(cols_[c].dbls, &chunk);
+        encodings[c] = static_cast<uint8_t>(ChunkEncoding::kXor);
+        break;
+      case ColumnValues::Arm::kBytes: {
+        ChunkEncoding enc = ChooseBytesEncoding(cols_[c].strs);
+        EncodeBytesChunk(cols_[c].strs, enc, &chunk);
+        encodings[c] = static_cast<uint8_t>(enc);
+        break;
+      }
+      case ColumnValues::Arm::kNone:
+        encodings[c] = static_cast<uint8_t>(ChunkEncoding::kZigZag);
+        break;
+    }
+    raw_lens[c] = static_cast<uint32_t>(chunk.size());
+    std::string compressed;
+    lzmini::Compress(chunk, &compressed);
+    if (compressed.size() < chunk.size()) {
+      markers[c] = 1;
+      bytes_compressed_ += compressed.size();
+      stored[c] = std::move(compressed);
+    } else {
+      markers[c] = 0;
+      bytes_raw_ += chunk.size();
+      stored[c] = std::move(chunk);
+    }
+  }
+
+  std::string image;
+  PutVarint32(&image, static_cast<uint32_t>(num_rows_));
+  PutVarint32(&image, static_cast<uint32_t>(ncols));
+  for (size_t c = 0; c < ncols; c++) {
+    image.push_back(static_cast<char>(encodings[c]));
+    image.push_back(static_cast<char>(markers[c]));
+    PutVarint32(&image, static_cast<uint32_t>(stored[c].size()));
+    PutVarint32(&image, raw_lens[c]);
+  }
+  for (size_t c = 0; c < ncols; c++) image += stored[c];
+
+  buffer_.clear();
+  offsets_.clear();
+  cols_.clear();
+  num_rows_ = 0;
+  return image;
 }
 
 Status BlockContents::Parse(std::string in, BlockContents* out) {
@@ -41,6 +152,115 @@ Status BlockContents::Parse(std::string in, BlockContents* out) {
   return Status::OK();
 }
 
+Status BlockContents::ParseColumnar(std::string image, BlockContents* out) {
+  Slice in(image);
+  uint32_t nrows, ncols;
+  if (!GetVarint32(&in, &nrows) || !GetVarint32(&in, &ncols)) {
+    return Status::Corruption("columnar block header truncated");
+  }
+  if (nrows > kMaxBlockRows || ncols > kMaxBlockColumns) {
+    return Status::Corruption("columnar block header out of range");
+  }
+  std::vector<ChunkRef> chunks;
+  chunks.reserve(ncols);
+  uint64_t total_stored = 0;
+  size_t decoded_bound = 0;  // Upper bound on fully materialized columns.
+  for (uint32_t c = 0; c < ncols; c++) {
+    if (in.size() < 2) return Status::Corruption("chunk directory truncated");
+    ChunkRef ref;
+    ref.encoding = static_cast<uint8_t>(in[0]);
+    ref.compression = static_cast<uint8_t>(in[1]);
+    in.remove_prefix(2);
+    if (!IsValidChunkEncoding(ref.encoding)) {
+      return Status::Corruption("unknown chunk encoding");
+    }
+    if (ref.compression > 1) {
+      return Status::Corruption("unknown chunk compression marker");
+    }
+    if (!GetVarint32(&in, &ref.stored_len) ||
+        !GetVarint32(&in, &ref.raw_len)) {
+      return Status::Corruption("chunk directory truncated");
+    }
+    if (ref.raw_len > kMaxChunkRawLen || ref.stored_len > kMaxChunkRawLen) {
+      return Status::Corruption("chunk length out of range");
+    }
+    if (ref.compression == 0 && ref.stored_len != ref.raw_len) {
+      return Status::Corruption("raw chunk length mismatch");
+    }
+    total_stored += ref.stored_len;
+    decoded_bound += ref.raw_len + 8ull * nrows +
+                     (ref.encoding >= static_cast<uint8_t>(ChunkEncoding::kDict)
+                          ? sizeof(std::string) * static_cast<size_t>(nrows)
+                          : 0);
+    chunks.push_back(ref);
+  }
+  if (total_stored != in.size()) {
+    return Status::Corruption("chunk bytes do not cover block image");
+  }
+  // Assign offsets relative to the image start now that the directory size
+  // is known.
+  uint32_t offset = static_cast<uint32_t>(in.data() - image.data());
+  for (ChunkRef& ref : chunks) {
+    ref.offset = offset;
+    offset += ref.stored_len;
+  }
+  out->payload = std::move(image);
+  out->columnar = true;
+  out->columnar_rows = nrows;
+  out->chunks = std::move(chunks);
+  out->lazy_ = std::make_unique<LazyCol[]>(ncols);
+  out->approx_mem_ = sizeof(*out) + out->payload.capacity() +
+                     out->chunks.capacity() * sizeof(ChunkRef) +
+                     ncols * sizeof(LazyCol) + decoded_bound;
+  return Status::OK();
+}
+
+Status BlockContents::EnsureColumn(size_t c, bool* did_decode) const {
+  if (did_decode) *did_decode = false;
+  if (!columnar || c >= chunks.size()) {
+    return Status::InvalidArgument("not a columnar block column");
+  }
+  LazyCol& lc = lazy_[c];
+  int state = lc.state.load(std::memory_order_acquire);
+  if (state == 1) return Status::OK();
+  if (state == 2) return lc.error;
+
+  std::lock_guard<std::mutex> lock(decode_mu_);
+  state = lc.state.load(std::memory_order_relaxed);
+  if (state == 1) return Status::OK();
+  if (state == 2) return lc.error;
+
+  const ChunkRef& ref = chunks[c];
+  Slice raw(payload.data() + ref.offset, ref.stored_len);
+  std::string scratch;
+  Status s;
+  if (ref.compression == 1) {
+    s = lzmini::Decompress(raw, &scratch);
+    if (s.ok() && scratch.size() != ref.raw_len) {
+      s = Status::Corruption("chunk raw length mismatch");
+    }
+    raw = Slice(scratch);
+  }
+  if (s.ok()) {
+    s = DecodeChunk(raw, static_cast<ChunkEncoding>(ref.encoding),
+                    columnar_rows, &lc.values);
+  }
+  if (s.ok()) {
+    if (did_decode) *did_decode = true;
+    lc.state.store(1, std::memory_order_release);
+    return s;
+  }
+  lc.error = s;
+  lc.state.store(2, std::memory_order_release);
+  return s;
+}
+
+size_t BlockContents::ApproximateMemoryUsage() const {
+  if (columnar) return approx_mem_;
+  return sizeof(*this) + payload.capacity() +
+         offsets.capacity() * sizeof(uint32_t);
+}
+
 Status BlockReader::Parse(const Schema* schema, std::string payload,
                           BlockReader* out) {
   auto contents = std::make_shared<BlockContents>();
@@ -49,22 +269,123 @@ Status BlockReader::Parse(const Schema* schema, std::string payload,
   return Status::OK();
 }
 
+Status BlockReader::ParseColumnar(const Schema* schema, std::string image,
+                                  BlockReader* out) {
+  auto contents = std::make_shared<BlockContents>();
+  LT_RETURN_IF_ERROR(
+      BlockContents::ParseColumnar(std::move(image), contents.get()));
+  out->Reset(schema, std::move(contents));
+  return Status::OK();
+}
+
+Status BlockReader::EnsureColumn(size_t c) const {
+  bool did_decode = false;
+  LT_RETURN_IF_ERROR(contents_->EnsureColumn(c, &did_decode));
+  if (did_decode && stats_) {
+    stats_->column_chunks_decoded.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status BlockReader::MaterializeValue(size_t c, size_t i, Value* out) const {
+  const ColumnValues& col = contents_->column(c);
+  if (i >= col.size()) return Status::Corruption("chunk row count mismatch");
+  ColumnType type = schema_->columns()[c].type;
+  switch (col.arm) {
+    case ColumnValues::Arm::kInt: {
+      int64_t v = col.ints[i];
+      if (type == ColumnType::kInt32) {
+        if (v < INT32_MIN || v > INT32_MAX) {
+          return Status::Corruption("int32 cell out of range");
+        }
+        *out = Value::Int32(static_cast<int32_t>(v));
+        return Status::OK();
+      }
+      if (type == ColumnType::kInt64) {
+        *out = Value::Int64(v);
+        return Status::OK();
+      }
+      if (type == ColumnType::kTimestamp) {
+        *out = Value::Ts(v);
+        return Status::OK();
+      }
+      break;
+    }
+    case ColumnValues::Arm::kDouble:
+      if (type == ColumnType::kDouble) {
+        *out = Value::Double(col.dbls[i]);
+        return Status::OK();
+      }
+      break;
+    case ColumnValues::Arm::kBytes:
+      if (type == ColumnType::kString) {
+        *out = Value::String(col.strs[i]);
+        return Status::OK();
+      }
+      if (type == ColumnType::kBlob) {
+        *out = Value::Blob(col.strs[i]);
+        return Status::OK();
+      }
+      break;
+    case ColumnValues::Arm::kNone:
+      break;
+  }
+  return Status::Corruption("chunk encoding does not match column type");
+}
+
 Status BlockReader::RowAt(size_t i, Row* out) const {
-  if (!contents_ || i >= contents_->offsets.size()) {
+  if (!contents_ || i >= contents_->num_rows()) {
     return Status::InvalidArgument("row index");
   }
   const BlockContents& c = *contents_;
-  size_t end = i + 1 < c.offsets.size() ? c.offsets[i + 1] : c.data_end;
-  Slice in(c.payload.data() + c.offsets[i], end - c.offsets[i]);
-  return DecodeRow(&in, *schema_, out);
+  if (!c.columnar) {
+    size_t end = i + 1 < c.offsets.size() ? c.offsets[i + 1] : c.data_end;
+    Slice in(c.payload.data() + c.offsets[i], end - c.offsets[i]);
+    return DecodeRow(&in, *schema_, out);
+  }
+  if (c.num_columns() != schema_->num_columns()) {
+    return Status::Corruption("chunk count does not match schema");
+  }
+  out->clear();
+  out->reserve(c.num_columns());
+  for (size_t col = 0; col < c.num_columns(); col++) {
+    if (needed_ && !(*needed_)[col]) {
+      out->push_back(schema_->columns()[col].default_value);
+      continue;
+    }
+    LT_RETURN_IF_ERROR(EnsureColumn(col));
+    Value v;
+    LT_RETURN_IF_ERROR(MaterializeValue(col, i, &v));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
 }
 
 Status BlockReader::KeyCompareAt(size_t i, const Key& prefix, int* cmp) const {
-  // Key columns lead the row encoding, so we decode only them.
-  const BlockContents& c = *contents_;
-  size_t end = i + 1 < c.offsets.size() ? c.offsets[i + 1] : c.data_end;
-  Slice in(c.payload.data() + c.offsets[i], end - c.offsets[i]);
+  const BlockContents& bc = *contents_;
   *cmp = 0;
+  if (bc.columnar) {
+    if (bc.num_columns() != schema_->num_columns()) {
+      return Status::Corruption("chunk count does not match schema");
+    }
+    // Only the compared key columns are materialized — a binary search
+    // touches no value chunks.
+    for (size_t c = 0; c < prefix.size() && c < schema_->num_key_columns();
+         c++) {
+      LT_RETURN_IF_ERROR(EnsureColumn(c));
+      Value v;
+      LT_RETURN_IF_ERROR(MaterializeValue(c, i, &v));
+      int r = v.Compare(prefix[c]);
+      if (r != 0) {
+        *cmp = r;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+  // Key columns lead the row encoding, so we decode only them.
+  size_t end = i + 1 < bc.offsets.size() ? bc.offsets[i + 1] : bc.data_end;
+  Slice in(bc.payload.data() + bc.offsets[i], end - bc.offsets[i]);
   for (size_t c = 0; c < prefix.size() && c < schema_->num_key_columns(); c++) {
     Value v;
     LT_RETURN_IF_ERROR(DecodeValue(&in, schema_->columns()[c].type, &v));
@@ -116,6 +437,26 @@ Status LoadBlock(const Slice& stored, std::string* payload) {
   if (expect != actual) return Status::Corruption("block checksum mismatch");
   payload->clear();
   return lzmini::Decompress(in, payload);
+}
+
+std::string StoreBlockV2(const std::string& image) {
+  std::string out;
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(image.data(), image.size())));
+  out += image;
+  return out;
+}
+
+Status LoadBlockV2(const Slice& stored, std::string* image) {
+  Slice in = stored;
+  uint32_t masked;
+  if (!GetFixed32(&in, &masked)) {
+    return Status::Corruption("block frame too small");
+  }
+  if (crc32c::Unmask(masked) != crc32c::Value(in.data(), in.size())) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  image->assign(in.data(), in.size());
+  return Status::OK();
 }
 
 }  // namespace lt

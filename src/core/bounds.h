@@ -38,6 +38,15 @@ struct QueryBounds {
   /// 0 = unlimited (the server still applies its own cap, §3.5).
   uint64_t limit = 0;
 
+  /// Column indexes (into the current schema) the caller will read; empty
+  /// means all columns. A decode hint, not a result shape: rows keep every
+  /// column, but cells outside the projection may carry the column's
+  /// default value instead of the stored one — columnar (format 2) tablets
+  /// skip decoding those chunks entirely, which is where wide-row scans win
+  /// (rows still in memory, or in row-wise tablets, keep their real
+  /// values). Key columns are always materialized regardless.
+  std::vector<uint32_t> projection;
+
   /// Convenience: both key bounds set to the same prefix (rows beginning
   /// with that prefix), i.e. the Figure 1 "rectangle" key range.
   static QueryBounds ForPrefix(Key prefix) {

@@ -30,6 +30,14 @@ struct TableOptions {
   /// Bloom filter density for the §3.4.5 extension; <= 0 disables filters.
   int bloom_bits_per_key = 10;
 
+  /// On-disk tablet format version flushes write (must be <=
+  /// kTabletFormatLatest, which is also the default): 0/1 are the row-wise
+  /// layouts, 2 is columnar with per-column encodings (block.h). Merges
+  /// always write the latest format regardless, so downgrading this only
+  /// affects fresh flushes; tablets of every version stay readable
+  /// side-by-side.
+  uint32_t format_version = 2;
+
   /// Rows with timestamps older than now - ttl are aged out (§3.1);
   /// 0 retains forever.
   Timestamp ttl = 0;

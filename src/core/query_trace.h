@@ -25,6 +25,11 @@ struct QueryTrace {
   uint64_t blocks_read = 0;  // Block fetches, from cache or disk.
   uint64_t cache_hits = 0;   // Of blocks_read, served by the block cache.
 
+  // Column chunks the projection let this query skip in columnar (format 2)
+  // blocks: for each such block visited, the unreferenced non-key columns
+  // that were never decompressed or decoded.
+  uint64_t column_chunks_skipped = 0;
+
   int64_t elapsed_micros = 0;
 
   uint64_t TabletsPruned() const {
@@ -42,6 +47,7 @@ struct QueryTrace {
     tablets_pruned_bloom += other.tablets_pruned_bloom;
     blocks_read += other.blocks_read;
     cache_hits += other.cache_hits;
+    column_chunks_skipped += other.column_chunks_skipped;
     elapsed_micros += other.elapsed_micros;
   }
 };

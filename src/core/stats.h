@@ -56,6 +56,17 @@ struct TableStats {
   std::atomic<uint64_t> bloom_tablet_skips{0};
   std::atomic<uint64_t> bloom_tablet_probes{0};
 
+  // Columnar (format 2) lazy materialization: chunks actually decoded vs.
+  // chunks a projected scan skipped entirely. A projected 2-of-N query over
+  // v2 tablets shows skipped >> decoded; a full scan shows skipped == 0.
+  std::atomic<uint64_t> column_chunks_decoded{0};
+  std::atomic<uint64_t> column_chunks_skipped{0};
+
+  // Store-raw fallback accounting: payload bytes written raw because
+  // lzmini would have expanded them, vs. bytes written compressed.
+  std::atomic<uint64_t> block_bytes_raw{0};
+  std::atomic<uint64_t> block_bytes_compressed{0};
+
   // Block reads served from / missed by the shared decompressed-block
   // cache (this table's share of the DB-wide cache traffic). Misses count
   // reads that went to the Env; a table running without a cache counts

@@ -55,6 +55,9 @@ Status Table::Create(Env* env, std::shared_ptr<Clock> clock,
                      const Schema& schema, const TableOptions& options,
                      std::unique_ptr<Table>* out) {
   LT_RETURN_IF_ERROR(schema.Validate());
+  if (options.format_version > kTabletFormatLatest) {
+    return Status::InvalidArgument("unknown tablet format version");
+  }
   LT_RETURN_IF_ERROR(env->CreateDirIfMissing(dir));
   std::unique_ptr<Table> table(new Table(env, clock, dir, options));
   if (env->FileExists(table->DescriptorPath())) {
@@ -74,6 +77,9 @@ Status Table::Create(Env* env, std::shared_ptr<Clock> clock,
 Status Table::Open(Env* env, std::shared_ptr<Clock> clock,
                    const std::string& dir, const TableOptions& options,
                    std::unique_ptr<Table>* out) {
+  if (options.format_version > kTabletFormatLatest) {
+    return Status::InvalidArgument("unknown tablet format version");
+  }
   std::unique_ptr<Table> table(new Table(env, clock, dir, options));
   TableDescriptor desc;
   LT_RETURN_IF_ERROR(TableDescriptor::Load(env, table->DescriptorPath(), &desc));
@@ -571,6 +577,8 @@ Status Table::FlushSet(std::vector<uint64_t> root_ids) {
     wopts.block_bytes = opts_.block_bytes;
     wopts.bloom_bits_per_key = opts_.bloom_bits_per_key;
     wopts.sync = true;
+    wopts.format_version = opts_.format_version;
+    wopts.stats = &stats_;
     TabletWriter writer(env_, TabletPath(fname), mt->schema().get(), wopts);
     Status s;
     for (const Row& r : mt->AllRows()) {
@@ -844,6 +852,10 @@ Status Table::MaybeMerge(Timestamp now) {
   wopts.block_bytes = opts_.block_bytes;
   wopts.bloom_bits_per_key = opts_.bloom_bits_per_key;
   wopts.sync = true;
+  // Merges always rewrite at the latest format: they are the upgrade path
+  // that converges a mixed-version table onto columnar blocks over time.
+  wopts.format_version = kTabletFormatLatest;
+  wopts.stats = &stats_;
   TabletWriter writer(env_, TabletPath(fname), schema.get(), wopts);
 
   // Single-pass merge-sort of the inputs (§3.4.1). Rows already past the
@@ -989,6 +1001,15 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result,
   QueryBounds bounds = user_bounds;
 
   std::shared_ptr<const Schema> schema;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    schema = schema_;
+  }
+  for (uint32_t c : bounds.projection) {
+    if (c >= schema->num_columns()) {
+      return Status::InvalidArgument("projection column index out of range");
+    }
+  }
   std::vector<std::shared_ptr<TabletReader>> disk;
   std::vector<std::vector<Row>> mem_snapshots;
   {

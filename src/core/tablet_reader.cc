@@ -26,6 +26,26 @@ class TabletCursor final : public Cursor {
         max_key_(bounds.max_key) {
     needs_translation_ =
         current_schema_->version() != reader_->tablet_schema().version();
+    // Projection pushdown: mark the columns row materialization must decode
+    // — key columns (timestamp filters, merge ordering, trailing bounds)
+    // plus the projected set, positionally stable across schema versions
+    // (§3.5 evolution only appends/widens). Projected indexes beyond this
+    // tablet's schema are appended columns; TranslateRow fills their
+    // defaults. Only columnar blocks consult the hint.
+    const Schema& tablet_schema = reader_->tablet_schema();
+    if (!bounds.projection.empty()) {
+      needed_.assign(tablet_schema.num_columns(), 0);
+      for (size_t c = 0; c < tablet_schema.num_key_columns(); c++) {
+        needed_[c] = 1;
+      }
+      for (uint32_t c : bounds.projection) {
+        if (c < needed_.size()) needed_[c] = 1;
+      }
+      for (char n : needed_) {
+        if (!n) skipped_per_block_++;
+      }
+      if (skipped_per_block_ > 0) block_.set_needed_columns(&needed_);
+    }
     Seek();
   }
 
@@ -45,6 +65,22 @@ class TabletCursor final : public Cursor {
     valid_ = false;
   }
 
+  // All block loads funnel through here so the projection's skipped-chunk
+  // accounting covers every path (seek, advance, lazy row load).
+  Status LoadBlockAt(size_t idx) {
+    LT_RETURN_IF_ERROR(reader_->ReadBlock(idx, &block_, trace_));
+    block_idx_ = idx;
+    block_loaded_ = true;
+    if (skipped_per_block_ > 0 && block_.columnar()) {
+      if (reader_->stats_) {
+        reader_->stats_->column_chunks_skipped.fetch_add(
+            skipped_per_block_, std::memory_order_relaxed);
+      }
+      if (trace_) trace_->column_chunks_skipped += skipped_per_block_;
+    }
+    return Status::OK();
+  }
+
   // Positions at the first row in scan direction within the key bounds.
   void Seek() {
     const size_t nblocks = reader_->num_blocks();
@@ -55,9 +91,8 @@ class TabletCursor final : public Cursor {
       if (min_key_) {
         block_idx_ = reader_->SeekBlock(min_key_->prefix, min_key_->inclusive);
         if (block_idx_ >= nblocks) return;
-        Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
+        Status s = LoadBlockAt(block_idx_);
         if (!s.ok()) return Fail(s);
-        block_loaded_ = true;
         size_t idx;
         s = block_.SeekFirst(min_key_->prefix, min_key_->inclusive, &idx);
         if (!s.ok()) return Fail(s);
@@ -76,16 +111,12 @@ class TabletCursor final : public Cursor {
         end_block = reader_->SeekBlock(max_key_->prefix, or_equal_for_end);
         if (end_block >= nblocks) {
           end_block = nblocks - 1;
-          Status s = reader_->ReadBlock(end_block, &block_, trace_);
+          Status s = LoadBlockAt(end_block);
           if (!s.ok()) return Fail(s);
-          block_loaded_ = true;
-          block_idx_ = end_block;
           end_row = block_.num_rows();
         } else {
-          Status s = reader_->ReadBlock(end_block, &block_, trace_);
+          Status s = LoadBlockAt(end_block);
           if (!s.ok()) return Fail(s);
-          block_loaded_ = true;
-          block_idx_ = end_block;
           size_t idx;
           s = block_.SeekFirst(max_key_->prefix, or_equal_for_end, &idx);
           if (!s.ok()) return Fail(s);
@@ -93,17 +124,14 @@ class TabletCursor final : public Cursor {
         }
       } else {
         end_block = nblocks - 1;
-        Status s = reader_->ReadBlock(end_block, &block_, trace_);
+        Status s = LoadBlockAt(end_block);
         if (!s.ok()) return Fail(s);
-        block_loaded_ = true;
-        block_idx_ = end_block;
         end_row = block_.num_rows();
       }
       // Step back one row, possibly into the previous block.
       if (end_row == 0) {
         if (block_idx_ == 0) return;  // Nothing before the bound.
-        block_idx_--;
-        Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
+        Status s = LoadBlockAt(block_idx_ - 1);
         if (!s.ok()) return Fail(s);
         if (block_.num_rows() == 0) return Fail(Status::Corruption("empty block"));
         row_idx_ = block_.num_rows() - 1;
@@ -118,9 +146,8 @@ class TabletCursor final : public Cursor {
   // bound, and translates schemas if needed.
   void LoadCurrentRow() {
     if (!block_loaded_) {
-      Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
+      Status s = LoadBlockAt(block_idx_);
       if (!s.ok()) return Fail(s);
-      block_loaded_ = true;
     }
     Row raw;
     Status s = block_.RowAt(row_idx_, &raw);
@@ -153,12 +180,11 @@ class TabletCursor final : public Cursor {
     if (direction_ == Direction::kAscending) {
       row_idx_++;
       if (row_idx_ >= block_.num_rows()) {
-        block_idx_++;
-        if (block_idx_ >= reader_->num_blocks()) {
+        if (block_idx_ + 1 >= reader_->num_blocks()) {
           valid_ = false;
           return;
         }
-        Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
+        Status s = LoadBlockAt(block_idx_ + 1);
         if (!s.ok()) return Fail(s);
         row_idx_ = 0;
       }
@@ -168,8 +194,7 @@ class TabletCursor final : public Cursor {
           valid_ = false;
           return;
         }
-        block_idx_--;
-        Status s = reader_->ReadBlock(block_idx_, &block_, trace_);
+        Status s = LoadBlockAt(block_idx_ - 1);
         if (!s.ok()) return Fail(s);
         if (block_.num_rows() == 0) return Fail(Status::Corruption("empty block"));
         row_idx_ = block_.num_rows() - 1;
@@ -187,6 +212,10 @@ class TabletCursor final : public Cursor {
   Direction direction_;
   std::optional<KeyBound> min_key_, max_key_;
   bool needs_translation_ = false;
+  // Projection: per-tablet-column decode flags (empty = decode all), and
+  // how many chunks each columnar block visit skips.
+  std::vector<char> needed_;
+  uint64_t skipped_per_block_ = 0;
 
   BlockReader block_;
   bool block_loaded_ = false;
@@ -252,6 +281,8 @@ Status TabletReader::LoadFooter(const std::string& fname) {
     format_version_ = 0;
   } else if (magic == kTabletMagicV2) {
     format_version_ = 1;
+  } else if (magic == kTabletMagicV3) {
+    format_version_ = 2;
   } else {
     return Status::Corruption(fname + ": bad magic");
   }
@@ -274,7 +305,22 @@ Status TabletReader::LoadFooter(const std::string& fname) {
     return Status::Corruption(fname + ": footer checksum mismatch");
   }
   std::string footer;
-  LT_RETURN_IF_ERROR(lzmini::Decompress(stored, &footer));
+  if (format_version_ >= 2) {
+    // Format >= 2: a marker byte says whether the body is lzmini or raw
+    // (the store-raw fallback for incompressible footers).
+    if (stored.empty()) return Status::Corruption(fname + ": empty footer");
+    uint8_t marker = static_cast<uint8_t>(stored[0]);
+    Slice body(stored.data() + 1, stored.size() - 1);
+    if (marker == 1) {
+      LT_RETURN_IF_ERROR(lzmini::Decompress(body, &footer));
+    } else if (marker == 0) {
+      footer.assign(body.data(), body.size());
+    } else {
+      return Status::Corruption(fname + ": bad footer marker");
+    }
+  } else {
+    LT_RETURN_IF_ERROR(lzmini::Decompress(stored, &footer));
+  }
   if (footer.size() != footer_size) {
     return Status::Corruption(fname + ": footer size mismatch");
   }
@@ -373,7 +419,7 @@ Status TabletReader::ReadBlock(size_t i, BlockReader* out,
         stats_->block_cache_hits.fetch_add(1, std::memory_order_relaxed);
       }
       if (trace) trace->cache_hits++;
-      out->Reset(&schema_, PinCached(block_cache_, h));
+      out->Reset(&schema_, PinCached(block_cache_, h), stats_);
       return Status::OK();
     }
   }
@@ -397,22 +443,41 @@ Status TabletReader::ReadBlock(size_t i, BlockReader* out,
     return Status::Corruption(fname_ + ": block checksum mismatch");
   }
   std::string payload;
-  LT_RETURN_IF_ERROR(LoadBlock(stored, &payload));
-  if (payload.size() != e.payload_len) {
-    return Status::Corruption(fname_ + ": block payload size mismatch");
-  }
   auto contents = std::make_unique<BlockContents>();
-  LT_RETURN_IF_ERROR(BlockContents::Parse(std::move(payload), contents.get()));
+  if (format_version_ >= 2) {
+    LT_RETURN_IF_ERROR(LoadBlockV2(stored, &payload));
+    if (payload.size() != e.payload_len) {
+      return Status::Corruption(fname_ + ": block payload size mismatch");
+    }
+    LT_RETURN_IF_ERROR(
+        BlockContents::ParseColumnar(std::move(payload), contents.get()));
+    // Cross-check the (CRC-protected) chunk directory against the
+    // (checksummed) footer index and the tablet schema before any chunk
+    // decodes trust its row count.
+    if (contents->num_rows() != e.row_count) {
+      return Status::Corruption(fname_ + ": block row count mismatch");
+    }
+    if (contents->num_columns() != schema_.num_columns()) {
+      return Status::Corruption(fname_ + ": block chunk count mismatch");
+    }
+  } else {
+    LT_RETURN_IF_ERROR(LoadBlock(stored, &payload));
+    if (payload.size() != e.payload_len) {
+      return Status::Corruption(fname_ + ": block payload size mismatch");
+    }
+    LT_RETURN_IF_ERROR(
+        BlockContents::Parse(std::move(payload), contents.get()));
+  }
   // Only verified, fully parsed blocks reach this point, so a corrupt block
   // is never inserted: every re-read hits the Env and fails the CRC again.
   if (block_cache_) {
     size_t charge = contents->ApproximateMemoryUsage();
     Cache::Handle* h = block_cache_->Insert(cache_key, contents.release(),
                                             charge, &DeleteCachedBlock);
-    out->Reset(&schema_, PinCached(block_cache_, h));
+    out->Reset(&schema_, PinCached(block_cache_, h), stats_);
   } else {
     out->Reset(&schema_, std::shared_ptr<const BlockContents>(
-                             contents.release()));
+                             contents.release()), stats_);
   }
   if (stats_) {
     stats_->block_read_micros.Record(

@@ -60,7 +60,8 @@ class TabletReader : public std::enable_shared_from_this<TabletReader> {
   bool has_bloom() const { return has_bloom_; }
 
   /// On-disk format version this tablet was written under (0 = no per-block
-  /// CRCs in the index; 1 = index carries a CRC per stored block).
+  /// CRCs in the index; 1 = index carries a CRC per stored block; 2 =
+  /// columnar blocks with per-chunk encodings, see block.h).
   uint32_t format_version() const { return format_version_; }
 
   /// Bloom-filter check for a key prefix (or a full key). True means "may

@@ -13,7 +13,7 @@ TabletWriter::TabletWriter(Env* env, std::string fname, const Schema* schema,
       fname_(std::move(fname)),
       schema_(schema),
       opts_(options),
-      block_(schema),
+      block_(schema, options.format_version),
       bloom_(options.bloom_bits_per_key > 0 ? options.bloom_bits_per_key : 1) {
   if (opts_.format_version > kTabletFormatLatest) {
     open_status_ = Status::InvalidArgument("unknown tablet format version");
@@ -74,7 +74,10 @@ Status TabletWriter::FlushBlock() {
   entry.row_count = static_cast<uint32_t>(block_.num_rows());
   std::string payload = block_.Finish();
   entry.payload_len = static_cast<uint32_t>(payload.size());
-  std::string stored = StoreBlock(payload);
+  // Format >= 2: `payload` is the columnar image, whose chunks are already
+  // individually compressed, so the frame skips the whole-block pass.
+  std::string stored =
+      opts_.format_version >= 2 ? StoreBlockV2(payload) : StoreBlock(payload);
   entry.stored_len = static_cast<uint32_t>(stored.size());
   entry.crc = crc32c::Mask(crc32c::Value(stored.data(), stored.size()));
   LT_CRASH_POINT("tablet_writer:block_append");
@@ -118,18 +121,38 @@ Status TabletWriter::Finish(TabletMeta* meta) {
 
   std::string compressed;
   lzmini::Compress(footer, &compressed);
+  std::string stored_footer;
+  uint64_t footer_bytes_raw = 0, footer_bytes_compressed = 0;
+  if (opts_.format_version >= 2) {
+    // Store-raw fallback: a leading marker byte says whether the payload is
+    // lzmini (1) or the raw footer (0), so incompressible footers do not
+    // pay the compressor's expansion. The trailer CRC covers marker + body.
+    if (compressed.size() < footer.size()) {
+      stored_footer.push_back('\x01');
+      stored_footer += compressed;
+      footer_bytes_compressed = compressed.size();
+    } else {
+      stored_footer.push_back('\x00');
+      stored_footer += footer;
+      footer_bytes_raw = footer.size();
+    }
+  } else {
+    stored_footer = std::move(compressed);
+  }
   const uint64_t footer_offset = file_offset_;
   LT_CRASH_POINT("tablet_writer:footer");
-  LT_RETURN_IF_ERROR(file_->Append(compressed));
-  file_offset_ += compressed.size();
+  LT_RETURN_IF_ERROR(file_->Append(stored_footer));
+  file_offset_ += stored_footer.size();
 
+  uint64_t magic = kTabletMagic;
+  if (opts_.format_version == 1) magic = kTabletMagicV2;
+  if (opts_.format_version >= 2) magic = kTabletMagicV3;
   std::string trailer;
-  PutFixed32(&trailer, crc32c::Mask(crc32c::Value(compressed.data(),
-                                                  compressed.size())));
+  PutFixed32(&trailer, crc32c::Mask(crc32c::Value(stored_footer.data(),
+                                                  stored_footer.size())));
   PutFixed64(&trailer, footer.size());
   PutFixed64(&trailer, footer_offset);
-  PutFixed64(&trailer,
-             opts_.format_version >= 1 ? kTabletMagicV2 : kTabletMagic);
+  PutFixed64(&trailer, magic);
   LT_CRASH_POINT("tablet_writer:trailer");
   LT_RETURN_IF_ERROR(file_->Append(trailer));
   file_offset_ += trailer.size();
@@ -138,6 +161,14 @@ Status TabletWriter::Finish(TabletMeta* meta) {
   if (opts_.sync) LT_RETURN_IF_ERROR(file_->Sync());
   LT_CRASH_POINT("tablet_writer:close");
   LT_RETURN_IF_ERROR(file_->Close());
+
+  if (opts_.stats) {
+    opts_.stats->block_bytes_raw.fetch_add(
+        block_.bytes_raw() + footer_bytes_raw, std::memory_order_relaxed);
+    opts_.stats->block_bytes_compressed.fetch_add(
+        block_.bytes_compressed() + footer_bytes_compressed,
+        std::memory_order_relaxed);
+  }
 
   meta->filename = fname_;
   meta->min_ts = min_ts_;

@@ -22,6 +22,12 @@
 //   1 ("lttab1v2"): each index entry additionally stores the masked CRC32C
 //     of the block's stored (framed, compressed) bytes, so a read verifies
 //     the block against the checksummed footer before decompressing.
+//   2 ("lttab1v3"): blocks are columnar — per-column chunks with
+//     type-specialized encodings, each independently compressed or stored
+//     raw (see block.h) — and the footer gains a one-byte store-raw marker
+//     (0 = raw, 1 = lzmini) ahead of its payload so incompressible footers
+//     skip the expansion too. Index entries keep the v1 CRC; payload_len is
+//     the uncompressed image size.
 //
 // Both flushes (§3.4.1) and merges write tablets through this class, always
 // as one long sequential write — that is the core of LittleTable's insert
@@ -33,6 +39,7 @@
 #include <string>
 
 #include "core/block.h"
+#include "core/stats.h"
 #include "core/tablet_meta.h"
 #include "env/env.h"
 #include "util/bloom.h"
@@ -41,9 +48,10 @@ namespace lt {
 
 constexpr uint64_t kTabletMagic = 0x6c74746162317631ull;    // "lttab1v1"
 constexpr uint64_t kTabletMagicV2 = 0x6c74746162317632ull;  // "lttab1v2"
+constexpr uint64_t kTabletMagicV3 = 0x6c74746162317633ull;  // "lttab1v3"
 constexpr size_t kTabletTrailerSize = 4 + 8 + 8 + 8;
 /// The newest on-disk format version this build writes.
-constexpr uint32_t kTabletFormatLatest = 1;
+constexpr uint32_t kTabletFormatLatest = 2;
 
 struct TabletWriterOptions {
   /// Uncompressed row bytes per block.
@@ -53,9 +61,13 @@ struct TabletWriterOptions {
   /// Sync the file before Finish returns (flushes must sync before the
   /// descriptor references the tablet).
   bool sync = true;
-  /// On-disk format version to emit. Production code always writes the
-  /// latest; tests pin 0 to exercise backward compatibility.
+  /// On-disk format version to emit. Production flushes honor
+  /// TableOptions::format_version and merges always write the latest;
+  /// tests pin older versions to exercise backward compatibility.
   uint32_t format_version = kTabletFormatLatest;
+  /// Optional per-table counters: receives block_bytes_raw/compressed for
+  /// the store-raw fallback accounting. Must outlive the writer.
+  TableStats* stats = nullptr;
 };
 
 class TabletWriter {

@@ -497,6 +497,10 @@ Status LittleTableServer::CollectCounters(
     add("table.bloom_tablet_probes", ts.bloom_tablet_probes);
     add("table.block_cache_hits", ts.block_cache_hits);
     add("table.block_cache_misses", ts.block_cache_misses);
+    add("table.column_chunks_decoded", ts.column_chunks_decoded);
+    add("table.column_chunks_skipped", ts.column_chunks_skipped);
+    add("table.block_bytes_raw", ts.block_bytes_raw);
+    add("table.block_bytes_compressed", ts.block_bytes_compressed);
   }
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 
 #include "apps/device_sim.h"
 #include "core/db.h"
+#include "core/tablet_writer.h"  // kTabletFormatLatest
 #include "env/mem_env.h"
 #include "env/sim_disk_env.h"
 #include "net/client.h"
@@ -125,6 +126,7 @@ class ChaosRun {
   std::map<int64_t, DeviceCursor> cursors_;
   int partition_ops_left_ = 0;
   int disk_full_ops_left_ = 0;
+  uint32_t open_count_ = 0;  // DB opens so far; rotates the flush format.
 };
 
 Status ChaosRun::Setup() {
@@ -179,6 +181,16 @@ Status ChaosRun::OpenDb() {
   dopts.table_defaults.max_memtablet_age = 60 * kMicrosPerSecond;
   dopts.table_defaults.flush_retry_backoff = 1 * kMicrosPerSecond;
   dopts.table_defaults.flush_retry_max_backoff = 30 * kMicrosPerSecond;
+  // Mixed-format coverage: each open (initial + every crash/restart)
+  // deterministically rotates the flush format across every supported
+  // version, so a single run exercises v0/v1/v2 tablets side by side, the
+  // new writer's crash points, and merges that converge them to the latest
+  // format. Seed-dependent so the sweep varies the starting version.
+  dopts.table_defaults.format_version = static_cast<uint32_t>(
+      (opts_.seed + open_count_) % (kTabletFormatLatest + 1));
+  open_count_++;
+  Log("open_db format_version=" +
+      std::to_string(dopts.table_defaults.format_version));
   return DB::Open(env_, clock_, kRoot, dopts, &db_);
 }
 

@@ -326,6 +326,36 @@ Result<ResultSet> SqlSession::ExecuteSelect(const SelectStmt& stmt) {
     }
   }
 
+  // ---- Projection pushdown. ----
+  // Unless some item is a plain `*`, the statement only reads the selected
+  // columns plus every WHERE and GROUP BY column — hand the engine that set
+  // so columnar tablets skip decoding everything else. COUNT(*) consumes no
+  // value columns at all; key columns always materialize (the engine needs
+  // them for bounds and ordering), so they anchor the otherwise-empty set.
+  bool needs_all_columns = false;
+  std::vector<uint32_t> referenced;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      if (item.func == AggFunc::kNone) needs_all_columns = true;
+      continue;
+    }
+    int idx = schema->FindColumn(item.column);
+    if (idx >= 0) referenced.push_back(static_cast<uint32_t>(idx));
+  }
+  for (const BoundCondition& c : conds) {
+    referenced.push_back(static_cast<uint32_t>(c.column_index));
+  }
+  for (int g : group_cols) referenced.push_back(static_cast<uint32_t>(g));
+  if (!needs_all_columns) {
+    if (referenced.empty()) {
+      referenced.push_back(static_cast<uint32_t>(ts_idx));
+    }
+    std::sort(referenced.begin(), referenced.end());
+    referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                     referenced.end());
+    bounds.projection = std::move(referenced);
+  }
+
   // ---- Fetch and post-process. ----
   ResultSet rs;
   std::vector<Row> raw;

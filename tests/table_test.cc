@@ -3,6 +3,7 @@
 // queries, schema evolution, limits/pagination, and crash recovery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -12,6 +13,8 @@
 
 #include "core/db.h"
 #include "core/table.h"
+#include "core/tablet_reader.h"
+#include "core/tablet_writer.h"
 #include "env/mem_env.h"
 #include "tests/test_util.h"
 #include "util/logger.h"
@@ -1125,6 +1128,114 @@ TEST_F(TableTest, QueryTracePopulated) {
   // A second query into the same trace accumulates (pagination pattern).
   ASSERT_TRUE(table_->Query(recent, &recent_result, &pruned).ok());
   EXPECT_EQ(pruned.rows_returned, 100u);
+}
+
+// ---- Block format v2: mixed-version tables, projection pushdown. ----
+
+// A table whose disk tablets span every supported format version serves
+// queries across all of them, and merging rewrites the survivors at the
+// latest (columnar) format — the upgrade path needs no offline tool.
+TEST_F(TableTest, MixedFormatVersionTabletsServeAndMergeToLatest) {
+  opts_.merge.max_merged_bytes = 1ull << 30;
+  Recreate();
+  Timestamp t0 = Now() - 10 * kMicrosPerWeek;  // One deep-past week bin.
+  for (uint32_t version = 0; version <= kTabletFormatLatest; version++) {
+    // format_version only affects fresh flushes, so a reopen per version
+    // gives one tablet of each.
+    opts_.format_version = version;
+    Reopen();
+    std::vector<Row> batch;
+    for (int i = 0; i < 100; i++) {
+      batch.push_back(UsageRow(version, i, t0 + version * 1000 + i, i, 0.5));
+    }
+    ASSERT_TRUE(table_->InsertBatch(batch).ok());
+    ASSERT_TRUE(table_->FlushAll().ok());
+  }
+  EXPECT_EQ(table_->NumDiskTablets(), kTabletFormatLatest + 1);
+
+  // One tablet per version on disk; verify by opening them directly.
+  auto tablet_versions = [&] {
+    std::vector<uint32_t> versions;
+    std::vector<std::string> children;
+    EXPECT_TRUE(env_.GetChildren("/db/usage", &children).ok());
+    for (const std::string& name : children) {
+      if (name.size() < 4 || name.substr(name.size() - 4) != ".tab") continue;
+      std::shared_ptr<TabletReader> r;
+      EXPECT_TRUE(
+          TabletReader::Open(&env_, "/db/usage/" + name, &r).ok());
+      EXPECT_TRUE(r->Load().ok());
+      versions.push_back(r->format_version());
+    }
+    std::sort(versions.begin(), versions.end());
+    return versions;
+  };
+  EXPECT_EQ(tablet_versions(), (std::vector<uint32_t>{0, 1, 2}));
+
+  // Queries span all three formats transparently.
+  std::vector<Row> rows = Query(QueryBounds{});
+  ASSERT_EQ(rows.size(), 300u);
+  for (size_t i = 1; i < rows.size(); i++) {
+    EXPECT_LT(UsageSchema().CompareKeys(rows[i - 1], rows[i]), 0);
+  }
+
+  // Merge the mixed inputs: the output tablet is the latest format and
+  // preserves every row.
+  for (int i = 0; i < 20; i++) ASSERT_TRUE(table_->MaintainNow().ok());
+  ASSERT_LT(table_->NumDiskTablets(), 3u);
+  EXPECT_GE(table_->stats().merges.load(), 1u);
+  for (uint32_t v : tablet_versions()) EXPECT_EQ(v, kTabletFormatLatest);
+  rows = Query(QueryBounds{});
+  EXPECT_EQ(rows.size(), 300u);
+
+  // And the merged table survives a reopen at default options.
+  ResetOptions();
+  Reopen();
+  EXPECT_EQ(Query(QueryBounds{}).size(), 300u);
+}
+
+// The acceptance check for lazy materialization: a projected query over
+// flushed (columnar) tablets decodes zero chunks for unreferenced columns.
+TEST_F(TableTest, ProjectedQueryDecodesOnlyReferencedChunks) {
+  Timestamp t0 = Now();
+  for (int i = 0; i < 200; i++) ASSERT_TRUE(Insert(1, i, t0 + i, i).ok());
+  ASSERT_TRUE(table_->FlushAll().ok());
+
+  QueryBounds b;
+  b.projection = {3};  // bytes. Keys decode regardless; rate must not.
+  QueryTrace trace;
+  QueryResult result;
+  ASSERT_TRUE(table_->Query(b, &result, &trace).ok());
+  ASSERT_EQ(result.rows.size(), 200u);
+  EXPECT_EQ(result.rows[7][3].i64(), 7);
+  EXPECT_EQ(result.rows[7][4].dbl(), 0.0);  // Unprojected -> default.
+  const uint64_t skipped = table_->stats().column_chunks_skipped.load();
+  const uint64_t decoded = table_->stats().column_chunks_decoded.load();
+  EXPECT_GE(skipped, 1u);
+  EXPECT_EQ(trace.column_chunks_skipped, skipped);
+  // 5-column schema, 1 unreferenced: exactly 4 decodes per skip.
+  EXPECT_EQ(decoded, 4 * skipped);
+
+  // An unprojected query decodes the remaining chunks and skips nothing.
+  QueryResult full;
+  ASSERT_TRUE(table_->Query(QueryBounds{}, &full).ok());
+  EXPECT_EQ(full.rows[7][4].dbl(), 0.0);  // rate was inserted as 0.0.
+  EXPECT_EQ(table_->stats().column_chunks_skipped.load(), skipped);
+  EXPECT_GT(table_->stats().column_chunks_decoded.load(), decoded);
+
+  // Out-of-range projection indices are rejected up front.
+  QueryBounds bad;
+  bad.projection = {99};
+  QueryResult ignored;
+  EXPECT_TRUE(table_->Query(bad, &ignored).IsInvalidArgument());
+}
+
+TEST_F(TableTest, CreateRejectsUnknownFormatVersion) {
+  TableOptions opts = opts_;
+  opts.format_version = kTabletFormatLatest + 1;
+  std::unique_ptr<Table> t;
+  EXPECT_TRUE(Table::Create(&env_, clock_, "/db/future", "future",
+                            UsageSchema(), opts, &t)
+                  .IsInvalidArgument());
 }
 
 TEST_F(TableTest, SlowQueryLogEmitsOneStructuredLine) {

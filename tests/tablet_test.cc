@@ -563,5 +563,202 @@ TEST_F(TabletIoTest, CorruptBlockDetectedOnEveryReadAndNeverCached) {
   EXPECT_EQ(stats.block_cache_misses.load(), 3u);
 }
 
+// ---- Block format v2: columnar blocks, lazy decode, projection. ----
+
+TEST(BlockTest, ColumnarBuildParseRoundTrip) {
+  Schema s = UsageSchema();
+  BlockBuilder builder(&s, /*format_version=*/2);
+  for (int i = 0; i < 100; i++) {
+    builder.Add(UsageRow(1, i, 1000 + i, i * 10, i * 0.5));
+  }
+  ASSERT_EQ(builder.num_rows(), 100u);
+  std::string image = builder.Finish();
+  BlockReader reader;
+  ASSERT_TRUE(BlockReader::ParseColumnar(&s, std::move(image), &reader).ok());
+  ASSERT_TRUE(reader.columnar());
+  ASSERT_EQ(reader.num_rows(), 100u);
+  Row row;
+  ASSERT_TRUE(reader.RowAt(0, &row).ok());
+  EXPECT_EQ(row[1].i64(), 0);
+  EXPECT_EQ(row[4].dbl(), 0.0);
+  ASSERT_TRUE(reader.RowAt(99, &row).ok());
+  EXPECT_EQ(row[1].i64(), 99);
+  EXPECT_EQ(row[3].i64(), 990);
+  EXPECT_EQ(row[4].dbl(), 49.5);
+  // Binary search over the columnar key columns.
+  size_t idx;
+  ASSERT_TRUE(
+      reader.SeekFirst({Value::Int64(1), Value::Int64(42)}, true, &idx).ok());
+  EXPECT_EQ(idx, 42u);
+  ASSERT_TRUE(
+      reader.SeekFirst({Value::Int64(1), Value::Int64(42)}, false, &idx).ok());
+  EXPECT_EQ(idx, 43u);
+}
+
+TEST(BlockTest, ColumnarProjectionSkipsAndDefaultsUnneededColumns) {
+  Schema s = UsageSchema();
+  BlockBuilder builder(&s, /*format_version=*/2);
+  for (int i = 0; i < 50; i++) builder.Add(UsageRow(1, i, 100 + i, i * 10, 2.5));
+  std::string image = builder.Finish();
+  auto contents = std::make_shared<BlockContents>();
+  ASSERT_TRUE(
+      BlockContents::ParseColumnar(std::move(image), contents.get()).ok());
+  TableStats stats;
+  BlockReader reader;
+  reader.Reset(&s, contents, &stats);
+  // Need the three key columns plus "bytes" (3); "rate" (4) is unneeded.
+  std::vector<char> needed = {1, 1, 1, 1, 0};
+  reader.set_needed_columns(&needed);
+  Row row;
+  ASSERT_TRUE(reader.RowAt(7, &row).ok());
+  EXPECT_EQ(row[1].i64(), 7);
+  EXPECT_EQ(row[3].i64(), 70);
+  // The unprojected cell carries the column default, not the disk value.
+  EXPECT_EQ(row[4].dbl(), 0.0);
+  // Four chunks decoded (keys + bytes), and not the fifth — even after
+  // reading every row.
+  for (int i = 0; i < 50; i++) ASSERT_TRUE(reader.RowAt(i, &row).ok());
+  EXPECT_EQ(stats.column_chunks_decoded.load(), 4u);
+}
+
+TEST(BlockTest, ColumnarLazyDecodeIsPerColumn) {
+  Schema s = UsageSchema();
+  BlockBuilder builder(&s, /*format_version=*/2);
+  for (int i = 0; i < 20; i++) builder.Add(UsageRow(1, i, 100 + i, i, 0.5));
+  BlockContents contents;
+  ASSERT_TRUE(BlockContents::ParseColumnar(builder.Finish(), &contents).ok());
+  // Nothing is materialized at parse time; each EnsureColumn decodes its
+  // chunk exactly once.
+  bool did = false;
+  ASSERT_TRUE(contents.EnsureColumn(3, &did).ok());
+  EXPECT_TRUE(did);
+  ASSERT_TRUE(contents.EnsureColumn(3, &did).ok());
+  EXPECT_FALSE(did);
+  EXPECT_EQ(contents.column(3).ints[19], 19);
+}
+
+TEST_F(TabletIoTest, FormatVersion1StillReadable) {
+  TabletWriterOptions wopts;
+  wopts.block_bytes = 512;
+  wopts.format_version = 1;
+  WriteAndOpen(500, wopts);
+  EXPECT_EQ(reader_->format_version(), 1u);
+  std::vector<Row> rows = Scan(QueryBounds{});
+  ASSERT_EQ(rows.size(), 500u);
+  EXPECT_EQ(rows.back()[1].i64(), 99);
+}
+
+// Every supported format version round-trips the same rows; v2 files are
+// no larger than v1 on the paper's usage schema (regular timestamps and
+// small counters are where the per-column encodings pay).
+TEST_F(TabletIoTest, AllFormatVersionsRoundTripSameRows) {
+  std::vector<Row> expect;
+  std::vector<uint64_t> sizes;
+  for (uint32_t version = 0; version <= kTabletFormatLatest; version++) {
+    TabletWriterOptions wopts;
+    wopts.format_version = version;
+    WriteAndOpen(2000, wopts);
+    EXPECT_EQ(reader_->format_version(), version);
+    std::vector<Row> rows = Scan(QueryBounds{});
+    ASSERT_EQ(rows.size(), 2000u);
+    if (version == 0) {
+      expect = rows;
+    } else {
+      for (size_t i = 0; i < rows.size(); i++) {
+        ASSERT_EQ(schema_.CompareKeys(rows[i], expect[i]), 0);
+        EXPECT_EQ(rows[i][3].i64(), expect[i][3].i64());
+        EXPECT_EQ(rows[i][4].dbl(), expect[i][4].dbl());
+      }
+    }
+    uint64_t file_size;
+    ASSERT_TRUE(env_.GetFileSize("/t.tab", &file_size).ok());
+    sizes.push_back(file_size);
+  }
+  EXPECT_LT(sizes[2], sizes[1]) << "v2 should shrink the usage schema";
+}
+
+TEST_F(TabletIoTest, ProjectedCursorSkipsUnreferencedChunks) {
+  TabletWriterOptions wopts;
+  wopts.block_bytes = 1024;
+  WriteAndOpen(1000, wopts);
+  const uint64_t nblocks = reader_->num_blocks();
+  ASSERT_GT(nblocks, 2u);
+
+  TableStats stats;
+  std::shared_ptr<TabletReader> r;
+  ASSERT_TRUE(TabletReader::Open(&env_, "/t.tab", &r, nullptr, &stats).ok());
+  QueryBounds b;
+  b.projection = {3};  // bytes; keys ride along, rate is never touched.
+  std::unique_ptr<Cursor> c;
+  ASSERT_TRUE(r->NewCursor(b, &schema_, nullptr, &c).ok());
+  size_t n = 0;
+  while (c->Valid()) {
+    EXPECT_EQ(c->row()[3].i64(), static_cast<int64_t>(n));
+    EXPECT_EQ(c->row()[4].dbl(), 0.0);  // Unprojected -> default.
+    n++;
+    ASSERT_TRUE(c->Next().ok());
+  }
+  ASSERT_TRUE(c->status().ok());
+  EXPECT_EQ(n, 1000u);
+  // Exactly one chunk (rate) skipped per visited block, and the rate
+  // column's chunks were never decoded: 4 of 5 chunks per block.
+  EXPECT_EQ(stats.column_chunks_skipped.load(), nblocks);
+  EXPECT_EQ(stats.column_chunks_decoded.load(), 4 * nblocks);
+
+  // A full (unprojected) scan decodes everything and skips nothing.
+  TableStats full_stats;
+  std::shared_ptr<TabletReader> r2;
+  ASSERT_TRUE(
+      TabletReader::Open(&env_, "/t.tab", &r2, nullptr, &full_stats).ok());
+  std::unique_ptr<Cursor> c2;
+  ASSERT_TRUE(r2->NewCursor(QueryBounds{}, &schema_, nullptr, &c2).ok());
+  while (c2->Valid()) ASSERT_TRUE(c2->Next().ok());
+  EXPECT_EQ(full_stats.column_chunks_skipped.load(), 0u);
+  EXPECT_EQ(full_stats.column_chunks_decoded.load(), 5 * nblocks);
+}
+
+TEST_F(TabletIoTest, IncompressibleChunksStoredRawCompressibleStoredPacked) {
+  // Incompressible random blobs: every payload chunk takes the store-raw
+  // marker; compressible regular rows take the compressed path. The
+  // writer-side counters make the split observable.
+  Schema es = testutil::EventSchema();
+  Random rnd(11);
+  TableStats raw_stats;
+  TabletWriterOptions wopts;
+  wopts.stats = &raw_stats;
+  TabletWriter writer(&env_, "/raw.tab", &es, wopts);
+  for (int i = 0; i < 50; i++) {
+    char name[16];
+    snprintf(name, sizeof(name), "ev%03d", i);
+    ASSERT_TRUE(writer.Add(testutil::EventRow(name, 100 + i, rnd.Bytes(2000))).ok());
+  }
+  TabletMeta meta;
+  ASSERT_TRUE(writer.Finish(&meta).ok());
+  EXPECT_GT(raw_stats.block_bytes_raw.load(), 0u);
+
+  // And the tablet still reads back correctly through the raw path.
+  std::shared_ptr<TabletReader> r;
+  ASSERT_TRUE(TabletReader::Open(&env_, "/raw.tab", &r).ok());
+  std::unique_ptr<Cursor> c;
+  ASSERT_TRUE(r->NewCursor(QueryBounds{}, &es, nullptr, &c).ok());
+  size_t n = 0;
+  while (c->Valid()) {
+    EXPECT_EQ(c->row()[2].bytes().size(), 2000u);
+    n++;
+    ASSERT_TRUE(c->Next().ok());
+  }
+  EXPECT_EQ(n, 50u);
+
+  TableStats packed_stats;
+  TabletWriterOptions wopts2;
+  wopts2.stats = &packed_stats;
+  TabletWriter writer2(&env_, "/packed.tab", &schema_, wopts2);
+  for (int d = 0; d < 500; d++) {
+    ASSERT_TRUE(writer2.Add(UsageRow(1, d, 1000 + d, d, 0.5)).ok());
+  }
+  ASSERT_TRUE(writer2.Finish(&meta).ok());
+  EXPECT_GT(packed_stats.block_bytes_compressed.load(), 0u);
+}
+
 }  // namespace
 }  // namespace lt

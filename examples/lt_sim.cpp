@@ -12,8 +12,15 @@
 //          [--seeds=N]        sweep seeds seed..seed+N-1, stop at first
 //                             failure
 //   lt_sim --verify-seed=N    run seed N twice and require byte-identical
-//                             event logs (the determinism contract)
+//                             event logs (and, with --sample-every,
+//                             byte-identical __sys_metrics dumps — the
+//                             determinism contract)
 //   lt_sim --print-log ...    dump the event log after the run
+//   lt_sim --sample-every=N   run the self-monitoring sampler in
+//                             deterministic mode, one sample per N ops;
+//                             the oracle then also checks the system
+//                             tables' prefix durability across crashes
+//   lt_sim --dump-sys-metrics print the surviving __sys_metrics rows
 //
 // Every run is a pure function of its seed: a failure printed as
 // "FAIL seed=N ..." reproduces exactly with `lt_sim --seed=N --print-log`.
@@ -36,7 +43,8 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   return true;
 }
 
-void PrintReport(const sim::ChaosReport& report, bool print_log) {
+void PrintReport(const sim::ChaosReport& report, bool print_log,
+                 bool dump_sys) {
   if (print_log) {
     for (const std::string& line : report.event_log) {
       std::printf("%s\n", line.c_str());
@@ -47,9 +55,14 @@ void PrintReport(const sim::ChaosReport& report, bool print_log) {
                 static_cast<unsigned long long>(value));
   }
   std::printf("\n");
+  if (dump_sys) {
+    for (const std::string& line : report.sys_metrics) {
+      std::printf("sys %s\n", line.c_str());
+    }
+  }
 }
 
-int RunOne(const sim::ChaosOptions& opts, bool print_log) {
+int RunOne(const sim::ChaosOptions& opts, bool print_log, bool dump_sys) {
   sim::ChaosReport report;
   Status s = sim::RunChaos(opts, &report);
   if (!s.ok()) {
@@ -66,13 +79,13 @@ int RunOne(const sim::ChaosOptions& opts, bool print_log) {
                 "--devices=%d --print-log\n",
                 static_cast<unsigned long long>(opts.seed), opts.ops,
                 opts.fault_rate, opts.devices);
-    PrintReport(report, print_log);
+    PrintReport(report, print_log, dump_sys);
     return 1;
   }
   std::printf("ok seed=%llu events=%zu",
               static_cast<unsigned long long>(opts.seed),
               report.event_log.size());
-  PrintReport(report, print_log);
+  PrintReport(report, print_log, dump_sys);
   return 0;
 }
 
@@ -84,6 +97,13 @@ int VerifySeed(sim::ChaosOptions opts) {
     std::printf("FAIL seed=%llu harness error: %s\n",
                 static_cast<unsigned long long>(opts.seed),
                 s.ToString().c_str());
+    return 1;
+  }
+  if (a.sys_metrics != b.sys_metrics) {
+    std::printf("FAIL seed=%llu nondeterministic: __sys_metrics dumps "
+                "differ (%zu vs %zu rows)\n",
+                static_cast<unsigned long long>(opts.seed),
+                a.sys_metrics.size(), b.sys_metrics.size());
     return 1;
   }
   if (a.event_log != b.event_log) {
@@ -114,6 +134,7 @@ int main(int argc, char** argv) {
   int seeds = 1;
   bool print_log = false;
   bool verify = false;
+  bool dump_sys = false;
   for (int i = 1; i < argc; i++) {
     std::string v;
     if (ParseFlag(argv[i], "--seed", &v)) {
@@ -126,16 +147,20 @@ int main(int argc, char** argv) {
       opts.devices = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--seeds", &v)) {
       seeds = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--sample-every", &v)) {
+      opts.sample_every_ops = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--verify-seed", &v)) {
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
       verify = true;
     } else if (std::strcmp(argv[i], "--print-log") == 0) {
       print_log = true;
+    } else if (std::strcmp(argv[i], "--dump-sys-metrics") == 0) {
+      dump_sys = true;
     } else {
       std::fprintf(stderr,
                    "usage: lt_sim [--seed=N] [--ops=N] [--faults=RATE] "
-                   "[--devices=N] [--seeds=N] [--verify-seed=N] "
-                   "[--print-log]\n");
+                   "[--devices=N] [--seeds=N] [--sample-every=N] "
+                   "[--verify-seed=N] [--print-log] [--dump-sys-metrics]\n");
       return 2;
     }
   }
@@ -143,7 +168,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < seeds; i++) {
     sim::ChaosOptions one = opts;
     one.seed = opts.seed + static_cast<uint64_t>(i);
-    if (RunOne(one, print_log) != 0) return 1;
+    if (RunOne(one, print_log, dump_sys) != 0) return 1;
   }
   return 0;
 }

@@ -3,16 +3,22 @@
 // quantiles, and (per table) insert/query/flush/merge latency histograms.
 //
 // Usage:
-//   lt_stats <host> <port> [table]
+//   lt_stats <host> <port> [table] [--watch=N]
 //
 // With no table argument, every table on the server is fetched and its
-// metrics rendered with a {table="..."} label. With no arguments at all, a
-// self-contained demo runs: an in-memory server is stood up, driven with a
-// small workload, and scraped — handy for seeing the output format without
-// a running server.
+// metrics rendered with a {table="..."} label. With --watch=N the tool
+// rescrapes every N seconds and prints per-interval deltas and rates
+// instead of lifetime totals. Exit status is nonzero on connect failure or
+// a partial scrape (a listed table whose stats could not be fetched). With
+// no arguments at all, a self-contained demo runs: an in-memory server is
+// stood up, driven with a small workload, and scraped — handy for seeing
+// the output format without a running server.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/db.h"
@@ -26,6 +32,34 @@ using namespace lt;
 
 namespace {
 
+/// One full scrape: server-wide counters plus every requested table's
+/// table.* metrics, the latter keyed "table.<name>.<metric>" so tables
+/// stay distinguishable in a flat map. Returns non-OK on connect loss or
+/// any table that failed to scrape (partial scrapes must not read as
+/// healthy).
+Status ScrapeAll(Client* client, const std::string& table,
+                 std::map<std::string, uint64_t>* counters) {
+  std::vector<std::string> tables;
+  if (!table.empty()) {
+    tables.push_back(table);
+  } else {
+    LT_RETURN_IF_ERROR(client->ListTables(&tables));
+  }
+  ServerStats server_stats;
+  LT_RETURN_IF_ERROR(client->Stats("", &server_stats));
+  for (const auto& [name, v] : server_stats.counters) (*counters)[name] = v;
+  for (const std::string& t : tables) {
+    ServerStats ts;
+    LT_RETURN_IF_ERROR(client->Stats(t, &ts));
+    for (const auto& [name, v] : ts.counters) {
+      if (name.rfind("table.", 0) == 0) {
+        (*counters)["table." + t + "." + name.substr(sizeof("table.") - 1)] = v;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 int Scrape(const std::string& host, uint16_t port, const std::string& table) {
   std::unique_ptr<Client> client;
   Status s = Client::Connect(host, port, &client);
@@ -36,10 +70,12 @@ int Scrape(const std::string& host, uint16_t port, const std::string& table) {
   }
 
   std::vector<std::string> tables;
+  bool partial = false;
   if (!table.empty()) {
     tables.push_back(table);
   } else if (!client->ListTables(&tables).ok()) {
     tables.clear();
+    partial = true;
   }
 
   // Server-wide metrics once, then each table's (table.* metrics only, to
@@ -54,7 +90,11 @@ int Scrape(const std::string& host, uint16_t port, const std::string& table) {
 
   for (const std::string& t : tables) {
     ServerStats ts;
-    if (!client->Stats(t, &ts).ok()) continue;
+    if (!client->Stats(t, &ts).ok()) {
+      fprintf(stderr, "stats for table %s failed\n", t.c_str());
+      partial = true;
+      continue;
+    }
     ServerStats table_only;
     for (const auto& [name, v] : ts.counters) {
       if (name.rfind("table.", 0) == 0) table_only.counters[name] = v;
@@ -64,7 +104,54 @@ int Scrape(const std::string& host, uint16_t port, const std::string& table) {
     }
     printf("%s", RenderStatsText(table_only, t).c_str());
   }
-  return 0;
+  return partial ? 1 : 0;
+}
+
+int Watch(const std::string& host, uint16_t port, const std::string& table,
+          int interval_sec) {
+  std::unique_ptr<Client> client;
+  Status s = Client::Connect(host, port, &client);
+  if (!s.ok()) {
+    fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+            s.ToString().c_str());
+    return 1;
+  }
+  std::map<std::string, uint64_t> prev;
+  s = ScrapeAll(client.get(), table, &prev);
+  if (!s.ok()) {
+    fprintf(stderr, "scrape: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(interval_sec));
+    std::map<std::string, uint64_t> cur;
+    s = ScrapeAll(client.get(), table, &cur);
+    if (!s.ok()) {
+      // A failed or partial re-scrape ends the watch nonzero: a monitoring
+      // pipeline must not mistake silence for health.
+      fprintf(stderr, "scrape: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    printf("--- interval %ds ---\n", interval_sec);
+    for (const auto& [name, v] : cur) {
+      auto it = prev.find(name);
+      const uint64_t before = it == prev.end() ? 0 : it->second;
+      // Counters only ever grow; a shrink means a restart (or a gauge
+      // riding the counter list) — show the raw value for those.
+      if (v < before) {
+        printf("%-56s %12llu (reset?)\n", name.c_str(),
+               static_cast<unsigned long long>(v));
+        continue;
+      }
+      const uint64_t delta = v - before;
+      if (delta == 0) continue;  // Quiet metrics stay off the screen.
+      printf("%-56s +%11llu  %10.1f/s\n", name.c_str(),
+             static_cast<unsigned long long>(delta),
+             static_cast<double>(delta) / interval_sec);
+    }
+    fflush(stdout);
+    prev.swap(cur);
+  }
 }
 
 int Demo() {
@@ -103,15 +190,32 @@ int Demo() {
 
 int main(int argc, char** argv) {
   if (argc == 1) return Demo();
-  if (argc != 3 && argc != 4) {
-    fprintf(stderr, "usage: %s <host> <port> [table]\n", argv[0]);
+  int watch_sec = 0;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--watch=", 0) == 0) {
+      watch_sec = atoi(arg.c_str() + sizeof("--watch=") - 1);
+      if (watch_sec <= 0) {
+        fprintf(stderr, "bad --watch interval: %s\n", arg.c_str());
+        return 2;
+      }
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.size() != 2 && pos.size() != 3) {
+    fprintf(stderr, "usage: %s <host> <port> [table] [--watch=N]\n", argv[0]);
     return 2;
   }
-  int port = atoi(argv[2]);
+  int port = atoi(pos[1].c_str());
   if (port <= 0 || port > 65535) {
-    fprintf(stderr, "bad port: %s\n", argv[2]);
+    fprintf(stderr, "bad port: %s\n", pos[1].c_str());
     return 2;
   }
-  return Scrape(argv[1], static_cast<uint16_t>(port),
-                argc == 4 ? argv[3] : "");
+  const std::string table = pos.size() == 3 ? pos[2] : "";
+  if (watch_sec > 0) {
+    return Watch(pos[0], static_cast<uint16_t>(port), table, watch_sec);
+  }
+  return Scrape(pos[0], static_cast<uint16_t>(port), table);
 }

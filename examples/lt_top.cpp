@@ -1,0 +1,242 @@
+// lt_top: a live terminal dashboard over LittleTable's self-monitoring
+// tables. The server samples its own metrics into `__sys_metrics_1s` (see
+// src/obs/metrics_sampler.h); lt_top queries that table over the ordinary
+// wire protocol — the database monitoring the database, §2-style — and
+// renders every metric's current value, its change over the window, and
+// its per-second rate computed from the cumulative samples.
+//
+// Usage:
+//   lt_top <host> <port> [--interval=N] [--window=N] [--filter=SUBSTR]
+//          [--once]
+//
+//   --interval=N   refresh every N seconds (default 2)
+//   --window=N     rate/trajectory window in seconds (default 60)
+//   --filter=S     only show metrics whose name contains S
+//   --once         print a single frame without clearing the screen and
+//                  exit (for scripts and CI smoke tests)
+//
+// With no arguments a self-contained demo runs: an in-memory server under
+// a simulated clock is stood up with the sampler attached, a minute of
+// workload is simulated in milliseconds, and one frame is rendered from
+// the system tables over the wire.
+//
+// Counters are stored cumulative, so rates survive missed samples: the
+// rate is (last - first) / elapsed within the window, not a fragile
+// sample-to-sample difference. Gauges read as their latest value (their
+// rate column is the trend, not throughput). Histogram quantile rows
+// (*.p50/.p99/...) are lifetime quantiles; their window delta is the
+// quantile's trajectory.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics_sampler.h"
+
+using namespace lt;
+
+namespace {
+
+struct Sample {
+  Timestamp ts = 0;
+  double value = 0;
+};
+
+// Fetches the newest __sys_metrics_1s rows and groups them per metric,
+// ascending in time. Returns non-OK if the server has no system tables
+// (sampler not running) or the query fails.
+Status FetchWindow(Client* client,
+                   std::map<std::string, std::vector<Sample>>* by_metric) {
+  QueryBounds bounds;
+  bounds.direction = Direction::kDescending;  // Newest first...
+  bounds.limit = 50000;                       // ...bounded, however old the table.
+  QueryResult result;
+  LT_RETURN_IF_ERROR(client->Query(obs::kMetricsTable1s, bounds, &result));
+  for (const Row& row : result.rows) {
+    if (row.size() != 3) continue;
+    (*by_metric)[row[0].bytes()].push_back(
+        Sample{Timestamp{row[1].AsInt()}, row[2].dbl()});
+  }
+  for (auto& [name, samples] : *by_metric) {
+    std::reverse(samples.begin(), samples.end());  // Ascending ts.
+  }
+  return Status::OK();
+}
+
+std::string FormatValue(double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+int RenderFrame(Client* client, int window_sec, const std::string& filter,
+                bool clear_screen) {
+  std::map<std::string, std::vector<Sample>> by_metric;
+  Status s = FetchWindow(client, &by_metric);
+  if (!s.ok()) {
+    fprintf(stderr, "query %s: %s\n", obs::kMetricsTable1s,
+            s.ToString().c_str());
+    return 1;
+  }
+  Timestamp newest = 0;
+  for (const auto& [name, samples] : by_metric) {
+    if (!samples.empty()) newest = std::max(newest, samples.back().ts);
+  }
+  if (clear_screen) printf("\x1b[H\x1b[2J");
+  if (newest == 0) {
+    printf("lt_top: no samples in %s yet (is the sampler running?)\n",
+           obs::kMetricsTable1s);
+    return 0;
+  }
+  const Timestamp window_start = newest - Timestamp{window_sec} * 1000000;
+
+  printf("lt_top — %s — window %ds ending at t=%lld\n", obs::kMetricsTable1s,
+         window_sec, static_cast<long long>(newest / 1000000));
+  printf("%-56s %14s %14s %12s\n", "METRIC", "NOW", "Δ WINDOW", "RATE/S");
+  size_t shown = 0;
+  for (const auto& [name, samples] : by_metric) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    // First and last samples inside the window carry the trajectory.
+    const Sample* first = nullptr;
+    const Sample* last = nullptr;
+    for (const Sample& smp : samples) {
+      if (smp.ts < window_start) continue;
+      if (!first) first = &smp;
+      last = &smp;
+    }
+    if (!last) continue;
+    std::string delta = "-", rate = "-";
+    if (first != last) {
+      const double d = last->value - first->value;
+      delta = (d >= 0 ? "+" : "") + FormatValue(d);
+      const double secs =
+          static_cast<double>(last->ts - first->ts) / 1000000.0;
+      if (secs > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", d / secs);
+        rate = buf;
+      }
+    }
+    printf("%-56s %14s %14s %12s\n", name.c_str(),
+           FormatValue(last->value).c_str(), delta.c_str(), rate.c_str());
+    shown++;
+  }
+  printf("%zu metrics, %zu sampled\n", shown, by_metric.size());
+  fflush(stdout);
+  return 0;
+}
+
+int Top(const std::string& host, uint16_t port, int interval_sec,
+        int window_sec, const std::string& filter, bool once) {
+  std::unique_ptr<Client> client;
+  Status s = Client::Connect(host, port, &client);
+  if (!s.ok()) {
+    fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+            s.ToString().c_str());
+    return 1;
+  }
+  if (once) return RenderFrame(client.get(), window_sec, filter, false);
+  for (;;) {
+    int rc = RenderFrame(client.get(), window_sec, filter, true);
+    if (rc != 0) return rc;
+    std::this_thread::sleep_for(std::chrono::seconds(interval_sec));
+  }
+}
+
+// Self-contained demo: simulated clock, in-memory DB, sampler in manual
+// mode, a server on an ephemeral TCP port, and ~90 simulated seconds of
+// workload sampled each second — then one dashboard frame over the wire.
+int Demo() {
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>();
+  clock->Set(Timestamp{1700000000} * 1000000);
+  DbOptions options;
+  options.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  if (!DB::Open(&env, clock, "/demo", options, &db).ok()) return 1;
+
+  Schema schema({Column("id", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("v", ColumnType::kDouble)},
+                /*num_key_columns=*/2);
+  if (!db->CreateTable("demo", schema).ok()) return 1;
+
+  obs::SamplerOptions sopts;
+  sopts.background = false;  // The demo loop advances simulated time itself.
+  obs::MetricsSampler sampler(db.get(), sopts);
+  if (!sampler.Start().ok()) return 1;
+
+  LittleTableServer server(db.get(), /*port=*/0);
+  if (!server.Start().ok()) return 1;
+  sampler.AddSource("", &server.metrics());
+
+  std::unique_ptr<Client> client;
+  if (!Client::Connect("127.0.0.1", server.port(), &client).ok()) return 1;
+  for (int sec = 0; sec < 90; sec++) {
+    clock->Advance(1000000);
+    std::vector<Row> rows;
+    for (int i = 0; i < 1 + sec % 3; i++) {
+      rows.push_back({Value::Int64(i), Value::Ts(clock->Now()),
+                      Value::Double(sec * 0.5)});
+    }
+    if (!client->Insert("demo", rows).ok()) return 1;
+    sampler.SampleOnce(clock->Now());
+  }
+
+  fprintf(stderr, "# demo server on 127.0.0.1:%u; one frame:\n",
+          server.port());
+  return Top("127.0.0.1", server.port(), /*interval_sec=*/2,
+             /*window_sec=*/60, /*filter=*/"", /*once=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return Demo();
+  int interval_sec = 2;
+  int window_sec = 60;
+  bool once = false;
+  std::string filter;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--interval=", 0) == 0) {
+      interval_sec = atoi(arg.c_str() + sizeof("--interval=") - 1);
+    } else if (arg.rfind("--window=", 0) == 0) {
+      window_sec = atoi(arg.c_str() + sizeof("--window=") - 1);
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(sizeof("--filter=") - 1);
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.size() != 2 || interval_sec <= 0 || window_sec <= 0) {
+    fprintf(stderr,
+            "usage: %s <host> <port> [--interval=N] [--window=N] "
+            "[--filter=SUBSTR] [--once]\n",
+            argv[0]);
+    return 2;
+  }
+  int port = atoi(pos[1].c_str());
+  if (port <= 0 || port > 65535) {
+    fprintf(stderr, "bad port: %s\n", pos[1].c_str());
+    return 2;
+  }
+  return Top(pos[0], static_cast<uint16_t>(port), interval_sec, window_sec,
+             filter, once);
+}

@@ -74,12 +74,38 @@ Status DB::Open(Env* env, std::shared_ptr<Clock> clock,
   return Status::OK();
 }
 
+size_t DB::AddPreCloseHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  const size_t id = next_hook_id_++;
+  pre_close_hooks_[id] = std::move(hook);
+  return id;
+}
+
+void DB::RemovePreCloseHook(size_t id) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  pre_close_hooks_.erase(id);
+}
+
+void DB::RunPreCloseHooks() {
+  // Take the hooks out under the lock, run them outside it: a hook (the
+  // sampler's Stop) may call RemovePreCloseHook from its own teardown.
+  std::map<size_t, std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    hooks.swap(pre_close_hooks_);
+  }
+  for (auto& [id, hook] : hooks) hook();
+}
+
 Status DB::Close() {
   {
     std::lock_guard<std::mutex> lock(bg_mu_);
     if (stopping_) return Status::OK();
     stopping_ = true;
   }
+  // Ordered shutdown: external feeders (the metrics sampler) stop first,
+  // so nothing inserts while tables flush and close below.
+  RunPreCloseHooks();
   // Stand maintenance down and cancel retry backoffs BEFORE joining: an
   // in-flight background pass cuts itself short at the next table, and the
   // final flush below is not skipped by a pending backoff window.
@@ -100,6 +126,7 @@ void DB::Abandon() {
     if (stopping_) return;
     stopping_ = true;
   }
+  RunPreCloseHooks();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, table] : tables_) table->BeginShutdown();
@@ -128,6 +155,25 @@ Status DB::CreateTable(const std::string& name, const Schema& schema,
   if (!ValidTableName(name)) {
     return Status::InvalidArgument("invalid table name: " + name);
   }
+  if (IsSystemTableName(name)) {
+    // The "__sys" namespace is reserved for the self-monitoring subsystem;
+    // a user table there could be spoofed as (or clobbered by) a system
+    // table. Internal callers go through CreateSystemTable.
+    return Status::InvalidArgument("table name is reserved (__sys*): " + name);
+  }
+  return CreateTableInternal(name, schema, options);
+}
+
+Status DB::CreateSystemTable(const std::string& name, const Schema& schema,
+                             const TableOptions* options) {
+  if (!ValidTableName(name) || !IsSystemTableName(name)) {
+    return Status::InvalidArgument("invalid system table name: " + name);
+  }
+  return CreateTableInternal(name, schema, options);
+}
+
+Status DB::CreateTableInternal(const std::string& name, const Schema& schema,
+                               const TableOptions* options) {
   std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table exists: " + name);

@@ -9,6 +9,7 @@
 #define LITTLETABLE_CORE_DB_H_
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,10 +34,27 @@ class DB {
   ~DB();
 
   /// Creates a table. Table names are restricted to [A-Za-z0-9_.-] because
-  /// they double as directory names. `options` overrides the DB defaults
-  /// (commonly just the TTL).
+  /// they double as directory names; names beginning with the reserved
+  /// "__sys" prefix are rejected (that namespace belongs to the
+  /// self-monitoring subsystem — see CreateSystemTable). `options`
+  /// overrides the DB defaults (commonly just the TTL).
   Status CreateTable(const std::string& name, const Schema& schema,
                      const TableOptions* options = nullptr);
+
+  /// Creates a table inside the reserved "__sys" namespace (the name MUST
+  /// carry the prefix). Only internal subsystems (the metrics sampler) call
+  /// this; the user-facing paths — CreateTable, the kCreateTable opcode,
+  /// SQL CREATE TABLE — all refuse "__sys*" names, so system tables can
+  /// never collide with (or be spoofed by) application tables. System
+  /// tables are otherwise ordinary: queryable over every path, TTL-aged,
+  /// flushed and merged by maintenance.
+  Status CreateSystemTable(const std::string& name, const Schema& schema,
+                           const TableOptions* options = nullptr);
+
+  /// True for names in the reserved self-monitoring namespace.
+  static bool IsSystemTableName(const std::string& name) {
+    return name.rfind("__sys", 0) == 0;
+  }
 
   /// Drops a table and deletes its files. The paper notes dropping and
   /// recreating with a new schema is the normal workflow during feature
@@ -84,6 +102,17 @@ class DB {
   /// defaults to Logger::Default()).
   const std::shared_ptr<Logger>& logger() const { return logger_; }
 
+  /// Registers a hook Close()/Abandon() runs BEFORE stopping maintenance
+  /// and closing tables, and returns an id for RemovePreCloseHook. The
+  /// metrics sampler registers its Stop() here, so the final sample can
+  /// never race table shutdown: by the time tables flush and close, no
+  /// sampler thread is inserting. Hooks run at most once (the first of
+  /// Close/Abandon); they must be idempotent and must not call back into
+  /// Close/Abandon.
+  size_t AddPreCloseHook(std::function<void()> hook);
+  /// Unregisters a hook (callers whose lifetime may end before the DB's).
+  void RemovePreCloseHook(size_t id);
+
  private:
   DB(Env* env, std::shared_ptr<Clock> clock, std::string root,
      DbOptions options);
@@ -94,6 +123,10 @@ class DB {
   }
 
   void BackgroundLoop();
+  /// Runs and clears the registered pre-close hooks (first closer wins).
+  void RunPreCloseHooks();
+  Status CreateTableInternal(const std::string& name, const Schema& schema,
+                             const TableOptions* options);
 
   Env* const env_;
   std::shared_ptr<Clock> clock_;
@@ -109,6 +142,10 @@ class DB {
   std::mutex bg_mu_;
   std::condition_variable bg_cv_;
   bool stopping_ = false;
+
+  std::mutex hooks_mu_;
+  std::map<size_t, std::function<void()>> pre_close_hooks_;
+  size_t next_hook_id_ = 1;
 };
 
 }  // namespace lt

@@ -86,6 +86,64 @@ struct TableStats {
   LatencyHistogram block_read_micros;
   LatencyHistogram cache_lookup_micros;
 
+  // Batches coalesced per group-commit critical section (a value
+  // distribution, not a latency): p50 near 1 means little concurrency;
+  // a heavy ingest fan-in shows the amortization directly.
+  LatencyHistogram insert_group_size;
+
+  /// Visits every exported counter as fn(name, value). This is THE
+  /// canonical export list: kStats/kStatsV2 (net/server), Prometheus text,
+  /// and the self-monitoring sampler (obs/) all walk it, so a counter added
+  /// here automatically appears in every output — and the parity pin test
+  /// walks it too, so an output that stops using the visitor fails loudly.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    auto v = [](const std::atomic<uint64_t>& c) {
+      return c.load(std::memory_order_relaxed);
+    };
+    fn("table.insert_batches", v(insert_batches));
+    fn("table.insert_groups", v(insert_groups));
+    fn("table.rows_inserted", v(rows_inserted));
+    fn("table.queries", v(queries));
+    fn("table.rows_scanned", v(rows_scanned));
+    fn("table.rows_returned", v(rows_returned));
+    fn("table.unique_by_newest_ts", v(unique_by_newest_ts));
+    fn("table.unique_by_max_key", v(unique_by_max_key));
+    fn("table.unique_by_point_query", v(unique_by_point_query));
+    fn("table.duplicates_rejected", v(duplicates_rejected));
+    fn("table.flushes", v(flushes));
+    fn("table.flush_failures", v(flush_failures));
+    fn("table.flush_retries", v(flush_retries));
+    fn("table.merge_failures", v(merge_failures));
+    fn("table.bytes_flushed", v(bytes_flushed));
+    fn("table.merges", v(merges));
+    fn("table.tablets_merged", v(tablets_merged));
+    fn("table.bytes_merge_written", v(bytes_merge_written));
+    fn("table.tablets_expired", v(tablets_expired));
+    fn("table.tablets_quarantined", v(tablets_quarantined));
+    fn("table.bloom_tablet_skips", v(bloom_tablet_skips));
+    fn("table.bloom_tablet_probes", v(bloom_tablet_probes));
+    fn("table.block_cache_hits", v(block_cache_hits));
+    fn("table.block_cache_misses", v(block_cache_misses));
+    fn("table.column_chunks_decoded", v(column_chunks_decoded));
+    fn("table.column_chunks_skipped", v(column_chunks_skipped));
+    fn("table.block_bytes_raw", v(block_bytes_raw));
+    fn("table.block_bytes_compressed", v(block_bytes_compressed));
+  }
+
+  /// Visits every exported histogram as fn(name, hist). Same contract as
+  /// ForEachCounter: this list IS the export surface.
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    fn("table.insert_micros", insert_micros);
+    fn("table.query_micros", query_micros);
+    fn("table.flush_micros", flush_micros);
+    fn("table.merge_micros", merge_micros);
+    fn("table.block_read_micros", block_read_micros);
+    fn("table.cache_lookup_micros", cache_lookup_micros);
+    fn("table.insert_group_size", insert_group_size);
+  }
+
   /// Block-cache hit rate so far (0 when the table has read no blocks).
   double BlockCacheHitRate() const {
     uint64_t hits = block_cache_hits.load(std::memory_order_relaxed);

@@ -384,6 +384,7 @@ Status Table::InsertBatch(const std::vector<Row>& rows) {
 void Table::RunInsertGroup(const std::vector<InsertWaiter*>& group) {
   std::lock_guard<std::mutex> insert_lock(insert_mu_);
   stats_.insert_groups.fetch_add(1);
+  stats_.insert_group_size.Record(group.size());
 
   // While flushes are failing, memory absorbs inserts past the normal
   // backpressure threshold — but only up to a hard cap, rejected here

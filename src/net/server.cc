@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -77,6 +78,11 @@ LittleTableServer::LittleTableServer(DB* db, const ServerOptions& options)
                                              ".micros");
     }
   }
+  event_loop_lag_ = metrics_.GetHistogram("server.event_loop.lag_micros");
+  run_queue_depth_ = metrics_.GetGauge("server.run_queue_depth");
+  workers_busy_ = metrics_.GetGauge("server.workers_busy");
+  worker_busy_micros_ = metrics_.GetCounter("server.worker_busy_micros");
+  pending_frames_ = metrics_.GetGauge("server.pending_frames");
   connections_ = metrics_.GetCounter("server.connections");
   active_connections_ = metrics_.GetCounter("server.active_connections");
   requests_ = metrics_.GetCounter("server.requests");
@@ -137,6 +143,7 @@ void LittleTableServer::Stop() {
     std::lock_guard<std::mutex> lock(sched_mu_);
     workers_stop_ = true;
     run_queue_.clear();
+    run_queue_depth_->Set(0);
   }
   sched_cv_.notify_all();
   for (auto& [id, cs] : conns_) cs->conn->Shutdown();
@@ -155,6 +162,7 @@ void LittleTableServer::Stop() {
     accepted_.clear();
   }
   conn_count_.store(0);
+  pending_frames_->Set(0);  // Any still-queued frames died with conns_.
   poller_.reset();
 }
 
@@ -188,7 +196,20 @@ void LittleTableServer::AcceptLoop() {
 void LittleTableServer::EventLoop() {
   std::vector<uint64_t> ready;
   while (!stopping_.load()) {
+    const Timestamp wait_start = MonotonicMicros();
     Status ws = poller_->Wait(opts_.poll_interval_ms, &ready);
+    if (ws.ok() && ready.empty()) {
+      // A pure timeout wakeup was *scheduled* for poll_interval_ms from
+      // wait_start; anything beyond that is event-loop lag (kernel
+      // scheduling delay, or the loop itself running behind). Early
+      // returns (I/O ready, Wakeup) are on time by definition and clamp
+      // to zero.
+      const Timestamp scheduled =
+          Timestamp{opts_.poll_interval_ms} * 1000;
+      const Timestamp elapsed = MonotonicMicros() - wait_start;
+      event_loop_lag_->Record(
+          static_cast<uint64_t>(std::max<Timestamp>(0, elapsed - scheduled)));
+    }
     if (stopping_.load()) break;
     if (!ws.ok()) {
       // Poll failures are transient (resource pressure); don't spin.
@@ -331,12 +352,14 @@ void LittleTableServer::EnqueueTask(const std::shared_ptr<ConnState>& cs,
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
     cs->tasks.push_back(std::move(task));
+    pending_frames_->Increment();
     // Invariant: a connection with runnable work (front task, no worker on
     // it) sits in run_queue_ exactly once. It enters here on the
     // empty→nonempty transition and re-enters when a worker finishes with
     // tasks left.
     if (!cs->running && cs->tasks.size() == 1 && !workers_stop_) {
       run_queue_.push_back(cs);
+      run_queue_depth_->Set(static_cast<int64_t>(run_queue_.size()));
       schedule = true;
     }
   }
@@ -382,8 +405,11 @@ void LittleTableServer::WorkerLoop() {
       if (workers_stop_) return;
       cs = std::move(run_queue_.front());
       run_queue_.pop_front();
+      run_queue_depth_->Set(static_cast<int64_t>(run_queue_.size()));
       cs->running = true;
+      workers_busy_->Increment();
     }
+    const Timestamp busy_start = MonotonicMicros();
     // Only this worker touches the front task while running is set, and
     // the event loop only push_backs (which never invalidates deque
     // references), so the pointer is stable without the lock.
@@ -412,7 +438,9 @@ void LittleTableServer::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(sched_mu_);
       cs->tasks.pop_front();
+      pending_frames_->Decrement();
       cs->running = false;
+      workers_busy_->Decrement();
       if (!write_ok) {
         // The peer can't receive responses; abandon the rest of the
         // pipeline but give the drain back their registrations.
@@ -420,14 +448,18 @@ void LittleTableServer::WorkerLoop() {
         for (const Task& t : cs->tasks) {
           if (t.registered) dropped_registered++;
         }
+        pending_frames_->Add(-static_cast<int64_t>(cs->tasks.size()));
         cs->tasks.clear();
       }
       if (!cs->tasks.empty() && !workers_stop_) {
         run_queue_.push_back(cs);
+        run_queue_depth_->Set(static_cast<int64_t>(run_queue_.size()));
         sched_cv_.notify_one();
       }
       conn_finished = cs->dead && cs->tasks.empty();
     }
+    worker_busy_micros_->Add(
+        static_cast<int64_t>(MonotonicMicros() - busy_start));
     if (was_registered || dropped_registered > 0) {
       {
         std::lock_guard<std::mutex> lock(drain_mu_);
@@ -473,34 +505,12 @@ Status LittleTableServer::CollectCounters(
   if (!name.empty()) {
     std::shared_ptr<Table> table = db_->GetTable(name);
     if (!table) return Status::NotFound("no such table: " + name);
-    const TableStats& ts = table->stats();
-    auto add = [&](const char* key, const std::atomic<uint64_t>& v) {
-      out->emplace_back(key, v.load(std::memory_order_relaxed));
-    };
-    add("table.insert_batches", ts.insert_batches);
-    add("table.insert_groups", ts.insert_groups);
-    add("table.rows_inserted", ts.rows_inserted);
-    add("table.queries", ts.queries);
-    add("table.rows_scanned", ts.rows_scanned);
-    add("table.rows_returned", ts.rows_returned);
-    add("table.flushes", ts.flushes);
-    add("table.flush_failures", ts.flush_failures);
-    add("table.flush_retries", ts.flush_retries);
-    add("table.merge_failures", ts.merge_failures);
-    add("table.bytes_flushed", ts.bytes_flushed);
-    add("table.merges", ts.merges);
-    add("table.tablets_merged", ts.tablets_merged);
-    add("table.bytes_merge_written", ts.bytes_merge_written);
-    add("table.tablets_expired", ts.tablets_expired);
-    add("table.tablets_quarantined", ts.tablets_quarantined);
-    add("table.bloom_tablet_skips", ts.bloom_tablet_skips);
-    add("table.bloom_tablet_probes", ts.bloom_tablet_probes);
-    add("table.block_cache_hits", ts.block_cache_hits);
-    add("table.block_cache_misses", ts.block_cache_misses);
-    add("table.column_chunks_decoded", ts.column_chunks_decoded);
-    add("table.column_chunks_skipped", ts.column_chunks_skipped);
-    add("table.block_bytes_raw", ts.block_bytes_raw);
-    add("table.block_bytes_compressed", ts.block_bytes_compressed);
+    // The canonical export list lives with the counters themselves
+    // (TableStats::ForEachCounter), so a counter added there shows up here,
+    // in kStatsV2, in Prometheus text, and in the metrics sampler at once.
+    table->stats().ForEachCounter([&](const char* key, uint64_t v) {
+      out->emplace_back(key, v);
+    });
   }
   return Status::OK();
 }
@@ -590,6 +600,11 @@ void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
       for (const auto& [key, value] : metrics_.CounterValues()) {
         entries.emplace_back(key, static_cast<uint64_t>(value));
       }
+      // Gauges ride the counter entries: same (name, value) shape on the
+      // wire, so pre-gauge clients parse the reply unchanged.
+      for (const auto& [key, value] : metrics_.GaugeValues()) {
+        entries.emplace_back(key, static_cast<uint64_t>(value));
+      }
 
       // Histograms: the server's per-opcode distributions, plus the
       // table's operation latencies when a table was named. Never-recorded
@@ -604,17 +619,11 @@ void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
         if (!table) {
           return ReplyError(out, ErrCode::kNotFound, "no such table: " + name);
         }
-        TableStats& ts = table->stats();
-        auto add_hist = [&](const char* key, const LatencyHistogram& h) {
-          HistogramSnapshot snap = h.Snapshot();
-          if (snap.count > 0) hists.emplace_back(key, std::move(snap));
-        };
-        add_hist("table.insert_micros", ts.insert_micros);
-        add_hist("table.query_micros", ts.query_micros);
-        add_hist("table.flush_micros", ts.flush_micros);
-        add_hist("table.merge_micros", ts.merge_micros);
-        add_hist("table.block_read_micros", ts.block_read_micros);
-        add_hist("table.cache_lookup_micros", ts.cache_lookup_micros);
+        table->stats().ForEachHistogram(
+            [&](const char* key, const LatencyHistogram& h) {
+              HistogramSnapshot snap = h.Snapshot();
+              if (snap.count > 0) hists.emplace_back(key, std::move(snap));
+            });
       }
 
       std::string resp;

@@ -171,6 +171,20 @@ class LittleTableServer {
   // so the serve loop records without touching the registry lock. Indexed
   // by the request's MsgType byte; null for unused opcodes.
   LatencyHistogram* op_micros_[256] = {};
+  // Event-loop health: how late the loop wakes relative to its scheduled
+  // poll slice (scheduled-vs-actual wakeup; a saturated or preempted loop
+  // shows here before anything times out).
+  LatencyHistogram* event_loop_lag_ = nullptr;
+  // Instantaneous depth of the worker run queue and number of busy
+  // workers: together they say whether the pool is the bottleneck.
+  Gauge* run_queue_depth_ = nullptr;
+  Gauge* workers_busy_ = nullptr;
+  // Cumulative microseconds workers spent executing requests (divide by
+  // worker count and wall time for pool utilization).
+  Counter* worker_busy_micros_ = nullptr;
+  // Decoded-but-not-completed frames across all connections (pipelining
+  // backlog).
+  Gauge* pending_frames_ = nullptr;
   Counter* connections_ = nullptr;
   Counter* active_connections_ = nullptr;
   Counter* requests_ = nullptr;

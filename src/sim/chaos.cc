@@ -1,6 +1,7 @@
 #include "sim/chaos.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <set>
@@ -14,6 +15,7 @@
 #include "env/sim_disk_env.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics_sampler.h"
 #include "sim/sim_transport.h"
 #include "util/fault.h"
 #include "util/random.h"
@@ -85,6 +87,8 @@ class ChaosRun {
   Status OpenDb();
   Status StartServer();
   Status ConnectClient();
+  Status StartSampler();
+  void DriveSampler();
 
   void MaybeInjectFault();
   void DoOneOp();
@@ -107,6 +111,12 @@ class ChaosRun {
   int64_t MaxCertainId(int64_t device) const;
   /// The post-crash model check; returns false on violation.
   bool OracleCheckAfterCrash();
+  /// Checks one system table's §3.1 prefix durability against the
+  /// observer-fed model and adopts the surviving prefix, like the events
+  /// check does for insert batches. Returns false on violation.
+  bool CheckSysTableAfterCrash(const std::string& table_name);
+  /// Renders the model's surviving system-table rows into report->sys_metrics.
+  void DumpSysMetrics();
 
   const ChaosOptions opts_;
   ChaosReport* const report_;
@@ -121,8 +131,15 @@ class ChaosRun {
   std::unique_ptr<LittleTableServer> server_;
   std::unique_ptr<Client> client_;
   std::unique_ptr<apps::DeviceFleet> fleet_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
 
   std::vector<InsertRecord> records_;  // Global insert order.
+  /// Rows the sampler inserted into each system table, in insert order —
+  /// the model for the system tables' own prefix-durability check.
+  std::map<std::string, std::vector<Row>> sys_model_;
+  /// Leading sys_model_ rows known durable (read back after a crash).
+  std::map<std::string, size_t> sys_durable_;
+  int ops_since_sample_ = 0;
   std::map<int64_t, DeviceCursor> cursors_;
   int partition_ops_left_ = 0;
   int disk_full_ops_left_ = 0;
@@ -164,6 +181,7 @@ Status ChaosRun::Setup() {
     cursors_[d] = DeviceCursor{};
   }
 
+  if (opts_.sample_every_ops > 0) LT_RETURN_IF_ERROR(StartSampler());
   LT_RETURN_IF_ERROR(StartServer());
   return ConnectClient();
 }
@@ -218,6 +236,33 @@ Status ChaosRun::ConnectClient() {
     clock->Advance(ms * 1000);  // Backoff burns simulated, not real, time.
   };
   return Client::Connect("sim", kPort, copts, &client_);
+}
+
+Status ChaosRun::StartSampler() {
+  obs::SamplerOptions sopts;
+  // The deterministic contract: sample only op-sequence-pure per-table
+  // counters, driven manually at op boundaries in simulated time. TTLs are
+  // off so the prefix-durability oracle below stays exact (retention is
+  // exercised by obs_test, not the chaos schedule).
+  sopts.deterministic = true;
+  sopts.background = false;
+  sopts.ttl_1s = 0;
+  sopts.ttl_1m = 0;
+  sopts.observer = [this](const std::string& table,
+                          const std::vector<Row>& rows) {
+    std::vector<Row>& model = sys_model_[table];
+    model.insert(model.end(), rows.begin(), rows.end());
+  };
+  sampler_ = std::make_unique<obs::MetricsSampler>(db_.get(), sopts);
+  return sampler_->Start();
+}
+
+void ChaosRun::DriveSampler() {
+  if (!sampler_ || ++ops_since_sample_ < opts_.sample_every_ops) return;
+  ops_since_sample_ = 0;
+  Status s = sampler_->SampleOnce(clock_->Now());
+  Log("sample status=" + s.ToString());
+  if (s.ok()) Count("samples_ok");
 }
 
 const apps::SimEvent* ChaosRun::FindEvent(int64_t device, int64_t id) const {
@@ -581,6 +626,115 @@ bool ChaosRun::OracleCheckAfterCrash() {
   return true;
 }
 
+bool ChaosRun::CheckSysTableAfterCrash(const std::string& table_name) {
+  std::vector<Row>& model = sys_model_[table_name];
+  size_t& durable = sys_durable_[table_name];
+  std::shared_ptr<Table> table = db_->GetTable(table_name);
+  if (!table) {
+    // The whole table vanished (its descriptor was never synced). Legal
+    // only if no row of it was ever read back from disk.
+    if (durable > 0) {
+      Violation("system table " + table_name + " lost after being durable");
+      return false;
+    }
+    model.clear();
+    return true;
+  }
+  QueryBounds all;
+  QueryResult res;
+  Status s = table->Query(all, &res);
+  if (!s.ok()) {
+    Violation("post-crash scan of " + table_name + " failed: " + s.ToString());
+    return false;
+  }
+  if (res.more_available) {
+    Violation("post-crash scan of " + table_name + " truncated by row limit");
+    return false;
+  }
+  // Surviving rows keyed (metric, ts) for phantom/content checks.
+  std::map<std::pair<std::string, Timestamp>, const Row*> present;
+  for (const Row& row : res.rows) {
+    if (row.size() < 3) {
+      Violation("system row in " + table_name + " has wrong arity");
+      return false;
+    }
+    auto key = std::make_pair(row[0].bytes(), Timestamp{row[1].AsInt()});
+    if (!present.emplace(key, &row).second) {
+      Violation("duplicate system row in " + table_name + ": " + key.first +
+                " ts=" + std::to_string(key.second));
+      return false;
+    }
+  }
+  // §3.1 prefix durability holds for the system tables exactly as for user
+  // tables: in insert order, the surviving rows form a prefix.
+  size_t prefix = 0;
+  bool lost_one = false;
+  for (const Row& row : model) {
+    auto it = present.find(
+        std::make_pair(row[0].bytes(), Timestamp{row[1].AsInt()}));
+    if (it != present.end()) {
+      if (lost_one) {
+        Violation("prefix durability violated in " + table_name +
+                  ": metric " + row[0].bytes() + " ts=" +
+                  std::to_string(row[1].AsInt()) +
+                  " survived although an earlier row was lost");
+        return false;
+      }
+      if (!(*it->second == row)) {
+        Violation("system row content mismatch in " + table_name +
+                  ": metric " + row[0].bytes() +
+                  " ts=" + std::to_string(row[1].AsInt()));
+        return false;
+      }
+      prefix++;
+    } else {
+      lost_one = true;
+    }
+  }
+  if (prefix < durable) {
+    Violation("durable system row lost in " + table_name + ": only " +
+              std::to_string(prefix) + " of " + std::to_string(durable) +
+              " recovered rows survived");
+    return false;
+  }
+  if (present.size() > prefix) {
+    Violation("phantom system row in " + table_name + ": " +
+              std::to_string(present.size()) + " rows present, model has " +
+              std::to_string(prefix) + " surviving");
+    return false;
+  }
+  // Adopt the post-crash truth: the surviving prefix is on disk now.
+  model.resize(prefix);
+  durable = prefix;
+  return true;
+}
+
+namespace {
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+}  // namespace
+
+void ChaosRun::DumpSysMetrics() {
+  for (const auto& [table_name, rows] : sys_model_) {
+    for (const Row& row : rows) {
+      std::string line = table_name + " " + row[0].bytes() +
+                         " ts=" + std::to_string(row[1].AsInt());
+      if (row.size() == 3) {  // 1s: value.
+        line += " v=" + FormatDouble(row[2].dbl());
+      } else if (row.size() == 6) {  // 1m: avg/min/max/n.
+        line += " avg=" + FormatDouble(row[2].dbl()) +
+                " min=" + FormatDouble(row[3].dbl()) +
+                " max=" + FormatDouble(row[4].dbl()) +
+                " n=" + std::to_string(row[5].AsInt());
+      }
+      report_->sys_metrics.push_back(std::move(line));
+    }
+  }
+}
+
 void ChaosRun::CrashAndRestart() {
   Log("crash");
   Count("crashes");
@@ -596,6 +750,9 @@ void ChaosRun::CrashAndRestart() {
   client_.reset();
   server_->Stop();
   server_.reset();
+  // The sampler dies with the "process": no final sample (Stop never
+  // samples), so whatever was unflushed is simply lost, like any insert.
+  sampler_.reset();
   db_->Abandon();
   db_.reset();
   if (sim_disk_) {
@@ -617,6 +774,15 @@ void ChaosRun::CrashAndRestart() {
     return;
   }
   if (!OracleCheckAfterCrash()) return;
+  if (opts_.sample_every_ops > 0) {
+    if (!CheckSysTableAfterCrash(obs::kMetricsTable1s)) return;
+    if (!CheckSysTableAfterCrash(obs::kMetricsTable1m)) return;
+    Status ss = StartSampler();
+    if (!ss.ok()) {
+      Violation("sampler restart failed: " + ss.ToString());
+      return;
+    }
+  }
   s = StartServer();
   if (!s.ok()) {
     Violation("server restart failed: " + s.ToString());
@@ -722,6 +888,7 @@ Status ChaosRun::Run() {
     MaybeInjectFault();
     if (!report_->ok) break;
     DoOneOp();
+    if (report_->ok) DriveSampler();
   }
   // Final verdict: crash once more and run the full oracle, so every run
   // ends with a durability check even if the schedule drew no crash.
@@ -735,12 +902,19 @@ Status ChaosRun::Run() {
     const SimTransportStats ts = transport_->stats();
     report_->counters["transport_connects"] = ts.connects;
     report_->counters["transport_resets"] = ts.resets_injected;
+    if (opts_.sample_every_ops > 0) {
+      uint64_t sys_rows = 0;
+      for (const auto& [tname, rows] : sys_model_) sys_rows += rows.size();
+      report_->counters["sys_rows_durable"] = sys_rows;
+      DumpSysMetrics();
+    }
     Log("done durable_rows=" + std::to_string(durable_rows));
   }
   // Tear down in dependency order before the envs go away.
   client_.reset();
   if (server_) server_->Stop();
   server_.reset();
+  sampler_.reset();
   if (db_) db_->Abandon();
   db_.reset();
   fault::DisarmCrashPoints();

@@ -55,6 +55,12 @@ struct ChaosOptions {
   double fault_rate = 0.25;
   /// Simulated devices feeding the events table.
   int devices = 3;
+  /// When > 0, run the self-monitoring sampler in deterministic mode and
+  /// take one __sys_metrics_1s sample every N workload ops (driven at op
+  /// boundaries on the harness thread, stamped with simulated time). The
+  /// oracle then also checks §3.1 prefix durability of the system tables
+  /// across every crash, and the report carries the sampled-metrics dump.
+  int sample_every_ops = 0;
 };
 
 struct ChaosReport {
@@ -69,6 +75,12 @@ struct ChaosReport {
   /// Deterministic counters: ops by kind, faults injected, crashes
   /// survived, rows confirmed durable.
   std::map<std::string, uint64_t> counters;
+  /// With sample_every_ops > 0: one line per system-table row that
+  /// survived to the end of the run ("<table> <metric> ts=<t> v=<value>"),
+  /// in key order. A pure function of the seed — two same-seed runs must
+  /// produce byte-identical dumps (sim_test pins this), and the nightly
+  /// sweep uploads them as its sampled-metrics artifact.
+  std::vector<std::string> sys_metrics;
 };
 
 /// Runs one seeded chaos schedule. Returns a non-OK status only for

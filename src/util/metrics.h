@@ -33,25 +33,44 @@ class Counter {
   std::atomic<int64_t> v_{0};
 };
 
+/// An instantaneous level rather than an accumulating count: queue depths,
+/// busy workers, pending frames. Unlike a Counter, a Gauge's value is
+/// meaningful at any moment (not only as a delta), may go down, and is
+/// exported as-is — scrapers must not rate() it.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Returns the counter/histogram registered under `name`, creating it on
-  /// first use. Pointers remain valid until the registry is destroyed.
+  /// Returns the counter/gauge/histogram registered under `name`, creating
+  /// it on first use. Pointers remain valid until the registry is destroyed.
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
 
   /// Name-sorted snapshots for exposition.
   std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
   std::vector<std::pair<std::string, HistogramSnapshot>> HistogramSnapshots()
       const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 

@@ -698,6 +698,38 @@ TEST(ChaosSimTest, SameSeedYieldsByteIdenticalEventLogs) {
   EXPECT_EQ(a.counters, b.counters);
 }
 
+// With the deterministic self-monitoring sampler enabled, the surviving
+// __sys_metrics rows are part of the determinism contract too: same seed,
+// byte-identical dump — and the run must still pass the oracle, which now
+// also checks the system tables' prefix durability across crashes.
+TEST(ChaosSimTest, SameSeedYieldsByteIdenticalSysMetrics) {
+  sim::ChaosOptions opts;
+  opts.seed = 20260809;
+  opts.ops = 120;
+  opts.sample_every_ops = 4;
+  sim::ChaosReport a, b;
+  ASSERT_TRUE(sim::RunChaos(opts, &a).ok());
+  ASSERT_TRUE(sim::RunChaos(opts, &b).ok());
+  EXPECT_TRUE(a.ok) << a.failure;
+  EXPECT_TRUE(b.ok) << b.failure;
+  EXPECT_GT(a.counters.at("samples_ok"), 0u);
+  ASSERT_FALSE(a.sys_metrics.empty());
+  EXPECT_EQ(a.sys_metrics, b.sys_metrics);
+  EXPECT_EQ(a.event_log, b.event_log);
+}
+
+TEST(ChaosSimTest, SampledRunSurvivesHighFaultRate) {
+  sim::ChaosOptions opts;
+  opts.seed = 88001;
+  opts.ops = 120;
+  opts.fault_rate = 0.5;
+  opts.sample_every_ops = 3;
+  sim::ChaosReport report;
+  ASSERT_TRUE(sim::RunChaos(opts, &report).ok());
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_GT(report.counters.at("crashes"), 0u);
+}
+
 TEST(ChaosSimTest, FaultFreeRunPassesTheOracle) {
   sim::ChaosOptions opts;
   opts.seed = 7;

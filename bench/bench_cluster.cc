@@ -1,0 +1,237 @@
+// Replication-cost benchmark for the cluster layer (src/cluster).
+//
+// Three questions, answered on SimTransport so the numbers are CPU cost,
+// not kernel scheduling noise:
+//
+//   1. What does routing cost? Insert throughput through ClusterClient
+//      (coordinator map fetch + routed frames + redo buffering on the
+//      primary) vs. a plain Client against a bare server.
+//   2. What does a ship round cost? ShipOnce wall time as the backlog
+//      since the last round grows — the redo tail replication, the flush,
+//      and the whole-tablet copies.
+//   3. How fast is failover? Simulated time and probe rounds from primary
+//      death to a promoted, serving secondary.
+//
+// Usage: bench_cluster [--rows=N]   (default 20000 rows per phase)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/agent.h"
+#include "cluster/cluster_client.h"
+#include "cluster/coordinator.h"
+#include "cluster/shard_map.h"
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sim/sim_transport.h"
+
+using namespace lt;
+
+namespace {
+
+constexpr Timestamp kEpoch = Timestamp{1700000000} * 1000000;
+
+Schema DevSchema() {
+  return Schema({Column("device", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("v", ColumnType::kDouble)},
+                /*num_key_columns=*/2);
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Cluster {
+  std::shared_ptr<SimClock> clock;
+  std::unique_ptr<sim::SimTransport> transport;
+  MemEnv env_a, env_b;
+  std::unique_ptr<DB> db_a, db_b;
+  std::unique_ptr<cluster::ReplicaAgent> agent_a, agent_b;
+  std::unique_ptr<cluster::Coordinator> coord;
+  std::unique_ptr<cluster::ClusterClient> router;
+
+  bool Up() {
+    clock = std::make_shared<SimClock>(kEpoch);
+    sim::SimTransportOptions topts;
+    topts.clock = clock;
+    transport = std::make_unique<sim::SimTransport>(topts);
+
+    DbOptions dopts;
+    dopts.background_maintenance = false;
+    dopts.logger = std::make_shared<Logger>(
+        LogLevel::kError, std::make_shared<CaptureLogSink>());
+    if (!DB::Open(&env_a, clock, "node", dopts, &db_a).ok()) return false;
+    if (!DB::Open(&env_b, clock, "node", dopts, &db_b).ok()) return false;
+
+    auto start_agent = [&](DB* db, const char* name, uint16_t port,
+                           std::unique_ptr<cluster::ReplicaAgent>* out) {
+      cluster::AgentOptions aopts;
+      aopts.port = port;
+      aopts.transport = transport->ForNode(name);
+      aopts.client.clock = clock;
+      aopts.redo_window = 1 << 20;  // Never the bottleneck here.
+      *out = std::make_unique<cluster::ReplicaAgent>(db, aopts);
+      return (*out)->Start().ok();
+    };
+    if (!start_agent(db_a.get(), "a", 9001, &agent_a)) return false;
+    if (!start_agent(db_b.get(), "b", 9002, &agent_b)) return false;
+
+    cluster::CoordinatorOptions copts;
+    copts.port = 9000;
+    copts.transport = transport->ForNode("coord");
+    copts.client.clock = clock;
+    coord = std::make_unique<cluster::Coordinator>(copts);
+    coord->AddGroup(0, 0, UINT64_MAX, {"a", 9001}, {"b", 9002});
+    if (!coord->Start().ok()) return false;
+    coord->ProbeOnce();
+
+    cluster::ClusterClientOptions ccopts;
+    ccopts.transport = transport->ForNode("client");
+    ccopts.client.clock = clock;
+    ccopts.client.backoff_sleep = [this](int64_t ms) {
+      clock->Advance(ms * 1000);
+      coord->ProbeOnce();
+    };
+    return cluster::ClusterClient::Connect("coord", 9000, ccopts, &router)
+        .ok();
+  }
+};
+
+std::vector<Row> Batch(int64_t base, int n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; i++) {
+    rows.push_back({Value::Int64(1 + (base + i) % 64),
+                    Value::Ts(kEpoch + (base + i) * 1000),
+                    Value::Double(i * 0.5)});
+  }
+  return rows;
+}
+
+void BenchRouting(int total_rows) {
+  const int kBatch = 100;
+
+  // Baseline: plain client against a bare single-node server.
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(kEpoch);
+  sim::SimTransportOptions topts;
+  topts.clock = clock;
+  sim::SimTransport transport(topts);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  if (!DB::Open(&env, clock, "solo", dopts, &db).ok()) return;
+  ServerOptions sopts;
+  sopts.port = 9100;
+  sopts.transport = transport.ForNode("srv");
+  LittleTableServer server(db.get(), sopts);
+  if (!server.Start().ok()) return;
+  ClientOptions copts;
+  copts.clock = clock;
+  copts.transport = transport.ForNode("cli");
+  std::unique_ptr<Client> plain;
+  if (!Client::Connect("srv", 9100, copts, &plain).ok()) return;
+  if (!plain->CreateTable("dev", DevSchema(), 0).ok()) return;
+
+  int64_t t0 = NowMicros();
+  for (int done = 0; done < total_rows; done += kBatch) {
+    if (!plain->Insert("dev", Batch(done, kBatch)).ok()) return;
+  }
+  const double plain_us = static_cast<double>(NowMicros() - t0);
+
+  // Routed: same workload through the cluster stack.
+  Cluster c;
+  if (!c.Up()) return;
+  if (!c.router->CreateTable("dev", DevSchema(), 0).ok()) return;
+  t0 = NowMicros();
+  for (int done = 0; done < total_rows; done += kBatch) {
+    if (!c.router->Insert("dev", Batch(done, kBatch)).ok()) return;
+  }
+  const double routed_us = static_cast<double>(NowMicros() - t0);
+
+  printf("routing overhead (%d rows, batches of %d)\n", total_rows, kBatch);
+  printf("  %-28s %10.0f rows/s\n", "plain client -> bare server",
+         total_rows / (plain_us / 1e6));
+  printf("  %-28s %10.0f rows/s  (%.2fx the bare path)\n",
+         "ClusterClient -> primary", total_rows / (routed_us / 1e6),
+         routed_us / plain_us);
+}
+
+void BenchShipRound(int total_rows) {
+  Cluster c;
+  if (!c.Up()) return;
+  if (!c.router->CreateTable("dev", DevSchema(), 0).ok()) return;
+  if (!c.agent_a->ShipOnce().ok()) return;
+
+  printf("ship round cost by backlog\n");
+  int64_t next = 0;  // Keys must stay unique across rounds (§3.4.4).
+  for (int backlog : {1000, 5000, total_rows}) {
+    for (int done = 0; done < backlog; done += 500, next += 500) {
+      if (!c.router->Insert("dev", Batch(next, 500)).ok()) return;
+    }
+    const int64_t t0 = NowMicros();
+    Status s = c.agent_a->ShipOnce();
+    const double us = static_cast<double>(NowMicros() - t0);
+    if (!s.ok()) {
+      printf("  ship failed: %s\n", s.ToString().c_str());
+      return;
+    }
+    printf("  %-28s %8.1f ms  (%.0f rows/s shipped)\n",
+           (std::to_string(backlog) + " rows behind").c_str(), us / 1000.0,
+           backlog / (us / 1e6));
+    c.clock->Advance(60 * 1000000);  // Age out the memtablets between runs.
+  }
+}
+
+void BenchFailover() {
+  Cluster c;
+  if (!c.Up()) return;
+  if (!c.router->CreateTable("dev", DevSchema(), 0).ok()) return;
+  if (!c.router->Insert("dev", Batch(0, 1000)).ok()) return;
+  if (!c.agent_a->ShipOnce().ok()) return;
+
+  // Kill the primary; drive probe rounds at the default cadence until the
+  // secondary serves.
+  c.transport->ResetNodeConnections("a");
+  c.agent_a->Stop();
+  const Timestamp dead_at = c.clock->Now();
+  int rounds = 0;
+  while (c.coord->failovers() == 0 && rounds < 50) {
+    c.clock->Advance(500 * 1000);  // Default probe_interval_ms.
+    c.coord->ProbeOnce();
+    rounds++;
+  }
+  std::vector<Row> rows;
+  const bool serving =
+      c.coord->failovers() == 1 &&
+      c.router->QueryAll("dev", QueryBounds{}, &rows).ok() &&
+      rows.size() == 1000;
+  printf("failover\n");
+  printf("  %-28s %8.1f s simulated, %d probe rounds, %s\n",
+         "primary death -> serving",
+         static_cast<double>(c.clock->Now() - dead_at) / 1e6, rounds,
+         serving ? "promoted secondary answers with every shipped row"
+                 : "FAILED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rows = 20000;
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], "--rows=", 7) == 0) rows = atoi(argv[i] + 7);
+  }
+  if (rows < 1000) rows = 1000;
+  BenchRouting(rows);
+  BenchShipRound(rows);
+  BenchFailover();
+  return 0;
+}

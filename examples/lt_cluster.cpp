@@ -1,0 +1,179 @@
+// lt_cluster: a replicated shard group, in one process, over real TCP.
+//
+// Stands up the whole cluster stack from src/cluster: a coordinator
+// serving the versioned shard map and health-probing primaries, plus one
+// two-node shard group — each node its own DB and ReplicaAgent with
+// background tablet shipping. A ClusterClient then routes a small
+// workload, the primary is killed mid-run, the coordinator's probes
+// promote the secondary, and the same client keeps inserting and querying
+// straight through the failover (its retry protocol refetches the map).
+// Finally the old primary rejoins and is demoted to secondary.
+//
+// Usage: lt_cluster            (no arguments; exits 0 when every step,
+//                               including the post-failover reads, worked)
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/agent.h"
+#include "cluster/cluster_client.h"
+#include "cluster/coordinator.h"
+#include "core/db.h"
+#include "env/mem_env.h"
+
+using namespace lt;
+
+namespace {
+
+Schema EventsSchema() {
+  return Schema({Column("device", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("reading", ColumnType::kDouble)},
+                /*num_key_columns=*/2);
+}
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool WaitFor(const char* what, int timeout_ms,
+             const std::function<bool()>& done) {
+  for (int waited = 0; waited < timeout_ms; waited += 50) {
+    if (done()) return true;
+    SleepMs(50);
+  }
+  fprintf(stderr, "timed out waiting for %s\n", what);
+  return false;
+}
+
+std::unique_ptr<cluster::ReplicaAgent> StartAgent(DB* db, uint16_t port) {
+  cluster::AgentOptions aopts;
+  aopts.port = port;  // 0 = ephemeral on first start, pinned on rejoin.
+  aopts.background_ship = true;
+  aopts.ship_interval_ms = 100;
+  auto agent = std::make_unique<cluster::ReplicaAgent>(db, aopts);
+  if (!agent->Start().ok()) return nullptr;
+  return agent;
+}
+
+}  // namespace
+
+int main() {
+  auto clock = SystemClock::Instance();
+
+  // Two "machines": each node gets its own storage and its own DB.
+  MemEnv env_a, env_b;
+  DbOptions dopts;
+  std::unique_ptr<DB> db_a, db_b;
+  if (!DB::Open(&env_a, clock, "/node", dopts, &db_a).ok()) return 1;
+  if (!DB::Open(&env_b, clock, "/node", dopts, &db_b).ok()) return 1;
+
+  std::unique_ptr<cluster::ReplicaAgent> agent_a = StartAgent(db_a.get(), 0);
+  std::unique_ptr<cluster::ReplicaAgent> agent_b = StartAgent(db_b.get(), 0);
+  if (!agent_a || !agent_b) return 1;
+  const uint16_t port_a = agent_a->port();
+  printf("node A on 127.0.0.1:%u, node B on 127.0.0.1:%u\n", port_a,
+         agent_b->port());
+
+  cluster::CoordinatorOptions copts;
+  copts.background = true;       // Health probes run on their own thread.
+  copts.probe_interval_ms = 100;
+  copts.probe_deadline_ms = 250;
+  copts.fail_threshold = 3;
+  cluster::Coordinator coord(copts);
+  coord.AddGroup(0, 0, UINT64_MAX, {"127.0.0.1", port_a},
+                 {"127.0.0.1", agent_b->port()});
+  if (!coord.Start().ok()) return 1;
+  printf("coordinator on 127.0.0.1:%u, epoch %llu\n", coord.port(),
+         static_cast<unsigned long long>(coord.epoch()));
+
+  if (!WaitFor("initial role assignment", 5000, [&] {
+        return agent_a->role() == cluster::ReplicaAgent::Role::kPrimary;
+      })) {
+    return 1;
+  }
+
+  std::unique_ptr<cluster::ClusterClient> client;
+  cluster::ClusterClientOptions ccopts;
+  if (!cluster::ClusterClient::Connect("127.0.0.1", coord.port(), ccopts,
+                                       &client)
+           .ok()) {
+    return 1;
+  }
+  if (!client->CreateTable("events", EventsSchema(), 0).ok()) return 1;
+
+  const Timestamp t0 = clock->Now();
+  int inserted = 0;
+  for (int device = 1; device <= 4; device++) {
+    std::vector<Row> rows;
+    for (int i = 0; i < 25; i++) {
+      rows.push_back({Value::Int64(device), Value::Ts(t0 + i * 1000000),
+                      Value::Double(device + i * 0.25)});
+    }
+    if (!client->Insert("events", rows).ok()) return 1;
+    inserted += static_cast<int>(rows.size());
+  }
+  std::vector<Row> all;
+  if (!client->QueryAll("events", QueryBounds(), &all).ok()) return 1;
+  printf("inserted %d rows through the router; full scan sees %zu\n",
+         inserted, all.size());
+  if (static_cast<int>(all.size()) != inserted) return 1;
+
+  // Give the background shipper a beat so the acked rows are on both
+  // replicas, then kill the primary. The coordinator's probes notice,
+  // promote B, bump the epoch, and push the new assignments.
+  SleepMs(400);
+  printf("killing primary (node A)...\n");
+  agent_a->Stop();
+  agent_a.reset();
+  if (!WaitFor("failover", 10000, [&] { return coord.failovers() >= 1; })) {
+    return 1;
+  }
+  printf("failover complete: epoch %llu, %llu failover(s)\n",
+         static_cast<unsigned long long>(coord.epoch()),
+         static_cast<unsigned long long>(coord.failovers()));
+
+  // The same client keeps working: its next calls hit the dead node, turn
+  // into a map refetch + retry, and land on the promoted primary.
+  all.clear();
+  if (!client->QueryAll("events", QueryBounds(), &all).ok()) return 1;
+  printf("post-failover scan on promoted primary sees %zu rows\n",
+         all.size());
+  if (static_cast<int>(all.size()) != inserted) return 1;
+  std::vector<Row> more;
+  for (int i = 0; i < 10; i++) {
+    more.push_back({Value::Int64(9), Value::Ts(clock->Now() + i * 1000000),
+                    Value::Double(i * 1.5)});
+  }
+  if (!client->Insert("events", more).ok()) return 1;
+  inserted += static_cast<int>(more.size());
+  printf("post-failover inserts accepted by the new primary\n");
+
+  // Old primary rejoins on its old endpoint; the coordinator re-pushes the
+  // current assignment and it comes back as the secondary.
+  agent_a = StartAgent(db_a.get(), port_a);
+  if (!agent_a) return 1;
+  if (!WaitFor("rejoin as secondary", 5000, [&] {
+        return agent_a->role() == cluster::ReplicaAgent::Role::kSecondary;
+      })) {
+    return 1;
+  }
+  printf("node A rejoined as secondary at epoch %llu\n",
+         static_cast<unsigned long long>(agent_a->epoch()));
+
+  all.clear();
+  if (!client->QueryAll("events", QueryBounds(), &all).ok()) return 1;
+  printf("final scan sees %zu rows (%d inserted)\n", all.size(), inserted);
+  const bool ok = static_cast<int>(all.size()) == inserted;
+
+  client.reset();
+  coord.Stop();
+  agent_a->Stop();
+  agent_b->Stop();
+  printf(ok ? "ok\n" : "FAIL: row count mismatch\n");
+  return ok ? 0 : 1;
+}

@@ -11,6 +11,11 @@
 //   lt_sim [--seed=N] [--ops=N] [--faults=RATE] [--devices=N]
 //          [--seeds=N]        sweep seeds seed..seed+N-1, stop at first
 //                             failure
+//   lt_sim --cluster ...      multi-node mode: coordinator + two-node
+//                             replicated shard groups (--groups=N) driven
+//                             through the routing ClusterClient, with
+//                             primary crashes, failovers, and replication
+//                             link partitions in the fault mix
 //   lt_sim --verify-seed=N    run seed N twice and require byte-identical
 //                             event logs (and, with --sample-every,
 //                             byte-identical __sys_metrics dumps — the
@@ -31,6 +36,7 @@
 #include <string>
 
 #include "sim/chaos.h"
+#include "sim/cluster_chaos.h"
 
 using namespace lt;
 
@@ -127,6 +133,78 @@ int VerifySeed(sim::ChaosOptions opts) {
   return a.ok && b.ok ? 0 : 1;
 }
 
+int RunOneCluster(const sim::ClusterChaosOptions& opts, bool print_log) {
+  sim::ClusterChaosReport report;
+  Status s = sim::RunClusterChaos(opts, &report);
+  if (!s.ok()) {
+    std::printf("FAIL seed=%llu harness error: %s\n",
+                static_cast<unsigned long long>(opts.seed),
+                s.ToString().c_str());
+    return 1;
+  }
+  if (!report.ok) {
+    std::printf("FAIL seed=%llu oracle: %s\n",
+                static_cast<unsigned long long>(opts.seed),
+                report.failure.c_str());
+    std::printf("reproduce with: lt_sim --cluster --seed=%llu --ops=%d "
+                "--faults=%g --devices=%d --groups=%d --print-log\n",
+                static_cast<unsigned long long>(opts.seed), opts.ops,
+                opts.fault_rate, opts.devices, opts.groups);
+    if (print_log) {
+      for (const std::string& line : report.event_log) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    return 1;
+  }
+  std::printf("ok seed=%llu events=%zu",
+              static_cast<unsigned long long>(opts.seed),
+              report.event_log.size());
+  if (print_log) {
+    std::printf("\n");
+    for (const std::string& line : report.event_log) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  for (const auto& [key, value] : report.counters) {
+    std::printf("  %s=%llu", key.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int VerifySeedCluster(const sim::ClusterChaosOptions& opts) {
+  sim::ClusterChaosReport a, b;
+  Status s = sim::RunClusterChaos(opts, &a);
+  if (s.ok()) s = sim::RunClusterChaos(opts, &b);
+  if (!s.ok()) {
+    std::printf("FAIL seed=%llu harness error: %s\n",
+                static_cast<unsigned long long>(opts.seed),
+                s.ToString().c_str());
+    return 1;
+  }
+  if (a.event_log != b.event_log) {
+    size_t i = 0;
+    while (i < a.event_log.size() && i < b.event_log.size() &&
+           a.event_log[i] == b.event_log[i]) {
+      i++;
+    }
+    std::printf("FAIL seed=%llu nondeterministic: logs diverge at line %zu\n",
+                static_cast<unsigned long long>(opts.seed), i);
+    std::printf("  run1: %s\n", i < a.event_log.size()
+                                    ? a.event_log[i].c_str()
+                                    : "<end of log>");
+    std::printf("  run2: %s\n", i < b.event_log.size()
+                                    ? b.event_log[i].c_str()
+                                    : "<end of log>");
+    return 1;
+  }
+  std::printf("ok seed=%llu deterministic (%zu log lines)\n",
+              static_cast<unsigned long long>(opts.seed), a.event_log.size());
+  return a.ok && b.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,9 +213,15 @@ int main(int argc, char** argv) {
   bool print_log = false;
   bool verify = false;
   bool dump_sys = false;
+  bool cluster = false;
+  int groups = 1;
   for (int i = 1; i < argc; i++) {
     std::string v;
-    if (ParseFlag(argv[i], "--seed", &v)) {
+    if (std::strcmp(argv[i], "--cluster") == 0) {
+      cluster = true;
+    } else if (ParseFlag(argv[i], "--groups", &v)) {
+      groups = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--ops", &v)) {
       opts.ops = std::atoi(v.c_str());
@@ -158,11 +242,27 @@ int main(int argc, char** argv) {
       dump_sys = true;
     } else {
       std::fprintf(stderr,
-                   "usage: lt_sim [--seed=N] [--ops=N] [--faults=RATE] "
-                   "[--devices=N] [--seeds=N] [--sample-every=N] "
-                   "[--verify-seed=N] [--print-log] [--dump-sys-metrics]\n");
+                   "usage: lt_sim [--cluster] [--groups=N] [--seed=N] "
+                   "[--ops=N] [--faults=RATE] [--devices=N] [--seeds=N] "
+                   "[--sample-every=N] [--verify-seed=N] [--print-log] "
+                   "[--dump-sys-metrics]\n");
       return 2;
     }
+  }
+  if (cluster) {
+    sim::ClusterChaosOptions copts;
+    copts.seed = opts.seed;
+    copts.ops = opts.ops;
+    copts.fault_rate = opts.fault_rate;
+    copts.devices = opts.devices;
+    copts.groups = groups;
+    if (verify) return VerifySeedCluster(copts);
+    for (int i = 0; i < seeds; i++) {
+      sim::ClusterChaosOptions one = copts;
+      one.seed = copts.seed + static_cast<uint64_t>(i);
+      if (RunOneCluster(one, print_log) != 0) return 1;
+    }
+    return 0;
   }
   if (verify) return VerifySeed(opts);
   for (int i = 0; i < seeds; i++) {

@@ -8,11 +8,15 @@
 // With no table argument, every table on the server is fetched and its
 // metrics rendered with a {table="..."} label. With --watch=N the tool
 // rescrapes every N seconds and prints per-interval deltas and rates
-// instead of lifetime totals. Exit status is nonzero on connect failure or
-// a partial scrape (a listed table whose stats could not be fetched). With
+// instead of lifetime totals; if the server restarts mid-watch, the tool
+// reconnects with capped backoff and rebases its deltas rather than
+// exiting. Exit status is nonzero on initial connect failure or
+// a partial one-shot scrape (a listed table whose stats could not be
+// fetched). With
 // no arguments at all, a self-contained demo runs: an in-memory server is
 // stood up, driven with a small workload, and scraped — handy for seeing
 // the output format without a running server.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -122,16 +126,36 @@ int Watch(const std::string& host, uint16_t port, const std::string& table,
     fprintf(stderr, "scrape: %s\n", s.ToString().c_str());
     return 1;
   }
+  int backoff_sec = 1;
   for (;;) {
     std::this_thread::sleep_for(std::chrono::seconds(interval_sec));
     std::map<std::string, uint64_t> cur;
     s = ScrapeAll(client.get(), table, &cur);
     if (!s.ok()) {
-      // A failed or partial re-scrape ends the watch nonzero: a monitoring
-      // pipeline must not mistake silence for health.
-      fprintf(stderr, "scrape: %s\n", s.ToString().c_str());
-      return 1;
+      // A long-lived watch outlives server restarts: re-dial with capped
+      // backoff instead of dying, then rebase the deltas on the fresh
+      // counters (a restarted server starts them from zero). Only the
+      // initial connect/scrape above fails the process — a monitoring
+      // pipeline still cannot mistake a misconfigured target for health.
+      while (true) {
+        fprintf(stderr, "scrape: %s; reconnecting in %ds\n",
+                s.ToString().c_str(), backoff_sec);
+        std::this_thread::sleep_for(std::chrono::seconds(backoff_sec));
+        backoff_sec = std::min(backoff_sec * 2, 30);
+        client.reset();
+        s = Client::Connect(host, port, &client);
+        if (!s.ok()) continue;
+        cur.clear();
+        s = ScrapeAll(client.get(), table, &cur);
+        if (s.ok()) break;
+      }
+      printf("--- reconnected ---\n");
+      fflush(stdout);
+      prev.swap(cur);  // Rebase; the cross-restart delta is meaningless.
+      backoff_sec = 1;
+      continue;
     }
+    backoff_sec = 1;
     printf("--- interval %ds ---\n", interval_sec);
     for (const auto& [name, v] : cur) {
       auto it = prev.find(name);

@@ -15,6 +15,10 @@
 //   --once         print a single frame without clearing the screen and
 //                  exit (for scripts and CI smoke tests)
 //
+// In live mode the dashboard survives server restarts: a lost connection
+// is re-dialed with capped backoff. --once keeps strict nonzero exit on
+// any failure so scripts still see errors.
+//
 // With no arguments a self-contained demo runs: an in-memory server under
 // a simulated clock is stood up with the sampler attached, a minute of
 // workload is simulated in milliseconds, and one frame is rendered from
@@ -149,9 +153,22 @@ int Top(const std::string& host, uint16_t port, int interval_sec,
     return 1;
   }
   if (once) return RenderFrame(client.get(), window_sec, filter, false);
+  // Live mode outlives server restarts: a failed frame drops the
+  // connection and re-dials with capped backoff instead of exiting. Only
+  // --once and the initial connect above report failure via exit status.
+  int backoff_sec = 1;
   for (;;) {
-    int rc = RenderFrame(client.get(), window_sec, filter, true);
-    if (rc != 0) return rc;
+    if (client == nullptr) {
+      fprintf(stderr, "lt_top: reconnecting in %ds\n", backoff_sec);
+      std::this_thread::sleep_for(std::chrono::seconds(backoff_sec));
+      backoff_sec = std::min(backoff_sec * 2, 30);
+      if (!Client::Connect(host, port, &client).ok()) continue;
+    }
+    if (RenderFrame(client.get(), window_sec, filter, true) != 0) {
+      client.reset();
+      continue;
+    }
+    backoff_sec = 1;
     std::this_thread::sleep_for(std::chrono::seconds(interval_sec));
   }
 }

@@ -1,0 +1,103 @@
+// Coordinator: holds the cluster's shard map, probes primaries, promotes
+// secondaries, and pushes role assignments.
+//
+// The coordinator is a pure-extension LittleTableServer (no DB attached):
+// it answers kGetShardMap with the current map and otherwise only probes.
+// Each ProbeOnce round pings every group's primary under a hard deadline
+// (answered inline from the server event loop, so a busy worker pool on a
+// healthy node cannot fail the probe). A primary that misses
+// `fail_threshold` consecutive probes while its secondary is reachable is
+// failed over: the epoch bumps, the pair swaps, and the new assignment is
+// pushed to every reachable node. Assignments are re-pushed every round —
+// idempotent on the receiving agent — so a node that missed its demotion
+// while partitioned is demoted as soon as it is reachable again
+// (split-brain lasts at most one reachable probe round).
+#ifndef LITTLETABLE_CLUSTER_COORDINATOR_H_
+#define LITTLETABLE_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "cluster/shard_map.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace lt {
+namespace cluster {
+
+struct CoordinatorOptions {
+  /// Port for the map-serving endpoint (0 = ephemeral).
+  uint16_t port = 0;
+  /// Transport for both the server and the probe clients; null = real TCP.
+  net::Transport* transport = nullptr;
+  /// Per-probe deadline (connect + ping round trip).
+  int probe_deadline_ms = 200;
+  /// Consecutive failed probes before a primary is failed over.
+  int fail_threshold = 3;
+  /// Background probe cadence; used only when `background` is set.
+  int probe_interval_ms = 500;
+  /// Start a background probe thread. Deterministic harnesses leave this
+  /// off and drive ProbeOnce() themselves.
+  bool background = false;
+  /// Template for the probe/assignment clients (transport is overridden).
+  ClientOptions client;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(const CoordinatorOptions& options);
+  ~Coordinator();
+
+  /// Registers a shard group before (or after) Start. Bumps the epoch.
+  void AddGroup(uint32_t id, uint64_t hash_begin, uint64_t hash_end,
+                const Endpoint& primary, const Endpoint& secondary);
+
+  /// Starts the map server (and the probe thread when configured).
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return server_ ? server_->port() : 0; }
+
+  ShardMap Map() const;
+  uint64_t epoch() const;
+
+  /// One probe round: ping primaries, promote on threshold (only when the
+  /// secondary is itself reachable), push current assignments to every
+  /// reachable node. Deterministic: no sleeps, no internal randomness.
+  void ProbeOnce();
+
+  /// Total promotions performed (tests/monitoring).
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Client* ClientFor(const Endpoint& ep);
+  void PushAssignments();
+
+  const CoordinatorOptions opts_;
+  std::unique_ptr<LittleTableServer> server_;
+
+  mutable std::mutex mu_;
+  ShardMap map_;
+  std::map<uint32_t, int> fail_streak_;  // Consecutive probe misses by group.
+  std::atomic<uint64_t> failovers_{0};
+
+  // Probe/assignment connections, keyed by endpoint. Only the probe path
+  // (ProbeOnce, one thread at a time) touches these.
+  std::map<std::string, std::unique_ptr<Client>> clients_;
+
+  std::thread probe_thread_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace cluster
+}  // namespace lt
+
+#endif  // LITTLETABLE_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,117 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace lt {
+namespace cluster {
+
+namespace {
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void EncodeEndpoint(std::string* dst, const Endpoint& ep) {
+  PutLengthPrefixedSlice(dst, ep.host);
+  PutVarint32(dst, ep.port);
+}
+
+bool DecodeEndpoint(Slice* in, Endpoint* out) {
+  Slice host;
+  uint32_t port;
+  if (!GetLengthPrefixedSlice(in, &host) || !GetVarint32(in, &port) ||
+      port > 65535) {
+    return false;
+  }
+  out->host = host.ToString();
+  out->port = static_cast<uint16_t>(port);
+  return true;
+}
+}  // namespace
+
+void ShardMap::Encode(std::string* dst) const {
+  PutVarint64(dst, epoch);
+  PutVarint32(dst, static_cast<uint32_t>(groups.size()));
+  for (const ShardGroupInfo& g : groups) {
+    PutVarint32(dst, g.id);
+    PutFixed64(dst, g.hash_begin);
+    PutFixed64(dst, g.hash_end);
+    EncodeEndpoint(dst, g.primary);
+    EncodeEndpoint(dst, g.secondary);
+  }
+}
+
+Status ShardMap::Decode(Slice* in, ShardMap* out) {
+  uint32_t count;
+  if (!GetVarint64(in, &out->epoch) || !GetVarint32(in, &count) ||
+      count > 1u << 20) {
+    return Status::Corruption("bad shard map");
+  }
+  out->groups.clear();
+  out->groups.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    ShardGroupInfo g;
+    if (!GetVarint32(in, &g.id) || !GetFixed64(in, &g.hash_begin) ||
+        !GetFixed64(in, &g.hash_end) || !DecodeEndpoint(in, &g.primary) ||
+        !DecodeEndpoint(in, &g.secondary)) {
+      return Status::Corruption("bad shard map");
+    }
+    out->groups.push_back(std::move(g));
+  }
+  std::sort(out->groups.begin(), out->groups.end(),
+            [](const ShardGroupInfo& a, const ShardGroupInfo& b) {
+              return a.hash_begin < b.hash_begin;
+            });
+  return Status::OK();
+}
+
+const ShardGroupInfo* ShardMap::GroupForHash(uint64_t hash) const {
+  for (const ShardGroupInfo& g : groups) {
+    if (hash >= g.hash_begin && hash <= g.hash_end) return &g;
+  }
+  return nullptr;
+}
+
+const ShardGroupInfo* ShardMap::GroupById(uint32_t id) const {
+  for (const ShardGroupInfo& g : groups) {
+    if (g.id == id) return &g;
+  }
+  return nullptr;
+}
+
+uint64_t RouteHash(const Schema& schema, const Row& row) {
+  std::string cell;
+  EncodeValue(&cell, row[0], schema.columns()[0].type);
+  return Fnv1a(cell);
+}
+
+uint64_t RouteHashPrefix(const Schema& schema, const Key& prefix) {
+  std::string cell;
+  EncodeValue(&cell, prefix[0], schema.columns()[0].type);
+  return Fnv1a(cell);
+}
+
+std::vector<ShardGroupInfo> EvenGroups(uint32_t n) {
+  std::vector<ShardGroupInfo> out;
+  if (n == 0) return out;
+  const uint64_t width = ~0ull / n;
+  uint64_t begin = 0;
+  for (uint32_t i = 0; i < n; i++) {
+    ShardGroupInfo g;
+    g.id = i;
+    g.hash_begin = begin;
+    g.hash_end = (i + 1 == n) ? ~0ull : begin + width;
+    begin = g.hash_end + 1;
+    out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace cluster
+}  // namespace lt

@@ -1,0 +1,77 @@
+// ShardMap: the cluster's versioned routing table (ROADMAP item 1).
+//
+// The paper's production deployment runs ~400 independent LittleTable
+// shards whose placement and failover live outside the database (Fig. 7,
+// §5). This header makes that arrangement first-class: the key space is
+// split into shard groups by a hash of the first primary-key column (so
+// every row of one device/series lands in one group and per-prefix scans
+// touch one node), each group has a primary and a secondary endpoint, and
+// the whole assignment carries an epoch that bumps on every failover. A
+// client routing with a stale epoch is told kWrongShard and refetches.
+#ifndef LITTLETABLE_CLUSTER_SHARD_MAP_H_
+#define LITTLETABLE_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/value.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lt {
+namespace cluster {
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  bool operator==(const Endpoint& o) const {
+    return host == o.host && port == o.port;
+  }
+  std::string ToString() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// One shard group: a slice of the hash space plus its replica pair.
+struct ShardGroupInfo {
+  uint32_t id = 0;
+  /// Inclusive hash range [hash_begin, hash_end] this group owns.
+  uint64_t hash_begin = 0;
+  uint64_t hash_end = 0;
+  Endpoint primary;
+  Endpoint secondary;
+};
+
+/// The versioned shard map the coordinator serves (kGetShardMap) and the
+/// ClusterClient caches. Groups are kept sorted by hash_begin and must
+/// cover the full 64-bit hash space without overlap.
+struct ShardMap {
+  uint64_t epoch = 0;
+  std::vector<ShardGroupInfo> groups;
+
+  void Encode(std::string* dst) const;
+  static Status Decode(Slice* in, ShardMap* out);
+
+  /// The group owning `hash`; null if the map has a coverage gap.
+  const ShardGroupInfo* GroupForHash(uint64_t hash) const;
+  const ShardGroupInfo* GroupById(uint32_t id) const;
+};
+
+/// Routing hash: FNV-1a over the value encoding of the row's FIRST primary
+/// key column only — all rows of one series share a group, so single-prefix
+/// queries (the common §3.1 shape) route to exactly one node.
+uint64_t RouteHash(const Schema& schema, const Row& row);
+/// Same hash from a key prefix (requires at least one cell).
+uint64_t RouteHashPrefix(const Schema& schema, const Key& prefix);
+
+/// Splits the hash space into `n` equal inclusive ranges (helper for tests
+/// and the demo; ids are 0..n-1, endpoints left empty).
+std::vector<ShardGroupInfo> EvenGroups(uint32_t n);
+
+}  // namespace cluster
+}  // namespace lt
+
+#endif  // LITTLETABLE_CLUSTER_SHARD_MAP_H_

@@ -195,6 +195,171 @@ Status Table::SaveDescriptorWithLocked(const std::vector<TabletMeta>& tablets) {
   return desc.Save(env_, DescriptorPath());
 }
 
+// ---------------------------------------------------------------------------
+// Replication hooks: whole-tablet export/install for primary→secondary
+// shipping (flushed tablets are immutable, so a byte copy is a valid
+// replica of the tablet).
+
+namespace {
+// Parses the numeric prefix of a tablet filename ("000042.tab" → 42);
+// returns 0 if the name has no digit prefix.
+uint64_t TabletSeqOf(const std::string& fname) {
+  uint64_t seq = 0;
+  for (char c : fname) {
+    if (c < '0' || c > '9') break;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+bool SameTablet(const TabletMeta& a, const TabletMeta& b) {
+  return a.filename == b.filename && a.file_bytes == b.file_bytes &&
+         a.row_count == b.row_count;
+}
+}  // namespace
+
+Status Table::ExportTablet(const std::string& filename, TabletMeta* meta,
+                           std::string* bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    for (const TabletMeta& m : tablets_) {
+      if (m.filename == filename) {
+        *meta = m;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::NotFound("no such tablet: " + filename);
+  }
+  LT_RETURN_IF_ERROR(ReadFileToString(env_, TabletPath(filename), bytes));
+  if (bytes->size() != meta->file_bytes) {
+    // Tablets never change size once flushed; a mismatch means the file
+    // was replaced under us (merge) — the caller should re-list and retry.
+    return Status::NotFound("tablet replaced mid-export: " + filename);
+  }
+  return Status::OK();
+}
+
+Status Table::InstallTablet(const TabletMeta& meta, const Slice& bytes) {
+  if (meta.filename.empty() || meta.filename == "DESC" ||
+      meta.filename.find('/') != std::string::npos) {
+    return Status::InvalidArgument("bad tablet filename");
+  }
+  if (bytes.size() != meta.file_bytes) {
+    return Status::InvalidArgument("tablet size does not match meta");
+  }
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TabletMeta& m : tablets_) {
+      if (m.filename != meta.filename) continue;
+      if (SameTablet(m, meta)) return Status::OK();  // Duplicate ship.
+      // Same name, different contents: a divergent-history rejoin. Drop
+      // the old entry durably BEFORE the file is overwritten, so a crash
+      // in between leaves an orphan (removed at Open), never a descriptor
+      // naming bytes it doesn't describe.
+      std::vector<TabletMeta> next;
+      next.reserve(tablets_.size() - 1);
+      for (const TabletMeta& t : tablets_) {
+        if (t.filename != meta.filename) next.push_back(t);
+      }
+      LT_RETURN_IF_ERROR(SaveDescriptorWithLocked(next));
+      readers_.erase(meta.filename);
+      tablets_ = std::move(next);
+      break;
+    }
+  }
+  const std::string path = TabletPath(meta.filename);
+  const std::string tmp = path + ".ship";
+  std::unique_ptr<WritableFile> f;
+  LT_RETURN_IF_ERROR(env_->NewWritableFile(tmp, &f));
+  Status s = f->Append(bytes);
+  if (s.ok()) s = f->Sync();
+  if (s.ok()) s = f->Close();
+  if (s.ok()) s = env_->RenameFile(tmp, path);
+  if (!s.ok()) {
+    env_->RemoveFile(tmp);
+    return s;
+  }
+  // Validate before committing: the bytes must load as a real tablet, so
+  // a torn or corrupted transfer that slipped past the wire checksum can
+  // never enter the descriptor.
+  std::shared_ptr<TabletReader> reader;
+  s = TabletReader::Open(env_, path, &reader, opts_.block_cache, &stats_);
+  if (s.ok()) s = reader->Load();
+  if (!s.ok()) {
+    env_->RemoveFile(path);
+    return s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TabletMeta> next = tablets_;
+    next.push_back(meta);
+    SortMetas(&next);
+    // Local flushes must never collide with shipped names: advance the
+    // sequence counter past the installed file's.
+    const uint64_t seq = TabletSeqOf(meta.filename);
+    const uint64_t prev_seq = next_file_seq_;
+    if (seq >= next_file_seq_) next_file_seq_ = seq + 1;
+    Status cs = SaveDescriptorWithLocked(next);
+    if (!cs.ok()) {
+      next_file_seq_ = prev_seq;
+      env_->RemoveFile(path);
+      return cs;
+    }
+    readers_[meta.filename] = std::move(reader);
+    tablets_ = std::move(next);
+    if (meta.row_count > 0) {
+      if (!has_rows_ || meta.max_ts > max_row_ts_) max_row_ts_ = meta.max_ts;
+      has_rows_ = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::RetainOnlyTablets(const std::vector<TabletMeta>& keep) {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto keeps = [&](const TabletMeta& m) {
+    for (const TabletMeta& k : keep) {
+      if (SameTablet(k, m)) return true;
+    }
+    return false;
+  };
+  std::vector<TabletMeta> next;
+  std::vector<std::string> drop;
+  next.reserve(tablets_.size());
+  for (const TabletMeta& m : tablets_) {
+    if (keeps(m)) {
+      next.push_back(m);
+    } else {
+      drop.push_back(m.filename);
+    }
+  }
+  if (drop.empty()) return Status::OK();
+  // Commit the prune durably first; files are unreferenced afterwards, so
+  // a crash between descriptor and removal just leaves orphans for Open.
+  LT_RETURN_IF_ERROR(SaveDescriptorWithLocked(next));
+  for (const std::string& fname : drop) {
+    readers_.erase(fname);
+    env_->RemoveFile(TabletPath(fname));
+  }
+  tablets_ = std::move(next);
+  return Status::OK();
+}
+
+void Table::DiscardMem() {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  filling_.clear();
+  sealed_.clear();
+  must_flush_first_.clear();
+  last_insert_tablet_ = 0;
+  flush_backoff_until_ = 0;
+  flush_failure_streak_ = 0;
+}
+
 void Table::RecordFlushFailureLocked(Timestamp now) {
   stats_.flush_failures.fetch_add(1);
   Timestamp delay = opts_.flush_retry_backoff;

@@ -122,6 +122,38 @@ class Table {
   Status WidenColumn(const std::string& column_name);
   Status SetTtl(Timestamp ttl);
 
+  // Replication hooks (src/cluster). Flushed tablets are immutable files,
+  // so primary→secondary replication is whole-tablet shipping: the primary
+  // exports raw file bytes, the secondary installs them atomically through
+  // the same descriptor machinery a flush commits through.
+
+  /// Reads one on-disk tablet whole for shipping: its descriptor entry
+  /// plus the raw file bytes. NotFound if the tablet is no longer in the
+  /// descriptor (e.g. merged away between listing and shipping).
+  Status ExportTablet(const std::string& filename, TabletMeta* meta,
+                      std::string* bytes);
+
+  /// Installs a shipped tablet file atomically (tmp + sync + rename, then
+  /// one descriptor update), validating the bytes by loading them as a
+  /// tablet first. Idempotent: a tablet already installed with identical
+  /// meta (filename, file_bytes, row_count) returns OK without touching
+  /// disk; a same-named tablet with different meta is replaced (a
+  /// divergent-history rejoin). A crash mid-install leaves at worst an
+  /// orphan file, which Open removes.
+  Status InstallTablet(const TabletMeta& meta, const Slice& bytes);
+
+  /// Drops every on-disk tablet NOT in `keep` (matched by filename +
+  /// file_bytes + row_count triple) in one descriptor update. The
+  /// secondary applies the primary's authoritative tablet set with this,
+  /// so tablets merged away on the primary are pruned here too.
+  Status RetainOnlyTablets(const std::vector<TabletMeta>& keep);
+
+  /// Discards all in-memory rows (filling and sealed tablets) without
+  /// flushing. Demotion hook: a node rejoining as secondary must drop
+  /// unflushed state that may diverge from the new primary's history,
+  /// keeping its on-disk prefix as the replication starting point.
+  void DiscardMem();
+
   TableStats& stats() { return stats_; }
 
   // Introspection (tests and benchmarks).

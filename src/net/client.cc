@@ -160,6 +160,60 @@ Status Client::Ping() {
   return WithRetries([&] { return PingLocked(); });
 }
 
+Status Client::Ping(int deadline_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!conn_) {
+    std::unique_ptr<net::Connection> conn;
+    LT_RETURN_IF_ERROR(transport_->Connect(host_, port_, deadline_ms, &conn));
+    conn->set_read_timeout_ms(opts_.read_timeout_ms);
+    conn->set_write_timeout_ms(opts_.write_timeout_ms);
+    conn_ = std::move(conn);
+    connect_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn_->set_read_timeout_ms(deadline_ms);
+  conn_->set_write_timeout_ms(deadline_ms);
+  Status s = PingLocked();
+  if (conn_) {
+    // RoundTrip resets conn_ on failure, so a surviving connection is the
+    // one whose deadlines we tightened — restore them.
+    conn_->set_read_timeout_ms(opts_.read_timeout_ms);
+    conn_->set_write_timeout_ms(opts_.write_timeout_ms);
+  }
+  return s;
+}
+
+Status Client::Call(MsgType type, const std::string& body,
+                    MsgType* resp_type, std::string* resp_body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RoundTrip(type, body, resp_type, resp_body);
+}
+
+Status Client::CallStream(
+    MsgType type, const std::string& body,
+    const std::function<Status(MsgType, Slice, bool*)>& on_frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LT_RETURN_IF_ERROR(EnsureConnectedLocked());
+  std::string frame = wire::Frame(type, body);
+  Status s = conn_->WriteAll(frame.data(), frame.size());
+  while (s.ok()) {
+    MsgType rt;
+    std::string rb;
+    s = ReadFrame(&rt, &rb);
+    if (!s.ok()) break;
+    bool done = false;
+    Status cb = on_frame(rt, Slice(rb), &done);
+    if (!cb.ok()) {
+      // Aborting mid-stream leaves undrained frames on the wire; the
+      // connection is desynced, so drop it.
+      conn_.reset();
+      return cb;
+    }
+    if (done) return Status::OK();
+  }
+  conn_.reset();
+  return s;
+}
+
 Status Client::ListTables(std::vector<std::string>* names) {
   return WithRetries([&] {
     MsgType type;

@@ -99,6 +99,15 @@ class Client {
                         std::unique_ptr<Client>* out);
 
   Status Ping();
+
+  /// Single-attempt health probe under one explicit deadline covering the
+  /// whole call — connect (when disconnected) and round trip — with no
+  /// retries and no backoff: the coordinator's prober decides liveness
+  /// from this call alone, and retrying would mask exactly the slowness
+  /// it is there to detect. Socket deadlines are restored afterwards, so
+  /// other requests on this Client keep their configured timeouts.
+  Status Ping(int deadline_ms);
+
   Status ListTables(std::vector<std::string>* names);
 
   /// Creates a table with the given TTL (0 = retain forever).
@@ -151,7 +160,26 @@ class Client {
   /// block-read distributions (table.*_micros).
   Status Stats(const std::string& table, ServerStats* stats);
 
+  /// One request / one response frame, no retries: the building block the
+  /// cluster layer is written against — its router owns retry and
+  /// shard-map-refresh policy, so blind client-side retries would fight
+  /// it. Serialized with every other request on this Client.
+  Status Call(wire::MsgType type, const std::string& body,
+              wire::MsgType* resp_type, std::string* resp_body);
+
+  /// One request whose response is a stream of frames (e.g. a routed
+  /// query's kQueryChunk sequence). `on_frame` runs once per frame and
+  /// sets *done on the final one; returning an error aborts mid-stream
+  /// and drops the connection (undrained frames leave it desynced).
+  Status CallStream(wire::MsgType type, const std::string& body,
+                    const std::function<Status(wire::MsgType type, Slice body,
+                                               bool* done)>& on_frame);
+
   bool connected() const { return conn_ != nullptr; }
+
+  /// Decodes a kError response body into its Status. Exposed for the
+  /// cluster router, which interprets raw response frames from Call.
+  static Status ErrorFromBody(Slice body);
 
   /// Number of transport connects performed (1 for the initial connect;
   /// each reconnect adds one). Exposed for tests and monitoring.
@@ -184,8 +212,6 @@ class Client {
   Status RoundTrip(wire::MsgType type, const std::string& body,
                    wire::MsgType* resp_type, std::string* resp_body);
   Status ReadFrame(wire::MsgType* type, std::string* body);
-  /// Decodes a kError response body.
-  static Status ErrorFromBody(Slice body);
   /// Drops the cached schema for `table` (on kSchemaChanged).
   void InvalidateSchema(const std::string& table);
   Result<std::shared_ptr<const Schema>> SchemaLocked(const std::string& table);

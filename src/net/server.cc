@@ -50,7 +50,32 @@ const char* OpName(MsgType type) {
     case MsgType::kSetTtl: return "set_ttl";
     case MsgType::kStats: return "stats";
     case MsgType::kStatsV2: return "stats_v2";
+    case MsgType::kGetShardMap: return "get_shard_map";
+    case MsgType::kAssignShard: return "assign_shard";
+    case MsgType::kRoutedInsert: return "routed_insert";
+    case MsgType::kRoutedQuery: return "routed_query";
+    case MsgType::kRoutedCreate: return "routed_create";
+    case MsgType::kReplicateRows: return "replicate_rows";
+    case MsgType::kShipTablet: return "ship_tablet";
+    case MsgType::kTabletSetSync: return "tablet_set_sync";
     default: return nullptr;
+  }
+}
+
+// Opcodes handled by ServerOptions::extension rather than the core switch.
+bool IsClusterOp(MsgType type) {
+  switch (type) {
+    case MsgType::kGetShardMap:
+    case MsgType::kAssignShard:
+    case MsgType::kRoutedInsert:
+    case MsgType::kRoutedQuery:
+    case MsgType::kRoutedCreate:
+    case MsgType::kReplicateRows:
+    case MsgType::kShipTablet:
+    case MsgType::kTabletSetSync:
+      return true;
+    default:
+      return false;
   }
 }
 
@@ -90,6 +115,7 @@ LittleTableServer::LittleTableServer(DB* db, const ServerOptions& options)
   idle_disconnects_ = metrics_.GetCounter("server.idle_disconnects");
   busy_rejects_ = metrics_.GetCounter("server.busy_rejects");
   shutdown_rejects_ = metrics_.GetCounter("server.shutdown_rejects");
+  inline_pings_ = metrics_.GetCounter("server.inline_pings");
 }
 
 LittleTableServer::~LittleTableServer() { Stop(); }
@@ -341,6 +367,39 @@ bool LittleTableServer::HandleFrame(const std::shared_ptr<ConnState>& cs,
     EnqueueTask(cs, std::move(task));
     return true;
   }
+  if (op == static_cast<uint8_t>(MsgType::kPing)) {
+    // Health probes are answered inline from the event loop when the
+    // connection has no queued work: a saturated worker pool (or a deep
+    // run queue) must not make a healthy node look dead to the
+    // coordinator's prober. Writing from here is safe because the FIFO
+    // invariant (one worker per connection, front task only) means
+    // !running && tasks.empty() ⇒ no worker can be writing to this
+    // connection. Pings arriving behind pipelined work still ride the
+    // ordered task path so responses stay in request order.
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      idle = !cs->running && cs->tasks.empty();
+    }
+    if (idle) {
+      const Timestamp start = MonotonicMicros();
+      const std::string resp = wire::Frame(MsgType::kOk, "");
+      const bool write_ok =
+          cs->conn->WriteAll(resp.data(), resp.size()).ok();
+      inline_pings_->Increment();
+      if (LatencyHistogram* h = op_micros_[op]) {
+        h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
+      }
+      if (task.registered) {
+        {
+          std::lock_guard<std::mutex> lock(drain_mu_);
+          active_requests_--;
+        }
+        drain_cv_.notify_all();
+      }
+      return write_ok;
+    }
+  }
   task.payload = std::move(payload);
   EnqueueTask(cs, std::move(task));
   return true;
@@ -493,16 +552,19 @@ void LittleTableServer::ReplyStatus(std::string* out, const Status& s) {
 Status LittleTableServer::CollectCounters(
     const std::string& name,
     std::vector<std::pair<std::string, uint64_t>>* out) {
-  if (const std::shared_ptr<Cache>& cache = db_->block_cache()) {
-    Cache::Stats cs = cache->GetStats();
-    out->emplace_back("cache.hits", cs.hits);
-    out->emplace_back("cache.misses", cs.misses);
-    out->emplace_back("cache.inserts", cs.inserts);
-    out->emplace_back("cache.evictions", cs.evictions);
-    out->emplace_back("cache.charge_bytes", cs.charge);
-    out->emplace_back("cache.capacity_bytes", cs.capacity);
+  if (db_ != nullptr) {
+    if (const std::shared_ptr<Cache>& cache = db_->block_cache()) {
+      Cache::Stats cs = cache->GetStats();
+      out->emplace_back("cache.hits", cs.hits);
+      out->emplace_back("cache.misses", cs.misses);
+      out->emplace_back("cache.inserts", cs.inserts);
+      out->emplace_back("cache.evictions", cs.evictions);
+      out->emplace_back("cache.charge_bytes", cs.charge);
+      out->emplace_back("cache.capacity_bytes", cs.capacity);
+    }
   }
   if (!name.empty()) {
+    if (db_ == nullptr) return Status::NotFound("no such table: " + name);
     std::shared_ptr<Table> table = db_->GetTable(name);
     if (!table) return Status::NotFound("no such table: " + name);
     // The canonical export list lives with the counters themselves
@@ -516,6 +578,25 @@ Status LittleTableServer::CollectCounters(
 }
 
 void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
+  if (IsClusterOp(type)) {
+    // Cluster opcodes belong to the extension (coordinator or replica
+    // agent); the core server knows only that they exist, so that they get
+    // latency histograms and pass the known-opcode gate.
+    if (opts_.extension) {
+      opts_.extension(type, body, out);
+    } else {
+      ReplyError(out, ErrCode::kBadRequest,
+                 "cluster opcode not supported here");
+    }
+    return;
+  }
+  if (db_ == nullptr && type != MsgType::kPing && type != MsgType::kStats &&
+      type != MsgType::kStatsV2) {
+    // Pure-extension server (the coordinator): health checks and
+    // server-wide stats work, everything table- or db-shaped does not.
+    return ReplyError(out, ErrCode::kInvalidArgument,
+                      "server has no database attached");
+  }
   switch (type) {
     case MsgType::kPing:
       *out += wire::Frame(MsgType::kOk, "");

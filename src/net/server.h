@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,12 +68,21 @@ struct ServerOptions {
   /// connection). Null = the real system clock; tests over SimTransport can
   /// inject the SimClock so idleness is simulated time.
   std::shared_ptr<Clock> clock;
+  /// Cluster extension: invoked (from a worker thread) for the cluster
+  /// opcodes (kGetShardMap..kTabletSetSync), appending response frames to
+  /// the output string exactly as Dispatch does. A server without one
+  /// answers those opcodes with kBadRequest. Installed by the coordinator
+  /// and by replica agents (src/cluster).
+  std::function<void(wire::MsgType type, Slice body, std::string* out)>
+      extension;
 };
 
 class LittleTableServer {
  public:
   /// Serves `db` (not owned) on 127.0.0.1:`port` (0 = ephemeral) with
-  /// default options.
+  /// default options. `db` may be null for a pure-extension server (the
+  /// cluster coordinator): kPing, kStats/kStatsV2 with an empty table name,
+  /// and extension opcodes still work; everything else answers kError.
   LittleTableServer(DB* db, uint16_t port = 0);
   LittleTableServer(DB* db, const ServerOptions& options);
   ~LittleTableServer();
@@ -105,6 +115,15 @@ class LittleTableServer {
   /// (server.op.<name>.micros) and connection/request/error counters
   /// (server.*). Exposed for kStatsV2 and for in-process embedding.
   MetricsRegistry& metrics() { return metrics_; }
+
+  /// Executes one request synchronously on the caller's thread, appending
+  /// response frames to `*out`. This is the cluster delegation hook: a
+  /// replica agent's extension handler unwraps a routed request and hands
+  /// the inner opcode back to the core dispatch (and the promotion path
+  /// replays redo-buffered inserts through it).
+  void Handle(wire::MsgType type, Slice body, std::string* out) {
+    Dispatch(type, body, out);
+  }
 
  private:
   // One request decoded from a connection's byte stream, or a canned
@@ -192,6 +211,10 @@ class LittleTableServer {
   Counter* idle_disconnects_ = nullptr;
   Counter* busy_rejects_ = nullptr;
   Counter* shutdown_rejects_ = nullptr;
+  // Pings answered directly from the event loop (connection had no queued
+  // work), bypassing the worker pool so a saturated pool cannot fail a
+  // healthy node's health probe.
+  Counter* inline_pings_ = nullptr;
   uint16_t port_;
   net::Transport* const transport_;
   std::unique_ptr<net::Listener> listener_;

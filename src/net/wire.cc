@@ -114,6 +114,11 @@ Status StatusForCode(ErrCode code, const std::string& message) {
     case ErrCode::kBadRequest:
       return Status::InvalidArgument(message.empty() ? "bad request"
                                                      : message);
+    case ErrCode::kWrongShard:
+      // Routing staleness is retryable after a shard-map refresh; Aborted
+      // keeps it distinct from connection errors so a plain Client never
+      // blind-retries it.
+      return Status::Aborted(message.empty() ? "wrong shard" : message);
     case ErrCode::kGeneric: break;
   }
   return Status::NetworkError(message);

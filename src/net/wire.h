@@ -46,6 +46,23 @@ enum class MsgType : uint8_t {
   kStats = 13,        // body: name ("" = server-wide counters only)
   kStatsV2 = 14,      // body: name ("" = server-wide); adds histograms
 
+  // Cluster requests (src/cluster). A server without a cluster extension
+  // handler answers these with kBadRequest; the coordinator and replica
+  // agents install handlers via ServerOptions::extension.
+  kGetShardMap = 15,   // body: empty; answered with kShardMapResult
+  kAssignShard = 16,   // body: group, epoch, role byte, peer host, peer port
+  kRoutedInsert = 17,  // body: group, epoch, then a kInsert body
+  kRoutedQuery = 18,   // body: group, epoch, then a full read-op payload
+                       //       (type byte + body: kQuery/kLatestRow/
+                       //       kGetTable/kFlushThrough)
+  kRoutedCreate = 19,  // body: group, epoch, then a kCreateTable body
+  kReplicateRows = 20, // body: group, epoch, stream, floor, first_seq,
+                       //       count, entries (redo window shipping)
+  kShipTablet = 21,    // body: group, epoch, table, tablet meta, crc32c,
+                       //       payload (whole immutable tablet file)
+  kTabletSetSync = 22, // body: group, epoch, stream, redo floor, per-table
+                       //       authoritative tablet lists; prunes extras
+
   // Responses.
   kOk = 64,
   kError = 65,       // body: code byte, message
@@ -60,6 +77,14 @@ enum class MsgType : uint8_t {
   // (unknown message type); old clients simply never send kStatsV2, so
   // both directions stay backward compatible.
   kStatsV2Result = 71,
+  kShardMapResult = 72,  // body: encoded cluster::ShardMap
+  // Body: varint64 contiguously-stored redo head. A kTabletSetSync reply
+  // additionally appends the secondary's authoritative per-table tablet
+  // lists (varint32 table count, then per table: len-prefixed name,
+  // varint32 file count, per file: len-prefixed filename, varint64
+  // file_bytes, varint64 row_count) so the primary's peer picture
+  // self-heals after a secondary restart.
+  kRedoAck = 73,
 };
 
 /// Error codes carried by kError.
@@ -77,6 +102,9 @@ enum class ErrCode : uint8_t {
   kBadRequest = 9,     // Malformed frame: unknown opcode byte. The request
                        // was never dispatched; retrying it verbatim fails
                        // the same way.
+  kWrongShard = 10,    // Routed request hit a node that is not the current
+                       // primary for that (group, epoch): the client must
+                       // refetch the shard map and retry.
 };
 
 /// kQueryChunk flags.

@@ -7,6 +7,8 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace lt {
@@ -38,6 +40,10 @@ struct Pipe {
   bool reset = false;  // RST: both ends error once deliverable data drains.
   bool client_gone = false;
   bool server_gone = false;
+  // Which simulated machines own each end ("" = the anonymous base node);
+  // per-link partitions and node crashes match on these.
+  std::string client_node;
+  std::string server_node;
 };
 
 // All transport state shares one mutex + condition variable: the simulated
@@ -51,6 +57,7 @@ struct SimTransport::Inner {
 
   struct ListenerState {
     uint16_t port = 0;
+    std::string node;  // Machine the listener is bound on.
     std::deque<std::shared_ptr<Pipe>> backlog;
     bool closed = false;
   };
@@ -65,8 +72,16 @@ struct SimTransport::Inner {
   size_t truncate_keep = 0;
   Timestamp delay_next_write = 0;
   int reorder_next_accepts = 0;
+  // Severed node pairs, normalized (smaller name first).
+  std::set<std::pair<std::string, std::string>> severed_links;
 
   SimTransportStats stats;
+
+  bool LinkDownLocked(const std::string& a, const std::string& b) const {
+    if (severed_links.empty() || a == b) return false;
+    return severed_links.count(a < b ? std::make_pair(a, b)
+                                     : std::make_pair(b, a)) > 0;
+  }
 
   /// Moves the clock to `t` if it is behind (callers hold mu, so leaps are
   /// serialized and deterministic).
@@ -149,7 +164,8 @@ class SimConnection final : public net::Connection {
       inner_->cv.notify_all();
       return Status::OK();
     }
-    if (inner_->partitioned) {
+    if (inner_->partitioned ||
+        inner_->LinkDownLocked(pipe_->client_node, pipe_->server_node)) {
       // A partition silently eats the bytes; like TCP buffering, the
       // writer cannot tell. The reader's deadline discovers the loss.
       inner_->stats.bytes_blackholed += n;
@@ -229,8 +245,10 @@ class SimConnection final : public net::Connection {
               "connection closed mid-read (" + std::to_string(got) + "/" +
               std::to_string(want) + " bytes)");
         }
-        if (inner_->partitioned && inner_->auto_advance &&
-            read_timeout_ms_ > 0) {
+        if ((inner_->partitioned ||
+             inner_->LinkDownLocked(pipe_->client_node,
+                                    pipe_->server_node)) &&
+            inner_->auto_advance && read_timeout_ms_ > 0) {
           inner_->LeapTo(sim_deadline);
           inner_->cv.notify_all();
           return Status::DeadlineExceeded(
@@ -466,6 +484,11 @@ SimTransport::~SimTransport() = default;
 
 Status SimTransport::Listen(uint16_t port,
                             std::unique_ptr<net::Listener>* listener) {
+  return ListenAs("", port, listener);
+}
+
+Status SimTransport::ListenAs(const std::string& node, uint16_t port,
+                              std::unique_ptr<net::Listener>* listener) {
   std::lock_guard<std::mutex> lock(inner_->mu);
   if (port == 0) {
     while (inner_->listeners.count(inner_->next_ephemeral)) {
@@ -478,6 +501,7 @@ Status SimTransport::Listen(uint16_t port,
   }
   auto state = std::make_shared<Inner::ListenerState>();
   state->port = port;
+  state->node = node;
   inner_->listeners[port] = state;
   *listener = std::make_unique<SimListener>(inner_, std::move(state));
   return Status::OK();
@@ -486,7 +510,14 @@ Status SimTransport::Listen(uint16_t port,
 Status SimTransport::Connect(const std::string& host, uint16_t port,
                              int timeout_ms,
                              std::unique_ptr<net::Connection>* conn) {
-  (void)host;  // One simulated machine; every address is loopback.
+  return ConnectFrom("", host, port, timeout_ms, conn);
+}
+
+Status SimTransport::ConnectFrom(const std::string& node,
+                                 const std::string& host, uint16_t port,
+                                 int timeout_ms,
+                                 std::unique_ptr<net::Connection>* conn) {
+  (void)host;  // Addressing is by port; node attribution is by facade.
   std::lock_guard<std::mutex> lock(inner_->mu);
   inner_->stats.connects++;
   if (inner_->fail_next_connects > 0) {
@@ -495,7 +526,7 @@ Status SimTransport::Connect(const std::string& host, uint16_t port,
     return Status::Unavailable("connect " + Where(port) +
                                ": connection refused (injected)");
   }
-  if (inner_->partitioned) {
+  auto timeout_like_partition = [&]() -> Status {
     inner_->stats.connects_failed++;
     // SYNs vanish into the partition; charge the handshake deadline to
     // SimClock instead of really waiting it out.
@@ -509,14 +540,23 @@ Status SimTransport::Connect(const std::string& host, uint16_t port,
     }
     return Status::NetworkError("connect " + Where(port) +
                                 ": network unreachable");
-  }
+  };
+  if (inner_->partitioned) return timeout_like_partition();
   auto it = inner_->listeners.find(port);
   if (it == inner_->listeners.end() || it->second->closed) {
     inner_->stats.connects_failed++;
     return Status::NetworkError("connect " + Where(port) +
                                 ": connection refused");
   }
+  // A severed machine pair looks like a partition (timeout), not a dead
+  // process (refused): the listener is alive, its SYN-ACKs just never
+  // arrive.
+  if (inner_->LinkDownLocked(node, it->second->node)) {
+    return timeout_like_partition();
+  }
   auto pipe = std::make_shared<Pipe>();
+  pipe->client_node = node;
+  pipe->server_node = it->second->node;
   inner_->pipes.push_back(pipe);
   if (inner_->reorder_next_accepts > 0) {
     inner_->reorder_next_accepts--;
@@ -583,6 +623,73 @@ void SimTransport::DelayNextWrite(Timestamp delay_micros) {
 void SimTransport::ReorderNextAccept() {
   std::lock_guard<std::mutex> lock(inner_->mu);
   inner_->reorder_next_accepts++;
+}
+
+// A named machine on the simulated network: pure delegation with node
+// attribution. Defined here (not in the anonymous namespace) because the
+// header declares it a friend.
+class NodeTransport final : public net::Transport {
+ public:
+  NodeTransport(SimTransport* owner, std::string node)
+      : owner_(owner), node_(std::move(node)) {}
+
+  Status Listen(uint16_t port,
+                std::unique_ptr<net::Listener>* listener) override {
+    return owner_->ListenAs(node_, port, listener);
+  }
+  Status Connect(const std::string& host, uint16_t port, int timeout_ms,
+                 std::unique_ptr<net::Connection>* conn) override {
+    return owner_->ConnectFrom(node_, host, port, timeout_ms, conn);
+  }
+  Status NewPoller(std::unique_ptr<net::Poller>* poller) override {
+    return owner_->NewPoller(poller);
+  }
+
+ private:
+  SimTransport* const owner_;
+  const std::string node_;
+};
+
+net::Transport* SimTransport::ForNode(const std::string& node) {
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  std::unique_ptr<net::Transport>& slot = facades_[node];
+  if (!slot) slot = std::make_unique<NodeTransport>(this, node);
+  return slot.get();
+}
+
+void SimTransport::SetLinkPartitioned(const std::string& a,
+                                      const std::string& b, bool on) {
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (on) {
+    inner_->severed_links.insert(std::move(key));
+  } else {
+    inner_->severed_links.erase(key);
+  }
+  inner_->cv.notify_all();
+}
+
+void SimTransport::ClearLinkPartitions() {
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  inner_->severed_links.clear();
+  inner_->cv.notify_all();
+}
+
+void SimTransport::ResetNodeConnections(const std::string& node) {
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  std::vector<std::weak_ptr<Pipe>> live;
+  for (std::weak_ptr<Pipe>& weak : inner_->pipes) {
+    if (std::shared_ptr<Pipe> pipe = weak.lock()) {
+      if (!pipe->reset &&
+          (pipe->client_node == node || pipe->server_node == node)) {
+        pipe->reset = true;
+        inner_->stats.resets_injected++;
+      }
+      live.push_back(std::move(weak));
+    }
+  }
+  inner_->pipes.swap(live);
+  inner_->cv.notify_all();
 }
 
 SimTransportStats SimTransport::stats() const {

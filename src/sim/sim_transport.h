@@ -24,6 +24,7 @@
 #define LITTLETABLE_SIM_SIM_TRANSPORT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -100,6 +101,32 @@ class SimTransport final : public net::Transport {
   /// queue, overtaking earlier pending connections.
   void ReorderNextAccept();
 
+  // --- Multi-node simulation --------------------------------------------
+
+  /// A Transport facade representing one named machine on this simulated
+  /// network. Listeners bound and connections initiated through the facade
+  /// are attributed to `node`, so individual machine pairs can be
+  /// partitioned (SetLinkPartitioned) or crashed (ResetNodeConnections)
+  /// while the rest of the cluster keeps talking. The facade shares this
+  /// transport's clock, port space, and global fault state; it stays valid
+  /// for the SimTransport's lifetime. Calling with the same name returns
+  /// the same facade.
+  net::Transport* ForNode(const std::string& node);
+
+  /// Severs the (bidirectional) link between two named nodes: connects
+  /// between them time out (charged to SimClock), written bytes are
+  /// blackholed, and pending reads see silence until their deadline — the
+  /// same observable behavior as a global SetPartitioned, scoped to one
+  /// machine pair. Already-delivered bytes remain readable.
+  void SetLinkPartitioned(const std::string& a, const std::string& b,
+                          bool on);
+  void ClearLinkPartitions();
+
+  /// Severs every open connection with an endpoint attributed to `node`
+  /// (both ends see a reset once deliverable data drains) — a single
+  /// machine dying without touching the rest of the cluster.
+  void ResetNodeConnections(const std::string& node);
+
   SimTransportStats stats() const;
   const std::shared_ptr<SimClock>& clock() const { return clock_; }
 
@@ -108,8 +135,20 @@ class SimTransport final : public net::Transport {
   struct Inner;
 
  private:
+  friend class NodeTransport;
+
+  /// Node-attributed Listen/Connect, used by the base interface (empty
+  /// node) and the ForNode facades.
+  Status ListenAs(const std::string& node, uint16_t port,
+                  std::unique_ptr<net::Listener>* listener);
+  Status ConnectFrom(const std::string& node, const std::string& host,
+                     uint16_t port, int timeout_ms,
+                     std::unique_ptr<net::Connection>* conn);
+
   std::shared_ptr<Inner> inner_;
   std::shared_ptr<SimClock> clock_;
+  // ForNode facades, by node name; guarded by inner_->mu.
+  std::map<std::string, std::unique_ptr<net::Transport>> facades_;
 };
 
 }  // namespace sim

@@ -20,6 +20,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "sim/chaos.h"
+#include "sim/cluster_chaos.h"
 #include "sim/sim_transport.h"
 #include "tests/test_util.h"
 #include "util/fault.h"
@@ -777,6 +778,65 @@ TEST(ChaosSimTest, HighFaultRateStillSatisfiesTheOracle) {
   EXPECT_TRUE(report.ok) << report.failure << "\nreproduce with: lt_sim "
                          << "--seed=424242 --ops=150 --faults=0.6 --print-log";
   EXPECT_GT(report.counters.at("faults"), 0u);
+}
+
+// ---- Multi-node cluster chaos (sim/cluster_chaos.h): coordinator + 2-node
+// shard groups under the same seeded fault schedule, checked against the
+// replication oracle (prefix durability on the promoted primary, no lost
+// ship-durable batch, per-device id contiguity). CI raises the seed count
+// with LT_CLUSTER_SEED_COUNT. ----
+
+TEST(ClusterChaosTest, PinnedSeedSweepPassesTheOracle) {
+  int count = 3;
+  if (const char* env = std::getenv("LT_CLUSTER_SEED_COUNT")) {
+    count = std::max(1, std::atoi(env));
+  }
+  for (int i = 0; i < count; i++) {
+    sim::ClusterChaosOptions opts;
+    opts.seed = 2000 + static_cast<uint64_t>(i);
+    opts.ops = 80;
+    sim::ClusterChaosReport report;
+    Status s = sim::RunClusterChaos(opts, &report);
+    ASSERT_TRUE(s.ok()) << "seed " << opts.seed << ": " << s.ToString();
+    ASSERT_TRUE(report.ok)
+        << "seed " << opts.seed << ": " << report.failure
+        << "\nreproduce with: lt_sim --cluster --seed=" << opts.seed
+        << " --ops=80 --print-log";
+    // Every run must actually exercise replication, and the final verdict
+    // forces at least one failover per group.
+    EXPECT_GT(report.counters["ships_ok"], 0u) << "seed " << opts.seed;
+    EXPECT_GT(report.counters["failovers"], 0u) << "seed " << opts.seed;
+  }
+}
+
+TEST(ClusterChaosTest, TwoGroupSweepPassesTheOracle) {
+  sim::ClusterChaosOptions opts;
+  opts.seed = 31;
+  opts.ops = 80;
+  opts.groups = 2;
+  opts.devices = 6;
+  sim::ClusterChaosReport report;
+  ASSERT_TRUE(sim::RunClusterChaos(opts, &report).ok());
+  ASSERT_TRUE(report.ok)
+      << report.failure << "\nreproduce with: lt_sim --cluster --seed=31 "
+      << "--ops=80 --groups=2 --devices=6 --print-log";
+}
+
+TEST(ClusterChaosTest, SameSeedYieldsByteIdenticalEventLogs) {
+  sim::ClusterChaosOptions opts;
+  opts.seed = 7;
+  opts.ops = 60;
+  sim::ClusterChaosReport a, b;
+  ASSERT_TRUE(sim::RunClusterChaos(opts, &a).ok());
+  ASSERT_TRUE(sim::RunClusterChaos(opts, &b).ok());
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  for (size_t i = 0; i < a.event_log.size(); i++) {
+    ASSERT_EQ(a.event_log[i], b.event_log[i]) << "first divergence at line "
+                                              << i;
+  }
+  EXPECT_EQ(a.counters, b.counters);
 }
 
 }  // namespace

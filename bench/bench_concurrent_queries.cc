@@ -1,0 +1,255 @@
+// Mixed-load latency benchmark for the overload-resilience work (PR 10).
+//
+// The workload is the CPE shape that motivated admission control: a few
+// "reporting" clients run full-table scans whose results dwarf the
+// per-query byte budget, while many "interactive" clients run small
+// point-prefix queries and care about tail latency. Without admission
+// slots, every scan grabs a worker thread and a materialized result at
+// once, and interactive p99 rides on the scans' coattails; with the
+// streaming executor plus a small concurrent-scan cap, scans queue and
+// stream within the budget while interactive queries keep a worker free.
+//
+// Runs the real server over SimTransport and reports interactive-query
+// p50/p99/max plus scan throughput for two configurations of the same
+// binary:
+//
+//   baseline   unlimited concurrent scans, effectively unbounded budget
+//              (the pre-PR posture)
+//   governed   max_concurrent_scans bounded + small streaming byte budget
+//
+// `--smoke` shrinks the row counts and iteration counts to a seconds-scale
+// sanity pass (registered in tier-1 ctest) and exits nonzero if either
+// configuration fails to complete its workload or sheds anything — the
+// governed run is sized so queues form but never overflow.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sim/sim_transport.h"
+
+namespace {
+
+using namespace lt;
+
+bool smoke = false;
+
+Schema EventsSchema() {
+  return Schema({Column("device", ColumnType::kInt64),
+                 Column("ts", ColumnType::kTimestamp),
+                 Column("bytes", ColumnType::kInt64),
+                 Column("payload", ColumnType::kBlob)},
+                /*num_key_columns=*/2);
+}
+
+struct RunResult {
+  std::vector<int64_t> interactive_micros;  // One entry per point query.
+  uint64_t scans_done = 0;
+  uint64_t scan_rows = 0;
+  uint64_t errors = 0;
+  double wall_ms = 0;
+};
+
+struct RunConfig {
+  const char* name;
+  size_t max_concurrent_scans;  // 0 = unlimited (baseline).
+  size_t query_budget_bytes;    // 0 = server default.
+};
+
+// Stands up a fresh DB + server, preloads `devices * rows_per_device`
+// rows, then runs scanner and interactive client threads to completion.
+RunResult RunOne(const RunConfig& cfg, int devices, int rows_per_device,
+                 int scanners, int scans_each, int interactive,
+                 int queries_each) {
+  RunResult out;
+  sim::SimTransport transport;
+  MemEnv env;
+  auto clock = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+  DbOptions dopts;
+  dopts.background_maintenance = false;
+  std::unique_ptr<DB> db;
+  if (!DB::Open(&env, clock, "/srv", dopts, &db).ok()) abort();
+
+  ServerOptions sopts;
+  sopts.port = 7610;
+  sopts.transport = &transport;
+  sopts.admission.max_concurrent_scans = cfg.max_concurrent_scans;
+  // Big enough that smoke-sized queues never overflow or time out: this
+  // benchmark measures latency shape, not shedding.
+  sopts.admission.max_queued_scans = 1024;
+  sopts.admission.queue_wait_timeout_ms = 0;
+  if (cfg.query_budget_bytes > 0) {
+    sopts.query_budget_bytes = cfg.query_budget_bytes;
+  }
+  LittleTableServer server(db.get(), sopts);
+  if (!server.Start().ok()) abort();
+
+  auto connect = [&] {
+    ClientOptions copts;
+    copts.transport = &transport;
+    copts.clock = clock;
+    std::unique_ptr<Client> c;
+    if (!Client::Connect("sim", 7610, copts, &c).ok()) abort();
+    return c;
+  };
+
+  {
+    auto loader = connect();
+    if (!loader->CreateTable("events", EventsSchema(), 0).ok()) abort();
+    Random rng(42);
+    std::vector<Row> batch;
+    for (int d = 0; d < devices; d++) {
+      for (int i = 0; i < rows_per_device; i++) {
+        std::string payload(48, '\0');
+        for (char& ch : payload) {
+          ch = static_cast<char>('a' + rng.Uniform(26));
+        }
+        batch.push_back({Value::Int64(d), Value::Ts(clock->Now() + i),
+                         Value::Int64(i), Value::Blob(std::move(payload))});
+        if (batch.size() == 500) {
+          if (!loader->Insert("events", batch).ok()) abort();
+          batch.clear();
+        }
+      }
+    }
+    if (!batch.empty() && !loader->Insert("events", batch).ok()) abort();
+  }
+
+  std::atomic<uint64_t> scans_done{0}, scan_rows{0}, errors{0};
+  std::vector<std::vector<int64_t>> lat(interactive);
+  std::vector<std::thread> threads;
+  auto start = std::chrono::steady_clock::now();
+
+  for (int s = 0; s < scanners; s++) {
+    threads.emplace_back([&, s] {
+      auto c = connect();
+      for (int i = 0; i < scans_each; i++) {
+        std::vector<Row> rows;
+        if (c->QueryAll("events", QueryBounds{}, &rows).ok()) {
+          scans_done.fetch_add(1);
+          scan_rows.fetch_add(rows.size());
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < interactive; t++) {
+    threads.emplace_back([&, t] {
+      auto c = connect();
+      Random rng(1000 + t);
+      lat[t].reserve(queries_each);
+      for (int i = 0; i < queries_each; i++) {
+        Key prefix = {Value::Int64(rng.Uniform(devices))};
+        QueryBounds b = QueryBounds::ForPrefix(prefix);
+        b.limit = 50;
+        QueryResult res;
+        auto q0 = std::chrono::steady_clock::now();
+        Status st = c->Query("events", b, &res);
+        auto q1 = std::chrono::steady_clock::now();
+        if (!st.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        lat[t].push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(q1 - q0)
+                .count());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  out.wall_ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count() /
+                1e3;
+
+  for (auto& v : lat) {
+    out.interactive_micros.insert(out.interactive_micros.end(), v.begin(),
+                                  v.end());
+  }
+  std::sort(out.interactive_micros.begin(), out.interactive_micros.end());
+  out.scans_done = scans_done.load();
+  out.scan_rows = scan_rows.load();
+  out.errors = errors.load();
+  server.Stop();
+  return out;
+}
+
+int64_t Pct(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t i = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using lt::bench::PrintHeader;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const int devices = smoke ? 8 : 32;
+  const int rows_per_device = smoke ? 400 : 4000;
+  const int scanners = smoke ? 2 : 4;
+  const int scans_each = smoke ? 2 : 8;
+  const int interactive = smoke ? 4 : 8;
+  const int queries_each = smoke ? 50 : 400;
+
+  const RunConfig configs[] = {
+      {"baseline", 0, 256 * 1024 * 1024},
+      {"governed", 2, 128 * 1024},
+  };
+
+  PrintHeader("Concurrent queries",
+              "Interactive tail latency under scan load, before/after "
+              "admission control");
+  printf("(%d scanners x %d full scans over %d rows, %d interactive "
+         "clients x %d point queries)\n\n",
+         scanners, scans_each, devices * rows_per_device, interactive,
+         queries_each);
+  printf("%-10s %-10s %-10s %-10s %-10s %-10s %-8s %-10s\n", "config",
+         "p50 us", "p99 us", "max us", "queries", "scans", "errors",
+         "wall ms");
+
+  bool ok = true;
+  for (const RunConfig& cfg : configs) {
+    RunResult r = RunOne(cfg, devices, rows_per_device, scanners,
+                         scans_each, interactive, queries_each);
+    printf("%-10s %-10lld %-10lld %-10lld %-10zu %-10llu %-8llu %-10.1f\n",
+           cfg.name,
+           static_cast<long long>(Pct(r.interactive_micros, 0.50)),
+           static_cast<long long>(Pct(r.interactive_micros, 0.99)),
+           static_cast<long long>(
+               r.interactive_micros.empty() ? 0 : r.interactive_micros.back()),
+           r.interactive_micros.size(),
+           static_cast<unsigned long long>(r.scans_done),
+           static_cast<unsigned long long>(r.errors), r.wall_ms);
+    const uint64_t want_queries =
+        static_cast<uint64_t>(interactive) * queries_each;
+    const uint64_t want_scans =
+        static_cast<uint64_t>(scanners) * scans_each;
+    if (r.errors != 0 || r.interactive_micros.size() != want_queries ||
+        r.scans_done != want_scans) {
+      fprintf(stderr,
+              "FAIL(%s): errors=%llu queries=%zu/%llu scans=%llu/%llu — "
+              "mixed load must complete without shedding at this size\n",
+              cfg.name, static_cast<unsigned long long>(r.errors),
+              r.interactive_micros.size(),
+              static_cast<unsigned long long>(want_queries),
+              static_cast<unsigned long long>(r.scans_done),
+              static_cast<unsigned long long>(want_scans));
+      ok = false;
+    }
+  }
+  printf("\n(governed: scans bounded to 2 slots and a 128 KB streaming "
+         "budget; baseline: unlimited)\n");
+  return ok ? 0 : 1;
+}

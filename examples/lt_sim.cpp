@@ -16,6 +16,11 @@
 //                             through the routing ClusterClient, with
 //                             primary crashes, failovers, and replication
 //                             link partitions in the fault mix
+//   lt_sim --overload ...     overload mode: firehose queries, slow
+//                             readers, cancels, and disconnects against
+//                             tight admission/budget knobs; the oracle
+//                             asserts bounded accounted memory and that
+//                             every shed request got an explicit error
 //   lt_sim --verify-seed=N    run seed N twice and require byte-identical
 //                             event logs (and, with --sample-every,
 //                             byte-identical __sys_metrics dumps — the
@@ -37,6 +42,7 @@
 
 #include "sim/chaos.h"
 #include "sim/cluster_chaos.h"
+#include "sim/overload_chaos.h"
 
 using namespace lt;
 
@@ -205,6 +211,47 @@ int VerifySeedCluster(const sim::ClusterChaosOptions& opts) {
   return a.ok && b.ok ? 0 : 1;
 }
 
+int RunOneOverload(const sim::OverloadChaosOptions& opts, bool print_log) {
+  sim::OverloadChaosReport report;
+  Status s = sim::RunOverloadChaos(opts, &report);
+  if (!s.ok()) {
+    std::printf("FAIL seed=%llu harness error: %s\n",
+                static_cast<unsigned long long>(opts.seed),
+                s.ToString().c_str());
+    return 1;
+  }
+  if (!report.ok) {
+    std::printf("FAIL seed=%llu oracle: %s\n",
+                static_cast<unsigned long long>(opts.seed),
+                report.failure.c_str());
+    std::printf("reproduce with: lt_sim --overload --seed=%llu --ops=%d "
+                "--print-log\n",
+                static_cast<unsigned long long>(opts.seed), opts.ops);
+    // Always dump the log on failure: overload runs make no determinism
+    // promise, so this log is the one record of what the failing
+    // interleaving did (the nightly batch uploads it as its artifact).
+    for (const std::string& line : report.event_log) {
+      std::printf("%s\n", line.c_str());
+    }
+    return 1;
+  }
+  std::printf("ok seed=%llu events=%zu",
+              static_cast<unsigned long long>(opts.seed),
+              report.event_log.size());
+  if (print_log) {
+    std::printf("\n");
+    for (const std::string& line : report.event_log) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  for (const auto& [key, value] : report.counters) {
+    std::printf("  %s=%llu", key.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,11 +261,14 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool dump_sys = false;
   bool cluster = false;
+  bool overload = false;
   int groups = 1;
   for (int i = 1; i < argc; i++) {
     std::string v;
     if (std::strcmp(argv[i], "--cluster") == 0) {
       cluster = true;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
     } else if (ParseFlag(argv[i], "--groups", &v)) {
       groups = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--seed", &v)) {
@@ -242,12 +292,24 @@ int main(int argc, char** argv) {
       dump_sys = true;
     } else {
       std::fprintf(stderr,
-                   "usage: lt_sim [--cluster] [--groups=N] [--seed=N] "
-                   "[--ops=N] [--faults=RATE] [--devices=N] [--seeds=N] "
-                   "[--sample-every=N] [--verify-seed=N] [--print-log] "
-                   "[--dump-sys-metrics]\n");
+                   "usage: lt_sim [--cluster] [--overload] [--groups=N] "
+                   "[--seed=N] [--ops=N] [--faults=RATE] [--devices=N] "
+                   "[--seeds=N] [--sample-every=N] [--verify-seed=N] "
+                   "[--print-log] [--dump-sys-metrics]\n");
       return 2;
     }
+  }
+  if (overload) {
+    sim::OverloadChaosOptions oopts;
+    oopts.seed = opts.seed;
+    if (opts.ops != 200) oopts.ops = opts.ops;  // 200 = ChaosOptions default.
+    oopts.devices = opts.devices;
+    for (int i = 0; i < seeds; i++) {
+      sim::OverloadChaosOptions one = oopts;
+      one.seed = oopts.seed + static_cast<uint64_t>(i);
+      if (RunOneOverload(one, print_log) != 0) return 1;
+    }
+    return 0;
   }
   if (cluster) {
     sim::ClusterChaosOptions copts;

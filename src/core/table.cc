@@ -1150,18 +1150,19 @@ Status Table::ReclaimExpired(Timestamp now) {
 // ---------------------------------------------------------------------------
 // Queries.
 
-Status Table::Query(const QueryBounds& user_bounds, QueryResult* result,
-                    QueryTrace* trace) {
-  result->rows.clear();
-  result->more_available = false;
-  result->rows_scanned = 0;
+Status Table::NewQueryStream(const QueryBounds& user_bounds,
+                             std::unique_ptr<QueryStream>* out,
+                             QueryTrace* trace) {
+  out->reset();
   stats_.queries.fetch_add(1);
 
+  std::unique_ptr<QueryStream> qs(new QueryStream());
+  qs->table_ = this;
   // Trace even when the caller doesn't ask for one: the slow-query log
   // needs the counts.
-  QueryTrace local_trace;
-  QueryTrace* tr = trace != nullptr ? trace : &local_trace;
-  const Timestamp op_start = MonotonicMicros();
+  qs->trace_ = trace != nullptr ? trace : &qs->local_trace_;
+  QueryTrace* tr = qs->trace_;
+  qs->op_start_ = MonotonicMicros();
 
   const Timestamp now = clock_->Now();
   QueryBounds bounds = user_bounds;
@@ -1245,57 +1246,116 @@ Status Table::Query(const QueryBounds& user_bounds, QueryResult* result,
                        : std::numeric_limits<uint64_t>::max();
   if (bounds.limit > 0 && bounds.limit < limit) limit = bounds.limit;
 
-  std::atomic<uint64_t> scanned{0};
   std::vector<std::unique_ptr<Cursor>> cursors;
   cursors.reserve(disk.size() + mem_snapshots.size());
   for (const auto& reader : disk) {
     std::unique_ptr<Cursor> c;
     LT_RETURN_IF_ERROR(
-        reader->NewCursor(bounds, schema.get(), &scanned, &c, tr));
+        reader->NewCursor(bounds, schema.get(), &qs->scanned_, &c, tr));
     cursors.push_back(std::move(c));
   }
   for (auto& rows : mem_snapshots) {
-    scanned.fetch_add(rows.size());
+    qs->scanned_.fetch_add(rows.size());
     cursors.push_back(
         std::make_unique<VectorCursor>(std::move(rows), bounds.direction));
   }
 
-  MergingCursor merged(schema.get(), std::move(cursors), bounds.direction);
-  LT_RETURN_IF_ERROR(merged.status());
-  while (merged.Valid()) {
-    const Row& row = merged.row();
-    if (bounds.TsInRange(row[schema->ts_index()].AsInt())) {
-      if (result->rows.size() >= limit) {
-        result->more_available = true;
-        break;
-      }
-      result->rows.push_back(row);
+  auto merged = std::make_unique<MergingCursor>(
+      schema.get(), std::move(cursors), bounds.direction);
+  LT_RETURN_IF_ERROR(merged->status());
+
+  qs->schema_ = std::move(schema);
+  qs->bounds_ = std::move(bounds);
+  qs->limit_ = limit;
+  qs->readers_ = std::move(disk);  // Cursors reference them; keep alive.
+  qs->merged_ = std::move(merged);
+  qs->finished_ = false;  // Fully constructed: Finish now records stats.
+  *out = std::move(qs);
+  return Status::OK();
+}
+
+QueryStream::~QueryStream() { Finish(); }
+
+Status QueryStream::Next(uint64_t max_scan_rows, Row* row, bool* have_row,
+                         bool* exhausted) {
+  *have_row = false;
+  *exhausted = false;
+  if (done_) {
+    *exhausted = true;
+    return Status::OK();
+  }
+  uint64_t steps = 0;
+  while (merged_->Valid()) {
+    const Row& r = merged_->row();
+    bool match = bounds_.TsInRange(r[schema_->ts_index()].AsInt());
+    if (match && returned_ >= limit_) {
+      // The limit+1'th matching row proves there is more: stop without
+      // consuming it so a continuation query re-finds it.
+      more_available_ = true;
+      done_ = true;
+      *exhausted = true;
+      return Status::OK();
     }
-    LT_RETURN_IF_ERROR(merged.Next());
+    if (match) *row = r;
+    LT_RETURN_IF_ERROR(merged_->Next());
+    LT_RETURN_IF_ERROR(merged_->status());
+    if (match) {
+      returned_++;
+      *have_row = true;
+      return Status::OK();
+    }
+    if (max_scan_rows > 0 && ++steps >= max_scan_rows) return Status::OK();
   }
-  LT_RETURN_IF_ERROR(merged.status());
+  done_ = true;
+  *exhausted = true;
+  return merged_->status();
+}
 
-  result->rows_scanned = scanned.load();
-  stats_.rows_scanned.fetch_add(result->rows_scanned);
-  stats_.rows_returned.fetch_add(result->rows.size());
+void QueryStream::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  const uint64_t scanned = scanned_.load();
+  Table* t = table_;
+  t->stats_.rows_scanned.fetch_add(scanned);
+  t->stats_.rows_returned.fetch_add(returned_);
 
-  const int64_t elapsed = MonotonicMicros() - op_start;
-  tr->rows_scanned += result->rows_scanned;
-  tr->rows_returned += result->rows.size();
-  tr->elapsed_micros += elapsed;
-  stats_.query_micros.Record(static_cast<uint64_t>(elapsed));
-  if (opts_.slow_query_micros > 0 && elapsed >= opts_.slow_query_micros) {
-    opts_.logger->Warn(
+  const int64_t elapsed = MonotonicMicros() - op_start_;
+  trace_->rows_scanned += scanned;
+  trace_->rows_returned += returned_;
+  trace_->elapsed_micros += elapsed;
+  t->stats_.query_micros.Record(static_cast<uint64_t>(elapsed));
+  if (t->opts_.slow_query_micros > 0 &&
+      elapsed >= t->opts_.slow_query_micros) {
+    t->opts_.logger->Warn(
         "slow_query",
-        {{"table", name_},
+        {{"table", t->name_},
          {"elapsed_us", elapsed},
-         {"rows_scanned", result->rows_scanned},
-         {"rows_returned", static_cast<uint64_t>(result->rows.size())},
-         {"tablets_considered", tr->tablets_considered},
-         {"tablets_pruned", tr->TabletsPruned()},
-         {"blocks_read", tr->blocks_read},
-         {"cache_hits", tr->cache_hits}});
+         {"rows_scanned", scanned},
+         {"rows_returned", returned_},
+         {"tablets_considered", trace_->tablets_considered},
+         {"tablets_pruned", trace_->TabletsPruned()},
+         {"blocks_read", trace_->blocks_read},
+         {"cache_hits", trace_->cache_hits}});
   }
+}
+
+Status Table::Query(const QueryBounds& user_bounds, QueryResult* result,
+                    QueryTrace* trace) {
+  result->rows.clear();
+  result->more_available = false;
+  result->rows_scanned = 0;
+
+  std::unique_ptr<QueryStream> qs;
+  LT_RETURN_IF_ERROR(NewQueryStream(user_bounds, &qs, trace));
+  Row row;
+  bool have_row = false, exhausted = false;
+  while (!exhausted) {
+    LT_RETURN_IF_ERROR(qs->Next(0, &row, &have_row, &exhausted));
+    if (have_row) result->rows.push_back(std::move(row));
+  }
+  result->more_available = qs->more_available();
+  result->rows_scanned = qs->rows_scanned();
+  qs->Finish();
   return Status::OK();
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/bounds.h"
+#include "core/cursor.h"
 #include "core/descriptor.h"
 #include "core/memtablet.h"
 #include "core/options.h"
@@ -46,6 +47,72 @@ struct QueryResult {
   bool more_available = false;
   /// Rows the engine decoded to produce this result (Figure 9 numerator).
   uint64_t rows_scanned = 0;
+};
+
+class Table;
+
+/// A pull-based query: the same snapshot visibility and TTL/limit semantics
+/// as Table::Query, but rows come out one at a time on demand, so the caller
+/// (the server's streaming read path) decides how much to materialize and
+/// can abandon the scan at any point. Created by Table::NewQueryStream; the
+/// Table must outlive the stream. Not thread-safe — one thread at a time,
+/// though different calls may come from different worker threads.
+class QueryStream {
+ public:
+  ~QueryStream();
+  QueryStream(const QueryStream&) = delete;
+  QueryStream& operator=(const QueryStream&) = delete;
+
+  /// Pulls the next matching row. Exactly one of three outcomes:
+  ///   *have_row = true            — a row was copied into *row;
+  ///   *exhausted = true           — the scan is complete (no more rows, or
+  ///                                 the row limit was hit — see
+  ///                                 more_available());
+  ///   both false                  — `max_scan_rows` rows were scanned
+  ///                                 without a match (all TTL- or
+  ///                                 bounds-filtered); call again. This is
+  ///                                 the cooperative-yield hook: it bounds
+  ///                                 the work per call even when the scan is
+  ///                                 filtering everything out.
+  /// max_scan_rows = 0 means no scan budget (never yields without a row).
+  Status Next(uint64_t max_scan_rows, Row* row, bool* have_row,
+              bool* exhausted);
+
+  /// True once the scan stopped at the row limit with rows remaining.
+  bool more_available() const { return more_available_; }
+  /// Rows decoded so far (the Figure 9 numerator), live during the scan.
+  uint64_t rows_scanned() const { return scanned_.load(); }
+  uint64_t rows_returned() const { return returned_; }
+  const Schema* schema() const { return schema_.get(); }
+
+  /// Records the query's stats (rows scanned/returned counters, latency
+  /// histogram, slow-query log) exactly once. Idempotent; the destructor
+  /// calls it, so an abandoned (cancelled) stream still shows up in the
+  /// table's accounting.
+  void Finish();
+
+ private:
+  friend class Table;
+  QueryStream() = default;
+
+  Table* table_ = nullptr;
+  std::shared_ptr<const Schema> schema_;
+  QueryBounds bounds_;  // TTL-tightened.
+  uint64_t limit_ = 0;
+  // Incremented by every cursor as it decodes; must outlive merged_.
+  std::atomic<uint64_t> scanned_{0};
+  // Disk cursors inside merged_ reference these readers; pin them.
+  std::vector<std::shared_ptr<TabletReader>> readers_;
+  std::unique_ptr<Cursor> merged_;
+  QueryTrace* trace_ = nullptr;  // Points at local_trace_ or a caller's.
+  QueryTrace local_trace_;
+  Timestamp op_start_ = 0;
+  uint64_t returned_ = 0;
+  bool more_available_ = false;
+  bool done_ = false;
+  // Starts true so a stream abandoned mid-construction records nothing;
+  // NewQueryStream arms it on success.
+  bool finished_ = true;
 };
 
 class Table {
@@ -87,6 +154,15 @@ class Table {
   /// slow-query log when TableOptions::slow_query_micros is set.
   Status Query(const QueryBounds& bounds, QueryResult* result,
                QueryTrace* trace = nullptr);
+
+  /// Opens a pull-based stream over the same snapshot Query would read
+  /// (incremental execution for the server's streaming path). `trace`, when
+  /// non-null, must outlive the stream; the table always must. The stream
+  /// pins tablet readers and memtablet snapshots for its lifetime, so
+  /// callers should Finish and drop it promptly.
+  Status NewQueryStream(const QueryBounds& bounds,
+                        std::unique_ptr<QueryStream>* out,
+                        QueryTrace* trace = nullptr);
 
   /// Finds the row with the largest timestamp whose key begins with
   /// `prefix` (§3.4.5), walking tablet groups backwards through time and
@@ -175,6 +251,8 @@ class Table {
   static Status Destroy(Env* env, const std::string& dir);
 
  private:
+  friend class QueryStream;  // Finish() records into stats_/opts_.
+
   Table(Env* env, std::shared_ptr<Clock> clock, std::string dir,
         TableOptions options);
 

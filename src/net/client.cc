@@ -44,6 +44,20 @@ Status Client::EnsureConnectedLocked() {
   conn->set_write_timeout_ms(opts_.write_timeout_ms);
   conn_ = std::move(conn);
   connect_count_.fetch_add(1, std::memory_order_relaxed);
+  return BindTenantLocked();
+}
+
+Status Client::BindTenantLocked() {
+  if (opts_.network_id == 0) return Status::OK();
+  std::string req;
+  PutVarint64(&req, static_cast<uint64_t>(opts_.network_id));
+  MsgType type;
+  std::string body;
+  Status s = RoundTrip(MsgType::kSetTenant, req, &type, &body);
+  if (!s.ok()) return s;
+  // kError here means a pre-tenant server: it has no quotas to attribute
+  // to, so the binding is moot — carry on unbound rather than failing
+  // every connect against an older peer.
   return Status::OK();
 }
 
@@ -169,6 +183,7 @@ Status Client::Ping(int deadline_ms) {
     conn->set_write_timeout_ms(opts_.write_timeout_ms);
     conn_ = std::move(conn);
     connect_count_.fetch_add(1, std::memory_order_relaxed);
+    LT_RETURN_IF_ERROR(BindTenantLocked());
   }
   conn_->set_read_timeout_ms(deadline_ms);
   conn_->set_write_timeout_ms(deadline_ms);
@@ -425,29 +440,38 @@ Status Client::QueryLocked(const std::string& table, const QueryBounds& bounds,
   return Status::Aborted("schema changed repeatedly");
 }
 
+Status Client::QueryPage(const std::string& table, QueryBounds* bounds,
+                         QueryResult* result) {
+  LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                      TableSchema(table));
+  LT_RETURN_IF_ERROR(Query(table, *bounds, result));
+  if (result->more_available && !result->rows.empty()) {
+    // §3.5: update the starting key bound to the last row returned and
+    // re-submit (exclusive so the row is not repeated).
+    Key last_key = schema->KeyOf(result->rows.back());
+    if (bounds->direction == Direction::kAscending) {
+      bounds->min_key = KeyBound{std::move(last_key), /*inclusive=*/false};
+    } else {
+      bounds->max_key = KeyBound{std::move(last_key), /*inclusive=*/false};
+    }
+  }
+  return Status::OK();
+}
+
 Status Client::QueryAll(const std::string& table, const QueryBounds& bounds,
                         std::vector<Row>* rows) {
   rows->clear();
-  LT_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
-                      TableSchema(table));
   QueryBounds page = bounds;
   const uint64_t want = bounds.limit;  // 0 = all rows.
   while (true) {
     if (want > 0) page.limit = want - rows->size();
     QueryResult result;
-    LT_RETURN_IF_ERROR(Query(table, page, &result));
+    LT_RETURN_IF_ERROR(QueryPage(table, &page, &result));
+    const bool progressed = !result.rows.empty();
     for (Row& row : result.rows) rows->push_back(std::move(row));
     if (!result.more_available) return Status::OK();
     if (want > 0 && rows->size() >= want) return Status::OK();
-    if (rows->empty()) return Status::OK();  // Defensive: no progress.
-    // §3.5: update the starting key bound to the last row returned and
-    // re-submit (exclusive so the row is not repeated).
-    Key last_key = schema->KeyOf(rows->back());
-    if (page.direction == Direction::kAscending) {
-      page.min_key = KeyBound{std::move(last_key), /*inclusive=*/false};
-    } else {
-      page.max_key = KeyBound{std::move(last_key), /*inclusive=*/false};
-    }
+    if (!progressed) return Status::OK();  // Defensive: no progress.
   }
 }
 

@@ -60,6 +60,13 @@ struct ClientOptions {
   /// is attempted and the last connection error is returned.
   int total_deadline_ms = 0;
 
+  /// ConfigStore network id this client belongs to (0 = none). Sent as a
+  /// kSetTenant binding after every connect and reconnect, so the server
+  /// attributes the connection's queries to this tenant's quota across
+  /// connection drops. A server too old to know the opcode answers with an
+  /// error, which the client tolerates (no quotas there to attribute to).
+  int64_t network_id = 0;
+
   /// Clock the total deadline is measured on; null = the system clock.
   /// Tests inject a SimClock and advance it from backoff_sleep.
   std::shared_ptr<Clock> clock;
@@ -131,6 +138,20 @@ class Client {
   Status Query(const std::string& table, const QueryBounds& bounds,
                QueryResult* result);
 
+  /// One page of a paginated scan: like Query, but when the server
+  /// truncated (`result->more_available`) *bounds is advanced past the last
+  /// returned row (§3.5's continuation), so calling again fetches the next
+  /// page. Loop until result->more_available is false:
+  ///
+  ///   QueryBounds page = ...;
+  ///   QueryResult result;
+  ///   do {
+  ///     LT_RETURN_IF_ERROR(client->QueryPage("t", &page, &result));
+  ///     consume(result.rows);
+  ///   } while (result.more_available);
+  Status QueryPage(const std::string& table, QueryBounds* bounds,
+                   QueryResult* result);
+
   /// Full result: re-submits continuation queries past each server limit.
   Status QueryAll(const std::string& table, const QueryBounds& bounds,
                   std::vector<Row>* rows);
@@ -192,6 +213,10 @@ class Client {
 
   /// Opens the transport connection if it is not currently open.
   Status EnsureConnectedLocked();
+  /// Binds opts_.network_id to a freshly opened connection (kSetTenant).
+  /// Transport errors propagate; an error *reply* is tolerated (pre-tenant
+  /// servers do not know the opcode).
+  Status BindTenantLocked();
   /// Sleeps the backoff delay for the given (0-based) retry attempt.
   /// Called WITHOUT mu_ held: the sleep must not stall other threads'
   /// requests on this Client.

@@ -23,6 +23,23 @@ constexpr size_t kChunkRows = 512;
 // connection ready again immediately.
 constexpr size_t kMaxPumpBytes = 256 * 1024;
 
+// Chunks one streaming-query slice emits before yielding the worker, so a
+// big scan shares the pool with other connections' requests.
+constexpr int kSliceChunks = 4;
+
+// Rows a chunk may *scan* (not return) before the slice re-checks its
+// kill switches — cancellation, deadline, quota. Bounds how stale those
+// checks can get on a selective scan that matches almost nothing.
+constexpr uint64_t kChunkScanCap = 16384;
+
+// Encoded-byte target for one kQueryChunk frame (chunks also cap at
+// kChunkRows rows). Shrunk when the query byte budget is tight so the
+// budget still fits several chunks.
+constexpr size_t kChunkTargetBytes = 64 * 1024;
+
+// When the flushed prefix of an outbound buffer exceeds this, compact.
+constexpr size_t kOutbufCompactBytes = 1024 * 1024;
+
 bool GetName(Slice* in, std::string* name) {
   Slice s;
   if (!GetLengthPrefixedSlice(in, &s)) return false;
@@ -50,6 +67,8 @@ const char* OpName(MsgType type) {
     case MsgType::kSetTtl: return "set_ttl";
     case MsgType::kStats: return "stats";
     case MsgType::kStatsV2: return "stats_v2";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kSetTenant: return "set_tenant";
     case MsgType::kGetShardMap: return "get_shard_map";
     case MsgType::kAssignShard: return "assign_shard";
     case MsgType::kRoutedInsert: return "routed_insert";
@@ -116,6 +135,23 @@ LittleTableServer::LittleTableServer(DB* db, const ServerOptions& options)
   busy_rejects_ = metrics_.GetCounter("server.busy_rejects");
   shutdown_rejects_ = metrics_.GetCounter("server.shutdown_rejects");
   inline_pings_ = metrics_.GetCounter("server.inline_pings");
+  query_shed_ = metrics_.GetCounter("server.query_shed");
+  query_shed_quota_ = metrics_.GetCounter("server.query_shed.quota");
+  query_shed_queue_full_ = metrics_.GetCounter("server.query_shed.queue_full");
+  query_shed_wait_timeout_ =
+      metrics_.GetCounter("server.query_shed.wait_timeout");
+  query_deadline_exceeded_ =
+      metrics_.GetCounter("server.query_deadline_exceeded");
+  query_cancelled_ = metrics_.GetCounter("server.query_cancelled");
+  stream_pauses_ = metrics_.GetCounter("server.stream_pauses");
+  scans_active_ = metrics_.GetGauge("server.scans_active");
+  scans_queued_ = metrics_.GetGauge("server.scans_queued");
+  outbuf_bytes_ = metrics_.GetGauge("server.outbuf_bytes");
+  queue_wait_micros_ = metrics_.GetHistogram("server.queue_wait_micros");
+  stream_peak_bytes_ =
+      metrics_.GetHistogram("server.query_stream_peak_bytes");
+  admission_ =
+      std::make_unique<AdmissionController>(opts_.admission, idle_clock_);
 }
 
 LittleTableServer::~LittleTableServer() { Stop(); }
@@ -149,8 +185,13 @@ void LittleTableServer::Stop() {
     // and have its connection shut down mid-dispatch.
     std::unique_lock<std::mutex> lock(drain_mu_);
     draining_.store(true);
+    // A request counts as finished only once its response bytes left the
+    // outbound buffer: the event loop keeps flushing during this phase.
     drain_cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_timeout_ms),
-                       [this] { return active_requests_ == 0; });
+                       [this] {
+                         return active_requests_ == 0 &&
+                                unflushed_conns_.load() == 0;
+                       });
   }
   // Phase 2 — stop: close the listener, stop the event loop, force
   // remaining connections shut, and join the worker pool.
@@ -181,14 +222,22 @@ void LittleTableServer::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  for (auto& [id, cs] : conns_) active_connections_->Add(-1);
-  conns_.clear();  // Destroys the connections (closes them).
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    parked_.clear();
+  }
+  active_connections_->Add(-static_cast<int64_t>(conns_.size()));
+  conns_.clear();  // Destroys the connections (closes them). Any live
+                   // StreamState dies with its connection; QueryStream's
+                   // destructor records its stats.
   {
     std::lock_guard<std::mutex> lock(accepted_mu_);
     accepted_.clear();
   }
   conn_count_.store(0);
   pending_frames_->Set(0);  // Any still-queued frames died with conns_.
+  unflushed_conns_.store(0);
+  outbuf_bytes_->Set(0);
   poller_.reset();
 }
 
@@ -272,15 +321,29 @@ void LittleTableServer::EventLoop() {
         if (cs->dead) continue;
       }
       if (!PumpConnection(cs)) {
+        bool resume = false;
         {
           std::lock_guard<std::mutex> lock(sched_mu_);
           cs->dead = true;
+          // Connection-close cancellation: a peer that vanished mid-query
+          // aborts the scan instead of letting it run to completion into
+          // a buffer nobody will read. A parked stream is re-scheduled so
+          // a worker finalizes it (releasing its admission slot).
+          if (cs->stream) {
+            cs->stream->cancel.store(true);
+            if (!cs->running) {
+              ScheduleLocked(cs);
+              resume = true;
+            }
+          }
         }
+        if (resume) sched_cv_.notify_one();
         // Stop watching; queued responses still flush, then IdleTick (or
         // the finishing worker's wakeup) reaps the connection.
         poller_->Remove(cs->conn.get());
       }
     }
+    FlushTick();
     IdleTick();
   }
 }
@@ -374,35 +437,86 @@ bool LittleTableServer::HandleFrame(const std::shared_ptr<ConnState>& cs,
     // coordinator's prober. Writing from here is safe because the FIFO
     // invariant (one worker per connection, front task only) means
     // !running && tasks.empty() ⇒ no worker can be writing to this
-    // connection. Pings arriving behind pipelined work still ride the
-    // ordered task path so responses stay in request order.
+    // connection — and the outbound buffer must be empty too, or the
+    // inline write would land mid-frame. Pings arriving behind pipelined
+    // work still ride the ordered task path so responses stay in order.
     bool idle;
     {
       std::lock_guard<std::mutex> lock(sched_mu_);
       idle = !cs->running && cs->tasks.empty();
     }
     if (idle) {
-      const Timestamp start = MonotonicMicros();
-      const std::string resp = wire::Frame(MsgType::kOk, "");
-      const bool write_ok =
-          cs->conn->WriteAll(resp.data(), resp.size()).ok();
-      inline_pings_->Increment();
-      if (LatencyHistogram* h = op_micros_[op]) {
-        h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
-      }
-      if (task.registered) {
-        {
-          std::lock_guard<std::mutex> lock(drain_mu_);
-          active_requests_--;
+      bool wrote_inline = false;
+      bool write_ok = true;
+      {
+        std::lock_guard<std::mutex> lock(cs->out_mu);
+        if (cs->out_off == cs->outbuf.size() && !cs->write_failed) {
+          // Blocking WriteAll under out_mu is safe here: no tasks ⇒ no
+          // worker can contend for this connection's buffer, and every
+          // other out_mu user runs on this (the event loop) thread.
+          const Timestamp start = MonotonicMicros();
+          const std::string resp = wire::Frame(MsgType::kOk, "");
+          write_ok = cs->conn->WriteAll(resp.data(), resp.size()).ok();
+          if (!write_ok) cs->write_failed = true;
+          inline_pings_->Increment();
+          if (LatencyHistogram* h = op_micros_[op]) {
+            h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
+          }
+          wrote_inline = true;
         }
-        drain_cv_.notify_all();
       }
-      return write_ok;
+      if (wrote_inline) {
+        if (task.registered) {
+          {
+            std::lock_guard<std::mutex> lock(drain_mu_);
+            active_requests_--;
+          }
+          drain_cv_.notify_all();
+        }
+        return write_ok;
+      }
     }
+  }
+  if (op == static_cast<uint8_t>(MsgType::kCancel)) {
+    // Cancellation is out-of-band: it takes effect at decode time, not
+    // behind the pipeline — aborting a stream the pipeline is stuck
+    // behind is the whole point. A parked stream (admission queue or
+    // backpressure) is re-scheduled so a worker slice finalizes it.
+    bool resume = false;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      if (cs->stream) {
+        cs->stream->cancel.store(true);
+        if (!cs->running) {
+          ScheduleLocked(cs);
+          resume = true;
+        }
+      }
+    }
+    if (resume) sched_cv_.notify_one();
+    // The acknowledgment rides the ordered response path, so it follows
+    // the cancelled query's terminal frame. With no query in flight the
+    // cancel is a no-op kOk.
+    task.canned = wire::Frame(MsgType::kOk, "");
+    EnqueueTask(cs, std::move(task));
+    return true;
   }
   task.payload = std::move(payload);
   EnqueueTask(cs, std::move(task));
   return true;
+}
+
+void LittleTableServer::ScheduleLocked(const std::shared_ptr<ConnState>& cs) {
+  // Invariant: a connection appears in run_queue_ at most once
+  // (queued_run), and only when it has work and no worker on it. Parked
+  // streams make spurious schedules possible (a resume racing a cancel);
+  // the slice re-checks its state and re-parks, so they are harmless.
+  if (cs->queued_run || cs->running || cs->tasks.empty() || workers_stop_) {
+    return;
+  }
+  run_queue_.push_back(cs);
+  cs->queued_run = true;
+  run_queue_depth_->Set(static_cast<int64_t>(run_queue_.size()));
 }
 
 void LittleTableServer::EnqueueTask(const std::shared_ptr<ConnState>& cs,
@@ -412,14 +526,12 @@ void LittleTableServer::EnqueueTask(const std::shared_ptr<ConnState>& cs,
     std::lock_guard<std::mutex> lock(sched_mu_);
     cs->tasks.push_back(std::move(task));
     pending_frames_->Increment();
-    // Invariant: a connection with runnable work (front task, no worker on
-    // it) sits in run_queue_ exactly once. It enters here on the
-    // empty→nonempty transition and re-enters when a worker finishes with
-    // tasks left.
-    if (!cs->running && cs->tasks.size() == 1 && !workers_stop_) {
-      run_queue_.push_back(cs);
-      run_queue_depth_->Set(static_cast<int64_t>(run_queue_.size()));
-      schedule = true;
+    // Only the empty→nonempty transition schedules: a deeper queue means
+    // the front task is running, queued, or parked (a parked stream must
+    // not be resumed by unrelated frames arriving behind it).
+    if (cs->tasks.size() == 1) {
+      ScheduleLocked(cs);
+      schedule = cs->queued_run;
     }
   }
   if (schedule) sched_cv_.notify_one();
@@ -427,20 +539,79 @@ void LittleTableServer::EnqueueTask(const std::shared_ptr<ConnState>& cs,
 
 void LittleTableServer::IdleTick() {
   const Timestamp now = idle_clock_->Now();
+  bool notify_sched = false;
+  // Shed admission waiters whose queue-wait deadline passed: each parked
+  // connection is re-scheduled and a worker slice answers it kServerBusy —
+  // an explicit reply, never a silent drop.
+  {
+    std::vector<AdmissionController::Departure> expired;
+    admission_->ExpireWaiters(&expired);
+    if (!expired.empty()) {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      for (const AdmissionController::Departure& d : expired) {
+        auto it = parked_.find(d.id);
+        if (it == parked_.end()) continue;
+        std::shared_ptr<ConnState> cs = it->second;
+        parked_.erase(it);
+        if (cs->stream && cs->stream->queued) {
+          cs->stream->queued = false;
+          cs->stream->expired = true;
+          cs->stream->queue_wait_micros = d.waited_micros;
+          ScheduleLocked(cs);
+          notify_sched = true;
+        }
+      }
+    }
+    if (!expired.empty()) UpdateScanGauges();
+  }
   for (auto it = conns_.begin(); it != conns_.end();) {
     const std::shared_ptr<ConnState>& cs = it->second;
     bool reap = false;
+    bool stalled = false;
+    bool flushed;
+    {
+      std::lock_guard<std::mutex> lock(cs->out_mu);
+      const size_t pending = cs->outbuf.size() - cs->out_off;
+      if (pending > 0 && !cs->write_failed && opts_.io_timeout_ms > 0 &&
+          now - cs->last_out_progress >=
+              Timestamp{opts_.io_timeout_ms} * 1000) {
+        // The peer took no response bytes for a full I/O timeout: give up
+        // on the connection rather than hold its buffered responses (and
+        // any parked stream's slot) forever.
+        cs->write_failed = true;
+        cs->outbuf.clear();
+        cs->out_off = 0;
+        if (cs->out_counted) {
+          cs->out_counted = false;
+          unflushed_conns_.fetch_sub(1);
+        }
+        stalled = true;
+      }
+      flushed = cs->write_failed || cs->outbuf.size() == cs->out_off;
+    }
+    if (stalled && draining_.load()) drain_cv_.notify_all();
     {
       std::lock_guard<std::mutex> lock(sched_mu_);
+      if (stalled) cs->dead = true;
+      // A dead connection with a stream still attached: make sure a
+      // worker finalizes it (releasing its admission slot) — the cancel
+      // may have been set after the stream parked.
+      if (cs->dead && cs->stream && !cs->running) {
+        cs->stream->cancel.store(true);
+        ScheduleLocked(cs);
+        notify_sched = true;
+      }
       const bool busy = cs->running || !cs->tasks.empty();
       if (cs->dead) {
-        reap = !busy;  // Responses flushed; safe to destroy.
+        // Tasks done and responses flushed (or unflushable): safe to
+        // destroy.
+        reap = !busy && flushed;
       } else if (opts_.idle_timeout_ms > 0 && !busy &&
                  now - cs->last_activity >=
                      Timestamp{opts_.idle_timeout_ms} * 1000) {
         idle_disconnects_->Increment();
         cs->dead = true;
-        reap = true;
+        reap = flushed;
       }
     }
     if (reap) {
@@ -452,6 +623,429 @@ void LittleTableServer::IdleTick() {
       ++it;
     }
   }
+  if (notify_sched) sched_cv_.notify_all();
+}
+
+void LittleTableServer::TryFlushLocked(ConnState* cs) {
+  while (cs->out_off < cs->outbuf.size()) {
+    size_t wrote = 0;
+    Status s = cs->conn->WriteSome(cs->outbuf.data() + cs->out_off,
+                                   cs->outbuf.size() - cs->out_off, &wrote);
+    if (!s.ok()) {
+      cs->write_failed = true;
+      cs->outbuf.clear();
+      cs->out_off = 0;
+      break;
+    }
+    if (wrote == 0) break;  // Transport full; poll for writability.
+    cs->out_off += wrote;
+    cs->last_out_progress = idle_clock_->Now();
+  }
+  if (cs->out_off == cs->outbuf.size()) {
+    cs->outbuf.clear();
+    cs->out_off = 0;
+  } else if (cs->out_off > kOutbufCompactBytes) {
+    cs->outbuf.erase(0, cs->out_off);
+    cs->out_off = 0;
+  }
+  if (cs->outbuf.empty() && cs->out_counted) {
+    cs->out_counted = false;
+    unflushed_conns_.fetch_sub(1);
+  }
+}
+
+void LittleTableServer::AppendOutput(const std::shared_ptr<ConnState>& cs,
+                                     const std::string& data) {
+  if (data.empty()) return;
+  bool leftover;
+  {
+    std::lock_guard<std::mutex> lock(cs->out_mu);
+    if (cs->write_failed) return;  // The peer will never see it anyway.
+    if (cs->outbuf.empty()) cs->last_out_progress = idle_clock_->Now();
+    cs->outbuf.append(data);
+    if (!cs->out_counted) {
+      cs->out_counted = true;
+      unflushed_conns_.fetch_add(1);
+    }
+    // Opportunistic flush: on a draining peer the whole response usually
+    // leaves here and the event loop never gets involved.
+    TryFlushLocked(cs.get());
+    leftover = !cs->write_failed && cs->out_off < cs->outbuf.size();
+  }
+  if (leftover) {
+    // The event loop arms write interest and finishes the flush.
+    if (!stopping_.load()) poller_->Wakeup();
+  } else if (draining_.load()) {
+    drain_cv_.notify_all();
+  }
+}
+
+void LittleTableServer::FlushTick() {
+  int64_t total_unflushed = 0;
+  bool notify_sched = false;
+  for (auto& [id, cs] : conns_) {
+    size_t pending;
+    bool failed;
+    bool drained = false;
+    {
+      std::lock_guard<std::mutex> lock(cs->out_mu);
+      const bool had = cs->out_off < cs->outbuf.size();
+      if (had && !cs->write_failed) {
+        TryFlushLocked(cs.get());
+        drained = had && cs->outbuf.empty();
+      }
+      pending = cs->outbuf.size() - cs->out_off;
+      failed = cs->write_failed;
+      total_unflushed += static_cast<int64_t>(pending);
+    }
+    const bool want = pending > 0 && !failed;
+    if (want != cs->want_write) {
+      poller_->SetWritable(cs->conn.get(), want);
+      cs->want_write = want;
+    }
+    if (drained && draining_.load()) drain_cv_.notify_all();
+    // Resume a stream parked on backpressure once the buffer drains to
+    // the low-water mark (half the budget) — or unconditionally on write
+    // failure/cancel so the worker can finalize it.
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      if (cs->stream && cs->stream->paused && !cs->running) {
+        const size_t low = opts_.query_budget_bytes / 2;
+        if (failed || pending <= low || cs->stream->cancel.load()) {
+          cs->stream->paused = false;
+          ScheduleLocked(cs);
+          notify_sched = true;
+        }
+      }
+    }
+  }
+  outbuf_bytes_->Set(total_unflushed);
+  if (notify_sched) sched_cv_.notify_all();
+}
+
+void LittleTableServer::UpdateScanGauges() {
+  scans_active_->Set(static_cast<int64_t>(admission_->active_scans()));
+  scans_queued_->Set(static_cast<int64_t>(admission_->queued_scans()));
+}
+
+void LittleTableServer::ResumeGranted(
+    const std::vector<AdmissionController::Departure>& g) {
+  if (g.empty()) return;
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    for (const AdmissionController::Departure& d : g) {
+      auto it = parked_.find(d.id);
+      if (it == parked_.end()) continue;  // Cancelled/died; slot was or
+                                          // will be released by that path.
+      std::shared_ptr<ConnState> cs = it->second;
+      parked_.erase(it);
+      if (cs->stream && cs->stream->queued) {
+        cs->stream->queued = false;
+        cs->stream->admitted = true;
+        cs->stream->queue_wait_micros = d.waited_micros;
+        ScheduleLocked(cs);
+        notify = true;
+      }
+    }
+  }
+  if (notify) sched_cv_.notify_all();
+}
+
+LittleTableServer::SliceResult LittleTableServer::ExecuteQuerySlice(
+    const std::shared_ptr<ConnState>& cs, Task& task) {
+  const uint8_t kQueryOp = static_cast<uint8_t>(MsgType::kQuery);
+  StreamState* st;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    st = cs->stream.get();
+  }
+  // The pointer is stable unlocked: stream state is installed and torn
+  // down only by slices of this connection's front task, and at most one
+  // worker runs that at a time.
+  if (st == nullptr) {
+    // First slice: parse the request, then pass admission.
+    const Timestamp op_start = MonotonicMicros();
+    auto reply_now = [&](ErrCode code, const std::string& msg) {
+      std::string out;
+      ReplyError(&out, code, msg);
+      AppendOutput(cs, out);
+      if (LatencyHistogram* h = op_micros_[kQueryOp]) {
+        h->Record(static_cast<uint64_t>(MonotonicMicros() - op_start));
+      }
+      return SliceResult::kDone;
+    };
+    Slice body(task.payload.data() + 1, task.payload.size() - 1);
+    std::string name;
+    if (!GetName(&body, &name)) {
+      return reply_now(ErrCode::kInvalidArgument, "bad request");
+    }
+    std::shared_ptr<Table> table = db_->GetTable(name);
+    if (!table) {
+      return reply_now(ErrCode::kNotFound, "no such table: " + name);
+    }
+    std::shared_ptr<const Schema> schema = table->schema();
+    uint32_t version = 0;
+    QueryBounds bounds;
+    if (!GetVarint32(&body, &version) || version != schema->version() ||
+        !wire::DecodeBounds(&body, *schema, &bounds).ok()) {
+      return reply_now(ErrCode::kSchemaChanged,
+                       "schema changed or bad bounds");
+    }
+    // Slot exemption is judged on the limit the CLIENT asked for, before
+    // the server's row cap rewrites it: a bounded point lookup should not
+    // queue behind firehose scans, but an "everything" request is a scan
+    // no matter how the cap truncates it.
+    const bool slot_exempt =
+        opts_.admission.small_query_row_limit > 0 && bounds.limit > 0 &&
+        bounds.limit <= opts_.admission.small_query_row_limit;
+    // §3.5: the server applies its own row cap even to an "everything"
+    // query; truncation surfaces as more-available on the final chunk, so
+    // paging clients continue past it transparently.
+    if (opts_.default_query_row_cap > 0 &&
+        (bounds.limit == 0 || bounds.limit > opts_.default_query_row_cap)) {
+      bounds.limit = opts_.default_query_row_cap;
+    }
+    AdmissionController::Decision d;
+    if (slot_exempt) {
+      d = admission_->ChargeQuery(cs->tenant)
+              ? AdmissionController::Decision::kAdmitted
+              : AdmissionController::Decision::kShedQuota;
+    } else {
+      d = admission_->Request(cs->id, cs->tenant);
+      UpdateScanGauges();
+    }
+    if (d == AdmissionController::Decision::kShedQuota) {
+      query_shed_->Increment();
+      query_shed_quota_->Increment();
+      return reply_now(ErrCode::kResourceExhausted, "tenant quota exceeded");
+    }
+    if (d == AdmissionController::Decision::kShedQueueFull) {
+      query_shed_->Increment();
+      query_shed_queue_full_->Increment();
+      return reply_now(ErrCode::kResourceExhausted, "admission queue full");
+    }
+    auto stream = std::make_unique<StreamState>();
+    stream->table = std::move(table);
+    stream->schema = std::move(schema);
+    stream->bounds = bounds;
+    stream->tenant = cs->tenant;
+    stream->slot_exempt = slot_exempt;
+    stream->op_start = op_start;
+    if (opts_.query_deadline_ms > 0) {
+      stream->deadline =
+          idle_clock_->Now() + Timestamp{opts_.query_deadline_ms} * 1000;
+    }
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    st = stream.get();
+    cs->stream = std::move(stream);
+    if (d == AdmissionController::Decision::kQueued) {
+      st->queued = true;
+      parked_[cs->id] = cs;
+      return SliceResult::kParked;  // A Release grant or expiry resumes us.
+    }
+    st->admitted = true;
+  }
+
+  // Tear-down common to every way a stream ends: record, append the
+  // terminal frame (empty when silence is the answer — dead peer),
+  // release the slot, detach. Stats are recorded BEFORE the terminal
+  // frame is appended: once the client can observe the response, the
+  // table's query counters must already reflect it (the deterministic
+  // chaos sampler depends on that ordering).
+  auto finalize = [&](bool release_slot, const std::string& terminal) {
+    if (st->qs) st->qs->Finish();
+    if (!terminal.empty()) AppendOutput(cs, terminal);
+    if (release_slot && !st->slot_exempt) {
+      std::vector<AdmissionController::Departure> granted;
+      admission_->Release(&granted);
+      ResumeGranted(granted);
+      UpdateScanGauges();
+    }
+    if (st->queue_wait_micros >= 0) {
+      queue_wait_micros_->Record(static_cast<uint64_t>(st->queue_wait_micros));
+    }
+    if (st->peak_bytes > 0) {
+      stream_peak_bytes_->Record(static_cast<uint64_t>(st->peak_bytes));
+    }
+    if (LatencyHistogram* h = op_micros_[kQueryOp]) {
+      h->Record(static_cast<uint64_t>(MonotonicMicros() - st->op_start));
+    }
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    cs->stream.reset();
+    return SliceResult::kDone;
+  };
+  auto error_frame = [&](ErrCode code, const std::string& msg) {
+    std::string out;
+    ReplyError(&out, code, msg);
+    return out;
+  };
+
+  bool queued, expired, admitted;
+  const bool cancelled = st->cancel.load();
+  bool wfail;
+  {
+    std::lock_guard<std::mutex> lock(cs->out_mu);
+    wfail = cs->write_failed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    st->paused = false;  // If we were parked on backpressure, no longer.
+    queued = st->queued;
+    expired = st->expired;
+    admitted = st->admitted;
+    if (queued && (cancelled || wfail)) {
+      // Claim the waiter under sched_mu_ so a concurrent grant cannot
+      // also act on it; the controller race is settled below.
+      st->queued = false;
+      parked_.erase(cs->id);
+    }
+  }
+  if (queued && (cancelled || wfail)) {
+    // A false CancelWaiter means a grant raced us out of the queue — the
+    // slot is ours now and must be released on the way out.
+    admitted = !admission_->CancelWaiter(cs->id);
+    UpdateScanGauges();
+    queued = false;
+  }
+  if (wfail) {
+    // Peer unreachable: nothing to say, just unwind.
+    return finalize(admitted, "");
+  }
+  if (expired) {
+    query_shed_->Increment();
+    query_shed_wait_timeout_->Increment();
+    return finalize(admitted,
+                    error_frame(ErrCode::kServerBusy,
+                                "timed out waiting for a scan slot"));
+  }
+  if (cancelled) {
+    query_cancelled_->Increment();
+    return finalize(admitted,
+                    error_frame(ErrCode::kCancelled, "query cancelled"));
+  }
+  if (queued) return SliceResult::kParked;  // Spurious resume; keep waiting.
+
+  // Admitted: open the stream lazily so queued scans pin no tablet
+  // snapshot while waiting.
+  if (st->qs == nullptr) {
+    Status s = st->table->NewQueryStream(st->bounds, &st->qs);
+    if (!s.ok()) {
+      std::string out;
+      ReplyStatus(&out, s);
+      return finalize(true, out);
+    }
+  }
+  const size_t budget = opts_.query_budget_bytes;
+  const size_t chunk_target =
+      budget > 0
+          ? std::min(kChunkTargetBytes, std::max<size_t>(1024, budget / 4))
+          : kChunkTargetBytes;
+  for (int chunk_i = 0; chunk_i < kSliceChunks; chunk_i++) {
+    // Kill switches, re-checked between chunks inside the scan loop.
+    if (st->cancel.load()) {
+      query_cancelled_->Increment();
+      return finalize(true,
+                      error_frame(ErrCode::kCancelled, "query cancelled"));
+    }
+    {
+      std::lock_guard<std::mutex> lock(cs->out_mu);
+      wfail = cs->write_failed;
+    }
+    if (wfail) return finalize(true, "");
+    if (st->deadline > 0 && idle_clock_->Now() >= st->deadline) {
+      query_deadline_exceeded_->Increment();
+      query_shed_->Increment();
+      return finalize(true, error_frame(ErrCode::kResourceExhausted,
+                                        "query deadline exceeded"));
+    }
+    // Backpressure: never build a chunk the budget cannot hold on top of
+    // what the peer has not drained. Park — costing no worker thread —
+    // and let FlushTick resume us at the low-water mark.
+    size_t out_pending;
+    {
+      std::lock_guard<std::mutex> lock(cs->out_mu);
+      out_pending = cs->outbuf.size() - cs->out_off;
+    }
+    // Two chunk-targets of headroom: the chunk about to be built may
+    // overshoot its target by one row, and the accounted peak
+    // (out_pending + frame) must stay within the budget, not one chunk
+    // past it. A scan with nothing pending always proceeds — with a
+    // budget smaller than two chunks, parking at zero pending would
+    // pause/resume forever without emitting a byte.
+    if (budget > 0 && out_pending > 0 &&
+        out_pending + 2 * chunk_target > budget) {
+      stream_pauses_->Increment();
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        st->paused = true;
+      }
+      // Poke the event loop so write interest is armed promptly.
+      if (!stopping_.load()) poller_->Wakeup();
+      return SliceResult::kParked;
+    }
+    // Pull one chunk's rows.
+    std::string rowbuf;
+    uint32_t n = 0;
+    bool final = false;
+    const uint64_t scan_start = st->qs->rows_scanned();
+    Status s = Status::OK();
+    Row row;
+    while (n < kChunkRows && rowbuf.size() < chunk_target) {
+      const uint64_t scanned_here = st->qs->rows_scanned() - scan_start;
+      if (scanned_here >= kChunkScanCap) break;
+      bool have = false, exhausted = false;
+      s = st->qs->Next(kChunkScanCap - scanned_here, &row, &have, &exhausted);
+      if (!s.ok()) break;
+      if (have) {
+        EncodeRow(&rowbuf, *st->schema, row);
+        n++;
+      } else if (exhausted) {
+        final = true;
+        break;
+      } else {
+        break;  // Scan-budget yield: recheck the kill switches.
+      }
+    }
+    // Bill the newly scanned rows to the tenant's row bucket; a scan that
+    // outran its tenant's budget is shed mid-stream.
+    const uint64_t scanned_total = st->qs->rows_scanned();
+    const uint64_t delta = scanned_total - st->charged_rows;
+    st->charged_rows = scanned_total;
+    if (delta > 0 && !admission_->ChargeScannedRows(st->tenant, delta)) {
+      query_shed_->Increment();
+      query_shed_quota_->Increment();
+      return finalize(true, error_frame(ErrCode::kResourceExhausted,
+                                        "scanned-rows quota exceeded"));
+    }
+    if (!s.ok()) {
+      std::string out;
+      ReplyStatus(&out, s);
+      return finalize(true, out);
+    }
+    if (n > 0 || final) {
+      uint8_t flags = 0;
+      if (final) {
+        flags |= wire::kChunkFinal;
+        if (st->qs->more_available()) flags |= wire::kChunkMoreAvailable;
+      }
+      std::string chunk;
+      chunk.push_back(static_cast<char>(flags));
+      PutVarint32(&chunk, st->schema->version());
+      PutVarint32(&chunk, n);
+      chunk += rowbuf;
+      const std::string frame = wire::Frame(MsgType::kQueryChunk, chunk);
+      // Accounted memory this query pins at its worst moment: undrained
+      // earlier chunks plus the frame about to be appended. Measured
+      // before the flush so the number is budget-vs-gate, not peer speed.
+      st->peak_bytes = std::max(st->peak_bytes, out_pending + frame.size());
+      // The final chunk rides through finalize so table stats land before
+      // the client can observe the end of the stream.
+      if (final) return finalize(true, frame);
+      AppendOutput(cs, frame);
+    }
+  }
+  return SliceResult::kYield;  // Share the pool with other connections.
 }
 
 void LittleTableServer::WorkerLoop() {
@@ -465,44 +1059,80 @@ void LittleTableServer::WorkerLoop() {
       cs = std::move(run_queue_.front());
       run_queue_.pop_front();
       run_queue_depth_->Set(static_cast<int64_t>(run_queue_.size()));
+      cs->queued_run = false;
+      if (cs->tasks.empty()) continue;  // Spurious resume; nothing to run.
       cs->running = true;
       workers_busy_->Increment();
     }
     const Timestamp busy_start = MonotonicMicros();
     // Only this worker touches the front task while running is set, and
     // the event loop only push_backs (which never invalidates deque
-    // references), so the pointer is stable without the lock.
+    // references), so the reference is stable without the lock.
     Task& task = cs->tasks.front();
-    std::string response;
+    SliceResult sr = SliceResult::kDone;
     if (!task.canned.empty()) {
-      response = std::move(task.canned);
+      AppendOutput(cs, task.canned);
     } else {
       const uint8_t op = static_cast<uint8_t>(task.payload[0]);
-      Slice body(task.payload.data() + 1, task.payload.size() - 1);
-      const Timestamp start = MonotonicMicros();
-      Dispatch(static_cast<MsgType>(op), body, &response);
-      if (LatencyHistogram* h = op_micros_[op]) {
-        h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
+      if (op == static_cast<uint8_t>(MsgType::kQuery) && db_ != nullptr) {
+        // Direct queries stream: executed in bounded slices under the
+        // admission controller and the per-query byte budget instead of
+        // materializing the whole result.
+        sr = ExecuteQuerySlice(cs, task);
+      } else if (op == static_cast<uint8_t>(MsgType::kSetTenant)) {
+        // Binds the connection to a tenant (ConfigStore network id) for
+        // quota accounting. Handled here rather than in Dispatch because
+        // it addresses the connection, not the database.
+        Slice body(task.payload.data() + 1, task.payload.size() - 1);
+        const Timestamp start = MonotonicMicros();
+        uint64_t network_id = 0;
+        std::string out;
+        if (!GetVarint64(&body, &network_id)) {
+          ReplyError(&out, ErrCode::kInvalidArgument, "bad request");
+        } else {
+          cs->tenant = static_cast<int64_t>(network_id);
+          out = wire::Frame(MsgType::kOk, "");
+        }
+        if (LatencyHistogram* h = op_micros_[op]) {
+          h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
+        }
+        AppendOutput(cs, out);
+      } else {
+        Slice body(task.payload.data() + 1, task.payload.size() - 1);
+        std::string response;
+        const Timestamp start = MonotonicMicros();
+        Dispatch(static_cast<MsgType>(op), body, &response);
+        if (LatencyHistogram* h = op_micros_[op]) {
+          h->Record(static_cast<uint64_t>(MonotonicMicros() - start));
+        }
+        AppendOutput(cs, response);
       }
     }
-    // The response write is part of the in-flight request: a drain waits
-    // until the client has its answer. One worker per connection at a
-    // time, executing the FIFO front, is what keeps pipelined responses in
-    // request order.
-    const bool write_ok =
-        cs->conn->WriteAll(response.data(), response.size()).ok();
-    const bool was_registered = task.registered;
+    // Responses leave through the outbound buffer (AppendOutput), so a
+    // stalled peer parks bytes, never this worker. The drain still waits
+    // for the client to be able to read its answer: unflushed_conns_
+    // stays nonzero until the buffer empties.
+    bool write_ok;
+    {
+      std::lock_guard<std::mutex> lock(cs->out_mu);
+      write_ok = !cs->write_failed;
+    }
+    const bool was_registered = sr == SliceResult::kDone && task.registered;
     int dropped_registered = 0;
     bool conn_finished = false;
     {
       std::lock_guard<std::mutex> lock(sched_mu_);
-      cs->tasks.pop_front();
-      pending_frames_->Decrement();
+      if (sr == SliceResult::kDone) {
+        cs->tasks.pop_front();
+        pending_frames_->Decrement();
+      }
       cs->running = false;
       workers_busy_->Decrement();
-      if (!write_ok) {
+      if (!write_ok && sr == SliceResult::kDone) {
         // The peer can't receive responses; abandon the rest of the
-        // pipeline but give the drain back their registrations.
+        // pipeline but give the drain back their registrations. (A
+        // streaming slice that saw the failure has already finalized, so
+        // no stream state is dropped here.)
         cs->dead = true;
         for (const Task& t : cs->tasks) {
           if (t.registered) dropped_registered++;
@@ -510,10 +1140,11 @@ void LittleTableServer::WorkerLoop() {
         pending_frames_->Add(-static_cast<int64_t>(cs->tasks.size()));
         cs->tasks.clear();
       }
-      if (!cs->tasks.empty() && !workers_stop_) {
-        run_queue_.push_back(cs);
-        run_queue_depth_->Set(static_cast<int64_t>(run_queue_.size()));
-        sched_cv_.notify_one();
+      // kDone with tasks left, or kYield (stream wants the CPU back):
+      // re-enter the run queue. kParked waits for its resume event.
+      if (sr != SliceResult::kParked) {
+        ScheduleLocked(cs);
+        if (cs->queued_run) sched_cv_.notify_one();
       }
       conn_finished = cs->dead && cs->tasks.empty();
     }
@@ -789,6 +1420,12 @@ void LittleTableServer::Dispatch(MsgType type, Slice body, std::string* out) {
           !wire::DecodeBounds(&body, *schema, &bounds).ok()) {
         return ReplyError(out, ErrCode::kSchemaChanged,
                           "schema changed or bad bounds");
+      }
+      // Same server-side row cap as the streaming path (§3.5), so routed
+      // queries delegated through Handle() observe identical limits.
+      if (opts_.default_query_row_cap > 0 &&
+          (bounds.limit == 0 || bounds.limit > opts_.default_query_row_cap)) {
+        bounds.limit = opts_.default_query_row_cap;
       }
       QueryResult result;
       Status s = table->Query(bounds, &result);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/db.h"
+#include "net/admission.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "util/clock.h"
@@ -75,6 +76,30 @@ struct ServerOptions {
   /// and by replica agents (src/cluster).
   std::function<void(wire::MsgType type, Slice body, std::string* out)>
       extension;
+
+  // --- Overload resilience -----------------------------------------------
+
+  /// Server-side cap on rows one kQuery may return (§3.5: the server
+  /// applies its own cap even when the client asks for everything). A
+  /// client limit of 0, or above the cap, is clamped to it; truncation is
+  /// reported through the final chunk's more-available flag so paging
+  /// clients continue past it transparently. 0 = no server-level cap
+  /// (TableOptions::server_row_limit still applies).
+  uint64_t default_query_row_cap = 0;
+  /// Per-query streaming byte budget: the most encoded-but-unacknowledged
+  /// response data one query may pin (the chunk being built plus the
+  /// connection's unflushed outbound buffer). A scan that fills the budget
+  /// parks — costing no worker thread — and resumes when the client drains
+  /// below half of it, so a slow reader holds bounded server memory.
+  /// 0 = unbounded (a slow reader buffers the whole result).
+  size_t query_budget_bytes = 4 * 1024 * 1024;
+  /// Wall-clock deadline for one query, checked between chunks inside the
+  /// scan loop; an over-deadline scan is shed mid-stream with
+  /// kResourceExhausted. Measured on `clock`. 0 = none.
+  int query_deadline_ms = 0;
+  /// Concurrent-scan slots, FIFO wait queue, and per-tenant token-bucket
+  /// quotas (keyed by the ConfigStore network id bound with kSetTenant).
+  AdmissionOptions admission;
 };
 
 class LittleTableServer {
@@ -135,21 +160,77 @@ class LittleTableServer {
     bool registered = false;  // Counted in active_requests_ for the drain.
   };
 
+  // State of one in-flight streaming kQuery. Installed on the connection
+  // by the first worker slice and torn down by the finalizing slice; the
+  // pointer itself is guarded by sched_mu_, the scan internals are owned
+  // by whichever worker is slicing (at most one: the stream task is the
+  // connection's FIFO front for its whole lifetime).
+  struct StreamState {
+    std::shared_ptr<Table> table;
+    std::shared_ptr<const Schema> schema;
+    QueryBounds bounds;
+    // Opened lazily on the first admitted slice, so queued scans pin no
+    // tablet snapshot while they wait.
+    std::unique_ptr<QueryStream> qs;
+    int64_t tenant = 0;
+    // --- Guarded by sched_mu_. ---
+    bool queued = false;    // Waiting in the admission queue.
+    bool admitted = false;  // Holds a scan slot (must be Release()d).
+    // Small (limit-bounded) query admitted without a slot: finalize must
+    // not Release, and it was never queued.
+    bool slot_exempt = false;
+    bool paused = false;    // Parked on outbound-buffer backpressure.
+    bool expired = false;   // Queue wait timed out; shed on next slice.
+    // Set by the event loop (kCancel frame, connection death); checked
+    // between chunks by the slicing worker.
+    std::atomic<bool> cancel{false};
+    int64_t queue_wait_micros = -1;  // Set on grant/expiry, -1 = never queued.
+    Timestamp deadline = 0;          // Idle-clock deadline; 0 = none.
+    Timestamp op_start = 0;          // MonotonicMicros at first slice.
+    uint64_t charged_rows = 0;       // Scanned rows already billed to quota.
+    size_t peak_bytes = 0;           // Max outbound bytes pinned at once.
+  };
+
   // Per-connection state. The event loop owns conn I/O state (inbuf,
   // last_activity, poller registration); the scheduling fields are guarded
-  // by sched_mu_. Held by shared_ptr: the conns_ map keeps one reference,
-  // an executing worker another, so the connection object outlives any
-  // in-flight response write.
+  // by sched_mu_; the outbound buffer by out_mu (a leaf lock — never held
+  // while acquiring sched_mu_ or drain_mu_). Held by shared_ptr: the
+  // conns_ map keeps one reference, an executing worker another, so the
+  // connection object outlives any in-flight response write.
   struct ConnState {
     uint64_t id = 0;
     std::unique_ptr<net::Connection> conn;
     std::string inbuf;            // Reassembly buffer (event loop only).
     Timestamp last_activity = 0;  // Idle clock reading (event loop only).
+    // Tenant (ConfigStore network id) bound with kSetTenant. Only touched
+    // while executing this connection's front task, which is serialized,
+    // so no lock is needed.
+    int64_t tenant = 0;
+    // --- Outbound buffer, guarded by out_mu. Workers append response
+    // frames and flush what the transport accepts without blocking; the
+    // event loop flushes the rest as the peer drains. FIFO, so pipelined
+    // responses keep request order.
+    std::mutex out_mu;
+    std::string outbuf;
+    size_t out_off = 0;            // Flushed prefix of outbuf.
+    bool write_failed = false;     // Transport write error or write stall.
+    bool out_counted = false;      // Counted in unflushed_conns_.
+    Timestamp last_out_progress = 0;  // Idle clock at last accepted byte.
+    // Whether the poller is armed for writability (event loop only).
+    bool want_write = false;
     // --- Guarded by sched_mu_. ---
     std::deque<Task> tasks;   // Decoded, not yet completed; front may run.
     bool running = false;     // A worker is executing this conn's front task.
+    bool queued_run = false;  // Present in run_queue_.
     bool dead = false;        // No more reads; close once tasks drain.
+    std::unique_ptr<StreamState> stream;  // In-flight streaming query.
   };
+
+  // What one worker slice of a task decided: the task completed (pop it),
+  // wants the CPU back soon (re-enqueue behind other connections), or
+  // parked waiting for an external event — an admission grant or the
+  // outbound buffer draining — that will re-schedule the connection.
+  enum class SliceResult { kDone, kYield, kParked };
 
   void AcceptLoop();
   void EventLoop();
@@ -165,9 +246,37 @@ class LittleTableServer {
   /// Enqueues `task` on `cs` and schedules the connection on the worker
   /// run queue if no worker is already serving it.
   void EnqueueTask(const std::shared_ptr<ConnState>& cs, Task task);
-  /// Event-loop housekeeping: idle-timeout disconnects and reaping of dead
-  /// connections whose tasks have drained.
+  /// Pushes `cs` onto the worker run queue unless it is already there, a
+  /// worker is serving it, or it has nothing to run. sched_mu_ must be
+  /// held; the caller notifies sched_cv_ after unlocking.
+  void ScheduleLocked(const std::shared_ptr<ConnState>& cs);
+  /// Event-loop housekeeping: idle-timeout disconnects, queue-wait expiry,
+  /// write-stall detection, and reaping of dead connections whose tasks
+  /// and output have drained.
   void IdleTick();
+  /// Event-loop outbound pass: flushes each connection's buffered output,
+  /// arms/disarms poller write interest, and resumes streams parked on
+  /// backpressure once their buffer drains below the low-water mark.
+  void FlushTick();
+
+  /// Appends response bytes to `cs`'s outbound buffer and flushes what the
+  /// transport will take without blocking. Never blocks a worker on a slow
+  /// peer; leftover bytes are flushed by the event loop as the peer drains.
+  void AppendOutput(const std::shared_ptr<ConnState>& cs,
+                    const std::string& data);
+  /// Flushes as much buffered output as the transport accepts (out_mu
+  /// held). Sets write_failed and drops the buffer on a transport error.
+  void TryFlushLocked(ConnState* cs);
+
+  /// Executes one slice of a streaming kQuery: admission on first entry,
+  /// then up to a few chunks of rows — checking cancellation, the query
+  /// deadline, the tenant's scanned-rows quota, and the outbound byte
+  /// budget between chunks.
+  SliceResult ExecuteQuerySlice(const std::shared_ptr<ConnState>& cs,
+                                Task& task);
+  /// Re-schedules connections whose queued scans were just granted slots.
+  void ResumeGranted(const std::vector<AdmissionController::Departure>& g);
+  void UpdateScanGauges();
 
   /// Handles one request; appends response frames to `*out`.
   void Dispatch(wire::MsgType type, Slice body, std::string* out);
@@ -215,6 +324,22 @@ class LittleTableServer {
   // work), bypassing the worker pool so a saturated pool cannot fail a
   // healthy node's health probe.
   Counter* inline_pings_ = nullptr;
+  // Overload-resilience instruments. Sheds are always explicit error
+  // replies; these count why.
+  Counter* query_shed_ = nullptr;              // Total sheds, any cause.
+  Counter* query_shed_quota_ = nullptr;        // Tenant token bucket dry.
+  Counter* query_shed_queue_full_ = nullptr;   // Admission queue at cap.
+  Counter* query_shed_wait_timeout_ = nullptr; // Queue-wait deadline hit.
+  Counter* query_deadline_exceeded_ = nullptr;
+  Counter* query_cancelled_ = nullptr;
+  Counter* stream_pauses_ = nullptr;  // Scans parked on backpressure.
+  Gauge* scans_active_ = nullptr;
+  Gauge* scans_queued_ = nullptr;
+  Gauge* outbuf_bytes_ = nullptr;  // Unflushed response bytes, all conns.
+  LatencyHistogram* queue_wait_micros_ = nullptr;
+  // Peak outbound bytes one streaming query pinned — the accounted-memory
+  // check against query_budget_bytes.
+  LatencyHistogram* stream_peak_bytes_ = nullptr;
   uint16_t port_;
   net::Transport* const transport_;
   std::unique_ptr<net::Listener> listener_;
@@ -228,6 +353,12 @@ class LittleTableServer {
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   int active_requests_ = 0;  // guarded by drain_mu_
+  // Connections holding unflushed response bytes. The drain waits for
+  // this to reach zero as well: a request is not "finished" until the
+  // client can actually read its answer.
+  std::atomic<int> unflushed_conns_{0};
+
+  std::unique_ptr<AdmissionController> admission_;
 
   std::thread accept_thread_;
   std::thread event_thread_;
@@ -250,6 +381,11 @@ class LittleTableServer {
   std::condition_variable sched_cv_;
   std::deque<std::shared_ptr<ConnState>> run_queue_;
   bool workers_stop_ = false;  // guarded by sched_mu_
+  // Connections whose stream is parked in the admission wait queue, by
+  // connection id — how a worker releasing a slot (or the event loop
+  // expiring a wait) reaches a connection it does not otherwise own.
+  // Guarded by sched_mu_.
+  std::map<uint64_t, std::shared_ptr<ConnState>> parked_;
 };
 
 }  // namespace lt

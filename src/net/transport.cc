@@ -48,6 +48,22 @@ class TcpConnection final : public Connection {
     return Status::NetworkError(std::string("recv: ") + strerror(errno));
   }
 
+  Status WriteSome(const char* data, size_t n, size_t* written) override {
+    *written = 0;
+    if (!sock_.valid()) return Status::NetworkError("connection shut down");
+    // MSG_NOSIGNAL: a write to a reset connection must surface as EPIPE,
+    // not kill the process.
+    ssize_t r = send(sock_.fd(), data, n, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (r >= 0) {
+      *written = static_cast<size_t>(r);
+      return Status::OK();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return Status::OK();  // Send buffer full; poll for writability.
+    }
+    return Status::NetworkError(std::string("send: ") + strerror(errno));
+  }
+
   void Shutdown() override {
     // Blocked reads observe EOF; the fd itself is closed by the destructor
     // (the owning thread), never concurrently with in-flight I/O.
@@ -83,7 +99,7 @@ class TcpPoller final : public Poller {
   }
 
   void Add(Connection* conn, uint64_t tag) override {
-    entries_.push_back({static_cast<TcpConnection*>(conn), tag});
+    entries_.push_back({static_cast<TcpConnection*>(conn), tag, false});
   }
 
   void Remove(Connection* conn) override {
@@ -96,12 +112,24 @@ class TcpPoller final : public Poller {
     }
   }
 
+  void SetWritable(Connection* conn, bool want) override {
+    for (Entry& e : entries_) {
+      if (e.conn == conn) {
+        e.want_write = want;
+        return;
+      }
+    }
+  }
+
   Status Wait(int timeout_ms, std::vector<uint64_t>* ready) override {
     ready->clear();
     pfds_.clear();
     pfds_.push_back({wake_rd_, POLLIN, 0});
     for (const Entry& e : entries_) {
-      pfds_.push_back({e.conn->fd(), POLLIN, 0});
+      pfds_.push_back(
+          {e.conn->fd(), static_cast<short>(e.want_write ? POLLIN | POLLOUT
+                                                         : POLLIN),
+           0});
     }
     int r;
     do {
@@ -115,7 +143,7 @@ class TcpPoller final : public Poller {
       }
     }
     for (size_t i = 0; i < entries_.size(); i++) {
-      if (pfds_[i + 1].revents & (POLLIN | POLLERR | POLLHUP)) {
+      if (pfds_[i + 1].revents & (POLLIN | POLLOUT | POLLERR | POLLHUP)) {
         ready->push_back(entries_[i].tag);
       }
     }
@@ -134,6 +162,7 @@ class TcpPoller final : public Poller {
   struct Entry {
     TcpConnection* conn;
     uint64_t tag;
+    bool want_write;
   };
   std::vector<Entry> entries_;
   std::vector<struct pollfd> pfds_;

@@ -51,6 +51,22 @@ class Connection {
   /// event-loop server, which never wants to block on one connection.
   virtual Status ReadSome(char* data, size_t n, size_t* got) = 0;
 
+  /// Non-blocking write of up to n bytes: whatever fits in the send buffer
+  /// right now is accepted and *written reports the count. OK with
+  /// *written == 0 means the peer's buffer is full (try again when the
+  /// Poller reports the connection writable). A closed/reset connection is
+  /// a NetworkError. The server's streaming write path uses this so a slow
+  /// reader stalls its own connection's scan, never a worker thread.
+  ///
+  /// The default delegates to WriteAll (blocking): transports that never
+  /// buffer-limit (tests' in-memory doubles) stay correct without changes.
+  virtual Status WriteSome(const char* data, size_t n, size_t* written) {
+    *written = 0;
+    Status s = WriteAll(data, n);
+    if (s.ok()) *written = n;
+    return s;
+  }
+
   /// Wakes any thread blocked in ReadAll/WaitReadable on this connection
   /// and makes further I/O fail — shutdown(2) semantics. Safe to call from
   /// another thread while I/O is in flight; the server uses this to unblock
@@ -99,6 +115,17 @@ class Poller {
   /// Wakes a concurrent Wait early (thread-safe; sticky until the next
   /// Wait returns).
   virtual void Wakeup() = 0;
+
+  /// Declares write interest for a registered connection: while set, Wait
+  /// also reports the connection's tag when it can accept more bytes
+  /// (WriteSome would make progress) or has a pending error. Event-loop
+  /// thread only, like Add/Remove. Default no-op: transports whose
+  /// WriteSome never returns 0 (the WriteAll-delegating default) need no
+  /// write readiness.
+  virtual void SetWritable(Connection* conn, bool want) {
+    (void)conn;
+    (void)want;
+  }
 };
 
 /// Factory for listeners and outbound connections.

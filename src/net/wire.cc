@@ -119,6 +119,15 @@ Status StatusForCode(ErrCode code, const std::string& message) {
       // keeps it distinct from connection errors so a plain Client never
       // blind-retries it.
       return Status::Aborted(message.empty() ? "wrong shard" : message);
+    case ErrCode::kResourceExhausted:
+      // Same retry class as kServerBusy (back off, try again); the message
+      // keeps the quota-vs-busy distinction visible to callers.
+      return Status::Unavailable(message.empty() ? "resource exhausted"
+                                                 : message);
+    case ErrCode::kCancelled:
+      // Aborted, not Unavailable: the client cancelled it; a blind retry
+      // would resurrect the very work the caller just killed.
+      return Status::Aborted(message.empty() ? "query cancelled" : message);
     case ErrCode::kGeneric: break;
   }
   return Status::NetworkError(message);

@@ -63,6 +63,17 @@ enum class MsgType : uint8_t {
   kTabletSetSync = 22, // body: group, epoch, stream, redo floor, per-table
                        //       authoritative tablet lists; prunes extras
 
+  // Overload control (PR 10).
+  kCancel = 23,        // body: empty. Aborts the connection's in-flight
+                       //       streaming query (the query answers kError/
+                       //       kCancelled as its terminal frame); a no-op
+                       //       kOk when nothing is in flight. Handled
+                       //       out-of-band at decode time so it overtakes
+                       //       the very scan it aborts.
+  kSetTenant = 24,     // body: varint64 ConfigStore network id. Binds the
+                       //       connection to a tenant for per-tenant
+                       //       quota accounting; 0 clears the binding.
+
   // Responses.
   kOk = 64,
   kError = 65,       // body: code byte, message
@@ -105,6 +116,15 @@ enum class ErrCode : uint8_t {
   kWrongShard = 10,    // Routed request hit a node that is not the current
                        // primary for that (group, epoch): the client must
                        // refetch the shard map and retry.
+  kResourceExhausted = 11,  // Load shed: a per-tenant quota ran dry or the
+                            // admission wait queue is full. Retryable
+                            // after backoff, like kServerBusy, but names
+                            // the cause so clients can distinguish "this
+                            // tenant is over its budget" from "the server
+                            // is busy".
+  kCancelled = 12,     // The request was aborted by a kCancel from the
+                       // same connection (terminal frame of the cancelled
+                       // query). Not retryable: the caller asked for it.
 };
 
 /// kQueryChunk flags.

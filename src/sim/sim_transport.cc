@@ -29,6 +29,7 @@ struct HalfPipe {
   };
   std::deque<Chunk> chunks;
   size_t offset = 0;    // Consumed prefix of chunks.front().
+  size_t pending = 0;   // Unread bytes across chunks (offset excluded).
   bool closed = false;  // Writer closed: EOF once chunks drain.
 
   bool empty() const { return chunks.empty(); }
@@ -54,6 +55,7 @@ struct SimTransport::Inner {
   std::condition_variable cv;
   std::shared_ptr<SimClock> clock;
   bool auto_advance = true;
+  size_t conn_buffer_bytes = 0;  // WriteSome cap per direction; 0 = none.
 
   struct ListenerState {
     uint16_t port = 0;
@@ -184,13 +186,71 @@ class SimConnection final : public net::Connection {
       size_t keep = std::min(inner_->truncate_keep, n);
       if (keep > 0) {
         out.chunks.push_back({std::string(data, keep), at});
+        out.pending += keep;
       }
       pipe_->reset = true;  // The connection dies after the partial frame.
       inner_->cv.notify_all();
       return Status::OK();  // The writer believes the write succeeded.
     }
     out.chunks.push_back({std::string(data, n), at});
+    out.pending += n;
     inner_->cv.notify_all();
+    return Status::OK();
+  }
+
+  Status WriteSome(const char* data, size_t n, size_t* written) override {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    *written = 0;
+    if (shut_) return Status::NetworkError("connection shut down");
+    if (pipe_->reset) return Status::NetworkError("connection reset by peer");
+    if (peer_gone()) {
+      // Same TCP first-write-after-close semantics as WriteAll: accepted
+      // locally, answered with a reset.
+      pipe_->reset = true;
+      inner_->stats.bytes_blackholed += n;
+      inner_->cv.notify_all();
+      *written = n;
+      return Status::OK();
+    }
+    if (inner_->partitioned ||
+        inner_->LinkDownLocked(pipe_->client_node, pipe_->server_node)) {
+      // The partition eats the bytes; the writer cannot tell (so no
+      // backpressure either — exactly like bytes vanishing past the NIC).
+      inner_->stats.bytes_blackholed += n;
+      *written = n;
+      return Status::OK();
+    }
+    HalfPipe& out = outgoing();
+    size_t take = n;
+    if (inner_->conn_buffer_bytes > 0) {
+      if (out.pending >= inner_->conn_buffer_bytes) {
+        return Status::OK();  // Buffer full; *written stays 0.
+      }
+      take = std::min(n, inner_->conn_buffer_bytes - out.pending);
+    }
+    Timestamp at = inner_->clock->Now();
+    if (inner_->delay_next_write > 0) {
+      at += inner_->delay_next_write;
+      inner_->delay_next_write = 0;
+      inner_->stats.writes_delayed++;
+    }
+    if (is_server_ && inner_->truncate_armed) {
+      inner_->truncate_armed = false;
+      inner_->stats.writes_truncated++;
+      size_t keep = std::min(inner_->truncate_keep, take);
+      if (keep > 0) {
+        out.chunks.push_back({std::string(data, keep), at});
+        out.pending += keep;
+      }
+      pipe_->reset = true;
+      inner_->cv.notify_all();
+      *written = take;  // The writer believes the write succeeded.
+      return Status::OK();
+    }
+    out.chunks.push_back({std::string(data, take), at});
+    out.pending += take;
+    inner_->cv.notify_all();
+    *written = take;
     return Status::OK();
   }
 
@@ -220,10 +280,12 @@ class SimConnection final : public net::Connection {
           std::memcpy(data + got, front.data.data() + in.offset, take);
           got += take;
           in.offset += take;
+          in.pending -= take;
           if (in.offset == front.data.size()) {
             in.chunks.pop_front();
             in.offset = 0;
           }
+          inner_->cv.notify_all();  // Freed buffer space: writers unblock.
           continue;
         }
         if (inner_->auto_advance) {
@@ -284,12 +346,16 @@ class SimConnection final : public net::Connection {
       std::memcpy(data + *got, front.data.data() + in.offset, take);
       *got += take;
       in.offset += take;
+      in.pending -= take;
       if (in.offset == front.data.size()) {
         in.chunks.pop_front();
         in.offset = 0;
       }
     }
-    if (*got > 0) return Status::OK();
+    if (*got > 0) {
+      inner_->cv.notify_all();  // Freed buffer space: writers unblock.
+      return Status::OK();
+    }
     if (in.empty()) {
       // Deliverable data always wins over error reporting (matches
       // ReadAll): the reset/EOF surfaces only once the pipe is drained.
@@ -320,6 +386,19 @@ class SimConnection final : public net::Connection {
       return false;
     }
     return pipe_->reset || in.closed;
+  }
+
+  /// Poller-side writability probe; inner_->mu held. True when the next
+  /// WriteSome would make progress — accept bytes, blackhole them, or
+  /// surface an error — i.e. everything except "buffer full".
+  bool PollWritableLocked() {
+    if (shut_ || pipe_->reset || peer_gone()) return true;
+    if (inner_->partitioned ||
+        inner_->LinkDownLocked(pipe_->client_node, pipe_->server_node)) {
+      return true;  // Blackholed writes "succeed".
+    }
+    return inner_->conn_buffer_bytes == 0 ||
+           outgoing().pending < inner_->conn_buffer_bytes;
   }
 
  private:
@@ -361,7 +440,7 @@ class SimPoller final : public net::Poller {
 
   void Add(net::Connection* conn, uint64_t tag) override {
     std::lock_guard<std::mutex> lock(inner_->mu);
-    entries_.push_back({static_cast<SimConnection*>(conn), tag});
+    entries_.push_back({static_cast<SimConnection*>(conn), tag, false});
   }
 
   void Remove(net::Connection* conn) override {
@@ -370,6 +449,16 @@ class SimPoller final : public net::Poller {
       if (entries_[i].conn == conn) {
         entries_[i] = entries_.back();
         entries_.pop_back();
+        return;
+      }
+    }
+  }
+
+  void SetWritable(net::Connection* conn, bool want) override {
+    std::lock_guard<std::mutex> lock(inner_->mu);
+    for (Entry& e : entries_) {
+      if (e.conn == conn) {
+        e.want_write = want;
         return;
       }
     }
@@ -390,7 +479,10 @@ class SimPoller final : public net::Poller {
       Timestamp earliest = std::numeric_limits<Timestamp>::max();
       const Timestamp now = inner_->clock->Now();
       for (const Entry& e : entries_) {
-        if (e.conn->PollReadyLocked(now, &earliest)) ready->push_back(e.tag);
+        if (e.conn->PollReadyLocked(now, &earliest) ||
+            (e.want_write && e.conn->PollWritableLocked())) {
+          ready->push_back(e.tag);
+        }
       }
       if (!ready->empty()) return Status::OK();
       if (earliest != std::numeric_limits<Timestamp>::max() &&
@@ -419,6 +511,7 @@ class SimPoller final : public net::Poller {
   struct Entry {
     SimConnection* conn;
     uint64_t tag;
+    bool want_write;
   };
   std::shared_ptr<SimTransport::Inner> inner_;
   std::vector<Entry> entries_;  // Guarded by inner_->mu.
@@ -478,6 +571,7 @@ SimTransport::SimTransport(const SimTransportOptions& options)
   clock_ = options.clock ? options.clock : std::make_shared<SimClock>();
   inner_->clock = clock_;
   inner_->auto_advance = options.auto_advance_clock;
+  inner_->conn_buffer_bytes = options.conn_buffer_bytes;
 }
 
 SimTransport::~SimTransport() = default;

@@ -43,6 +43,14 @@ struct SimTransportOptions {
   /// simulation "time leap". Also charges partitioned-read deadlines to the
   /// clock. Disable to exercise real waiting.
   bool auto_advance_clock = true;
+  /// Per-direction in-flight byte cap modeling a bounded kernel send
+  /// buffer, honored by Connection::WriteSome only: once a connection
+  /// direction holds this many unread bytes, WriteSome accepts nothing
+  /// until the reader drains some (the poller reports writability then).
+  /// WriteAll is exempt — it models the blocking path and legacy tests
+  /// assume unbounded pipes. 0 = unbounded. This is what makes a simulated
+  /// slow reader exert real backpressure on the server's streaming writes.
+  size_t conn_buffer_bytes = 0;
 };
 
 /// Counters for assertions and the chaos log.

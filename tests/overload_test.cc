@@ -1,0 +1,570 @@
+// Overload-resilience coverage (PR 10): AdmissionController unit tests on
+// SimClock (slots, FIFO queue, wait expiry, per-tenant token buckets), and
+// end-to-end server tests over SimTransport for the streaming query path —
+// byte-budgeted scans, the server-side default row cap, queue-wait expiry
+// answered kServerBusy, cancel-mid-scan releasing its slot, connection-
+// close cancellation, and the slow-reader bounded-buffering regression.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "net/admission.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "sim/sim_transport.h"
+#include "tests/test_util.h"
+#include "util/coding.h"
+
+namespace lt {
+namespace {
+
+using sim::SimTransport;
+using sim::SimTransportOptions;
+using testutil::UsageRow;
+using testutil::UsageSchema;
+using wire::ErrCode;
+using wire::MsgType;
+
+// ---------------------------------------------------------------------------
+// AdmissionController unit tests (pure SimClock, no server).
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SimClock> clock_ =
+      std::make_shared<SimClock>(100 * kMicrosPerWeek);
+};
+
+TEST_F(AdmissionTest, SlotsThenFifoQueueThenShed) {
+  AdmissionOptions opts;
+  opts.max_concurrent_scans = 2;
+  opts.max_queued_scans = 2;
+  AdmissionController ac(opts, clock_);
+
+  EXPECT_EQ(ac.Request(1, 0), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(ac.Request(2, 0), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(ac.Request(3, 0), AdmissionController::Decision::kQueued);
+  EXPECT_EQ(ac.Request(4, 0), AdmissionController::Decision::kQueued);
+  EXPECT_EQ(ac.Request(5, 0), AdmissionController::Decision::kShedQueueFull);
+  EXPECT_EQ(ac.active_scans(), 2u);
+  EXPECT_EQ(ac.queued_scans(), 2u);
+
+  // Slots hand off in arrival order.
+  clock_->Advance(5000);
+  std::vector<AdmissionController::Departure> granted;
+  ac.Release(&granted);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0].id, 3u);
+  EXPECT_EQ(granted[0].waited_micros, 5000);
+  granted.clear();
+  ac.Release(&granted);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0].id, 4u);
+  EXPECT_EQ(ac.queued_scans(), 0u);
+}
+
+TEST_F(AdmissionTest, QueueWaitExpiry) {
+  AdmissionOptions opts;
+  opts.max_concurrent_scans = 1;
+  opts.queue_wait_timeout_ms = 100;
+  AdmissionController ac(opts, clock_);
+  ASSERT_EQ(ac.Request(1, 0), AdmissionController::Decision::kAdmitted);
+  ASSERT_EQ(ac.Request(2, 0), AdmissionController::Decision::kQueued);
+
+  std::vector<AdmissionController::Departure> expired;
+  ac.ExpireWaiters(&expired);
+  EXPECT_TRUE(expired.empty());  // Deadline not reached yet.
+  clock_->Advance(101 * 1000);
+  ac.ExpireWaiters(&expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 2u);
+  EXPECT_EQ(ac.queued_scans(), 0u);
+}
+
+TEST_F(AdmissionTest, CancelWaiterVsGrantRace) {
+  AdmissionOptions opts;
+  opts.max_concurrent_scans = 1;
+  AdmissionController ac(opts, clock_);
+  ASSERT_EQ(ac.Request(1, 0), AdmissionController::Decision::kAdmitted);
+  ASSERT_EQ(ac.Request(2, 0), AdmissionController::Decision::kQueued);
+  // Still queued: cancel removes it.
+  EXPECT_TRUE(ac.CancelWaiter(2));
+  // Re-queue, then grant it via Release: cancel now reports false — the
+  // waiter owns a slot the caller must Release.
+  ASSERT_EQ(ac.Request(2, 0), AdmissionController::Decision::kQueued);
+  std::vector<AdmissionController::Departure> granted;
+  ac.Release(&granted);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_FALSE(ac.CancelWaiter(2));
+  EXPECT_EQ(ac.active_scans(), 1u);
+}
+
+TEST_F(AdmissionTest, QueryQuotaExhaustsAndRefills) {
+  AdmissionOptions opts;
+  opts.default_quota.queries_per_sec = 2;  // Burst defaults to 2.
+  AdmissionController ac(opts, clock_);
+  EXPECT_EQ(ac.Request(1, 7), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(ac.Request(2, 7), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(ac.Request(3, 7), AdmissionController::Decision::kShedQuota);
+  // Another tenant has its own bucket.
+  EXPECT_EQ(ac.Request(4, 8), AdmissionController::Decision::kAdmitted);
+  // Half a second refills one token.
+  clock_->Advance(500 * 1000);
+  EXPECT_EQ(ac.Request(5, 7), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(ac.Request(6, 7), AdmissionController::Decision::kShedQuota);
+}
+
+TEST_F(AdmissionTest, RowQuotaDebtDelaysNextQuery) {
+  AdmissionOptions opts;
+  opts.default_quota.scanned_rows_per_sec = 1000;
+  AdmissionController ac(opts, clock_);
+  ASSERT_EQ(ac.Request(1, 7), AdmissionController::Decision::kAdmitted);
+  // The first charge takes the bucket deep into debt: the scan is shed.
+  EXPECT_TRUE(ac.ChargeScannedRows(7, 900));
+  EXPECT_FALSE(ac.ChargeScannedRows(7, 900));
+  // While in debt, new queries for the tenant are shed at admission.
+  EXPECT_EQ(ac.Request(2, 7), AdmissionController::Decision::kShedQuota);
+  // A second of refill clears the debt (800 over, +1000 back).
+  clock_->Advance(kMicrosPerSecond);
+  EXPECT_EQ(ac.Request(3, 7), AdmissionController::Decision::kAdmitted);
+  EXPECT_TRUE(ac.ChargeScannedRows(7, 100));
+}
+
+TEST_F(AdmissionTest, AnonymousTenantExemptUnlessExplicit) {
+  AdmissionOptions opts;
+  opts.default_quota.queries_per_sec = 1;
+  AdmissionController ac(opts, clock_);
+  // Tenant 0 (never bound) is exempt from the default quota.
+  for (uint64_t i = 0; i < 10; i++) {
+    EXPECT_EQ(ac.Request(i, 0), AdmissionController::Decision::kAdmitted);
+  }
+  // An explicit entry for 0 binds it like any other tenant.
+  AdmissionOptions opts2;
+  opts2.tenant_quotas[0].queries_per_sec = 1;
+  AdmissionController ac2(opts2, clock_);
+  EXPECT_EQ(ac2.Request(1, 0), AdmissionController::Decision::kAdmitted);
+  EXPECT_EQ(ac2.Request(2, 0), AdmissionController::Decision::kShedQuota);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end server tests over SimTransport.
+
+constexpr uint16_t kPort = 7801;
+
+class OverloadNetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<SimClock>(100 * kMicrosPerWeek);
+    DbOptions dopts;
+    dopts.background_maintenance = false;
+    ASSERT_TRUE(DB::Open(&env_, clock_, "/srv", dopts, &db_).ok());
+  }
+
+  // Builds the transport here, not in SetUp, so tests can set
+  // conn_buffer_bytes_ (the slow-reader backpressure surface) first.
+  void StartServer() {
+    SimTransportOptions topts;
+    topts.clock = clock_;
+    topts.conn_buffer_bytes = conn_buffer_bytes_;
+    transport_ = std::make_unique<SimTransport>(topts);
+    sopts_.port = kPort;
+    sopts_.transport = transport_.get();
+    sopts_.clock = clock_;
+    sopts_.poll_interval_ms = 5;
+    server_ = std::make_unique<LittleTableServer>(db_.get(), sopts_);
+    ASSERT_TRUE(server_->Start().ok());
+    ClientOptions copts;
+    copts.transport = transport_.get();
+    copts.clock = clock_;
+    copts.backoff_seed = 7;
+    copts.backoff_sleep = [clock = clock_](int64_t ms) {
+      clock->Advance(ms * 1000);
+    };
+    copts.network_id = client_network_id_;
+    copts.max_retries = client_max_retries_;
+    ASSERT_TRUE(Client::Connect("sim", kPort, copts, &client_).ok());
+  }
+
+  void TearDown() override {
+    client_.reset();
+    if (server_) server_->Stop();
+  }
+
+  /// Creates "usage" and inserts `n` rows for network 1 (distinct devices).
+  void Fill(int n) {
+    ASSERT_TRUE(client_->CreateTable("usage", UsageSchema(), 0).ok());
+    std::vector<Row> rows;
+    for (int i = 0; i < n; i++) {
+      rows.push_back(UsageRow(1, i, clock_->Now() + i, i * 7, 0.5));
+      if (rows.size() == 200 || i + 1 == n) {
+        ASSERT_TRUE(client_->Insert("usage", rows).ok());
+        rows.clear();
+      }
+    }
+    Timestamp ttl;
+    ASSERT_TRUE(client_->GetTableInfo("usage", &schema_, &ttl).ok());
+  }
+
+  std::unique_ptr<net::Connection> RawConn() {
+    std::unique_ptr<net::Connection> conn;
+    EXPECT_TRUE(transport_->Connect("sim", kPort, 1000, &conn).ok());
+    conn->set_read_timeout_ms(5000);
+    conn->set_write_timeout_ms(5000);
+    return conn;
+  }
+
+  void SendQuery(net::Connection* conn, const QueryBounds& bounds) {
+    std::string req;
+    PutLengthPrefixedSlice(&req, "usage");
+    PutVarint32(&req, schema_.version());
+    wire::EncodeBounds(&req, schema_, bounds);
+    const std::string f = wire::Frame(MsgType::kQuery, req);
+    ASSERT_TRUE(conn->WriteAll(f.data(), f.size()).ok());
+  }
+
+  Status ReadFrame(net::Connection* conn, MsgType* type, std::string* body) {
+    char len_buf[4];
+    LT_RETURN_IF_ERROR(conn->ReadAll(len_buf, 4));
+    const uint32_t len = DecodeFixed32(len_buf);
+    if (len == 0 || len > wire::kMaxFrameBytes) {
+      return Status::NetworkError("bad frame length");
+    }
+    std::string payload(len, '\0');
+    LT_RETURN_IF_ERROR(conn->ReadAll(payload.data(), len));
+    *type = static_cast<MsgType>(payload[0]);
+    body->assign(payload, 1, payload.size() - 1);
+    return Status::OK();
+  }
+
+  /// Reads one kQueryChunk; returns its flags and adds its row count.
+  uint8_t ReadChunk(net::Connection* conn, uint64_t* rows) {
+    MsgType type;
+    std::string body;
+    EXPECT_TRUE(ReadFrame(conn, &type, &body).ok());
+    EXPECT_EQ(type, MsgType::kQueryChunk);
+    Slice in(body);
+    EXPECT_FALSE(in.empty());
+    const uint8_t flags = static_cast<uint8_t>(in[0]);
+    in.remove_prefix(1);
+    uint32_t version = 0, count = 0;
+    EXPECT_TRUE(GetVarint32(&in, &version));
+    EXPECT_TRUE(GetVarint32(&in, &count));
+    *rows += count;
+    return flags;
+  }
+
+  int64_t CounterValue(const std::string& name) {
+    return server_->metrics().GetCounter(name)->Value();
+  }
+  uint64_t HistMax(const std::string& name) {
+    return server_->metrics().GetHistogram(name)->Snapshot().max;
+  }
+
+  MemEnv env_;
+  std::shared_ptr<SimClock> clock_;
+  std::unique_ptr<SimTransport> transport_;
+  std::unique_ptr<DB> db_;
+  ServerOptions sopts_;
+  size_t conn_buffer_bytes_ = 0;
+  int64_t client_network_id_ = 0;
+  int client_max_retries_ = 3;
+  std::unique_ptr<LittleTableServer> server_;
+  std::unique_ptr<Client> client_;
+  Schema schema_;
+};
+
+// Acceptance criterion: a query whose result is >= 10x the per-query byte
+// budget completes via streaming, and the accounted peak stays <= budget.
+TEST_F(OverloadNetTest, BudgetedStreamingCompletesLargeResult) {
+  sopts_.query_budget_bytes = 4 * 1024;
+  StartServer();
+  // ~40 encoded bytes/row, 2000 rows ≈ 80 KB ≈ 20x the 4 KB budget.
+  Fill(2000);
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_EQ(got.size(), 2000u);
+  EXPECT_EQ(got[3][3].i64(), 21);
+  const uint64_t peak = HistMax("server.query_stream_peak_bytes");
+  EXPECT_GT(peak, 0u);
+  EXPECT_LE(peak, sopts_.query_budget_bytes);
+}
+
+// S1: the server-side default row cap truncates uncapped queries and says
+// so via the final chunk's more-available flag; paging resumes past it.
+TEST_F(OverloadNetTest, DefaultRowCapTruncatesWithMoreAvailable) {
+  sopts_.default_query_row_cap = 64;
+  StartServer();
+  Fill(300);
+  QueryResult res;
+  ASSERT_TRUE(client_->Query("usage", QueryBounds{}, &res).ok());
+  EXPECT_EQ(res.rows.size(), 64u);
+  EXPECT_TRUE(res.more_available);
+  // An explicit client limit below the cap is honored unchanged.
+  QueryBounds small;
+  small.limit = 10;
+  ASSERT_TRUE(client_->Query("usage", small, &res).ok());
+  EXPECT_EQ(res.rows.size(), 10u);
+  // QueryAll pages through every truncation to the full result.
+  std::vector<Row> all;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &all).ok());
+  EXPECT_EQ(all.size(), 300u);
+  // QueryPage advances the caller's bounds past each page.
+  QueryBounds page;
+  uint64_t paged = 0;
+  int pages = 0;
+  do {
+    ASSERT_TRUE(client_->QueryPage("usage", &page, &res).ok());
+    paged += res.rows.size();
+    pages++;
+  } while (res.more_available);
+  EXPECT_EQ(paged, 300u);
+  EXPECT_EQ(pages, (300 + 63) / 64);
+}
+
+// Queue-wait deadline expiry answers kServerBusy (never a silent drop).
+TEST_F(OverloadNetTest, QueueWaitExpiryAnswersServerBusy) {
+  conn_buffer_bytes_ = 1024;
+  sopts_.query_budget_bytes = 2 * 1024;
+  sopts_.admission.max_concurrent_scans = 1;
+  sopts_.admission.queue_wait_timeout_ms = 100;
+  StartServer();
+  Fill(2000);
+
+  // A holds the only slot and stalls: we read its first chunk then stop.
+  std::unique_ptr<net::Connection> a = RawConn();
+  SendQuery(a.get(), QueryBounds{});
+  uint64_t a_rows = 0;
+  ASSERT_EQ(ReadChunk(a.get(), &a_rows) & wire::kChunkFinal, 0);
+
+  // B queues behind it; past the wait deadline it is shed with kServerBusy.
+  std::unique_ptr<net::Connection> b = RawConn();
+  SendQuery(b.get(), QueryBounds{});
+  // Wait (real time) until the event loop has actually queued B: its wait
+  // deadline is stamped from SimClock at admission, so advancing before
+  // that would put the deadline forever in the future.
+  Gauge* queued = server_->metrics().GetGauge("server.scans_queued");
+  for (int i = 0; i < 1000 && queued->Value() == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(queued->Value(), 1);
+  clock_->Advance(200 * 1000);
+  MsgType type;
+  std::string body;
+  ASSERT_TRUE(ReadFrame(b.get(), &type, &body).ok());
+  ASSERT_EQ(type, MsgType::kError);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(static_cast<ErrCode>(body[0]), ErrCode::kServerBusy);
+  EXPECT_EQ(CounterValue("server.query_shed.wait_timeout"), 1);
+
+  // A still completes.
+  uint8_t flags = 0;
+  while ((flags & wire::kChunkFinal) == 0) {
+    flags = ReadChunk(a.get(), &a_rows);
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_EQ(a_rows, 2000u);
+}
+
+// kCancel aborts the in-flight scan with an explicit kCancelled terminal
+// and releases its slot for the next query.
+TEST_F(OverloadNetTest, CancelMidScanReleasesSlot) {
+  conn_buffer_bytes_ = 1024;
+  sopts_.query_budget_bytes = 2 * 1024;
+  sopts_.admission.max_concurrent_scans = 1;
+  StartServer();
+  Fill(2000);
+
+  std::unique_ptr<net::Connection> a = RawConn();
+  SendQuery(a.get(), QueryBounds{});
+  uint64_t a_rows = 0;
+  ASSERT_EQ(ReadChunk(a.get(), &a_rows) & wire::kChunkFinal, 0);
+
+  const std::string cancel = wire::Frame(MsgType::kCancel, "");
+  ASSERT_TRUE(a->WriteAll(cancel.data(), cancel.size()).ok());
+  // Drain to the terminal: buffered chunks may precede the kCancelled
+  // error, and the cancel's own kOk ack follows it.
+  bool cancelled = false;
+  while (!cancelled) {
+    MsgType type;
+    std::string body;
+    ASSERT_TRUE(ReadFrame(a.get(), &type, &body).ok());
+    if (type == MsgType::kQueryChunk) {
+      ASSERT_EQ(static_cast<uint8_t>(body[0]) & wire::kChunkFinal, 0)
+          << "scan finished before the cancel landed; grow the table";
+      continue;
+    }
+    ASSERT_EQ(type, MsgType::kError);
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(static_cast<ErrCode>(body[0]), ErrCode::kCancelled);
+    cancelled = true;
+  }
+  MsgType type;
+  std::string body;
+  ASSERT_TRUE(ReadFrame(a.get(), &type, &body).ok());
+  EXPECT_EQ(type, MsgType::kOk);
+  EXPECT_EQ(CounterValue("server.query_cancelled"), 1);
+
+  // The slot is free: a normal query completes (it would hang on the
+  // 1-slot admission queue if the cancel leaked the slot).
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  EXPECT_EQ(got.size(), 2000u);
+}
+
+// Closing the connection mid-scan cancels the scan and frees its slot.
+TEST_F(OverloadNetTest, ConnectionCloseAbortsScanAndFreesSlot) {
+  conn_buffer_bytes_ = 1024;
+  sopts_.query_budget_bytes = 2 * 1024;
+  sopts_.admission.max_concurrent_scans = 1;
+  StartServer();
+  Fill(2000);
+
+  std::unique_ptr<net::Connection> a = RawConn();
+  SendQuery(a.get(), QueryBounds{});
+  uint64_t a_rows = 0;
+  ASSERT_EQ(ReadChunk(a.get(), &a_rows) & wire::kChunkFinal, 0);
+  a.reset();  // Peer vanishes with the scan parked on backpressure.
+
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  EXPECT_EQ(got.size(), 2000u);
+}
+
+// Slow-reader regression: a reader that drains a big result one chunk at a
+// time pins bounded server memory (the accounted peak respects the budget)
+// and parks the scan instead of a worker thread.
+TEST_F(OverloadNetTest, SlowReaderBoundedBuffering) {
+  conn_buffer_bytes_ = 1024;
+  sopts_.query_budget_bytes = 4 * 1024;
+  StartServer();
+  Fill(3000);
+
+  std::unique_ptr<net::Connection> a = RawConn();
+  SendQuery(a.get(), QueryBounds{});
+  uint64_t rows = 0;
+  uint8_t flags = 0;
+  while ((flags & wire::kChunkFinal) == 0) {
+    flags = ReadChunk(a.get(), &rows);
+    if (::testing::Test::HasFailure()) return;
+    clock_->Advance(10 * 1000);  // A genuinely slow reader, in sim time.
+  }
+  EXPECT_EQ(rows, 3000u);
+  EXPECT_GT(CounterValue("server.stream_pauses"), 0);
+  const uint64_t peak = HistMax("server.query_stream_peak_bytes");
+  EXPECT_GT(peak, 0u);
+  EXPECT_LE(peak, sopts_.query_budget_bytes);
+}
+
+// A bounded point query bypasses the scan slots: while a full scan holds
+// the only slot (parked on backpressure), a limit-10 lookup completes
+// instead of queueing behind it.
+TEST_F(OverloadNetTest, SmallQueryBypassesSlotQueue) {
+  conn_buffer_bytes_ = 1024;
+  sopts_.query_budget_bytes = 2 * 1024;
+  sopts_.admission.max_concurrent_scans = 1;
+  sopts_.admission.queue_wait_timeout_ms = 0;  // Queued scans wait forever.
+  StartServer();
+  Fill(2000);
+
+  std::unique_ptr<net::Connection> a = RawConn();
+  SendQuery(a.get(), QueryBounds{});
+  uint64_t a_rows = 0;
+  ASSERT_EQ(ReadChunk(a.get(), &a_rows) & wire::kChunkFinal, 0);
+
+  // The scan is mid-stream and owns the slot; the point query still runs.
+  QueryBounds small;
+  small.limit = 10;
+  QueryResult res;
+  ASSERT_TRUE(client_->Query("usage", small, &res).ok());
+  EXPECT_EQ(res.rows.size(), 10u);
+  EXPECT_EQ(server_->metrics().GetGauge("server.scans_queued")->Value(), 0);
+
+  // An unbounded query from the same client would have queued: sanity-
+  // check by draining A and confirming the scan finishes cleanly.
+  uint8_t flags = 0;
+  while ((flags & wire::kChunkFinal) == 0) {
+    flags = ReadChunk(a.get(), &a_rows);
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_EQ(a_rows, 2000u);
+}
+
+// Per-tenant quota over the wire, bound via ClientOptions::network_id:
+// exhaustion sheds with kResourceExhausted, SimClock refill restores.
+TEST_F(OverloadNetTest, TenantQuotaExhaustionAndRefillOverWire) {
+  client_network_id_ = 7;
+  client_max_retries_ = 0;  // Surface the shed instead of retrying past it.
+  sopts_.admission.default_quota.queries_per_sec = 1;
+  StartServer();
+  Fill(10);
+
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_EQ(got.size(), 10u);
+  // The burst (1 token) is spent: the next query is shed, explicitly.
+  Status s = client_->QueryAll("usage", QueryBounds{}, &got);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_EQ(CounterValue("server.query_shed.quota"), 1);
+  // A simulated second refills the bucket.
+  clock_->Advance(kMicrosPerSecond);
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  EXPECT_EQ(got.size(), 10u);
+}
+
+// The tenant binding survives reconnects: after a server-side reset the
+// client rebinds network_id before its next request, so quotas keep
+// attributing to the same tenant.
+TEST_F(OverloadNetTest, TenantBindingSurvivesReconnect) {
+  client_network_id_ = 7;
+  sopts_.admission.default_quota.queries_per_sec = 1000;
+  StartServer();
+  Fill(10);
+  std::vector<Row> got;
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  transport_->ResetAllConnections();
+  ASSERT_TRUE(client_->QueryAll("usage", QueryBounds{}, &got).ok());
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_GE(client_->connect_count(), 2u);
+}
+
+// Query deadline: a scan that outlives query_deadline_ms is shed
+// mid-stream with kResourceExhausted.
+TEST_F(OverloadNetTest, QueryDeadlineShedsMidStream) {
+  conn_buffer_bytes_ = 1024;
+  sopts_.query_budget_bytes = 2 * 1024;
+  sopts_.query_deadline_ms = 50;
+  StartServer();
+  Fill(2000);
+
+  std::unique_ptr<net::Connection> a = RawConn();
+  SendQuery(a.get(), QueryBounds{});
+  uint64_t rows = 0;
+  ASSERT_EQ(ReadChunk(a.get(), &rows) & wire::kChunkFinal, 0);
+  clock_->Advance(100 * 1000);  // Past the deadline while parked.
+  bool terminal = false;
+  while (!terminal) {
+    MsgType type;
+    std::string body;
+    ASSERT_TRUE(ReadFrame(a.get(), &type, &body).ok());
+    if (type == MsgType::kQueryChunk) {
+      ASSERT_EQ(static_cast<uint8_t>(body[0]) & wire::kChunkFinal, 0)
+          << "scan finished before the deadline check; grow the table";
+      continue;
+    }
+    ASSERT_EQ(type, MsgType::kError);
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(static_cast<ErrCode>(body[0]), ErrCode::kResourceExhausted);
+    terminal = true;
+  }
+  EXPECT_EQ(CounterValue("server.query_deadline_exceeded"), 1);
+}
+
+}  // namespace
+}  // namespace lt
